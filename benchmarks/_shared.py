@@ -1,0 +1,63 @@
+"""Shared infrastructure for the benchmark harness.
+
+The three Figure 4 panels and both Figure 5 panels come from the same
+(batch x policy x seed) grid; this module caches that grid per
+(seeds, scale) so each bench file reuses it instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import MachineConfig
+from repro.analysis.experiments import (
+    POLICY_FACTORIES,
+    run_batch_policy,
+)
+from repro.analysis.results import FigureSeries, MetricKind, average_results
+from repro.sim.batch import batch_names
+
+SEEDS = (1, 2, 3)
+SCALE = 1.0
+
+_GRID_CACHE: dict = {}
+
+
+def figure_grid(seeds: Sequence[int] = SEEDS, scale: float = SCALE):
+    """results[batch][policy] -> list of per-seed SimulationResult."""
+    key = (tuple(seeds), scale)
+    if key not in _GRID_CACHE:
+        config = MachineConfig()
+        grid = {}
+        for batch in batch_names():
+            grid[batch] = {policy: [] for policy in POLICY_FACTORIES}
+            for seed in seeds:
+                for policy in POLICY_FACTORIES:
+                    grid[batch][policy].append(
+                        run_batch_policy(config, batch, policy, seed=seed, scale=scale)
+                    )
+        _GRID_CACHE[key] = grid
+    return _GRID_CACHE[key]
+
+
+def series_from_grid(grid, metric: MetricKind, title: str) -> FigureSeries:
+    """Collapse the cached grid into one figure's series."""
+    policies = list(POLICY_FACTORIES)
+    series = {policy: [] for policy in policies}
+    for batch in grid:
+        averages = average_results(grid[batch], metric)
+        for policy in policies:
+            series[policy].append(averages.values[policy])
+    return FigureSeries(
+        title=title, metric=metric, x_labels=list(grid), series=series
+    )
+
+
+def print_with_expectation(series: FigureSeries, expectation: str) -> None:
+    """Print the measured series (normalised to ITS) plus the paper's
+    expected shape, in the same orientation as the paper's figures."""
+    from repro.analysis.tables import render_series_table
+
+    print()
+    print(render_series_table(series.normalized_to("ITS")))
+    print(f"paper expectation: {expectation}")

@@ -1,0 +1,64 @@
+"""Ablation: the three ITS components, enabled one at a time.
+
+DESIGN.md calls out the division of labour the paper claims: the
+page-prefetch policy removes page faults, the pre-execute policy removes
+cache misses, and the self-sacrificing thread shifts resources toward
+high-priority processes.  This bench runs ITS with each component
+disabled on the 2_Data_Intensive batch and checks each claim, plus the
+`prefetch_discovered` extension (pre-exec-discovered faults fed to the
+prefetcher).
+"""
+
+from repro import ITSPolicy, MachineConfig, Simulation, build_batch
+
+SEED = 1
+BATCH = "2_Data_Intensive"
+
+VARIANTS = {
+    "full": dict(),
+    "no_prefetch": dict(prefetch=False),
+    "no_preexec": dict(preexec=False),
+    "no_sacrifice": dict(self_sacrifice=False),
+    "no_shielding": dict(priority_aware_replacement=False),
+    "plus_discovered": dict(prefetch_discovered=True),
+}
+
+
+def _run_variants():
+    results = {}
+    for name, kwargs in VARIANTS.items():
+        config = MachineConfig()
+        batch = build_batch(BATCH, seed=SEED, config=config)
+        results[name] = Simulation(
+            config, batch, ITSPolicy(**kwargs), batch_name=f"ablation_{name}"
+        ).run()
+    return results
+
+
+def bench_ablation_its_components(benchmark):
+    """Disable each ITS component in turn and verify its contribution."""
+    results = benchmark.pedantic(_run_variants, rounds=1, iterations=1)
+    print()
+    print(f"Ablation: ITS components ({BATCH})")
+    print("variant          idle(ms)  majors  misses  top50(ms)  bot50(ms)")
+    for name, r in results.items():
+        print(
+            f"{name:15s}  {r.total_idle_ns / 1e6:8.3f}  {r.major_faults:6d}"
+            f"  {r.demand_cache_misses:6d}  {r.mean_finish_top_half_ns() / 1e6:9.3f}"
+            f"  {r.mean_finish_bottom_half_ns() / 1e6:9.3f}"
+        )
+    full = results["full"]
+    # Prefetching is the fault killer.
+    assert results["no_prefetch"].major_faults > 1.5 * full.major_faults
+    # Pre-execution is the (pre-execute-side) miss killer: disabling it
+    # removes all warmed lines.
+    assert results["no_preexec"].preexec_instructions == 0
+    assert full.preexec_instructions > 0
+    # Self-sacrificing favours the top half.
+    assert (
+        full.mean_finish_top_half_ns()
+        <= 1.05 * results["no_sacrifice"].mean_finish_top_half_ns()
+    )
+    # The discovered-faults extension prefetches *known* future faults,
+    # so it removes majors beyond what the VA-adjacent walk achieves.
+    assert results["plus_discovered"].major_faults < full.major_faults

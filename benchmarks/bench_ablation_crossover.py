@@ -1,0 +1,56 @@
+"""Ablation: the sync-vs-async crossover over device latency.
+
+The paper's premise (Sections 1-2): synchronous I/O wins once device
+latency drops below the context-switch cost, and asynchronous I/O wins
+for slow devices.  Sweeping the ULL device latency from 1 us to 100 us
+must show Sync ahead at the ULL end and Async ahead at the slow end,
+with a crossover in between.
+"""
+
+import dataclasses
+
+from repro import AsyncIOPolicy, MachineConfig, Simulation, SyncIOPolicy, build_batch
+from repro.common.units import US
+
+LATENCIES_US = (1, 3, 7, 15, 30, 60, 100)
+SEED = 1
+
+
+def _run_sweep():
+    rows = []
+    for latency_us in LATENCIES_US:
+        config = MachineConfig()
+        config = dataclasses.replace(
+            config,
+            device=dataclasses.replace(
+                config.device, access_latency_ns=latency_us * US
+            ),
+        )
+        makespans = {}
+        for policy_cls in (SyncIOPolicy, AsyncIOPolicy):
+            batch = build_batch("1_Data_Intensive", seed=SEED, scale=0.5, config=config)
+            result = Simulation(
+                config, batch, policy_cls(), batch_name="crossover"
+            ).run()
+            makespans[result.policy] = result.makespan_ns
+        rows.append((latency_us, makespans["Sync"], makespans["Async"]))
+    return rows
+
+
+def bench_ablation_sync_async_crossover(benchmark):
+    """Sweep device latency and verify the crossover exists."""
+    rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation: sync-vs-async makespan crossover (7 us context switch)")
+    print("latency(us)  sync(ms)  async(ms)  winner")
+    for latency_us, sync_ns, async_ns in rows:
+        winner = "Sync" if sync_ns < async_ns else "Async"
+        print(
+            f"{latency_us:11d}  {sync_ns / 1e6:8.3f}  {async_ns / 1e6:9.3f}  {winner}"
+        )
+    # ULL end: sync wins (the paper's premise).
+    first = rows[0]
+    assert first[1] < first[2], rows
+    # Slow-device end: async wins (the traditional wisdom).
+    last = rows[-1]
+    assert last[2] < last[1], rows

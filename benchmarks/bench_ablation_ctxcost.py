@@ -1,0 +1,64 @@
+"""Ablation: context-switch cost (the premise's other axis).
+
+The paper cites 5-10 us switches on general-purpose machines and
+measures 7 us on its i7-7800X.  This bench sweeps the switch cost from
+1 us to 20 us with the device fixed at 3 us: Async's idle time scales
+with the switch cost (every fault pays it) while the synchronous
+flavours are indifferent — quantifying how the killer-microsecond gap
+opens.
+"""
+
+import dataclasses
+
+from repro import AsyncIOPolicy, MachineConfig, Simulation, SyncIOPolicy, build_batch
+from repro.common.units import US
+from repro.core import ITSPolicy
+
+SWITCH_COSTS_US = (1, 3, 7, 12, 20)
+SEED = 1
+SCALE = 0.5
+
+
+def _run_sweep():
+    rows = []
+    for cost_us in SWITCH_COSTS_US:
+        base = MachineConfig()
+        config = dataclasses.replace(
+            base,
+            scheduler=dataclasses.replace(
+                base.scheduler, context_switch_ns=cost_us * US
+            ),
+        )
+        cells = {}
+        for policy_cls in (SyncIOPolicy, AsyncIOPolicy, ITSPolicy):
+            batch = build_batch("1_Data_Intensive", seed=SEED, scale=SCALE, config=config)
+            result = Simulation(
+                config, batch, policy_cls(), batch_name="ctx_sweep"
+            ).run()
+            cells[result.policy] = result
+        rows.append((cost_us, cells))
+    return rows
+
+
+def bench_ablation_context_switch_cost(benchmark):
+    """Sweep the switch cost and verify who pays for it."""
+    rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation: context-switch cost (device fixed at 3 us)")
+    print("switch(us)  Sync idle(ms)  Async idle(ms)  ITS idle(ms)")
+    for cost_us, cells in rows:
+        print(
+            f"{cost_us:10d}  {cells['Sync'].total_idle_ns / 1e6:13.3f}"
+            f"  {cells['Async'].total_idle_ns / 1e6:14.3f}"
+            f"  {cells['ITS'].total_idle_ns / 1e6:12.3f}"
+        )
+    # Async idle grows monotonically with the switch cost.
+    async_idle = [cells["Async"].total_idle_ns for _, cells in rows]
+    assert async_idle == sorted(async_idle), async_idle
+    # Sync is indifferent (it never switches on faults): within 5%.
+    sync_idle = [cells["Sync"].total_idle_ns for _, cells in rows]
+    assert max(sync_idle) < 1.05 * min(sync_idle), sync_idle
+    # At the measured 7 us, ITS beats both.
+    at_7us = dict(rows)[7]
+    assert at_7us["ITS"].total_idle_ns < at_7us["Sync"].total_idle_ns
+    assert at_7us["ITS"].total_idle_ns < at_7us["Async"].total_idle_ns

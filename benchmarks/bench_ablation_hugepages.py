@@ -1,0 +1,88 @@
+"""Ablation: page size (the paper's huge-page motivation).
+
+Section 1: the busy-wait waste "becomes more pronounced, particularly
+when dealing with larger I/O sizes like huge page management".  This
+bench sweeps the page size from 4 KiB to 64 KiB (DRAM bytes held
+constant) and shows two things:
+
+1. with the prefetch degree *adapted* to the page size (constant bytes
+   in flight), ITS beats Sync at 4 and 16 KiB and stays within noise of
+   it at 64 KiB — the edge narrows as the page transfer time itself
+   approaches the context-switch cost, i.e. exactly as the premise of
+   synchronous mode fades;
+2. with the degree left at the 4 KiB default, huge-page prefetching
+   floods the PCIe link and evicts a third of DRAM per fault — ITS
+   degrades far below Sync.  Prefetch aggressiveness is not free at
+   large page sizes.
+"""
+
+import dataclasses
+
+from repro import ITSPolicy, MachineConfig, Simulation, SyncIOPolicy, build_batch
+from repro.common.units import KIB
+
+PAGE_SIZES_KIB = (4, 16, 64)
+SEED = 7
+SCALE = 0.5
+
+
+def _config_for(page_kib: int, degree: int) -> MachineConfig:
+    base = MachineConfig()
+    frames = max(16, base.memory.dram_bytes // (page_kib * KIB))
+    return dataclasses.replace(
+        base,
+        memory=dataclasses.replace(
+            base.memory, page_size=page_kib * KIB, dram_frames=frames
+        ),
+        its=dataclasses.replace(base.its, prefetch_degree=degree),
+    )
+
+
+def _run_sweep():
+    rows = []
+    for page_kib in PAGE_SIZES_KIB:
+        adapted_degree = max(1, 8 * 4 // page_kib)
+        naive_degree = 8
+        cells = {}
+        for label, degree, policy_cls in (
+            ("sync", 0, SyncIOPolicy),
+            ("its_adapted", adapted_degree, ITSPolicy),
+            ("its_naive", naive_degree, ITSPolicy),
+        ):
+            config = _config_for(page_kib, degree)
+            batch = build_batch("1_Data_Intensive", seed=SEED, scale=SCALE, config=config)
+            cells[label] = Simulation(
+                config, batch, policy_cls(), batch_name=f"hugepages_{page_kib}k"
+            ).run()
+        rows.append((page_kib, adapted_degree, cells))
+    return rows
+
+
+def bench_ablation_page_size(benchmark):
+    """Sweep the page size and verify the adapted-ITS advantage."""
+    rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation: page size (DRAM bytes constant; 1_Data_Intensive)")
+    print("page(KiB)  n   sync idle(ms)  ITS-adapted(ms)  ITS-naive-n8(ms)")
+    for page_kib, degree, cells in rows:
+        print(
+            f"{page_kib:9d}  {degree:2d}  {cells['sync'].total_idle_ns / 1e6:13.3f}"
+            f"  {cells['its_adapted'].total_idle_ns / 1e6:15.3f}"
+            f"  {cells['its_naive'].total_idle_ns / 1e6:16.3f}"
+        )
+    for page_kib, __, cells in rows:
+        # Adapted ITS beats Sync outright at small pages and never loses
+        # by more than noise as the transfer time approaches the switch
+        # cost.
+        if page_kib <= 16:
+            assert (
+                cells["its_adapted"].total_idle_ns < cells["sync"].total_idle_ns
+            ), page_kib
+        else:
+            assert (
+                cells["its_adapted"].total_idle_ns
+                < 1.1 * cells["sync"].total_idle_ns
+            ), page_kib
+    # At the largest page size, the naive 4 KiB-tuned degree backfires.
+    __, ___, largest = rows[-1]
+    assert largest["its_naive"].total_idle_ns > 2 * largest["its_adapted"].total_idle_ns

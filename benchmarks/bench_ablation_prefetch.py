@@ -1,0 +1,50 @@
+"""Ablation: prefetch degree (the policy's *n*).
+
+DESIGN.md calls out the prefetch degree as the ITS design's main
+accuracy/waste trade-off: higher degrees convert more major faults into
+minor ones on predictable workloads, but each extra candidate risks
+evicting useful pages when the walk runs past the workload's actual
+reach.  Sweeps n over {0, 2, 4, 8, 16} on the 1_Data_Intensive batch.
+"""
+
+import dataclasses
+
+from repro import ITSPolicy, MachineConfig, Simulation, build_batch
+
+DEGREES = (0, 2, 4, 8, 16)
+SEED = 1
+
+
+def _run_sweep():
+    results = {}
+    for degree in DEGREES:
+        config = MachineConfig()
+        config = dataclasses.replace(
+            config, its=dataclasses.replace(config.its, prefetch_degree=degree)
+        )
+        batch = build_batch("1_Data_Intensive", seed=SEED, config=config)
+        results[degree] = Simulation(
+            config, batch, ITSPolicy(), batch_name="ablation_prefetch"
+        ).run()
+    return results
+
+
+def bench_ablation_prefetch_degree(benchmark):
+    """Sweep the prefetch degree and verify diminishing returns."""
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation: ITS prefetch degree (1_Data_Intensive)")
+    print("degree  idle(ms)  majors  minors  prefetch_issued  accuracy")
+    for degree, r in results.items():
+        accuracy = r.prefetch_hits / r.prefetch_issued if r.prefetch_issued else 0.0
+        print(
+            f"{degree:6d}  {r.total_idle_ns / 1e6:8.3f}  {r.major_faults:6d}"
+            f"  {r.minor_faults:6d}  {r.prefetch_issued:15d}  {accuracy:8.1%}"
+        )
+    # Degree 0 must not prefetch at all; any positive degree must beat it.
+    assert results[0].prefetch_issued == 0
+    assert results[8].major_faults < results[0].major_faults
+    # Faults are monotone non-increasing in degree (within 5% noise).
+    ordered = [results[d].major_faults for d in DEGREES]
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert later <= 1.05 * earlier, ordered

@@ -1,0 +1,48 @@
+"""Ablation: memory pressure (DRAM size relative to the footprints).
+
+Section 2.2's observation is at heart a pressure statement: co-running
+processes "share and contend the memory resources", and the idle problem
+worsens as pressure rises.  This bench sweeps the DRAM frame count from
+generous to starved and shows (a) Sync's idle time grows as refaults
+appear, and (b) ITS's relative advantage grows with pressure — the
+design matters most exactly where the problem is worst.
+"""
+
+from repro.analysis.sweeps import sweep_dram_frames
+
+FRAME_COUNTS = (1400, 900, 600, 448, 320)  # generous -> starved
+SWEEP_KW = dict(
+    policies=("Sync", "ITS"),
+    batch="1_Data_Intensive",
+    seed=1,
+    scale=0.5,
+)
+
+
+def _run_sweep():
+    return sweep_dram_frames(FRAME_COUNTS, **SWEEP_KW)
+
+
+def bench_ablation_memory_pressure(benchmark):
+    """Sweep DRAM size and verify the pressure story."""
+    rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation: memory pressure (1_Data_Intensive)")
+    print("frames  Sync idle(ms)  Sync majors  ITS idle(ms)  ITS majors  ITS saving")
+    for row in rows:
+        sync = row.results["Sync"]
+        its = row.results["ITS"]
+        saving = 1 - its.total_idle_ns / sync.total_idle_ns
+        print(
+            f"{int(row.value):6d}  {sync.total_idle_ns / 1e6:13.3f}"
+            f"  {sync.major_faults:11d}  {its.total_idle_ns / 1e6:12.3f}"
+            f"  {its.major_faults:10d}  {saving:10.1%}"
+        )
+    sync_idle = [row.results["Sync"].total_idle_ns for row in rows]
+    sync_majors = [row.results["Sync"].major_faults for row in rows]
+    # Pressure hurts: Sync idle and faults grow as frames shrink.
+    assert sync_idle[-1] > sync_idle[0]
+    assert sync_majors[-1] > sync_majors[0]
+    # ITS wins at every pressure level.
+    for row in rows:
+        assert row.results["ITS"].total_idle_ns < row.results["Sync"].total_idle_ns

@@ -1,0 +1,38 @@
+"""Figure 4a: normalized total CPU idle time, per batch, per policy.
+
+Regenerates the series the paper plots: four batches (0-3 data-intensive
+processes among six) x five policies, idle time normalised to ITS.
+Paper shape: ITS saves 61-66% vs Async, 17-43% vs Sync, 7-37% vs
+Sync_Runahead, and 10-15% vs Sync_Prefetch.
+"""
+
+from repro.analysis.results import MetricKind
+
+from benchmarks._shared import figure_grid, print_with_expectation, series_from_grid
+
+
+def _compute_fig4a():
+    grid = figure_grid()
+    return series_from_grid(
+        grid, MetricKind.IDLE_TIME, "Fig 4a: total CPU idle time (ns)"
+    )
+
+
+def bench_fig4a_idle_time(benchmark):
+    """Regenerate Figure 4a and verify its shape."""
+    series = benchmark.pedantic(_compute_fig4a, rounds=1, iterations=1)
+    print_with_expectation(
+        series,
+        "ITS < Sync_Prefetch (1.11-1.18x) < Sync_Runahead < Sync (1.2-1.75x) "
+        "< Async (2.59-2.95x)",
+    )
+    normalized = series.normalized_to("ITS")
+    for i, batch in enumerate(normalized.x_labels):
+        values = {name: normalized.series[name][i] for name in normalized.series}
+        assert (
+            values["ITS"]
+            < values["Sync_Prefetch"]
+            < values["Sync_Runahead"]
+            < values["Sync"]
+            < values["Async"]
+        ), (batch, values)

@@ -1,0 +1,37 @@
+"""Figure 4b: number of major page faults, per batch, per policy.
+
+Paper shape: ITS saves at least 65% / 61% of the page faults of
+Async/Sync on the No_Data_Intensive and 1_Data_Intensive batches
+(prefetching predicts general-purpose access behaviour well); Async is
+clearly worst on the data-intensive batches (fine-grained interleaving
+thrashes the shared pool).
+"""
+
+from repro.analysis.results import MetricKind
+
+from benchmarks._shared import figure_grid, print_with_expectation, series_from_grid
+
+
+def _compute_fig4b():
+    grid = figure_grid()
+    return series_from_grid(
+        grid, MetricKind.PAGE_FAULTS, "Fig 4b: number of major page faults"
+    )
+
+
+def bench_fig4b_page_faults(benchmark):
+    """Regenerate Figure 4b and verify its shape."""
+    series = benchmark.pedantic(_compute_fig4b, rounds=1, iterations=1)
+    print_with_expectation(
+        series,
+        "ITS lowest (~= Sync_Prefetch); >=61-65% below Sync/Async on "
+        "low-intensity batches; Async worst when data-intensive",
+    )
+    for i, batch in enumerate(series.x_labels):
+        values = {name: series.series[name][i] for name in series.series}
+        floor = min(values.values())
+        assert values["ITS"] <= 1.15 * floor, (batch, values)
+        if batch in ("No_Data_Intensive", "1_Data_Intensive"):
+            assert values["ITS"] < 0.5 * values["Sync"], (batch, values)
+    last = {name: series.series[name][-1] for name in series.series}
+    assert last["Async"] > 1.1 * last["Sync"], last

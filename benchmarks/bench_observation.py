@@ -1,0 +1,31 @@
+"""Section 2.2 motivation experiment: CPU idle time vs process count.
+
+Five representative processes (Wrf, Blender, page rank, random walk,
+single shortest path) run under the synchronous I/O mode; the paper
+reports that more than 22% of CPU time is idle and that the idle time
+grows as more processes contend for memory (results normalised to the
+2-process run).
+"""
+
+from repro import MachineConfig
+from repro.analysis.experiments import run_observation
+
+
+def _compute_observation():
+    return run_observation(MachineConfig(), process_counts=(2, 3, 4, 5), scale=1.0)
+
+
+def bench_observation_idle_vs_process_count(benchmark):
+    """Regenerate the Section 2.2 observation and verify its shape."""
+    data = benchmark.pedantic(_compute_observation, rounds=1, iterations=1)
+    print()
+    print("Sec 2.2: CPU idle time under Sync vs number of processes")
+    print("processes  idle(ms)  idle/makespan  normalized-to-2")
+    for count, idle, frac, norm in zip(
+        data.process_counts, data.idle_ns, data.idle_fraction, data.normalized_idle
+    ):
+        print(f"{count:9d}  {idle / 1e6:8.3f}  {frac:13.1%}  {norm:15.2f}")
+    print("paper expectation: idle share > 22%, growing with process count")
+    assert all(frac > 0.22 for frac in data.idle_fraction)
+    assert data.normalized_idle == sorted(data.normalized_idle)
+    assert data.normalized_idle[-1] > 1.5

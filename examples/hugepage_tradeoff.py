@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Huge pages change the deal: bigger steals, costlier mistakes.
+
+Section 1 motivates ITS partly by huge-page management: larger I/O
+sizes mean longer busy-wait windows (more to steal) but also costlier
+transfers (prefetch mistakes hurt more).  This example sweeps the page
+size with DRAM bytes held constant and compares Sync against ITS with
+(a) the prefetch degree adapted to keep bytes-in-flight constant and
+(b) naively left at the 4 KiB default.
+
+Run:  python examples/hugepage_tradeoff.py
+"""
+
+import dataclasses
+
+from repro import ITSPolicy, MachineConfig, Simulation, SyncIOPolicy, build_batch
+from repro.common.units import KIB, format_time_ns
+
+
+def config_for(page_kib: int, degree: int) -> MachineConfig:
+    base = MachineConfig()
+    frames = max(16, base.memory.dram_bytes // (page_kib * KIB))
+    return dataclasses.replace(
+        base,
+        memory=dataclasses.replace(
+            base.memory, page_size=page_kib * KIB, dram_frames=frames
+        ),
+        its=dataclasses.replace(base.its, prefetch_degree=degree),
+    )
+
+
+def run(page_kib: int, policy_name: str, degree: int):
+    config = config_for(page_kib, degree)
+    policy = SyncIOPolicy() if policy_name == "Sync" else ITSPolicy()
+    batch = build_batch("1_Data_Intensive", seed=7, scale=0.5, config=config)
+    return Simulation(config, batch, policy, batch_name="hugepages").run()
+
+
+def main() -> None:
+    print("page size sweep (DRAM bytes constant, 1_Data_Intensive)")
+    print()
+    print(f"{'page':>6s} {'n*':>3s} {'Sync idle':>11s} {'ITS adapted':>12s} "
+          f"{'ITS naive n=8':>14s} {'adapted saving':>15s}")
+    for page_kib in (4, 16, 64):
+        adapted = max(1, 8 * 4 // page_kib)
+        sync = run(page_kib, "Sync", 0)
+        its_adapted = run(page_kib, "ITS", adapted)
+        its_naive = run(page_kib, "ITS", 8)
+        saving = 1 - its_adapted.total_idle_ns / sync.total_idle_ns
+        print(
+            f"{page_kib:>4d}Ki {adapted:>3d} "
+            f"{format_time_ns(sync.total_idle_ns):>11s} "
+            f"{format_time_ns(its_adapted.total_idle_ns):>12s} "
+            f"{format_time_ns(its_naive.total_idle_ns):>14s} "
+            f"{saving:>14.1%}"
+        )
+    print()
+    print("n* = prefetch degree adapted to keep 32 KiB in flight per fault.")
+    print("Lessons: the ITS edge narrows as the page transfer time approaches")
+    print("the context-switch cost, and a 4 KiB-tuned prefetch degree floods")
+    print("the PCIe link at 64 KiB pages — aggressiveness must scale down.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one paper batch under Sync and under ITS.
+
+Builds the 1_Data_Intensive batch (six processes, one data-intensive),
+runs it under the synchronous baseline and under the Idle-Time-Stealing
+design on the same machine, and prints the full result summaries plus
+the headline comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ITSPolicy, MachineConfig, Simulation, SyncIOPolicy, build_batch
+from repro.analysis.tables import render_result_summary
+
+
+def main() -> None:
+    config = MachineConfig()  # scaled-down platform; MachineConfig.paper() for full scale
+    results = {}
+    for policy in (SyncIOPolicy(), ITSPolicy()):
+        batch = build_batch("1_Data_Intensive", seed=7)
+        results[policy.name] = Simulation(
+            config, batch, policy, batch_name="1_Data_Intensive"
+        ).run()
+        print(render_result_summary(results[policy.name]))
+        print()
+
+    sync, its = results["Sync"], results["ITS"]
+    saving = 1 - its.total_idle_ns / sync.total_idle_ns
+    print(f"ITS reduces total CPU idle time by {saving:.1%} vs Sync")
+    print(
+        f"major faults: {sync.major_faults} (Sync) -> {its.major_faults} (ITS); "
+        f"prefetch converted {its.minor_faults} faults to minor"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Calibration probe: run all five policies on all four batches and
+print the figure-relevant metrics, including paper-style normalisation.
+
+Usage: python scripts/calibrate.py [scale] [seed]
+"""
+
+import sys
+import time
+
+from repro import (
+    AsyncIOPolicy,
+    ITSPolicy,
+    MachineConfig,
+    Simulation,
+    SyncIOPolicy,
+    SyncPrefetchPolicy,
+    SyncRunaheadPolicy,
+    batch_names,
+    build_batch,
+)
+
+POLICIES = (AsyncIOPolicy, SyncIOPolicy, SyncRunaheadPolicy, SyncPrefetchPolicy, ITSPolicy)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+    config = MachineConfig()
+    for batch_name in batch_names():
+        print(f"== {batch_name} (scale={scale}, seed={seed})")
+        results = {}
+        for policy_cls in POLICIES:
+            batch = build_batch(batch_name, seed=seed, scale=scale)
+            t0 = time.time()
+            r = Simulation(config, batch, policy_cls(), batch_name=batch_name).run()
+            results[r.policy] = r
+            i = r.idle
+            print(
+                f"  {r.policy:14s} idle={r.total_idle_ns/1e6:7.2f}ms "
+                f"(mem={i.memory_stall_ns/1e6:5.2f} sync={i.sync_storage_ns/1e6:5.2f} "
+                f"async={i.async_idle_ns/1e6:5.2f} ctx={i.ctx_switch_overhead_ns/1e6:5.2f}) "
+                f"majors={r.major_faults:5d} misses={r.demand_cache_misses:6d} "
+                f"pf_iss={r.prefetch_issued:5d} pf_hit={r.prefetch_hits:5d} "
+                f"warm={r.preexec_lines_warmed:6d} "
+                f"top50={r.mean_finish_top_half_ns()/1e6:7.2f}ms "
+                f"bot50={r.mean_finish_bottom_half_ns()/1e6:7.2f}ms "
+                f"wall={time.time()-t0:4.1f}s"
+            )
+        its = results["ITS"]
+        print("  normalized to ITS:")
+        for name, r in results.items():
+            print(
+                f"    {name:14s} idle={r.total_idle_ns / max(1, its.total_idle_ns):5.2f} "
+                f"majors={r.major_faults / max(1, its.major_faults):5.2f} "
+                f"misses={r.demand_cache_misses / max(1, its.demand_cache_misses):5.2f} "
+                f"top50={r.mean_finish_top_half_ns() / max(1, its.mean_finish_top_half_ns()):5.2f} "
+                f"bot50={r.mean_finish_bottom_half_ns() / max(1, its.mean_finish_bottom_half_ns()):5.2f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Capture a memory trace of a real program with Valgrind's lackey tool —
+# the same front end the paper's simulator uses ("adopts the dynamic
+# binary instruction tools, Valgrind, to capture the accessed virtual
+# addresses").
+#
+# Usage:  ./scripts/capture_trace.sh <command...> > program.lackey
+#
+# Then feed it to the simulator:
+#
+#   from repro.trace.lackey import parse_lackey
+#   with open("program.lackey") as f:
+#       trace = parse_lackey(f, max_instructions=200_000)
+#
+# Notes:
+#  * lackey slows programs ~100x; capture short, representative runs;
+#  * use max_instructions to bound the replayed prefix;
+#  * a small pre-captured sample ships at examples/data/sample.lackey.
+
+if [ $# -eq 0 ]; then
+    echo "usage: $0 <command...>" >&2
+    exit 2
+fi
+
+exec valgrind --tool=lackey --trace-mem=yes --basic-counts=no "$@" 2>&1

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment ships an offline setuptools without the ``wheel``
+package, so PEP 517/660 editable installs (which need ``bdist_wheel``)
+fail; this shim lets ``pip install -e .`` fall back to the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""repro: a full reproduction of "How to Steal CPU Idle Time When
+Synchronous I/O Mode Becomes Promising" (Wu, Chang, Yang, Kuo — DAC
+2024).
+
+The package implements the paper's in-house trace-based simulator — a
+simulated CPU (LLC, TLB, register file with INV bits, pre-execute
+engine), a mini Linux-style kernel (4-level page tables, swap, SCHED_RR,
+page-fault handler), and an ULL storage substrate (Z-NAND-class device,
+PCIe link, DMA) — plus the proposed Idle-Time-Stealing (ITS) design and
+the four baseline I/O policies it is evaluated against.
+
+Quickstart::
+
+    from repro import MachineConfig, Simulation, build_batch
+    from repro import ITSPolicy, SyncIOPolicy
+
+    config = MachineConfig()
+    batch = build_batch("1_Data_Intensive", seed=7)
+    result = Simulation(config, batch, ITSPolicy(), batch_name="demo").run()
+    print(result.total_idle_ns, result.major_faults)
+"""
+
+from repro.common import (
+    CacheConfig,
+    ConfigError,
+    DeviceConfig,
+    DeterministicRNG,
+    ITSConfig,
+    MachineConfig,
+    MemoryConfig,
+    PCIeConfig,
+    ReproError,
+    SchedulerConfig,
+    SimulationError,
+    TLBConfig,
+    TraceError,
+)
+from repro.baselines import (
+    AsyncIOPolicy,
+    IOPolicy,
+    SyncIOPolicy,
+    SyncPrefetchPolicy,
+    SyncRunaheadPolicy,
+)
+from repro.core import ITSPolicy
+from repro.sim import (
+    PAPER_BATCHES,
+    BatchSpec,
+    EventLog,
+    Machine,
+    SimEvent,
+    Simulation,
+    SimulationResult,
+    WorkloadInstance,
+    batch_names,
+    build_batch,
+)
+from repro.trace import WORKLOADS, build_workload, workload_names
+from repro.vm import VMA, AddressSpace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "MachineConfig",
+    "CacheConfig",
+    "TLBConfig",
+    "DeviceConfig",
+    "PCIeConfig",
+    "MemoryConfig",
+    "SchedulerConfig",
+    "ITSConfig",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "SimulationError",
+    # policies
+    "IOPolicy",
+    "AsyncIOPolicy",
+    "SyncIOPolicy",
+    "SyncRunaheadPolicy",
+    "SyncPrefetchPolicy",
+    "ITSPolicy",
+    # simulation
+    "Machine",
+    "Simulation",
+    "EventLog",
+    "SimEvent",
+    "SimulationResult",
+    "WorkloadInstance",
+    "BatchSpec",
+    "PAPER_BATCHES",
+    "batch_names",
+    "build_batch",
+    # traces
+    "WORKLOADS",
+    "build_workload",
+    "workload_names",
+    "DeterministicRNG",
+    "VMA",
+    "AddressSpace",
+]

@@ -1,0 +1,116 @@
+"""Result aggregation, normalisation, and experiment runners.
+
+One runner per paper artefact: :func:`run_figure4` (Figures 4a-4c),
+:func:`run_figure5` (Figures 5a-5b), and :func:`run_observation` (the
+Section 2.2 motivation experiment).  The benchmark harness under
+``benchmarks/`` is a thin wrapper around these.
+"""
+
+from repro.analysis.results import (
+    FigureSeries,
+    MetricKind,
+    PolicyAverages,
+    average_results,
+    normalize_series,
+)
+from repro.analysis.tables import render_series_table, render_result_summary
+from repro.analysis.charts import render_bar_chart, render_sparkline
+from repro.analysis.store import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.analysis.stats import (
+    MetricSummary,
+    orderings_stable,
+    summarize_metric,
+    summarize_policies,
+)
+from repro.analysis.utilization import (
+    UtilizationReport,
+    render_utilization,
+    utilization,
+)
+from repro.analysis.sweeps import (
+    SweepRow,
+    find_crossover,
+    sweep,
+    sweep_context_switch_cost,
+    sweep_device_latency,
+    sweep_dram_frames,
+    sweep_page_size,
+)
+from repro.analysis.report import generate_report, write_report
+from repro.analysis.timeline import (
+    bucket_events,
+    render_density,
+    render_strip,
+    render_timeline,
+)
+from repro.analysis.validate import (
+    ClaimCheck,
+    render_claims,
+    validate_figure4,
+    validate_figure5,
+    validate_observation,
+)
+from repro.analysis.experiments import (
+    POLICY_FACTORIES,
+    Figure4Data,
+    Figure5Data,
+    ObservationData,
+    run_batch_policy,
+    run_figure4,
+    run_figure5,
+    run_observation,
+)
+
+__all__ = [
+    "FigureSeries",
+    "MetricKind",
+    "PolicyAverages",
+    "average_results",
+    "normalize_series",
+    "render_series_table",
+    "render_result_summary",
+    "render_bar_chart",
+    "render_sparkline",
+    "save_results",
+    "load_results",
+    "result_to_dict",
+    "result_from_dict",
+    "MetricSummary",
+    "summarize_metric",
+    "summarize_policies",
+    "orderings_stable",
+    "UtilizationReport",
+    "utilization",
+    "render_utilization",
+    "SweepRow",
+    "sweep",
+    "sweep_device_latency",
+    "sweep_context_switch_cost",
+    "sweep_page_size",
+    "sweep_dram_frames",
+    "find_crossover",
+    "generate_report",
+    "write_report",
+    "bucket_events",
+    "render_strip",
+    "render_density",
+    "render_timeline",
+    "ClaimCheck",
+    "validate_figure4",
+    "validate_figure5",
+    "validate_observation",
+    "render_claims",
+    "POLICY_FACTORIES",
+    "Figure4Data",
+    "Figure5Data",
+    "ObservationData",
+    "run_batch_policy",
+    "run_figure4",
+    "run_figure5",
+    "run_observation",
+]

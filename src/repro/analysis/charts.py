@@ -1,0 +1,60 @@
+"""ASCII bar charts for figure series.
+
+Terminal-friendly rendering of the paper's grouped-bar figures (no
+plotting dependency needed).  Each x label (batch) becomes a group with
+one horizontal bar per policy; values can be rendered raw or normalised.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import FigureSeries
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def render_bar_chart(
+    series: FigureSeries,
+    *,
+    width: int = 48,
+    precision: int = 2,
+) -> str:
+    """Render *series* as grouped horizontal ASCII bars.
+
+    The longest bar spans *width* characters; each row shows the policy,
+    the bar, and the numeric value.
+    """
+    if width < 4:
+        raise ValueError("chart width must be at least 4 characters")
+    all_values = [v for values in series.series.values() for v in values]
+    peak = max(all_values) if all_values else 1.0
+    if peak <= 0:
+        peak = 1.0
+    name_width = max(len(name) for name in series.series) if series.series else 6
+
+    lines = [series.title]
+    for i, label in enumerate(series.x_labels):
+        lines.append(f"{label}:")
+        for name, values in series.series.items():
+            value = values[i]
+            filled = value / peak * width
+            bar = _BAR * int(filled)
+            if filled - int(filled) >= 0.5:
+                bar += _HALF
+            lines.append(f"  {name:<{name_width}}  {bar:<{width}} {value:.{precision}f}")
+    return "\n".join(lines)
+
+
+def render_sparkline(values: list[float]) -> str:
+    """One-line sparkline (eight levels) for a numeric sequence."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span == 0:
+        return blocks[0] * len(values)
+    return "".join(
+        blocks[min(7, int((v - low) / span * 7.999))] for v in values
+    )

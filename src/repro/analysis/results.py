@@ -1,0 +1,149 @@
+"""Aggregation and normalisation of simulation results.
+
+The paper reports each metric normalised to the ITS design; these
+helpers average raw :class:`~repro.sim.metrics.SimulationResult` records
+across seeds and produce the normalised series that the figures plot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.common.errors import ConfigError
+from repro.sim.metrics import SimulationResult
+
+
+class MetricKind(enum.Enum):
+    """The metrics the paper's figures report."""
+
+    IDLE_TIME = "idle_time"
+    PAGE_FAULTS = "page_faults"
+    CACHE_MISSES = "cache_misses"
+    FINISH_TOP_HALF = "finish_top_half"
+    FINISH_BOTTOM_HALF = "finish_bottom_half"
+
+
+def _extract(result: SimulationResult, kind: MetricKind) -> float:
+    if kind is MetricKind.IDLE_TIME:
+        return float(result.total_idle_ns)
+    if kind is MetricKind.PAGE_FAULTS:
+        return float(result.major_faults)
+    if kind is MetricKind.CACHE_MISSES:
+        return float(result.demand_cache_misses)
+    if kind is MetricKind.FINISH_TOP_HALF:
+        return result.mean_finish_top_half_ns()
+    if kind is MetricKind.FINISH_BOTTOM_HALF:
+        return result.mean_finish_bottom_half_ns()
+    raise ConfigError(f"unknown metric {kind!r}")
+
+
+@dataclass
+class PolicyAverages:
+    """Per-policy seed-averaged values of one metric."""
+
+    metric: MetricKind
+    values: dict[str, float] = field(default_factory=dict)
+
+    def normalized_to(self, reference: str) -> dict[str, float]:
+        """Values divided by *reference*'s value (the paper normalises
+        to ITS)."""
+        if reference not in self.values:
+            raise ConfigError(f"reference policy {reference!r} missing from averages")
+        base = self.values[reference]
+        if base == 0:
+            raise ConfigError(f"reference policy {reference!r} has zero {self.metric.value}")
+        return {name: value / base for name, value in self.values.items()}
+
+
+def average_results(
+    results: Mapping[str, Sequence[SimulationResult]], metric: MetricKind
+) -> PolicyAverages:
+    """Average *metric* across each policy's seed runs."""
+    averages = PolicyAverages(metric=metric)
+    for policy, runs in results.items():
+        if not runs:
+            raise ConfigError(f"policy {policy!r} has no runs to average")
+        averages.values[policy] = sum(_extract(r, metric) for r in runs) / len(runs)
+    return averages
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: x-axis labels and per-policy y-values.
+
+    This is the exact structure the paper's bar groups encode: for each
+    batch (x) a bar per policy (series).
+    """
+
+    title: str
+    metric: MetricKind
+    x_labels: list[str]
+    series: dict[str, list[float]]
+
+    def normalized_to(self, reference: str) -> "FigureSeries":
+        """Divide every series point-wise by *reference*'s value at the
+        same x position."""
+        if reference not in self.series:
+            raise ConfigError(f"reference series {reference!r} missing")
+        base = self.series[reference]
+        if any(v == 0 for v in base):
+            raise ConfigError(f"reference series {reference!r} contains zeros")
+        return FigureSeries(
+            title=f"{self.title} (normalized to {reference})",
+            metric=self.metric,
+            x_labels=list(self.x_labels),
+            series={
+                name: [v / b for v, b in zip(values, base)]
+                for name, values in self.series.items()
+            },
+        )
+
+    def policy_names(self) -> list[str]:
+        """Series names in insertion order."""
+        return list(self.series)
+
+    def to_csv(self, path) -> None:
+        """Write the series as CSV: one row per policy, one column per
+        x label (plus the title as a comment line)."""
+        import csv
+        from pathlib import Path
+
+        path = Path(path)
+        with path.open("w", newline="", encoding="utf-8") as f:
+            f.write(f"# {self.title}\n")
+            writer = csv.writer(f)
+            writer.writerow(["policy", *self.x_labels])
+            for name, values in self.series.items():
+                writer.writerow([name, *values])
+
+    @classmethod
+    def from_csv(cls, path, *, metric: "MetricKind", title: str = "") -> "FigureSeries":
+        """Read a series written by :meth:`to_csv`."""
+        import csv
+        from pathlib import Path
+
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as f:
+            first = f.readline()
+            loaded_title = first[2:].strip() if first.startswith("#") else ""
+            if not first.startswith("#"):
+                f.seek(0)
+            reader = csv.reader(f)
+            header = next(reader)
+            x_labels = header[1:]
+            series = {
+                row[0]: [float(v) for v in row[1:]] for row in reader if row
+            }
+        return cls(
+            title=title or loaded_title,
+            metric=metric,
+            x_labels=x_labels,
+            series=series,
+        )
+
+
+def normalize_series(series: FigureSeries, reference: str = "ITS") -> FigureSeries:
+    """Convenience wrapper over :meth:`FigureSeries.normalized_to`."""
+    return series.normalized_to(reference)

@@ -1,0 +1,103 @@
+"""Seed statistics: dispersion of the figure metrics across priority
+assignments.
+
+The paper assigns priorities randomly; a single assignment can flip
+which process is the makespan laggard (see EXPERIMENTS.md).  These
+helpers quantify that spread: per-policy mean, sample standard
+deviation, and a normal-approximation confidence interval over the
+per-seed values of any metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.results import MetricKind, _extract
+from repro.common.errors import ConfigError
+from repro.sim.metrics import SimulationResult
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean, dispersion and CI of one metric across seeds."""
+
+    metric: MetricKind
+    n: int
+    mean: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def relative_spread(self) -> float:
+        """Coefficient of variation (stdev / mean); 0.0 for a zero mean."""
+        return self.stdev / self.mean if self.mean else 0.0
+
+
+def summarize_metric(
+    runs: Sequence[SimulationResult],
+    metric: MetricKind,
+    *,
+    confidence_z: float = 1.96,
+) -> MetricSummary:
+    """Summarise *metric* across per-seed *runs*.
+
+    Uses the normal approximation (z = 1.96 for ~95%); with the small
+    seed counts typical here, treat the interval as indicative.
+    """
+    if not runs:
+        raise ConfigError("cannot summarise an empty run list")
+    values = [_extract(r, metric) for r in runs]
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        stdev = math.sqrt(variance)
+    else:
+        stdev = 0.0
+    half = confidence_z * stdev / math.sqrt(n) if n > 1 else 0.0
+    return MetricSummary(
+        metric=metric,
+        n=n,
+        mean=mean,
+        stdev=stdev,
+        ci_low=mean - half,
+        ci_high=mean + half,
+    )
+
+
+def summarize_policies(
+    results: Mapping[str, Sequence[SimulationResult]],
+    metric: MetricKind,
+) -> dict[str, MetricSummary]:
+    """Per-policy :func:`summarize_metric` over a results grid row."""
+    return {
+        policy: summarize_metric(runs, metric) for policy, runs in results.items()
+    }
+
+
+def orderings_stable(
+    results: Mapping[str, Sequence[SimulationResult]],
+    metric: MetricKind,
+    better: str,
+    worse: str,
+) -> float:
+    """Fraction of seeds in which *better* beats *worse* on *metric*.
+
+    1.0 means the ordering holds for every priority assignment tested —
+    the robustness statement behind each figure-shape claim.
+    """
+    better_runs = results.get(better)
+    worse_runs = results.get(worse)
+    if not better_runs or not worse_runs:
+        raise ConfigError("both policies need runs")
+    if len(better_runs) != len(worse_runs):
+        raise ConfigError("policies were run on different seed sets")
+    wins = sum(
+        1
+        for b, w in zip(better_runs, worse_runs)
+        if _extract(b, metric) < _extract(w, metric)
+    )
+    return wins / len(better_runs)

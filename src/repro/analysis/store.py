@@ -1,0 +1,74 @@
+"""JSON persistence for simulation results.
+
+Lets the CLI (and downstream users) save runs and compare them later
+without re-simulating.  The format is a stable, versioned, plain-JSON
+encoding of :class:`~repro.sim.metrics.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.common.errors import ConfigError
+from repro.sim.metrics import IdleBreakdown, ProcessRecord, SimulationResult
+
+FORMAT_VERSION = 1
+"""Bumped on any incompatible schema change."""
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Encode a result as a JSON-compatible dict."""
+    payload = dataclasses.asdict(result)
+    payload["_format"] = FORMAT_VERSION
+    return payload
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    """Decode a dict produced by :func:`result_to_dict`."""
+    version = data.get("_format")
+    if version != FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported result format {version!r} (expected {FORMAT_VERSION})"
+        )
+    try:
+        return SimulationResult(
+            policy=data["policy"],
+            batch=data["batch"],
+            makespan_ns=data["makespan_ns"],
+            idle=IdleBreakdown(**data["idle"]),
+            processes=[ProcessRecord(**p) for p in data["processes"]],
+            demand_cache_misses=data["demand_cache_misses"],
+            demand_cache_accesses=data["demand_cache_accesses"],
+            major_faults=data["major_faults"],
+            minor_faults=data["minor_faults"],
+            context_switches=data["context_switches"],
+            prefetch_issued=data["prefetch_issued"],
+            prefetch_hits=data["prefetch_hits"],
+            preexec_instructions=data["preexec_instructions"],
+            preexec_lines_warmed=data["preexec_lines_warmed"],
+            instructions_committed=data["instructions_committed"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed result payload: {exc}") from exc
+
+
+def save_results(path: str | Path, results: Iterable[SimulationResult]) -> None:
+    """Write one or more results to a JSON file."""
+    path = Path(path)
+    payload = [result_to_dict(r) for r in results]
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_results(path: str | Path) -> list[SimulationResult]:
+    """Read results written by :func:`save_results`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, list):
+        raise ConfigError(f"{path} does not contain a result list")
+    return [result_from_dict(item) for item in payload]

@@ -1,0 +1,66 @@
+"""Plain-text rendering of figure data.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import FigureSeries
+from repro.common.units import format_time_ns
+from repro.sim.metrics import SimulationResult
+
+
+def render_series_table(series: FigureSeries, *, precision: int = 2) -> str:
+    """Render a :class:`FigureSeries` as an aligned text table.
+
+    Rows are policies, columns are the x labels — the transpose of the
+    paper's bar groups, which reads better in a terminal.
+    """
+    headers = ["policy", *series.x_labels]
+    rows = [
+        [name, *(f"{v:.{precision}f}" for v in values)]
+        for name, values in series.series.items()
+    ]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [series.title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_result_summary(result: SimulationResult) -> str:
+    """One-run human-readable summary (used by the examples)."""
+    idle = result.idle
+    lines = [
+        f"policy={result.policy} batch={result.batch}",
+        f"  makespan            {format_time_ns(result.makespan_ns)}",
+        f"  total CPU idle time {format_time_ns(result.total_idle_ns)}",
+        f"    memory stalls     {format_time_ns(idle.memory_stall_ns)}",
+        f"    sync storage wait {format_time_ns(idle.sync_storage_ns)}",
+        f"    async idle        {format_time_ns(idle.async_idle_ns)}",
+        f"    context switches  {format_time_ns(idle.ctx_switch_overhead_ns)}"
+        f" ({result.context_switches} switches)",
+        f"  major faults        {result.major_faults}",
+        f"  minor faults        {result.minor_faults}",
+        f"  LLC demand misses   {result.demand_cache_misses}"
+        f" of {result.demand_cache_accesses} accesses",
+        f"  prefetches          {result.prefetch_issued} issued,"
+        f" {result.prefetch_hits} hit before eviction",
+        f"  pre-executed instrs {result.preexec_instructions}"
+        f" ({result.preexec_lines_warmed} lines warmed)",
+    ]
+    lines.append("  per-process finish times (by descending priority):")
+    for record in result.finish_times_by_priority():
+        tag = "data-intensive" if record.data_intensive else "general"
+        lines.append(
+            f"    prio={record.priority:2d} {record.name:<12s} {tag:<14s}"
+            f" finish={format_time_ns(record.finish_time_ns)}"
+            f" majors={record.major_faults}"
+        )
+    return "\n".join(lines)

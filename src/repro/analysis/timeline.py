@@ -1,0 +1,86 @@
+"""ASCII timelines over the event log.
+
+Renders when things happened across a run's makespan: one fixed-width
+strip per event kind (or per process), bucketed over virtual time.  The
+`examples/event_timeline.py` walkthrough is built on these.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.common.errors import SimulationError
+from repro.sim.eventlog import EventLog, SimEvent
+
+
+def bucket_events(
+    events: Iterable[SimEvent],
+    makespan_ns: int,
+    buckets: int = 60,
+) -> list[int]:
+    """Histogram of event counts over *buckets* equal time slices."""
+    if makespan_ns <= 0:
+        raise SimulationError("makespan must be positive")
+    if buckets <= 0:
+        raise SimulationError("need at least one bucket")
+    counts = [0] * buckets
+    for event in events:
+        index = min(buckets - 1, event.time_ns * buckets // makespan_ns)
+        counts[index] += 1
+    return counts
+
+
+def render_strip(
+    events: Iterable[SimEvent],
+    makespan_ns: int,
+    *,
+    buckets: int = 60,
+    symbol: str = "*",
+) -> str:
+    """A one-line occupancy strip: *symbol* where any event landed."""
+    counts = bucket_events(events, makespan_ns, buckets)
+    return "".join(symbol if c else " " for c in counts)
+
+
+def render_density(
+    events: Iterable[SimEvent],
+    makespan_ns: int,
+    *,
+    buckets: int = 60,
+) -> str:
+    """A one-line density strip using eight block levels."""
+    counts = bucket_events(events, makespan_ns, buckets)
+    peak = max(counts) if counts else 0
+    if peak == 0:
+        return " " * buckets
+    blocks = " ▁▂▃▄▅▆▇█"
+    return "".join(blocks[min(8, round(c / peak * 8))] for c in counts)
+
+
+def render_timeline(
+    log: EventLog,
+    makespan_ns: int,
+    *,
+    kinds: Optional[Sequence[str]] = None,
+    buckets: int = 60,
+    density: bool = False,
+) -> str:
+    """Multi-row timeline, one labelled strip per event kind.
+
+    ``kinds`` defaults to every kind present in the log, in first-seen
+    order.  ``density=True`` uses block levels instead of occupancy
+    marks.
+    """
+    if kinds is None:
+        seen: list[str] = []
+        for event in log:
+            if event.kind not in seen:
+                seen.append(event.kind)
+        kinds = seen
+    label_width = max((len(k) for k in kinds), default=4)
+    render = render_density if density else render_strip
+    lines = []
+    for kind in kinds:
+        strip = render(log.of_kind(kind), makespan_ns, buckets=buckets)
+        lines.append(f"{kind:<{label_width}} |{strip}|")
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Programmatic verification of the paper's claims.
+
+Each claim from the paper's evaluation is encoded as a check over the
+regenerated figure data; the report and the benches use these to state
+PASS/FAIL explicitly instead of burying the comparison in prose.  The
+one expected failure (Fig 5b vs Sync_Prefetch, see EXPERIMENTS.md) is
+marked ``expected_deviation`` so a report can distinguish "broken" from
+"documented".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.experiments import Figure4Data, Figure5Data, ObservationData
+from repro.analysis.results import FigureSeries
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One verified claim."""
+
+    claim_id: str
+    description: str
+    passed: bool
+    details: str = ""
+    expected_deviation: bool = False
+
+    @property
+    def status(self) -> str:
+        """PASS / DEVIATION (documented) / FAIL."""
+        if self.passed:
+            return "PASS"
+        return "DEVIATION" if self.expected_deviation else "FAIL"
+
+
+def _per_batch(series: FigureSeries):
+    for i, batch in enumerate(series.x_labels):
+        yield batch, {name: values[i] for name, values in series.series.items()}
+
+
+def _ordering_claim(
+    claim_id: str,
+    description: str,
+    series: FigureSeries,
+    ordering: Sequence[str],
+    *,
+    tolerance: float = 1.0,
+    expected_deviation: bool = False,
+) -> ClaimCheck:
+    """Check ``ordering[0] <= ordering[1] <= ...`` in every batch.
+
+    ``tolerance`` relaxes each comparison to ``a <= tolerance * b``.
+    """
+    failures = []
+    for batch, values in _per_batch(series):
+        for better, worse in zip(ordering, ordering[1:]):
+            if not values[better] <= tolerance * values[worse]:
+                failures.append(
+                    f"{batch}: {better}={values[better]:.3g} !<= "
+                    f"{tolerance:g}x {worse}={values[worse]:.3g}"
+                )
+    return ClaimCheck(
+        claim_id=claim_id,
+        description=description,
+        passed=not failures,
+        details="; ".join(failures),
+        expected_deviation=expected_deviation,
+    )
+
+
+def validate_figure4(fig4: Figure4Data) -> list[ClaimCheck]:
+    """The Figure 4 claims (idle time, faults, misses)."""
+    checks = [
+        _ordering_claim(
+            "fig4a-ordering",
+            "Idle time: ITS < Sync_Prefetch < Sync_Runahead < Sync < Async",
+            fig4.idle_time,
+            ("ITS", "Sync_Prefetch", "Sync_Runahead", "Sync", "Async"),
+        ),
+        _ordering_claim(
+            "fig4b-its-lowest",
+            "Page faults: ITS lowest (within 15% of the best)",
+            fig4.page_faults,
+            ("ITS",),
+        ),
+        _ordering_claim(
+            "fig4c-runahead-best",
+            "Cache misses: Sync_Runahead < ITS and Async worst",
+            fig4.cache_misses,
+            ("Sync_Runahead", "ITS", "Async"),
+        ),
+    ]
+    # Fig 4b needs a floor comparison rather than a chain.
+    failures = []
+    for batch, values in _per_batch(fig4.page_faults):
+        floor = min(values.values())
+        if values["ITS"] > 1.15 * floor:
+            failures.append(f"{batch}: ITS={values['ITS']:.0f} floor={floor:.0f}")
+    checks[1] = ClaimCheck(
+        claim_id="fig4b-its-lowest",
+        description="Page faults: ITS lowest (within 15% of the best)",
+        passed=not failures,
+        details="; ".join(failures),
+    )
+    # ITS vs Sync savings bands.
+    for claim_id, description, better, worse, factor in (
+        ("fig4a-vs-async", "Idle: ITS saves >=50% vs Async", "ITS", "Async", 0.5),
+        ("fig4a-vs-sync", "Idle: ITS saves >=15% vs Sync", "ITS", "Sync", 0.85),
+    ):
+        checks.append(
+            _ordering_claim(
+                claim_id, description, fig4.idle_time, (better, worse), tolerance=factor
+            )
+        )
+    return checks
+
+
+def validate_figure5(fig5: Figure5Data) -> list[ClaimCheck]:
+    """The Figure 5 claims (finish times by priority half)."""
+    return [
+        _ordering_claim(
+            "fig5a-its-best",
+            "Top-50% finish: ITS < Sync_Prefetch < Sync < Async",
+            fig5.top_half,
+            ("ITS", "Sync_Prefetch", "Sync", "Async"),
+        ),
+        _ordering_claim(
+            "fig5b-vs-async-sync",
+            "Bottom-50% finish: ITS <= Sync (5% tol.) and < Async",
+            fig5.bottom_half,
+            ("ITS", "Sync", "Async"),
+            tolerance=1.05,
+        ),
+        _ordering_claim(
+            "fig5b-vs-prefetch",
+            "Bottom-50% finish: ITS < Sync_Prefetch (paper claim; known "
+            "deviation at scaled slice lengths — see EXPERIMENTS.md)",
+            fig5.bottom_half,
+            ("ITS", "Sync_Prefetch"),
+            expected_deviation=True,
+        ),
+    ]
+
+
+def validate_observation(obs: ObservationData) -> list[ClaimCheck]:
+    """The Section 2.2 claims."""
+    grows = obs.normalized_idle == sorted(obs.normalized_idle)
+    share = all(frac > 0.22 for frac in obs.idle_fraction)
+    return [
+        ClaimCheck(
+            claim_id="sec2.2-share",
+            description="More than 22% of CPU time is idle under Sync",
+            passed=share,
+            details=", ".join(f"{f:.1%}" for f in obs.idle_fraction),
+        ),
+        ClaimCheck(
+            claim_id="sec2.2-growth",
+            description="Idle time grows with the number of processes",
+            passed=grows,
+            details=", ".join(f"{v:.2f}" for v in obs.normalized_idle),
+        ),
+    ]
+
+
+def render_claims(checks: Sequence[ClaimCheck]) -> str:
+    """Aligned text table of claim outcomes."""
+    lines = []
+    for check in checks:
+        line = f"[{check.status:9s}] {check.claim_id:18s} {check.description}"
+        if check.details and not check.passed:
+            line += f"  ({check.details})"
+        lines.append(line)
+    return "\n".join(lines)

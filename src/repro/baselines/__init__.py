@@ -1,0 +1,27 @@
+"""The four baseline I/O policies from the paper's evaluation.
+
+* :class:`AsyncIOPolicy` — traditional asynchronous I/O (context switch
+  on every major fault).
+* :class:`SyncIOPolicy` — synchronous busy-waiting, as advocated by
+  Intel and IBM for ULL devices.
+* :class:`SyncRunaheadPolicy` — Sync plus traditional runahead
+  pre-execution during LLC misses.
+* :class:`SyncPrefetchPolicy` — Sync plus page-on-page-unit prefetching
+  during major faults.
+
+The ITS design itself lives in :mod:`repro.core`.
+"""
+
+from repro.baselines.base import IOPolicy
+from repro.baselines.async_io import AsyncIOPolicy
+from repro.baselines.sync_io import SyncIOPolicy
+from repro.baselines.sync_runahead import SyncRunaheadPolicy
+from repro.baselines.sync_prefetch import SyncPrefetchPolicy
+
+__all__ = [
+    "IOPolicy",
+    "AsyncIOPolicy",
+    "SyncIOPolicy",
+    "SyncRunaheadPolicy",
+    "SyncPrefetchPolicy",
+]

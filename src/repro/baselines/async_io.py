@@ -1,0 +1,52 @@
+"""The asynchronous I/O baseline ("Async").
+
+Traditional swap behaviour: on a major fault the OS marks the DMA and
+context-switches to another ready process.  With ULL devices the 7 us
+switch dwarfs the 3 us access — and the fine-grained interleaving it
+causes lets the processes thrash each other's pages and caches, which is
+what Figures 4b/4c measure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.baselines.base import IOPolicy
+from repro.kernel.process import Process
+from repro.storage.dma import DMARequest
+
+if TYPE_CHECKING:
+    from repro.sim.simulator import Simulation
+
+
+def block_on_fault(
+    sim: "Simulation", process: Process, vpn: int, *, resume: bool = False
+) -> None:
+    """Asynchronous-fault mechanics: handler, DMA, block, unblock on
+    completion.  Shared by Async (``resume=False``: queue tail) and the
+    ITS self-sacrificing thread (``resume=True``: the forced-off process
+    re-enters at the queue head with its residual slice)."""
+    machine = sim.machine
+
+    def complete(request: DMARequest, __time_ns: int) -> None:
+        if not machine.memory.is_resident_or_cached(request.pid, request.vpn):
+            machine.memory.install_page(request.pid, request.vpn)
+        sim.scheduler.unblock(process, resume=resume)
+
+    machine.fault_handler.begin_major_fault(
+        process.pid, vpn, machine.now_ns, on_complete=complete
+    )
+    # The handler itself runs on the CPU before the switch.
+    sim.consume_time(process, machine.config.fault_handler_ns)
+    sim.metrics.add_handler_overhead(machine.config.fault_handler_ns)
+    process.stats.async_faults += 1
+    sim.scheduler.block_current()
+
+
+class AsyncIOPolicy(IOPolicy):
+    """Block on every major fault; resume when the DMA completes."""
+
+    name = "Async"
+
+    def on_major_fault(self, sim: "Simulation", process: Process, vpn: int) -> None:
+        block_on_fault(sim, process, vpn)

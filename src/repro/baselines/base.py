@@ -1,0 +1,63 @@
+"""The I/O policy interface.
+
+A policy decides what the machine does around a major page fault — the
+single decision point the whole paper revolves around — plus optional
+hooks on instruction completion (used by runahead) and replacement-policy
+selection (used by ITS's priority-aware shielding).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cpu.core import StepResult
+from repro.cpu.isa import Instruction
+from repro.kernel.process import Process
+from repro.vm.replacement import GlobalLRUPolicy, ReplacementPolicy
+
+if TYPE_CHECKING:
+    from repro.sim.simulator import Simulation
+
+
+class IOPolicy(ABC):
+    """Strategy object governing fault handling for one simulation run.
+
+    Policies are stateful per run: :meth:`attach` is called once before
+    the loop starts, and a fresh policy instance must be used for each
+    :class:`~repro.sim.simulator.Simulation`.
+    """
+
+    name: str = "abstract"
+    uses_preexec_cache: bool = False
+
+    def create_replacement(self, processes: Sequence[Process]) -> ReplacementPolicy:
+        """Build the page-replacement policy for this run.
+
+        Baselines use global LRU; ITS overrides this with the
+        priority-aware variant.
+        """
+        return GlobalLRUPolicy()
+
+    def attach(self, sim: "Simulation") -> None:
+        """Bind to the simulation before the run starts."""
+        self.sim = sim
+
+    @abstractmethod
+    def on_major_fault(self, sim: "Simulation", process: Process, vpn: int) -> None:
+        """Handle a major fault of *process* on page *vpn*.
+
+        The implementation must leave the simulation in one of two
+        states: the page resident and the process still RUNNING (sync
+        flavours), or the process BLOCKED with a completion event armed
+        (async flavours).
+        """
+
+    def on_instruction_complete(
+        self,
+        sim: "Simulation",
+        process: Process,
+        instr: Instruction,
+        result: StepResult,
+    ) -> None:
+        """Hook after each committed instruction (default: nothing)."""

@@ -1,0 +1,45 @@
+"""The synchronous I/O baseline ("Sync").
+
+The mode Intel and IBM advocate for ULL devices: on a major fault the CPU
+busy-waits for the DMA swap-in instead of context switching.  The whole
+wait is CPU idle time — nothing useful happens — which is precisely the
+waste the ITS design steals.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.baselines.base import IOPolicy
+from repro.kernel.process import Process
+
+if TYPE_CHECKING:
+    from repro.sim.simulator import Simulation
+
+
+def busy_wait_fault(sim: "Simulation", process: Process, vpn: int) -> int:
+    """Synchronous-fault mechanics: handler, DMA, busy-wait, install.
+
+    Returns the length of the busy-wait window (handler exit to I/O
+    completion).  Shared by Sync, Sync_Runahead, Sync_Prefetch and the
+    ITS self-improving path (which steals the returned window).
+    """
+    machine = sim.machine
+    fault = machine.fault_handler.begin_major_fault(process.pid, vpn, machine.now_ns)
+    sim.metrics.add_handler_overhead(machine.config.fault_handler_ns)
+    wait_ns = fault.io_done_ns - fault.handler_done_ns
+    sim.consume_time(process, fault.io_done_ns - machine.now_ns)
+    sim.metrics.add_sync_storage_wait(wait_ns)
+    process.stats.storage_wait_ns += wait_ns
+    process.stats.sync_faults += 1
+    machine.memory.install_page(process.pid, vpn)
+    return wait_ns
+
+
+class SyncIOPolicy(IOPolicy):
+    """Busy-wait on every major fault."""
+
+    name = "Sync"
+
+    def on_major_fault(self, sim: "Simulation", process: Process, vpn: int) -> None:
+        busy_wait_fault(sim, process, vpn)

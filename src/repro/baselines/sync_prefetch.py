@@ -1,0 +1,40 @@
+"""The Sync_Prefetch baseline.
+
+Synchronous I/O plus page-based prefetching (footnote 5: "groups a
+static number of pages with continuous page id into a page-on-page unit
+and fetches an entire unit during handling a page fault").  Unlike the
+ITS virtual-address-based prefetcher, the unit is *statically aligned*:
+it neither skips ahead past already-resident pages nor crosses the unit
+boundary to gather a full candidate set, which is why its accuracy trails
+ITS by the paper's 10-15 %.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.baselines.sync_io import SyncIOPolicy, busy_wait_fault
+from repro.kernel.process import Process
+
+if TYPE_CHECKING:
+    from repro.sim.simulator import Simulation
+
+
+class SyncPrefetchPolicy(SyncIOPolicy):
+    """Sync I/O + aligned page-on-page-unit prefetch on major faults."""
+
+    name = "Sync_Prefetch"
+
+    def __init__(self, unit_pages: int = 8) -> None:
+        if unit_pages <= 0:
+            raise ValueError("unit size must be positive")
+        self.unit_pages = unit_pages
+
+    def on_major_fault(self, sim: "Simulation", process: Process, vpn: int) -> None:
+        # Issue the rest of the aligned unit over DMA first, so the
+        # prefetch reads overlap the demand read's busy-wait.
+        unit_start = vpn - (vpn % self.unit_pages)
+        for candidate in range(unit_start, unit_start + self.unit_pages):
+            if candidate != vpn:
+                sim.issue_prefetch(process.pid, candidate)
+        busy_wait_fault(sim, process, vpn)

@@ -1,0 +1,329 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro run          one simulation (batch x policy x seed)
+    repro figures      regenerate the paper's Figure 4 / Figure 5 series
+    repro observation  the Section 2.2 motivation experiment
+    repro crossover    sync-vs-async sweep over device latency
+    repro workloads    list workloads and batches
+    repro compare      diff two saved result files
+
+Also usable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import __version__
+from repro.analysis.charts import render_bar_chart
+from repro.analysis.experiments import (
+    POLICY_FACTORIES,
+    run_batch_policy,
+    run_figure4,
+    run_figure5,
+    run_observation,
+)
+from repro.analysis.store import load_results, save_results
+from repro.analysis.report import write_report
+from repro.analysis.sweeps import find_crossover, sweep_device_latency
+from repro.analysis.tables import render_result_summary, render_series_table
+from repro.common.config import MachineConfig
+from repro.common.errors import ReproError
+from repro.common.units import format_time_ns
+from repro.sim.batch import PAPER_BATCHES, batch_names
+from repro.sim.eventlog import EventLog
+from repro.trace.workloads import EXTRA_WORKLOADS, WORKLOADS
+
+
+def _machine_config(args: argparse.Namespace) -> MachineConfig:
+    return MachineConfig.paper() if getattr(args, "paper", False) else MachineConfig()
+
+
+def _parse_seeds(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(s) for s in text.split(","))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad seed list {text!r}") from exc
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="trace length multiplier"
+    )
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="use the full-scale Section 4.1 platform instead of the scaled default",
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: simulate one (batch, policy, seed) cell."""
+    config = _machine_config(args)
+    event_log = EventLog() if args.events else None
+    result = run_batch_policy(
+        config,
+        args.batch,
+        args.policy,
+        seed=args.seed,
+        scale=args.scale,
+        event_log=event_log,
+    )
+    print(render_result_summary(result))
+    if args.save:
+        save_results(args.save, [result])
+        print(f"saved to {args.save}")
+    if args.events and event_log is not None:
+        event_log.to_csv(args.events)
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(event_log.counts().items()))
+        print(f"event log ({len(event_log)} events: {counts}) written to {args.events}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """``repro figures``: regenerate the Figure 4 / 5 series."""
+    config = _machine_config(args)
+    wanted = args.figure
+
+    def emit(key: str, series) -> None:
+        shown = series.normalized_to("ITS") if args.normalize else series
+        print(render_bar_chart(shown) if args.chart else render_series_table(shown))
+        print()
+        if args.save_csv:
+            from pathlib import Path
+
+            out_dir = Path(args.save_csv)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            target = out_dir / f"fig{key}.csv"
+            shown.to_csv(target)
+            print(f"saved {target}")
+
+    if wanted in ("4a", "4b", "4c", "all"):
+        fig4 = run_figure4(config, seeds=args.seeds, scale=args.scale)
+        panels = {
+            "4a": fig4.idle_time,
+            "4b": fig4.page_faults,
+            "4c": fig4.cache_misses,
+        }
+        for key, series in panels.items():
+            if wanted in (key, "all"):
+                emit(key, series)
+    if wanted in ("5a", "5b", "all"):
+        fig5 = run_figure5(config, seeds=args.seeds, scale=args.scale)
+        panels = {"5a": fig5.top_half, "5b": fig5.bottom_half}
+        for key, series in panels.items():
+            if wanted in (key, "all"):
+                emit(key, series)
+    return 0
+
+
+def cmd_observation(args: argparse.Namespace) -> int:
+    """``repro observation``: the Section 2.2 experiment."""
+    config = _machine_config(args)
+    data = run_observation(
+        config, process_counts=tuple(args.counts), scale=args.scale
+    )
+    print("Sec 2.2: CPU idle time under Sync vs number of processes")
+    print("processes  idle          idle/makespan  normalized-to-first")
+    for count, idle, frac, norm in zip(
+        data.process_counts, data.idle_ns, data.idle_fraction, data.normalized_idle
+    ):
+        print(
+            f"{count:9d}  {format_time_ns(idle):>12s}  {frac:13.1%}  {norm:19.2f}"
+        )
+    return 0
+
+
+def cmd_crossover(args: argparse.Namespace) -> int:
+    """``repro crossover``: Sync-vs-Async device-latency sweep."""
+    config = _machine_config(args)
+    rows = sweep_device_latency(
+        args.latencies,
+        policies=("Sync", "Async"),
+        batch=args.batch,
+        seed=args.seed,
+        scale=args.scale,
+        base=config,
+    )
+    print("device latency sweep: Sync vs Async makespan")
+    print(f"{'latency(us)':>11s}  {'Sync':>10s}  {'Async':>10s}  winner")
+    for row in rows:
+        print(
+            f"{row.value:11g}  "
+            f"{format_time_ns(row.results['Sync'].makespan_ns):>10s}  "
+            f"{format_time_ns(row.results['Async'].makespan_ns):>10s}  "
+            f"{row.winner_by_makespan()}"
+        )
+    crossover = find_crossover(rows, "Sync", "Async")
+    if crossover is not None:
+        print(f"crossover: Async takes over around {crossover:g} us")
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    """``repro workloads``: list workloads, batches and policies."""
+    print("workloads:")
+    for spec in WORKLOADS.values():
+        tag = "data-intensive" if spec.data_intensive else "general-purpose"
+        print(f"  {spec.name:<13s} {tag:<15s} {spec.description}")
+    for spec in EXTRA_WORKLOADS.values():
+        tag = "data-intensive" if spec.data_intensive else "general-purpose"
+        print(f"  {spec.name:<13s} {tag:<15s} {spec.description} [extension]")
+    print()
+    print("batches:")
+    for name in batch_names():
+        spec = PAPER_BATCHES[name]
+        print(f"  {name:<18s} {', '.join(spec.workloads)}")
+    print()
+    print(f"policies: {', '.join(POLICY_FACTORIES)}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``repro report``: write the full reproduction report."""
+    config = _machine_config(args)
+    path = write_report(args.out, config, seeds=args.seeds, scale=args.scale)
+    print(f"report written to {path}")
+    return 0
+
+
+def cmd_trace_stats(args: argparse.Namespace) -> int:
+    """``repro trace-stats``: summarise a trace or lackey capture."""
+    from pathlib import Path
+
+    from repro.trace.lackey import parse_lackey
+    from repro.trace.record import summarize
+    from repro.trace.tracefile import load_trace
+
+    path = Path(args.path)
+    if args.lackey:
+        with path.open("r", encoding="utf-8") as f:
+            trace = parse_lackey(f, max_instructions=args.max_instructions)
+    else:
+        trace = load_trace(path)
+        if args.max_instructions is not None:
+            trace = trace[: args.max_instructions]
+    summary = summarize(trace)
+    print(f"trace: {path}")
+    print(f"  instructions    {summary.instructions}")
+    print(f"  loads           {summary.loads}")
+    print(f"  stores          {summary.stores}")
+    print(f"  computes        {summary.computes}")
+    print(f"  branches        {summary.branches}")
+    print(f"  memory ratio    {summary.memory_ratio:.1%}")
+    print(f"  footprint pages {summary.footprint_pages}")
+    print(f"  unique lines    {summary.unique_lines}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare``: diff two saved result files."""
+    left = load_results(args.left)
+    right = load_results(args.right)
+    if len(left) != 1 or len(right) != 1:
+        print("compare expects files holding exactly one result each", file=sys.stderr)
+        return 2
+    a, b = left[0], right[0]
+    print(f"{'metric':24s} {a.policy + '/' + a.batch:>20s} {b.policy + '/' + b.batch:>20s}")
+    rows = [
+        ("makespan", a.makespan_ns, b.makespan_ns, True),
+        ("total idle", a.total_idle_ns, b.total_idle_ns, True),
+        ("major faults", a.major_faults, b.major_faults, False),
+        ("minor faults", a.minor_faults, b.minor_faults, False),
+        ("cache misses", a.demand_cache_misses, b.demand_cache_misses, False),
+        ("context switches", a.context_switches, b.context_switches, False),
+    ]
+    for name, va, vb, is_time in rows:
+        fa = format_time_ns(va) if is_time else str(va)
+        fb = format_time_ns(vb) if is_time else str(vb)
+        print(f"{name:24s} {fa:>20s} {fb:>20s}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ITS (Idle-Time-Stealing) trace-based simulator — DAC 2024 reproduction",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    run_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
+    run_p.add_argument("--policy", choices=list(POLICY_FACTORIES), default="ITS")
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--save", help="write the result to a JSON file")
+    run_p.add_argument("--events", help="write a CSV event log of the run")
+    _add_common(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    fig_p = sub.add_parser("figures", help="regenerate paper figures")
+    fig_p.add_argument(
+        "--figure", choices=["4a", "4b", "4c", "5a", "5b", "all"], default="all"
+    )
+    fig_p.add_argument("--seeds", type=_parse_seeds, default=(1, 2, 3))
+    fig_p.add_argument("--normalize", action="store_true", help="normalise to ITS")
+    fig_p.add_argument("--chart", action="store_true", help="ASCII bars instead of a table")
+    fig_p.add_argument("--save-csv", help="also write each panel as CSV into this directory")
+    _add_common(fig_p)
+    fig_p.set_defaults(func=cmd_figures)
+
+    obs_p = sub.add_parser("observation", help="Section 2.2 experiment")
+    obs_p.add_argument("--counts", type=int, nargs="+", default=[2, 3, 4, 5])
+    _add_common(obs_p)
+    obs_p.set_defaults(func=cmd_observation)
+
+    cross_p = sub.add_parser("crossover", help="sync-vs-async latency sweep")
+    cross_p.add_argument(
+        "--latencies", type=float, nargs="+", default=[1, 3, 7, 15, 30, 60, 100],
+        help="device latencies in microseconds",
+    )
+    cross_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
+    cross_p.add_argument("--seed", type=int, default=1)
+    _add_common(cross_p)
+    cross_p.set_defaults(func=cmd_crossover)
+
+    wl_p = sub.add_parser("workloads", help="list workloads, batches, policies")
+    wl_p.set_defaults(func=cmd_workloads)
+
+    report_p = sub.add_parser("report", help="write a full reproduction report")
+    report_p.add_argument("--out", default="REPORT.md", help="output Markdown path")
+    report_p.add_argument("--seeds", type=_parse_seeds, default=(1, 2, 3))
+    _add_common(report_p)
+    report_p.set_defaults(func=cmd_report)
+
+    stats_p = sub.add_parser("trace-stats", help="summarise a trace file")
+    stats_p.add_argument("path", help="trace file (or lackey capture with --lackey)")
+    stats_p.add_argument(
+        "--lackey", action="store_true", help="parse as Valgrind lackey output"
+    )
+    stats_p.add_argument(
+        "--max-instructions", type=int, default=None, help="replay-prefix bound"
+    )
+    stats_p.set_defaults(func=cmd_trace_stats)
+
+    cmp_p = sub.add_parser("compare", help="diff two saved results")
+    cmp_p.add_argument("left")
+    cmp_p.add_argument("right")
+    cmp_p.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

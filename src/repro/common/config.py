@@ -1,0 +1,340 @@
+"""Validated configuration dataclasses for the simulated machine.
+
+The paper's evaluation platform (Section 4.1) is captured by
+:meth:`MachineConfig.paper`; the default constructor produces a
+proportionally scaled-down machine that regenerates every figure in seconds
+on a laptop.  All times are nanoseconds, all sizes bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.units import GIB, KIB, MIB, MS, PAGE_SIZE, US
+
+
+def _require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ConfigError(message)
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of a set-associative cache.
+
+    The paper simulates a 16-way, 8 MiB last-level cache with 64-byte
+    lines; half of its capacity is reconfigured as the pre-execute cache
+    for Sync_Runahead and ITS.
+    """
+
+    size_bytes: int = 1 * MIB
+    ways: int = 16
+    line_size: int = 64
+    hit_latency_ns: int = 20
+
+    def __post_init__(self) -> None:
+        _require(self.size_bytes > 0, "cache size must be positive")
+        _require(self.ways > 0, "cache associativity must be positive")
+        _require(_is_power_of_two(self.line_size), "cache line size must be a power of two")
+        _require(self.hit_latency_ns >= 0, "cache hit latency must be non-negative")
+        _require(
+            self.size_bytes % (self.ways * self.line_size) == 0,
+            "cache size must be a multiple of ways * line_size",
+        )
+        _require(
+            _is_power_of_two(self.num_sets),
+            "number of cache sets must be a power of two",
+        )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (size / (ways * line_size))."""
+        return self.size_bytes // (self.ways * self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_size
+
+    def halved(self) -> "CacheConfig":
+        """Return the same cache with half the capacity.
+
+        Used to carve the pre-execute cache out of the LLC (the paper
+        dedicates half of the 8 MiB LLC to pre-execution under
+        Sync_Runahead and ITS).
+        """
+        return dataclasses.replace(self, size_bytes=self.size_bytes // 2)
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Geometry of the translation look-aside buffer."""
+
+    entries: int = 64
+    hit_latency_ns: int = 1
+    miss_walk_latency_ns: int = 100
+    flush_on_switch: bool = True
+    """Flush the TLB on every context switch.  Setting this False models
+    ASID/PCID-tagged TLBs, which avoid the flush (translations are still
+    shot down individually when pages are evicted)."""
+
+    def __post_init__(self) -> None:
+        _require(self.entries > 0, "TLB must have at least one entry")
+        _require(self.hit_latency_ns >= 0, "TLB hit latency must be non-negative")
+        _require(self.miss_walk_latency_ns >= 0, "TLB walk latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """An Ultra-Low-Latency storage device (e.g. Samsung Z-NAND).
+
+    ``access_latency_ns`` is the device-internal latency of one page-sized
+    read; ``channels`` models internal parallelism exploited by the DMA
+    prefetcher ("Leveraging the substantial parallelism offered by SSDs").
+    """
+
+    access_latency_ns: int = 3 * US
+    channels: int = 8
+    capacity_bytes: int = 4 * GIB
+
+    def __post_init__(self) -> None:
+        _require(self.access_latency_ns > 0, "device latency must be positive")
+        _require(self.channels > 0, "device must have at least one channel")
+        _require(self.capacity_bytes >= PAGE_SIZE, "device must hold at least one page")
+
+
+@dataclass(frozen=True)
+class PCIeConfig:
+    """The host interface between DRAM and the ULL device.
+
+    The paper simulates a 4-lane PCIe 5.x link with ~3.983 GB/s per lane.
+    """
+
+    lanes: int = 4
+    bandwidth_per_lane_bytes_per_sec: float = 3.983e9
+
+    def __post_init__(self) -> None:
+        _require(self.lanes > 0, "PCIe link needs at least one lane")
+        _require(self.bandwidth_per_lane_bytes_per_sec > 0, "PCIe lane bandwidth must be positive")
+
+    @property
+    def total_bandwidth_bytes_per_sec(self) -> float:
+        """Aggregate link bandwidth across all lanes."""
+        return self.lanes * self.bandwidth_per_lane_bytes_per_sec
+
+    def transfer_time_ns(self, n_bytes: int) -> int:
+        """Time to move *n_bytes* across the link, in nanoseconds."""
+        _require(n_bytes >= 0, "transfer size must be non-negative")
+        return round(n_bytes / self.total_bandwidth_bytes_per_sec * 1e9)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """DRAM sizing and timing.
+
+    ``dram_frames`` bounds the global frame pool; the paper sizes DRAM to
+    the working set so that the combined footprints of a batch exceed it
+    and page replacement is exercised.
+    """
+
+    dram_frames: int = 448
+    dram_latency_ns: int = 50
+    page_size: int = PAGE_SIZE
+    writeback_dirty: bool = True
+    """Write dirty pages back to the device on eviction (occupying a
+    device channel and PCIe bandwidth)."""
+
+    def __post_init__(self) -> None:
+        _require(self.dram_frames > 0, "DRAM must have at least one frame")
+        _require(self.dram_latency_ns >= 0, "DRAM latency must be non-negative")
+        _require(_is_power_of_two(self.page_size), "page size must be a power of two")
+        _require(self.page_size >= 512, "page size must be at least 512 bytes")
+
+    @property
+    def dram_bytes(self) -> int:
+        """Total DRAM capacity in bytes."""
+        return self.dram_frames * self.page_size
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """SCHED_RR parameters.
+
+    The paper follows the Linux NICE mechanism: the highest-priority
+    process receives an 800 ms time slice, the lowest 5 ms, interpolated
+    in between.  ``context_switch_ns`` is the measured 7 us switch cost.
+    """
+
+    max_time_slice_ns: int = 800 * MS
+    min_time_slice_ns: int = 5 * MS
+    context_switch_ns: int = 7 * US
+    priority_levels: int = 40
+    switch_pollution_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        _require(self.min_time_slice_ns > 0, "minimum time slice must be positive")
+        _require(
+            self.max_time_slice_ns >= self.min_time_slice_ns,
+            "maximum time slice must be >= minimum time slice",
+        )
+        _require(self.context_switch_ns >= 0, "context switch cost must be non-negative")
+        _require(self.priority_levels >= 2, "need at least two priority levels")
+        _require(
+            0.0 <= self.switch_pollution_fraction <= 1.0,
+            "switch pollution fraction must lie in [0, 1]",
+        )
+
+    def time_slice_ns(self, priority: int) -> int:
+        """Map a priority in ``[0, priority_levels)`` to a time slice.
+
+        Linux RT convention: a *larger* priority value means a more
+        important process.  The most important level gets the 800 ms
+        slice, the least important the 5 ms slice, with the NICE table's
+        monotone mapping approximated linearly in between.
+        """
+        _require(
+            0 <= priority < self.priority_levels,
+            f"priority {priority} outside [0, {self.priority_levels})",
+        )
+        span = self.max_time_slice_ns - self.min_time_slice_ns
+        frac = priority / (self.priority_levels - 1)
+        return round(self.min_time_slice_ns + frac * span)
+
+
+@dataclass(frozen=True)
+class ITSConfig:
+    """Tunables of the Idle-Time-Stealing design itself."""
+
+    prefetch_degree: int = 8
+    """Candidate pages the VA-based prefetcher gathers per fault (*n*).
+
+    Note: *which* ITS components run (prefetch / pre-execute /
+    self-sacrifice) is chosen on the :class:`~repro.core.its.ITSPolicy`
+    constructor, since it also determines machine assembly (the
+    pre-execute cache carve-out); this config holds the components'
+    tunables only.
+    """
+
+    kernel_entry_ns: int = 300
+    """Transition cost from the fault handler into an ITS kernel thread
+    (hundreds of nanoseconds: the design stays in kernel space)."""
+
+    preexec_instr_ns: int = 2
+    """Virtual cost of pre-executing one instruction (used to bound the
+    pre-execute window to the remaining busy-wait time)."""
+
+    preexec_max_instructions: int = 1024
+    """Hard cap on instructions per pre-execute episode: warming too far
+    ahead self-pollutes the (halved) LLC faster than it helps."""
+
+    def __post_init__(self) -> None:
+        _require(self.prefetch_degree >= 0, "prefetch degree must be non-negative")
+        _require(self.kernel_entry_ns >= 0, "kernel entry cost must be non-negative")
+        _require(self.preexec_instr_ns > 0, "pre-execute instruction cost must be positive")
+        _require(
+            self.preexec_max_instructions > 0,
+            "pre-execute episode cap must be positive",
+        )
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete description of the simulated platform.
+
+    The default instance is a scaled-down machine for fast regeneration of
+    the paper's figures; :meth:`paper` reproduces the Section 4.1 platform
+    at full scale.
+    """
+
+    llc: CacheConfig = field(default_factory=CacheConfig)
+    l1: Optional[CacheConfig] = None
+    """Optional L1 level above the LLC (fidelity extension; the paper's
+    simulator models the LLC only).  ``CacheConfig(size_bytes=32*KIB,
+    ways=8, hit_latency_ns=4)`` is a typical choice."""
+    tlb: TLBConfig = field(default_factory=TLBConfig)
+    device: DeviceConfig = field(default_factory=DeviceConfig)
+    pcie: PCIeConfig = field(default_factory=PCIeConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    scheduler: SchedulerConfig = field(
+        default_factory=lambda: SchedulerConfig(
+            # Scaled-down slices: traces are milliseconds long, so the
+            # 800 ms/5 ms paper slices are shrunk proportionally (the
+            # 7 us switch cost is kept at its measured value).
+            max_time_slice_ns=2 * MS,
+            min_time_slice_ns=100 * US,
+        )
+    )
+    its: ITSConfig = field(default_factory=ITSConfig)
+
+    compute_ns_per_instr: int = 1
+    """CPU cost of one non-memory instruction."""
+
+    fault_handler_ns: int = 500
+    """Software cost of entering/servicing the page-fault handler."""
+
+    def __post_init__(self) -> None:
+        _require(
+            self.memory.page_size % self.llc.line_size == 0,
+            "page size must be a multiple of the cache line size",
+        )
+        if self.l1 is not None:
+            _require(
+                self.l1.line_size == self.llc.line_size,
+                "L1 and LLC must share a line size",
+            )
+            _require(
+                self.l1.size_bytes <= self.llc.size_bytes,
+                "L1 must not be larger than the LLC",
+            )
+        _require(self.compute_ns_per_instr >= 0, "compute cost must be non-negative")
+        _require(self.fault_handler_ns >= 0, "fault handler cost must be non-negative")
+
+    @classmethod
+    def paper(cls) -> "MachineConfig":
+        """The Section 4.1 platform: 8 MiB 16-way LLC, 3 us Z-NAND,
+        50 ns DRAM, 7 us context switch, PCIe 5.x x4."""
+        return cls(
+            llc=CacheConfig(size_bytes=8 * MIB, ways=16, line_size=64, hit_latency_ns=20),
+            memory=MemoryConfig(dram_frames=64 * 1024, dram_latency_ns=50),
+            scheduler=SchedulerConfig(),  # the full 800 ms / 5 ms NICE slices
+        )
+
+    @classmethod
+    def small(cls) -> "MachineConfig":
+        """A deliberately tiny machine for unit tests."""
+        return cls(
+            llc=CacheConfig(size_bytes=16 * KIB, ways=4, line_size=64, hit_latency_ns=10),
+            tlb=TLBConfig(entries=16),
+            memory=MemoryConfig(dram_frames=64, dram_latency_ns=50),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a plain nested dict (JSON-compatible)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MachineConfig":
+        """Reconstruct a config from :meth:`to_dict` output."""
+        try:
+            return cls(
+                llc=CacheConfig(**data["llc"]),
+                l1=CacheConfig(**data["l1"]) if data.get("l1") else None,
+                tlb=TLBConfig(**data["tlb"]),
+                device=DeviceConfig(**data["device"]),
+                pcie=PCIeConfig(**data["pcie"]),
+                memory=MemoryConfig(**data["memory"]),
+                scheduler=SchedulerConfig(**data["scheduler"]),
+                its=ITSConfig(**data["its"]),
+                compute_ns_per_instr=data["compute_ns_per_instr"],
+                fault_handler_ns=data["fault_handler_ns"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"malformed MachineConfig dict: {exc}") from exc

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace record is malformed."""
+
+
+class AddressError(ReproError):
+    """A virtual or physical address is out of range or misaligned."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state.
+
+    This indicates a bug in a policy or in the simulator itself, never a
+    user input problem; user input problems raise :class:`ConfigError` or
+    :class:`TraceError` before simulation starts.
+    """

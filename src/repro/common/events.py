@@ -1,0 +1,120 @@
+"""A discrete-event queue over virtual time.
+
+The simulator is mostly an instruction-by-instruction loop on one CPU, but
+device-side progress (DMA swap-ins, prefetches, asynchronous I/O
+completions) is naturally event-driven.  :class:`EventQueue` orders those
+completions on the shared virtual clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """A scheduled callback on the virtual clock.
+
+    ``payload`` is free-form context carried to the callback; ``tag`` is a
+    short label used in logs and assertions.
+    """
+
+    time_ns: int
+    tag: str
+    callback: Callable[["Event"], None] = field(compare=False)
+    payload: Any = field(default=None, compare=False)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` keyed by (time, insertion order).
+
+    Insertion order breaks ties so that two events at the same timestamp
+    fire in the order they were scheduled — a property several policies
+    rely on (e.g. a prefetch completion scheduled before a fault completion
+    at the same instant must land first).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def schedule(self, event: Event) -> int:
+        """Add *event*; returns a handle usable with :meth:`cancel`."""
+        if event.time_ns < 0:
+            raise SimulationError(f"event {event.tag!r} scheduled at negative time {event.time_ns}")
+        handle = next(self._counter)
+        heapq.heappush(self._heap, (event.time_ns, handle, event))
+        return handle
+
+    def schedule_at(
+        self,
+        time_ns: int,
+        tag: str,
+        callback: Callable[[Event], None],
+        payload: Any = None,
+    ) -> int:
+        """Convenience wrapper constructing and scheduling an :class:`Event`."""
+        return self.schedule(Event(time_ns=time_ns, tag=tag, callback=callback, payload=payload))
+
+    def cancel(self, handle: int) -> None:
+        """Mark the event with *handle* as cancelled (lazy deletion)."""
+        self._cancelled.add(handle)
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise SimulationError("pop() on an empty event queue")
+        __, handle, event = heapq.heappop(self._heap)
+        return event
+
+    def pop_due(self, now_ns: int) -> list[Event]:
+        """Remove and return every live event with ``time_ns <= now_ns``.
+
+        Events are returned in firing order.  The caller is responsible
+        for invoking each event's callback.
+        """
+        due: list[Event] = []
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > now_ns:
+                break
+            due.append(self.pop())
+        return due
+
+    def run_due(self, now_ns: int) -> int:
+        """Fire callbacks for every event due at or before *now_ns*.
+
+        Returns the number of events fired.  Callbacks may schedule
+        further events; those are honoured within the same call if they
+        are also due.
+        """
+        fired = 0
+        while True:
+            batch = self.pop_due(now_ns)
+            if not batch:
+                return fired
+            for event in batch:
+                event.callback(event)
+                fired += 1
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][1] in self._cancelled:
+            __, handle, __unused = heapq.heappop(self._heap)
+            self._cancelled.discard(handle)

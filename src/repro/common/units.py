@@ -1,0 +1,92 @@
+"""Time and size units.
+
+All simulator times are integers in **nanoseconds** and all sizes are
+integers in **bytes**.  These constants make configuration code read like
+the paper ("3 us device latency", "8 MiB LLC") rather than like raw
+magnitudes.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+
+NS = 1
+"""One nanosecond (the base time unit)."""
+
+US = 1_000
+"""One microsecond in nanoseconds."""
+
+MS = 1_000_000
+"""One millisecond in nanoseconds."""
+
+SEC = 1_000_000_000
+"""One second in nanoseconds."""
+
+# --- sizes -----------------------------------------------------------------
+
+KIB = 1024
+"""One kibibyte in bytes."""
+
+MIB = 1024 * 1024
+"""One mebibyte in bytes."""
+
+GIB = 1024 * 1024 * 1024
+"""One gibibyte in bytes."""
+
+PAGE_SIZE = 4 * KIB
+"""Default page size (4 KiB, the x86-64 base page)."""
+
+CACHE_LINE_SIZE = 64
+"""Default CPU cache line size in bytes."""
+
+
+def ns_to_us(t_ns: int | float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return t_ns / US
+
+
+def ns_to_ms(t_ns: int | float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return t_ns / MS
+
+
+def us_to_ns(t_us: int | float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return round(t_us * US)
+
+
+def ms_to_ns(t_ms: int | float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return round(t_ms * MS)
+
+
+def format_time_ns(t_ns: int | float) -> str:
+    """Render a nanosecond quantity with a human-friendly unit.
+
+    >>> format_time_ns(1500)
+    '1.500us'
+    >>> format_time_ns(42)
+    '42ns'
+    """
+    if t_ns >= SEC:
+        return f"{t_ns / SEC:.3f}s"
+    if t_ns >= MS:
+        return f"{t_ns / MS:.3f}ms"
+    if t_ns >= US:
+        return f"{t_ns / US:.3f}us"
+    return f"{t_ns:.0f}ns"
+
+
+def format_size(n_bytes: int) -> str:
+    """Render a byte quantity with a human-friendly unit.
+
+    >>> format_size(8 * 1024 * 1024)
+    '8.0MiB'
+    """
+    if n_bytes >= GIB:
+        return f"{n_bytes / GIB:.1f}GiB"
+    if n_bytes >= MIB:
+        return f"{n_bytes / MIB:.1f}MiB"
+    if n_bytes >= KIB:
+        return f"{n_bytes / KIB:.1f}KiB"
+    return f"{n_bytes}B"

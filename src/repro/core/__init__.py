@@ -1,0 +1,47 @@
+"""The Idle-Time-Stealing (ITS) design — the paper's contribution.
+
+Composed of:
+
+* :class:`~repro.core.selection.PrioritySelectionPolicy` — decides at
+  each major fault whether the faulting process is high-priority
+  (self-improving) or low-priority (self-sacrificing) by comparing its
+  priority with the next-to-be-run process (Section 3.2).
+* :class:`~repro.core.prefetch.VirtualAddressPrefetcher` — the
+  page-table-walking page-prefetch policy (Section 3.4.1, Figure 2).
+* :class:`~repro.core.preexec.FaultAwarePreExecutePolicy` — the
+  pre-execute policy run in leftover busy-wait time (Section 3.4.2,
+  Figure 3).
+* :class:`~repro.core.recovery.StateRecoveryPolicy` — shadow-register-
+  file checkpoint/restore around ITS activity (Section 3.4.3).
+* :class:`~repro.core.self_improving.SelfImprovingThread` and
+  :class:`~repro.core.self_sacrificing.SelfSacrificingThread` — the two
+  ITS kernel threads (Sections 3.3-3.4).
+* :class:`~repro.core.its.ITSPolicy` — the composed I/O policy the
+  simulator installs.
+"""
+
+from repro.core.selection import PriorityClass, PrioritySelectionPolicy
+from repro.core.prefetch import (
+    PrefetcherStats,
+    StridePrefetcher,
+    VirtualAddressPrefetcher,
+)
+from repro.core.preexec import FaultAwarePreExecutePolicy
+from repro.core.recovery import RecoveryTrigger, StateRecoveryPolicy
+from repro.core.self_improving import SelfImprovingThread
+from repro.core.self_sacrificing import SelfSacrificingThread
+from repro.core.its import ITSPolicy
+
+__all__ = [
+    "PriorityClass",
+    "PrioritySelectionPolicy",
+    "PrefetcherStats",
+    "VirtualAddressPrefetcher",
+    "StridePrefetcher",
+    "FaultAwarePreExecutePolicy",
+    "RecoveryTrigger",
+    "StateRecoveryPolicy",
+    "SelfImprovingThread",
+    "SelfSacrificingThread",
+    "ITSPolicy",
+]

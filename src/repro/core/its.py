@@ -1,0 +1,126 @@
+"""The composed Idle-Time-Stealing I/O policy.
+
+``ITSPolicy`` is what the simulator installs to reproduce the "ITS" bars
+of Figures 4 and 5.  Per major fault, the priority-aware thread
+selection policy picks one of the two ITS kernel threads; replacement is
+the priority-aware LRU (the self-sacrificing thread's memory-contention
+benefit); pre-execution uses half the LLC as the pre-execute cache, as
+in the paper's platform.
+
+Every component can be disabled independently for ablations::
+
+    ITSPolicy(prefetch=False)          # pre-execution + sacrifice only
+    ITSPolicy(preexec=False)           # prefetch + sacrifice only
+    ITSPolicy(self_sacrifice=False)    # self-improving thread only
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.baselines.base import IOPolicy
+from repro.common.errors import SimulationError
+from repro.core.preexec import FaultAwarePreExecutePolicy
+from repro.core.prefetch import StridePrefetcher, VirtualAddressPrefetcher
+from repro.core.recovery import RecoveryTrigger, StateRecoveryPolicy
+from repro.core.selection import PriorityClass, PrioritySelectionPolicy
+from repro.core.self_improving import SelfImprovingThread
+from repro.core.self_sacrificing import SelfSacrificingThread
+from repro.kernel.kthread import KernelThread
+from repro.kernel.process import Process
+from repro.vm.replacement import (
+    GlobalLRUPolicy,
+    PriorityAwareLRUPolicy,
+    ReplacementPolicy,
+)
+
+if TYPE_CHECKING:
+    from repro.sim.simulator import Simulation
+
+
+class ITSPolicy(IOPolicy):
+    """The paper's Idle-Time-Stealing design."""
+
+    name = "ITS"
+
+    def __init__(
+        self,
+        *,
+        prefetch: bool = True,
+        preexec: bool = True,
+        self_sacrifice: bool = True,
+        priority_aware_replacement: bool = True,
+        prefetch_discovered: bool = False,
+        prefetcher_kind: str = "va",
+        recovery_trigger: RecoveryTrigger = RecoveryTrigger.INTERRUPT,
+    ) -> None:
+        if prefetcher_kind not in ("va", "stride"):
+            raise ValueError(f"unknown prefetcher kind {prefetcher_kind!r}")
+        self.prefetch_enabled = prefetch
+        self.preexec_enabled = preexec
+        self.self_sacrifice_enabled = self_sacrifice
+        self.priority_aware_replacement = priority_aware_replacement
+        self.prefetch_discovered = prefetch_discovered
+        self.prefetcher_kind = prefetcher_kind
+        self.recovery_trigger = recovery_trigger
+        self.uses_preexec_cache = preexec
+
+    # -- construction hooks -----------------------------------------------
+
+    def create_replacement(self, processes: Sequence[Process]) -> ReplacementPolicy:
+        if not self.priority_aware_replacement:
+            return GlobalLRUPolicy()
+        priorities = {p.pid: p.priority for p in processes}
+        ordered = sorted(priorities.values())
+        median = ordered[len(ordered) // 2]
+
+        def is_low_priority(pid: int) -> bool:
+            return priorities[pid] < median
+
+        return PriorityAwareLRUPolicy(is_low_priority, scan_limit=16)
+
+    def attach(self, sim: "Simulation") -> None:
+        super().attach(sim)
+        its_config = sim.config.its
+        self.selection = PrioritySelectionPolicy()
+
+        prefetcher = None
+        if self.prefetch_enabled:
+            if self.prefetcher_kind == "stride":
+                prefetcher = StridePrefetcher(
+                    sim.machine.memory, degree=its_config.prefetch_degree
+                )
+            else:
+                prefetcher = VirtualAddressPrefetcher(
+                    sim.machine.memory, degree=its_config.prefetch_degree
+                )
+        preexec_policy = None
+        if self.preexec_enabled:
+            engine = sim.machine.preexec_engine
+            if engine is None:
+                raise SimulationError("ITS with pre-execution needs the engine")
+            preexec_policy = FaultAwarePreExecutePolicy(engine)
+
+        self.recovery = StateRecoveryPolicy(trigger=self.recovery_trigger)
+        self.improving = SelfImprovingThread(
+            kthread=KernelThread("self-improving", its_config.kernel_entry_ns),
+            prefetcher=prefetcher,
+            preexec=preexec_policy,
+            recovery=self.recovery,
+            prefetch_discovered=self.prefetch_discovered,
+        )
+        self.sacrificing = SelfSacrificingThread(
+            kthread=KernelThread("self-sacrificing", its_config.kernel_entry_ns),
+            prefetcher=prefetcher,
+        )
+
+    # -- the fault path ------------------------------------------------------
+
+    def on_major_fault(self, sim: "Simulation", process: Process, vpn: int) -> None:
+        if (
+            self.self_sacrifice_enabled
+            and self.selection.classify(process, sim.scheduler) is PriorityClass.LOW
+        ):
+            self.sacrificing.handle_fault(sim, process, vpn)
+        else:
+            self.improving.handle_fault(sim, process, vpn)

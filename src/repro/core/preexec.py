@@ -1,0 +1,65 @@
+"""The fault-aware pre-execute policy (Section 3.4.2).
+
+A thin policy layer over the shared
+:class:`~repro.cpu.runahead.PreExecuteEngine`: it decides whether an
+episode is *justified* ("the pre-execute policy must justify the
+trade-off in pre-execution") and, if so, runs it over the leftover
+busy-wait window.  The justification rule is simple and cheap: the
+window remaining after prefetch-walk costs must exceed a minimum number
+of pre-executable instructions, otherwise entering pre-execution would
+cost more (checkpointing, cache churn) than it could save.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import SimulationError
+from repro.cpu.isa import register_written
+from repro.cpu.runahead import PreExecuteEngine, PreExecuteStats
+from repro.kernel.process import Process
+
+
+@dataclass
+class FaultAwarePreExecutePolicy:
+    """Runs justified pre-execute episodes during page-fault waits."""
+
+    engine: PreExecuteEngine
+    min_instructions: int = 8
+    episodes_run: int = 0
+    episodes_rejected: int = 0
+
+    def justified(self, budget_ns: int) -> bool:
+        """True if *budget_ns* is worth opening an episode for."""
+        per_instr = self.engine.config.its.preexec_instr_ns
+        return budget_ns >= self.min_instructions * per_instr
+
+    def run(
+        self, process: Process, budget_ns: int
+    ) -> tuple[Optional[PreExecuteStats], list[int]]:
+        """Pre-execute *process*'s upcoming instructions within
+        *budget_ns* if justified.
+
+        The faulting instruction is ``process.trace[process.pc]``; its
+        destination register enters the episode INV and pre-execution
+        starts at the instruction after it.  Returns the episode stats
+        and the non-resident pages the speculative stream discovered
+        (``(None, [])`` when rejected).
+        """
+        if process.finished:
+            raise SimulationError("pre-executing a finished process")
+        if not self.justified(budget_ns):
+            self.episodes_rejected += 1
+            return None, []
+        self.episodes_run += 1
+        faulting = process.trace[process.pc]
+        stats, discovered = self.engine.run_episode(
+            process.pid,
+            process.registers,
+            process.trace,
+            process.pc + 1,
+            budget_ns,
+            faulting_reg=register_written(faulting),
+        )
+        return stats, discovered

@@ -1,0 +1,67 @@
+"""The state-recovery policy (Section 3.4.3).
+
+ITS activity runs on the faulting process's CPU context, so the
+architectural register file (including PC, SP, branch history and the
+return-address stack) is checkpointed to a shadow register file when ITS
+activates and restored before ITS ends.  Termination is triggered either
+by **polling** (a timer periodically checks I/O completion — the restore
+can lag the completion by up to one polling period) or by **interrupt**
+(the DMA signals completion — restore happens immediately, at a small
+fixed cost).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import SimulationError
+from repro.cpu.registers import RegisterFile, ShadowRegisterFile
+
+
+class RecoveryTrigger(enum.Enum):
+    """How the end of the stolen window is detected."""
+
+    POLLING = "polling"
+    INTERRUPT = "interrupt"
+
+
+@dataclass
+class StateRecoveryPolicy:
+    """Checkpoint/restore of the architectural state around ITS windows."""
+
+    trigger: RecoveryTrigger = RecoveryTrigger.INTERRUPT
+    poll_interval_ns: int = 500
+    restore_cost_ns: int = 50
+    checkpoints: int = 0
+    restores: int = 0
+    _shadow: Optional[ShadowRegisterFile] = field(default=None, repr=False)
+
+    def checkpoint(self, registers: RegisterFile) -> None:
+        """Snapshot the register file into the shadow register file."""
+        if self._shadow is not None:
+            raise SimulationError("nested ITS checkpoint without restore")
+        self._shadow = registers.checkpoint()
+        self.checkpoints += 1
+
+    def restore(self, registers: RegisterFile) -> int:
+        """Restore the checkpointed state; returns the detection+restore
+        latency in nanoseconds.
+
+        Polling detects completion half a period late on average;
+        interrupts detect it immediately.  Both pay the fixed restore
+        cost of moving the shadow state back.
+        """
+        if self._shadow is None:
+            raise SimulationError("ITS restore without checkpoint")
+        registers.restore(self._shadow)
+        self._shadow = None
+        self.restores += 1
+        detection = self.poll_interval_ns // 2 if self.trigger is RecoveryTrigger.POLLING else 0
+        return detection + self.restore_cost_ns
+
+    @property
+    def armed(self) -> bool:
+        """True between checkpoint and restore."""
+        return self._shadow is not None

@@ -1,0 +1,46 @@
+"""The priority-aware thread selection policy (Section 3.2).
+
+At each major fault, the faulting (current) process's priority value is
+compared against the next-to-be-run process's: lower means the current
+process is *low-priority* (run the self-sacrificing thread), otherwise
+it is *high-priority* (run the self-improving thread).  The policy never
+changes priorities or the scheduler's ordering.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.kernel.process import Process
+from repro.kernel.scheduler import RoundRobinScheduler
+
+
+class PriorityClass(enum.Enum):
+    """Outcome of the selection policy for one fault."""
+
+    HIGH = "high"
+    LOW = "low"
+
+
+@dataclass
+class PrioritySelectionPolicy:
+    """Compares the running process against the ready-queue head."""
+
+    high_selections: int = 0
+    low_selections: int = 0
+
+    def classify(self, process: Process, scheduler: RoundRobinScheduler) -> PriorityClass:
+        """Classify *process* at fault time.
+
+        With an empty ready queue there is nobody to give way to, so the
+        process counts as high-priority (stealing benefits only itself).
+        Ties also count as high-priority ("and vice versa"): only a
+        strictly more important waiter forces self-sacrifice.
+        """
+        next_process = scheduler.peek_next()
+        if next_process is not None and process.priority < next_process.priority:
+            self.low_selections += 1
+            return PriorityClass.LOW
+        self.high_selections += 1
+        return PriorityClass.HIGH

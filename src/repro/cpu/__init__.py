@@ -1,0 +1,23 @@
+"""Simulated CPU: instruction model, register file with INV bits, core,
+and the pre-execute (runahead) engine."""
+
+from repro.cpu.isa import Branch, Compute, Instruction, Load, Store
+from repro.cpu.registers import NUM_REGISTERS, RegisterFile, ShadowRegisterFile
+from repro.cpu.core import SimCPU, StepOutcome, StepResult
+from repro.cpu.runahead import PreExecuteEngine, PreExecuteStats
+
+__all__ = [
+    "Branch",
+    "Compute",
+    "Instruction",
+    "Load",
+    "Store",
+    "NUM_REGISTERS",
+    "RegisterFile",
+    "ShadowRegisterFile",
+    "SimCPU",
+    "StepOutcome",
+    "StepResult",
+    "PreExecuteEngine",
+    "PreExecuteStats",
+]

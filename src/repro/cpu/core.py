@@ -1,0 +1,133 @@
+"""The simulated CPU core: committed (non-speculative) execution.
+
+The core executes one trace instruction at a time against the TLB, page
+table, LLC and DRAM, and reports how long it took and how much of that
+was memory stall.  A touch of a swapped-out page stops the core with a
+``MAJOR_FAULT`` outcome — what happens next (sync busy-wait, async
+context switch, ITS stealing) is the installed I/O policy's decision, so
+it lives in the simulator, not here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.config import MachineConfig
+from repro.cpu.isa import Branch, Compute, Instruction, Load, Store
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.tlb import TLB
+from repro.vm.mm import FaultKind, MemoryManager
+
+
+class StepOutcome(enum.Enum):
+    """What happened when the core tried to execute an instruction."""
+
+    COMPLETED = "completed"
+    MAJOR_FAULT = "major_fault"
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Timing breakdown of one execution attempt.
+
+    ``time_ns`` is wall time consumed (zero for a MAJOR_FAULT: the fault
+    cost is charged by the fault path); ``stall_ns`` is the memory-wait
+    portion of ``time_ns``, which feeds the idle-time metric.
+    ``fault_vpn`` is set only on MAJOR_FAULT.
+    """
+
+    outcome: StepOutcome
+    time_ns: int
+    stall_ns: int
+    minor_fault: bool = False
+    fault_vpn: Optional[int] = None
+
+
+class SimCPU:
+    """Committed-mode execution engine shared by every I/O policy."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        hierarchy: MemoryHierarchy,
+        tlb: TLB,
+        memory: MemoryManager,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.tlb = tlb
+        self.memory = memory
+        self.instructions_committed = 0
+        self._page_shift = memory.page_shift
+
+    def execute(self, pid: int, instr: Instruction) -> StepResult:
+        """Attempt to execute *instr* for process *pid*."""
+        if isinstance(instr, Compute):
+            self.instructions_committed += 1
+            return StepResult(
+                outcome=StepOutcome.COMPLETED,
+                time_ns=instr.cycles * self.config.compute_ns_per_instr,
+                stall_ns=0,
+            )
+        if isinstance(instr, Branch):
+            self.instructions_committed += 1
+            return StepResult(
+                outcome=StepOutcome.COMPLETED,
+                time_ns=self.config.compute_ns_per_instr,
+                stall_ns=0,
+            )
+        if isinstance(instr, (Load, Store)):
+            return self._execute_memory_op(pid, instr)
+        raise TypeError(f"unknown instruction {instr!r}")
+
+    def _execute_memory_op(self, pid: int, instr: Load | Store) -> StepResult:
+        vpn = instr.vaddr >> self._page_shift
+        time_ns = 0
+
+        # Address translation: TLB first, then the simulated table walk.
+        frame = self.tlb.lookup(pid, vpn)
+        if frame is not None:
+            time_ns += self.tlb.config.hit_latency_ns
+            touch = self.memory.classify_touch(pid, vpn)
+            if touch.kind is FaultKind.MAJOR:
+                # The translation went stale (page evicted under us);
+                # shoot it down and fall through to the fault path.
+                self.tlb.shootdown(pid, vpn)
+                return StepResult(
+                    outcome=StepOutcome.MAJOR_FAULT, time_ns=0, stall_ns=0, fault_vpn=vpn
+                )
+        else:
+            time_ns += self.tlb.config.miss_walk_latency_ns
+            touch = self.memory.classify_touch(pid, vpn)
+            if touch.kind is FaultKind.MAJOR:
+                return StepResult(
+                    outcome=StepOutcome.MAJOR_FAULT, time_ns=0, stall_ns=0, fault_vpn=vpn
+                )
+            frame = touch.frame
+
+        minor = touch.kind is FaultKind.MINOR
+        if minor:
+            time_ns += self.config.fault_handler_ns
+        self.tlb.insert(pid, vpn, touch.frame)  # type: ignore[arg-type]
+
+        is_write = isinstance(instr, Store)
+        if is_write and touch.pte is not None:
+            touch.pte.dirty = True
+        paddr = self._physical_address(touch.frame, instr.vaddr)  # type: ignore[arg-type]
+        access = self.hierarchy.access(
+            paddr, is_write=is_write, owner=pid, preexec=False
+        )
+        time_ns += access.latency_ns
+        self.instructions_committed += 1
+        return StepResult(
+            outcome=StepOutcome.COMPLETED,
+            time_ns=time_ns,
+            stall_ns=access.stall_ns,
+            minor_fault=minor,
+        )
+
+    def _physical_address(self, frame: int, vaddr: int) -> int:
+        page_size = self.memory.frames.page_size
+        return frame * page_size + (vaddr & (page_size - 1))

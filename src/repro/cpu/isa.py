@@ -1,0 +1,112 @@
+"""The trace instruction model.
+
+Traces are sequences of these instructions.  Registers are small integers
+``[0, NUM_REGISTERS)``; the simulator tracks no data values, only INV
+(validity) status, which is all the fault-aware pre-execute policy needs
+(Section 3.4.2's rules are purely about validity propagation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+
+@dataclass(frozen=True)
+class Compute:
+    """A register-only ALU operation: ``dst = f(srcs)``, taking *cycles*."""
+
+    dst: int
+    srcs: tuple[int, ...] = ()
+    cycles: int = 1
+
+    @property
+    def kind(self) -> str:
+        """Instruction kind tag."""
+        return "compute"
+
+
+@dataclass(frozen=True)
+class Load:
+    """A memory load: ``dst = mem[vaddr]``.
+
+    ``addr_reg`` optionally names the register producing the address; if
+    that register is INV during pre-execution, the load's address is
+    bogus and the load must be skipped.
+    """
+
+    dst: int
+    vaddr: int
+    size: int = 8
+    addr_reg: Optional[int] = None
+
+    @property
+    def kind(self) -> str:
+        """Instruction kind tag."""
+        return "load"
+
+
+@dataclass(frozen=True)
+class Store:
+    """A memory store: ``mem[vaddr] = src``."""
+
+    src: int
+    vaddr: int
+    size: int = 8
+    addr_reg: Optional[int] = None
+
+    @property
+    def kind(self) -> str:
+        """Instruction kind tag."""
+        return "store"
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A conditional branch on *srcs*; ``taken`` records trace outcome.
+
+    Branches cost one cycle.  During pre-execution a branch whose sources
+    are INV follows the traced outcome (the engine plays the role of the
+    branch predictor, which in runahead designs is trained well enough to
+    follow the committed path most of the time).
+    """
+
+    srcs: tuple[int, ...] = ()
+    taken: bool = False
+
+    @property
+    def kind(self) -> str:
+        """Instruction kind tag."""
+        return "branch"
+
+
+Instruction = Union[Compute, Load, Store, Branch]
+"""Any trace instruction."""
+
+
+def is_memory_op(instr: Instruction) -> bool:
+    """True for loads and stores."""
+    return isinstance(instr, (Load, Store))
+
+
+def registers_read(instr: Instruction) -> Sequence[int]:
+    """Registers whose values the instruction consumes."""
+    if isinstance(instr, Compute):
+        return instr.srcs
+    if isinstance(instr, Load):
+        return (instr.addr_reg,) if instr.addr_reg is not None else ()
+    if isinstance(instr, Store):
+        base = [instr.src]
+        if instr.addr_reg is not None:
+            base.append(instr.addr_reg)
+        return tuple(base)
+    if isinstance(instr, Branch):
+        return instr.srcs
+    raise TypeError(f"unknown instruction {instr!r}")
+
+
+def register_written(instr: Instruction) -> Optional[int]:
+    """Destination register, or ``None`` for stores and branches."""
+    if isinstance(instr, (Compute, Load)):
+        return instr.dst
+    return None

@@ -1,0 +1,272 @@
+"""The pre-execute (runahead) engine.
+
+Implements the fault-aware pre-execute policy's instruction semantics
+(Section 3.4.2, Figure 3).  The same engine serves two users:
+
+* the **Sync_Runahead** baseline, which opens a short episode on every
+  demand LLC miss (footnote 4: "traditional runahead execution runs the
+  pre-execution during handling cache misses");
+* the **ITS self-improving thread**, which opens a long episode during a
+  major page fault's synchronous busy-wait.
+
+An episode checkpoints the register file, speculatively walks the
+instruction stream under INV-propagation rules, warms the LLC with valid
+loads/stores, confines speculative store data to the store buffer and
+pre-execute cache, and finally restores the checkpoint and wipes all
+speculative state.  Memory-level parallelism is modelled by charging each
+pre-executed instruction a fixed small cost while letting the cache fills
+it triggers overlap with the stall being hidden (the standard runahead
+idealisation: fills complete by the time the core resumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.config import MachineConfig
+from repro.cpu.isa import Branch, Compute, Instruction, Load, Store
+from repro.cpu.registers import RegisterFile
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.preexec_cache import PreExecuteCache
+from repro.mem.store_buffer import StoreBuffer
+from repro.vm.mm import MemoryManager
+
+
+@dataclass
+class PreExecuteStats:
+    """Counters accumulated across pre-execute episodes."""
+
+    episodes: int = 0
+    instructions: int = 0
+    skipped_invalid: int = 0
+    lines_warmed: int = 0
+    faults_discovered: int = 0
+    store_buffer_retirements: int = 0
+
+    def merged(self, other: "PreExecuteStats") -> "PreExecuteStats":
+        """Element-wise sum."""
+        return PreExecuteStats(
+            episodes=self.episodes + other.episodes,
+            instructions=self.instructions + other.instructions,
+            skipped_invalid=self.skipped_invalid + other.skipped_invalid,
+            lines_warmed=self.lines_warmed + other.lines_warmed,
+            faults_discovered=self.faults_discovered + other.faults_discovered,
+            store_buffer_retirements=self.store_buffer_retirements
+            + other.store_buffer_retirements,
+        )
+
+
+class PreExecuteEngine:
+    """Runs pre-execute episodes against a process's upcoming trace."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        hierarchy: MemoryHierarchy,
+        memory: MemoryManager,
+        preexec_cache: PreExecuteCache,
+        store_buffer_capacity: int = 32,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.memory = memory
+        self.preexec_cache = preexec_cache
+        self.store_buffer = StoreBuffer(store_buffer_capacity)
+        self.stats = PreExecuteStats()
+        self._dirty_inv_ptes: list[tuple[int, int]] = []
+
+    def run_episode(
+        self,
+        pid: int,
+        registers: RegisterFile,
+        trace: list[Instruction],
+        start_index: int,
+        budget_ns: int,
+        *,
+        faulting_reg: Optional[int] = None,
+    ) -> tuple[PreExecuteStats, list[int]]:
+        """Pre-execute from ``trace[start_index]`` within *budget_ns*.
+
+        ``faulting_reg`` is the destination of the instruction whose data
+        triggered the episode — "the initial invalid data is what triggers
+        the page fault" — so it enters the episode marked INV.
+
+        Returns ``(episode_stats, discovered_fault_vpns)``; the second
+        element lists non-resident pages the speculative stream touched,
+        which the ITS prefetcher may exploit.  All architectural state is
+        restored before returning.
+        """
+        if budget_ns <= 0 or start_index >= len(trace):
+            return PreExecuteStats(), []
+
+        shadow = registers.checkpoint()
+        if faulting_reg is not None:
+            registers.set_invalid(faulting_reg, True)
+
+        episode = PreExecuteStats(episodes=1)
+        discovered: list[int] = []
+        spent = 0
+        index = start_index
+        per_instr = self.config.its.preexec_instr_ns
+        limit = start_index + self.config.its.preexec_max_instructions
+        while index < len(trace) and index < limit and spent + per_instr <= budget_ns:
+            spent += per_instr
+            self._step(pid, registers, trace[index], episode, discovered)
+            index += 1
+
+        self._end_episode(registers, shadow, episode)
+        self.stats = self.stats.merged(episode)
+        return episode, discovered
+
+    # -- per-instruction semantics -------------------------------------------
+
+    def _step(
+        self,
+        pid: int,
+        regs: RegisterFile,
+        instr: Instruction,
+        episode: PreExecuteStats,
+        discovered: list[int],
+    ) -> None:
+        episode.instructions += 1
+        if isinstance(instr, Compute):
+            regs.set_invalid(instr.dst, regs.any_invalid(instr.srcs))
+            if regs.is_invalid(instr.dst):
+                episode.skipped_invalid += 1
+            return
+        if isinstance(instr, Branch):
+            # INV-source branches follow the traced outcome (predictor).
+            regs.record_branch(instr.taken)
+            return
+        if isinstance(instr, Load):
+            self._preexec_load(pid, regs, instr, episode, discovered)
+            return
+        if isinstance(instr, Store):
+            self._preexec_store(pid, regs, instr, episode, discovered)
+            return
+        raise TypeError(f"unknown instruction {instr!r}")
+
+    def _preexec_load(
+        self,
+        pid: int,
+        regs: RegisterFile,
+        instr: Load,
+        episode: PreExecuteStats,
+        discovered: list[int],
+    ) -> None:
+        if instr.addr_reg is not None and regs.is_invalid(instr.addr_reg):
+            # Bogus address: skip the access, poison the destination.
+            regs.set_invalid(instr.dst, True)
+            episode.skipped_invalid += 1
+            return
+
+        # Figure 3b step 1: youngest overlapping store-buffer entry wins.
+        buffered = self.store_buffer.lookup(instr.vaddr, instr.size)
+        if buffered is not None:
+            regs.set_invalid(instr.dst, buffered.invalid)
+            if buffered.invalid:
+                episode.skipped_invalid += 1
+            return
+
+        # Step 2: the pre-execute cache, with per-byte INV checking.
+        cached = self.preexec_cache.lookup(instr.vaddr, instr.size)
+        if cached is not None:
+            regs.set_invalid(instr.dst, not cached)
+            if not cached:
+                episode.skipped_invalid += 1
+            return
+
+        # Step 0: data still on the storage device -> invalid.
+        pte = self.memory.mm_of(pid).pte_for(self.memory.vpn_of(instr.vaddr))
+        if pte is None or not pte.present:
+            regs.set_invalid(instr.dst, True)
+            episode.skipped_invalid += 1
+            episode.faults_discovered += 1
+            discovered.append(self.memory.vpn_of(instr.vaddr))
+            return
+
+        paddr = self._paddr(pte.frame, instr.vaddr)  # type: ignore[arg-type]
+        if self.hierarchy.llc.contains(paddr):
+            # Step 3: present in the main cache -> consult the PTE INV bit.
+            self.hierarchy.llc.access(paddr, owner=pid, preexec=True)
+            regs.set_invalid(instr.dst, pte.inv)
+            if pte.inv:
+                episode.skipped_invalid += 1
+            return
+
+        # Step 4: only in memory -> valid; move the line into the cache.
+        self.hierarchy.llc.access(paddr, owner=pid, preexec=True)
+        episode.lines_warmed += 1
+        regs.set_invalid(instr.dst, False)
+
+    def _preexec_store(
+        self,
+        pid: int,
+        regs: RegisterFile,
+        instr: Store,
+        episode: PreExecuteStats,
+        discovered: list[int],
+    ) -> None:
+        if instr.addr_reg is not None and regs.is_invalid(instr.addr_reg):
+            episode.skipped_invalid += 1
+            return
+
+        pte = self.memory.mm_of(pid).pte_for(self.memory.vpn_of(instr.vaddr))
+        if pte is None or not pte.present:
+            # Figure 3a step 0: data on the storage device -> invalid
+            # store; allocate a pre-execute cache line with INV bytes and
+            # set the PTE INV bit.
+            self.preexec_cache.write(instr.vaddr, instr.size, invalid=True)
+            if pte is not None and not pte.inv:
+                pte.inv = True
+                self._dirty_inv_ptes.append((pid, self.memory.vpn_of(instr.vaddr)))
+            episode.skipped_invalid += 1
+            episode.faults_discovered += 1
+            discovered.append(self.memory.vpn_of(instr.vaddr))
+            return
+
+        invalid = regs.is_invalid(instr.src)
+        # Step 1: the result enters the store buffer with its INV status.
+        retired = self.store_buffer.push(instr.vaddr, instr.size, invalid=invalid)
+        if retired is not None:
+            # Step 3: retirement transfers data + INV bits to the
+            # pre-execute cache.
+            self.preexec_cache.write(retired.address, retired.size, invalid=retired.invalid)
+            episode.store_buffer_retirements += 1
+        # Step 2: data in memory but not in the cache -> fetch query.
+        paddr = self._paddr(pte.frame, instr.vaddr)  # type: ignore[arg-type]
+        if not self.hierarchy.llc.contains(paddr):
+            self.hierarchy.llc.access(paddr, owner=pid, preexec=True)
+            episode.lines_warmed += 1
+        if invalid and not pte.inv:
+            pte.inv = True
+            self._dirty_inv_ptes.append((pid, self.memory.vpn_of(instr.vaddr)))
+        if invalid:
+            episode.skipped_invalid += 1
+
+    # -- episode teardown ------------------------------------------------------
+
+    def _end_episode(
+        self,
+        regs: RegisterFile,
+        shadow,  # ShadowRegisterFile
+        episode: PreExecuteStats,
+    ) -> None:
+        # Drain remaining buffered stores into the pre-execute cache, then
+        # wipe all speculative state: the pre-execute cache contents, the
+        # PTE INV bits set this episode, and the register file.
+        for entry in self.store_buffer.drain():
+            self.preexec_cache.write(entry.address, entry.size, invalid=entry.invalid)
+            episode.store_buffer_retirements += 1
+        self.preexec_cache.clear()
+        for pid, vpn in self._dirty_inv_ptes:
+            pte = self.memory.mm_of(pid).pte_for(vpn)
+            if pte is not None:
+                pte.inv = False
+        self._dirty_inv_ptes.clear()
+        regs.restore(shadow)
+
+    def _paddr(self, frame: int, vaddr: int) -> int:
+        page_size = self.memory.frames.page_size
+        return frame * page_size + (vaddr & (page_size - 1))

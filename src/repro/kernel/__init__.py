@@ -1,0 +1,20 @@
+"""Mini Linux-style kernel: processes, SCHED_RR, context switches,
+page-fault handling, kernel threads."""
+
+from repro.kernel.process import Process, ProcessState, ProcessStats
+from repro.kernel.scheduler import RoundRobinScheduler, SchedulerStats
+from repro.kernel.context import ContextSwitchModel
+from repro.kernel.fault import FaultContext, PageFaultHandler
+from repro.kernel.kthread import KernelThread
+
+__all__ = [
+    "Process",
+    "ProcessState",
+    "ProcessStats",
+    "RoundRobinScheduler",
+    "SchedulerStats",
+    "ContextSwitchModel",
+    "FaultContext",
+    "PageFaultHandler",
+    "KernelThread",
+]

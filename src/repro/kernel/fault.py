@@ -1,0 +1,74 @@
+"""The page-fault handler.
+
+Reproduces the Figure 1 flow: the MMU raises the exception, the CPU
+enters kernel mode, the handler classifies the fault, and for a major
+fault marks the DMA to move the page from the ULL device into DRAM.
+What happens *while* that DMA runs — busy-wait, context switch, or ITS
+stealing — is the I/O policy's decision; the handler only provides the
+mechanics and the cost accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.config import MachineConfig
+from repro.storage.dma import DMAController, DMARequest
+from repro.vm.mm import MemoryManager
+
+
+@dataclass(frozen=True)
+class FaultContext:
+    """Everything a policy needs to know about one major fault."""
+
+    pid: int
+    vpn: int
+    now_ns: int
+    handler_done_ns: int
+    io_done_ns: int
+
+
+class PageFaultHandler:
+    """Major-fault servicing: handler overhead + DMA swap-in."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        memory: MemoryManager,
+        dma: DMAController,
+    ) -> None:
+        self.config = config
+        self.memory = memory
+        self.dma = dma
+        self.major_faults = 0
+        self.handler_time_ns = 0
+
+    def begin_major_fault(
+        self,
+        pid: int,
+        vpn: int,
+        now_ns: int,
+        on_complete: Optional[Callable[[DMARequest, int], None]] = None,
+    ) -> FaultContext:
+        """Service a major fault starting at *now_ns*.
+
+        Charges the software handler cost, then issues the DMA page read.
+        Returns the :class:`FaultContext` with both the handler-exit time
+        and the I/O completion time; *on_complete* fires as an event when
+        the page lands in DRAM.
+        """
+        self.major_faults += 1
+        self.handler_time_ns += self.config.fault_handler_ns
+        handler_done = now_ns + self.config.fault_handler_ns
+        request = DMARequest(
+            pid=pid, vpn=vpn, page_bytes=self.memory.frames.page_size, prefetch=False
+        )
+        io_done = self.dma.read_page(handler_done, request, on_complete)
+        return FaultContext(
+            pid=pid,
+            vpn=vpn,
+            now_ns=now_ns,
+            handler_done_ns=handler_done,
+            io_done_ns=io_done,
+        )

@@ -1,0 +1,198 @@
+"""SCHED_RR: the round-robin scheduler of the mini kernel.
+
+Processes share one round-robin ready queue; a process's *priority*
+determines its time-slice length via the NICE-style mapping in
+:class:`repro.common.config.SchedulerConfig` (800 ms for the most
+important level down to 5 ms for the least).  This is the paper's setup:
+all six processes of a batch interleave — which is what makes them
+"share and contend the memory resources" — while high-priority processes
+hold the CPU much longer per turn.
+
+The ITS priority-aware thread selection policy compares the running
+process's priority against the *next-to-be-run* process
+(:meth:`RoundRobinScheduler.peek_next`); the scheduler itself never
+reorders anything ("our policy does not change ... the process-execution
+orders maintained by the process scheduler").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.config import SchedulerConfig
+from repro.common.errors import SimulationError
+from repro.kernel.process import Process, ProcessState
+
+
+@dataclass
+class SchedulerStats:
+    """Scheduling activity counters."""
+
+    dispatches: int = 0
+    preemptions: int = 0
+    voluntary_switches: int = 0
+    blocks: int = 0
+    unblocks: int = 0
+
+
+class RoundRobinScheduler:
+    """Single-queue round-robin with priority-scaled time slices."""
+
+    def __init__(self, config: SchedulerConfig) -> None:
+        self.config = config
+        self.stats = SchedulerStats()
+        self._ready: deque[Process] = deque()
+        self._current: Optional[Process] = None
+        self._blocked: set[int] = set()
+
+    # -- queue inspection -----------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Process]:
+        """The process currently holding the CPU."""
+        return self._current
+
+    def peek_next(self) -> Optional[Process]:
+        """The next-to-be-run process (head of the ready queue)."""
+        return self._ready[0] if self._ready else None
+
+    def ready_count(self) -> int:
+        """Processes waiting in the ready queue."""
+        return len(self._ready)
+
+    def blocked_count(self) -> int:
+        """Processes blocked on I/O."""
+        return len(self._blocked)
+
+    def has_work(self) -> bool:
+        """True while any process is current, ready, or blocked."""
+        return self._current is not None or bool(self._ready) or bool(self._blocked)
+
+    # -- transitions -------------------------------------------------------------
+
+    def add(self, process: Process) -> None:
+        """Admit a new READY process at the tail of the queue."""
+        if process.state is not ProcessState.READY:
+            raise SimulationError(f"admitting pid {process.pid} in state {process.state}")
+        self._ready.append(process)
+
+    def dispatch(self) -> Optional[Process]:
+        """Pop the queue head, grant a time slice, mark it RUNNING.
+
+        A process resuming an interrupted turn (see
+        :meth:`unblock` with ``resume=True``) keeps its residual slice;
+        everyone else gets a fresh one.  Returns ``None`` when the ready
+        queue is empty (the CPU idles until an I/O completion unblocks
+        someone).
+        """
+        if self._current is not None:
+            raise SimulationError("dispatch while a process still holds the CPU")
+        if not self._ready:
+            return None
+        process = self._ready.popleft()
+        process.state = ProcessState.RUNNING
+        if not (process.resume_pending and process.slice_remaining_ns > 0):
+            process.slice_remaining_ns = self.config.time_slice_ns(process.priority)
+        process.resume_pending = False
+        self._current = process
+        self.stats.dispatches += 1
+        return process
+
+    def preempt_current(self) -> Process:
+        """Slice expired: requeue the running process at the tail."""
+        process = self._take_current()
+        process.state = ProcessState.READY
+        self._ready.append(process)
+        self.stats.preemptions += 1
+        return process
+
+    def yield_current(self) -> Process:
+        """Voluntary yield (self-sacrificing path): requeue at the tail
+        with whatever slice remains forfeited."""
+        process = self._take_current()
+        process.state = ProcessState.READY
+        self._ready.append(process)
+        self.stats.voluntary_switches += 1
+        return process
+
+    def block_current(self) -> Process:
+        """The running process blocks on I/O (asynchronous mode)."""
+        process = self._take_current()
+        process.state = ProcessState.BLOCKED
+        self._blocked.add(process.pid)
+        self.stats.blocks += 1
+        return process
+
+    def unblock(self, process: Process, *, resume: bool = False) -> None:
+        """I/O completed: move a BLOCKED process back to the ready queue.
+
+        ``resume=True`` is the self-sacrificing resume path: the kernel
+        forced the process off the CPU mid-slice, so it re-enters at the
+        queue *head* with its residual slice — it gave way during the
+        I/O, but its turn is not forfeited (Section 3.3 argues the
+        sacrifice must not inflate low-priority finish times).  The
+        default (``resume=False``) is the ordinary asynchronous path:
+        tail of the queue, fresh slice on dispatch.
+        """
+        if process.pid not in self._blocked:
+            raise SimulationError(f"unblocking pid {process.pid} which is not blocked")
+        self._blocked.discard(process.pid)
+        process.state = ProcessState.READY
+        if resume:
+            process.resume_pending = True
+            self._ready.appendleft(process)
+        else:
+            self._ready.append(process)
+        self.stats.unblocks += 1
+
+    def resume_preempts_current(self) -> bool:
+        """True if the queue head is a resuming (sacrifice-unblocked)
+        process with strictly higher priority than the running one.
+
+        The self-sacrificing thread's contract is to give way to
+        *higher*-priority executions only; RT semantics let the resumed
+        process preempt a strictly less important current process.
+        """
+        if self._current is None or not self._ready:
+            return False
+        head = self._ready[0]
+        return head.resume_pending and head.priority > self._current.priority
+
+    def preempt_for_resume(self) -> Process:
+        """Swap the resuming queue head in for the current process.
+
+        The displaced process keeps its residual slice and re-enters
+        just behind the resumer (it loses no turn, only the CPU for the
+        moment).  Returns the displaced process.
+        """
+        if not self.resume_preempts_current():
+            raise SimulationError("preempt_for_resume without a qualifying head")
+        displaced = self._take_current()
+        displaced.state = ProcessState.READY
+        displaced.resume_pending = True
+        resumer = self._ready.popleft()
+        self._ready.appendleft(displaced)
+        resumer.state = ProcessState.RUNNING
+        if not (resumer.resume_pending and resumer.slice_remaining_ns > 0):
+            resumer.slice_remaining_ns = self.config.time_slice_ns(resumer.priority)
+        resumer.resume_pending = False
+        self._current = resumer
+        self.stats.preemptions += 1
+        self.stats.dispatches += 1
+        return displaced
+
+    def finish_current(self, now_ns: int) -> Process:
+        """The running process committed its last instruction."""
+        process = self._take_current()
+        process.state = ProcessState.FINISHED
+        process.stats.finish_time_ns = now_ns
+        return process
+
+    def _take_current(self) -> Process:
+        if self._current is None:
+            raise SimulationError("no process holds the CPU")
+        process = self._current
+        self._current = None
+        return process

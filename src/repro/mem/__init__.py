@@ -1,0 +1,21 @@
+"""Memory hierarchy models: LLC, TLB, store buffer, pre-execute cache, DRAM."""
+
+from repro.mem.cache import CacheStats, SetAssociativeCache
+from repro.mem.tlb import TLB, TLBStats
+from repro.mem.store_buffer import StoreBuffer, StoreEntry
+from repro.mem.preexec_cache import PreExecuteCache
+from repro.mem.dram import DRAMModel
+from repro.mem.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "TLB",
+    "TLBStats",
+    "StoreBuffer",
+    "StoreEntry",
+    "PreExecuteCache",
+    "DRAMModel",
+    "AccessResult",
+    "MemoryHierarchy",
+]

@@ -1,0 +1,235 @@
+"""A set-associative cache with LRU replacement.
+
+The paper's simulated CPU has a 16-way, 8 MiB last-level cache (LLC) with
+64-byte lines; this module provides the generic structure used for the LLC
+(and, with per-byte INV extensions in :mod:`repro.mem.preexec_cache`, the
+pre-execute cache).
+
+The cache is physically indexed and tagged: keys are physical byte
+addresses.  No data payloads are stored — the simulator tracks hit/miss
+behaviour and ownership, which is all the paper's metrics need.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.common.config import CacheConfig
+from repro.common.errors import AddressError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by demand vs. pre-execute accesses.
+
+    ``demand_misses`` is the paper's "CPU cache miss" count (Figure 4c):
+    misses suffered by committed instructions.  Warm-up fills performed by
+    the pre-execute engine are tracked separately so they are never
+    confused with demand traffic.
+    """
+
+    demand_hits: int = 0
+    demand_misses: int = 0
+    preexec_hits: int = 0
+    preexec_misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def demand_accesses(self) -> int:
+        """Total demand lookups."""
+        return self.demand_hits + self.demand_misses
+
+    @property
+    def demand_miss_rate(self) -> float:
+        """Demand miss ratio in [0, 1]; 0.0 when there were no accesses."""
+        total = self.demand_accesses
+        return self.demand_misses / total if total else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return the element-wise sum of two stat records."""
+        return CacheStats(
+            demand_hits=self.demand_hits + other.demand_hits,
+            demand_misses=self.demand_misses + other.demand_misses,
+            preexec_hits=self.preexec_hits + other.preexec_hits,
+            preexec_misses=self.preexec_misses + other.preexec_misses,
+            evictions=self.evictions + other.evictions,
+            invalidations=self.invalidations + other.invalidations,
+        )
+
+
+@dataclass
+class _Line:
+    """One resident cache line."""
+
+    tag: int
+    owner: Optional[int] = None
+    dirty: bool = False
+
+
+class SetAssociativeCache:
+    """Physically-tagged set-associative cache with true-LRU replacement.
+
+    Each line records its ``owner`` (the pid that installed it) so the
+    context-switch pollution model and per-process statistics can reason
+    about whose data is resident.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        # Each set is an OrderedDict tag -> _Line; MRU at the end.
+        self._sets: list[OrderedDict[int, _Line]] = [
+            OrderedDict() for __ in range(config.num_sets)
+        ]
+        self._line_bits = config.line_size.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+
+    # -- address helpers ------------------------------------------------
+
+    def line_address(self, addr: int) -> int:
+        """Round *addr* down to its cache-line address."""
+        if addr < 0:
+            raise AddressError(f"negative address {addr:#x}")
+        return addr >> self._line_bits << self._line_bits
+
+    def _index_tag(self, addr: int) -> tuple[int, int]:
+        line = addr >> self._line_bits
+        return line & self._set_mask, line >> (self._set_mask.bit_length())
+
+    # -- lookups ---------------------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        """True if the line holding *addr* is resident (no LRU update)."""
+        index, tag = self._index_tag(addr)
+        return tag in self._sets[index]
+
+    def access(
+        self,
+        addr: int,
+        *,
+        is_write: bool = False,
+        owner: Optional[int] = None,
+        preexec: bool = False,
+    ) -> bool:
+        """Look up *addr*; fill on miss.  Returns ``True`` on a hit.
+
+        ``preexec=True`` accounts the access to the pre-execute engine's
+        counters instead of the demand counters.  A hit refreshes LRU; a
+        miss installs the line (evicting the set's LRU victim if full).
+        """
+        index, tag = self._index_tag(addr)
+        cache_set = self._sets[index]
+        line = cache_set.get(tag)
+        if line is not None:
+            cache_set.move_to_end(tag)
+            if is_write:
+                line.dirty = True
+            self._count(hit=True, preexec=preexec)
+            return True
+        self._fill(index, tag, owner=owner, dirty=is_write)
+        self._count(hit=False, preexec=preexec)
+        return False
+
+    def touch(self, addr: int, *, owner: Optional[int] = None) -> None:
+        """Install the line holding *addr* without recording a lookup.
+
+        Used by warm-up paths (e.g. valid pre-execute loads moving data
+        into the cache) where the paper's model fills the cache as a side
+        effect rather than as a demand access.
+        """
+        index, tag = self._index_tag(addr)
+        cache_set = self._sets[index]
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            return
+        self._fill(index, tag, owner=owner, dirty=False)
+
+    # -- invalidation ----------------------------------------------------
+
+    def invalidate_range(self, start: int, length: int) -> int:
+        """Invalidate every line overlapping ``[start, start+length)``.
+
+        Returns the number of lines dropped.  Called when a physical page
+        is repurposed by the frame allocator.
+        """
+        if length <= 0:
+            return 0
+        dropped = 0
+        addr = self.line_address(start)
+        end = start + length
+        while addr < end:
+            index, tag = self._index_tag(addr)
+            if self._sets[index].pop(tag, None) is not None:
+                dropped += 1
+            addr += self.config.line_size
+        self.stats.invalidations += dropped
+        return dropped
+
+    def evict_owner_fraction(self, owner: int, fraction: float) -> int:
+        """Evict up to *fraction* of *owner*'s resident lines (LRU-first).
+
+        Models context-switch pollution: when a process is switched out,
+        the incoming process displaces part of its footprint.  Returns the
+        number of lines evicted.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction} outside [0, 1]")
+        owned: list[tuple[int, int]] = []
+        for index, cache_set in enumerate(self._sets):
+            for tag, line in cache_set.items():
+                if line.owner == owner:
+                    owned.append((index, tag))
+        target = int(len(owned) * fraction)
+        for index, tag in owned[:target]:
+            del self._sets[index][tag]
+        self.stats.evictions += target
+        return target
+
+    def flush(self) -> int:
+        """Drop every line; returns the number dropped."""
+        dropped = self.resident_lines()
+        for cache_set in self._sets:
+            cache_set.clear()
+        self.stats.invalidations += dropped
+        return dropped
+
+    # -- introspection ----------------------------------------------------
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+    def resident_lines_of(self, owner: int) -> int:
+        """Number of resident lines installed by *owner*."""
+        return sum(
+            1 for cache_set in self._sets for line in cache_set.values() if line.owner == owner
+        )
+
+    def iter_lines(self) -> Iterator[tuple[int, _Line]]:
+        """Yield ``(set_index, line)`` for every resident line."""
+        for index, cache_set in enumerate(self._sets):
+            for line in cache_set.values():
+                yield index, line
+
+    # -- internals ---------------------------------------------------------
+
+    def _fill(self, index: int, tag: int, *, owner: Optional[int], dirty: bool) -> None:
+        cache_set = self._sets[index]
+        if len(cache_set) >= self.config.ways:
+            cache_set.popitem(last=False)
+            self.stats.evictions += 1
+        cache_set[tag] = _Line(tag=tag, owner=owner, dirty=dirty)
+
+    def _count(self, *, hit: bool, preexec: bool) -> None:
+        if preexec:
+            if hit:
+                self.stats.preexec_hits += 1
+            else:
+                self.stats.preexec_misses += 1
+        elif hit:
+            self.stats.demand_hits += 1
+        else:
+            self.stats.demand_misses += 1

@@ -1,0 +1,41 @@
+"""DRAM timing model.
+
+The paper models DRAM by its access latency (50 ns, citing an NVDIMM
+study); capacity lives in :class:`repro.vm.frames.FrameAllocator`.  This
+model adds simple bandwidth accounting so that analysis code can report
+how much of the idle time was memory-side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MemoryConfig
+
+
+@dataclass
+class DRAMModel:
+    """Latency model plus cumulative traffic counters."""
+
+    config: MemoryConfig
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def read_latency_ns(self, n_bytes: int = 64) -> int:
+        """Latency of a read of *n_bytes* (line fill by default)."""
+        self.reads += 1
+        self.bytes_read += n_bytes
+        return self.config.dram_latency_ns
+
+    def write_latency_ns(self, n_bytes: int = 64) -> int:
+        """Latency of a write of *n_bytes*."""
+        self.writes += 1
+        self.bytes_written += n_bytes
+        return self.config.dram_latency_ns
+
+    @property
+    def total_accesses(self) -> int:
+        """Reads plus writes."""
+        return self.reads + self.writes

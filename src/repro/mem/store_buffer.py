@@ -1,0 +1,84 @@
+"""Store buffer model for the pre-execute engine.
+
+During pre-execution, valid store results are written to the store buffer
+(never to the cache or memory — Section 3.4.2: "pre-execute store
+operations do not write or modify any data in the CPU cache or memory").
+Retired entries drain into the pre-execute cache, carrying their INV
+status with them, so later pre-execute loads can be checked against them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One buffered store: an address range plus its INV status."""
+
+    address: int
+    size: int
+    invalid: bool
+
+    def overlaps(self, address: int, size: int) -> bool:
+        """True if this entry intersects ``[address, address + size)``."""
+        return self.address < address + size and address < self.address + self.size
+
+
+class StoreBuffer:
+    """Bounded FIFO of pending stores.
+
+    When the buffer is full, the oldest entry *retires*: it is returned to
+    the caller so the pre-execute engine can transfer it (and its INV
+    bits) into the pre-execute cache, mirroring the paper's retired-store
+    path (Figure 3a, step 3).
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity <= 0:
+            raise ValueError("store buffer capacity must be positive")
+        self.capacity = capacity
+        self._entries: deque[StoreEntry] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True if a push would force a retirement."""
+        return len(self._entries) >= self.capacity
+
+    def push(self, address: int, size: int, *, invalid: bool) -> Optional[StoreEntry]:
+        """Buffer a store; returns the retired entry if one was displaced."""
+        retired = None
+        if self.full:
+            retired = self._entries.popleft()
+        self._entries.append(StoreEntry(address=address, size=size, invalid=invalid))
+        return retired
+
+    def lookup(self, address: int, size: int) -> Optional[StoreEntry]:
+        """Youngest entry overlapping the range, or ``None``.
+
+        Pre-execute loads forward from the youngest matching store, the
+        same way real store-to-load forwarding picks the most recent
+        producer.
+        """
+        for entry in reversed(self._entries):
+            if entry.overlaps(address, size):
+                return entry
+        return None
+
+    def drain(self) -> Iterable[StoreEntry]:
+        """Remove and yield every entry, oldest first.
+
+        Called when pre-execution terminates: remaining buffered stores
+        move to the pre-execute cache before state recovery.
+        """
+        while self._entries:
+            yield self._entries.popleft()
+
+    def clear(self) -> None:
+        """Discard all entries without retiring them."""
+        self._entries.clear()

@@ -1,0 +1,86 @@
+"""Translation look-aside buffer model.
+
+The TLB caches (pid, virtual page number) -> physical frame translations.
+A context switch flushes it (the paper's motivation cites TLB shootdown as
+one of the hidden costs of frequent context switching), and each flush
+forces subsequent accesses through the simulated page-table walk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.config import TLBConfig
+
+
+@dataclass
+class TLBStats:
+    """TLB hit/miss/flush counters."""
+
+    hits: int = 0
+    misses: int = 0
+    flushes: int = 0
+    shootdowns: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio in [0, 1]; 0.0 when there were no accesses."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class TLB:
+    """Fully-associative LRU TLB keyed by (pid, vpn)."""
+
+    def __init__(self, config: TLBConfig) -> None:
+        self.config = config
+        self.stats = TLBStats()
+        self._entries: OrderedDict[tuple[int, int], int] = OrderedDict()
+
+    def lookup(self, pid: int, vpn: int) -> Optional[int]:
+        """Return the cached frame for (pid, vpn), or ``None`` on a miss."""
+        key = (pid, vpn)
+        frame = self._entries.get(key)
+        if frame is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return frame
+
+    def insert(self, pid: int, vpn: int, frame: int) -> None:
+        """Install a translation, evicting the LRU entry if full."""
+        key = (pid, vpn)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = frame
+            return
+        if len(self._entries) >= self.config.entries:
+            self._entries.popitem(last=False)
+        self._entries[key] = frame
+
+    def shootdown(self, pid: int, vpn: int) -> bool:
+        """Invalidate one translation (page unmapped or remapped).
+
+        Returns ``True`` if an entry was actually dropped.
+        """
+        dropped = self._entries.pop((pid, vpn), None) is not None
+        if dropped:
+            self.stats.shootdowns += 1
+        return dropped
+
+    def flush(self) -> int:
+        """Drop all translations (context switch).  Returns count dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.stats.flushes += 1
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,23 @@
+"""The trace-driven multi-programmed simulator."""
+
+from repro.sim.metrics import IdleBreakdown, MetricsCollector, ProcessRecord, SimulationResult
+from repro.sim.machine import Machine
+from repro.sim.simulator import Simulation, WorkloadInstance
+from repro.sim.batch import PAPER_BATCHES, BatchSpec, build_batch, batch_names
+from repro.sim.eventlog import EventLog, SimEvent
+
+__all__ = [
+    "IdleBreakdown",
+    "MetricsCollector",
+    "ProcessRecord",
+    "SimulationResult",
+    "Machine",
+    "Simulation",
+    "WorkloadInstance",
+    "PAPER_BATCHES",
+    "BatchSpec",
+    "build_batch",
+    "batch_names",
+    "EventLog",
+    "SimEvent",
+]

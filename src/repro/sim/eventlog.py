@@ -1,0 +1,98 @@
+"""Optional simulation event log.
+
+When attached to a :class:`~repro.sim.simulator.Simulation`, records the
+scheduling- and fault-level events of a run (faults, switches,
+prefetches, ITS steals, finishes) with virtual timestamps — the raw
+material for debugging a policy or plotting a timeline.  Recording is
+disabled by default; an unattached simulation pays a single ``None``
+check per event site.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One logged event.
+
+    ``kind`` is a short tag (``major_fault``, ``minor_fault``,
+    ``ctx_switch``, ``dispatch``, ``prefetch_issue``, ``prefetch_done``,
+    ``steal``, ``sacrifice``, ``finish``); ``vpn`` is set for
+    page-related events.
+    """
+
+    time_ns: int
+    kind: str
+    pid: Optional[int] = None
+    vpn: Optional[int] = None
+
+
+class EventLog:
+    """Bounded in-memory event recorder.
+
+    ``capacity`` caps memory use on long runs; when full, the oldest
+    events are dropped and :attr:`dropped` counts them.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("event log capacity must be positive")
+        self.capacity = capacity
+        self.dropped = 0
+        self._events: list[SimEvent] = []
+
+    def record(
+        self,
+        time_ns: int,
+        kind: str,
+        pid: Optional[int] = None,
+        vpn: Optional[int] = None,
+    ) -> None:
+        """Append one event, evicting the oldest beyond capacity."""
+        self._events.append(SimEvent(time_ns=time_ns, kind=kind, pid=pid, vpn=vpn))
+        if len(self._events) > self.capacity:
+            overflow = len(self._events) - self.capacity
+            del self._events[:overflow]
+            self.dropped += overflow
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SimEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> list[SimEvent]:
+        """All events with the given tag, in time order."""
+        return [e for e in self._events if e.kind == kind]
+
+    def of_pid(self, pid: int) -> list[SimEvent]:
+        """All events attributed to *pid*, in time order."""
+        return [e for e in self._events if e.pid == pid]
+
+    def counts(self) -> dict[str, int]:
+        """Events per kind."""
+        out: dict[str, int] = {}
+        for event in self._events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def to_csv(self, path: str | Path) -> None:
+        """Dump the log as ``time_ns,kind,pid,vpn`` CSV."""
+        path = Path(path)
+        with path.open("w", newline="", encoding="utf-8") as f:
+            writer = csv.writer(f)
+            writer.writerow(["time_ns", "kind", "pid", "vpn"])
+            for event in self._events:
+                writer.writerow(
+                    [
+                        event.time_ns,
+                        event.kind,
+                        "" if event.pid is None else event.pid,
+                        "" if event.vpn is None else event.vpn,
+                    ]
+                )

@@ -1,0 +1,107 @@
+"""Machine assembly: every hardware and kernel component, plus the clock.
+
+A :class:`Machine` wires the component models together the way Figure 1
+draws them: CPU core over TLB/LLC/DRAM, the memory manager over the frame
+pool and swap, the DMA controller over the device and PCIe link, and the
+page-fault handler on top.  Policies that pre-execute get half the LLC
+carved out as the pre-execute cache (Section 4.1).
+
+Virtual time lives here: ``advance(dt)`` moves the clock and fires every
+device event that came due, so DMA completions interleave with CPU
+progress at the right instants.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import MachineConfig
+from repro.common.errors import SimulationError
+from repro.common.events import EventQueue
+from repro.cpu.core import SimCPU
+from repro.cpu.runahead import PreExecuteEngine
+from repro.kernel.context import ContextSwitchModel
+from repro.kernel.fault import PageFaultHandler
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.preexec_cache import PreExecuteCache
+from repro.mem.tlb import TLB
+from repro.storage.device import ULLDevice
+from repro.storage.dma import DMAController, DMARequest
+from repro.storage.pcie import PCIeLink
+from repro.vm.frames import FrameAllocator
+from repro.vm.mm import MemoryManager
+from repro.vm.replacement import ReplacementPolicy
+from repro.vm.swap import SwapArea
+
+
+class Machine:
+    """One simulated platform instance."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        replacement: ReplacementPolicy,
+        *,
+        with_preexec_cache: bool = False,
+    ) -> None:
+        self.config = config
+        self.now_ns = 0
+        self.events = EventQueue()
+
+        llc_config = config.llc.halved() if with_preexec_cache else config.llc
+        self.hierarchy = MemoryHierarchy(llc_config, config.memory, config.l1)
+        self.tlb = TLB(config.tlb)
+
+        frames = FrameAllocator(config.memory.dram_frames, config.memory.page_size)
+        swap_slots = max(1, config.device.capacity_bytes // config.memory.page_size)
+        self.memory = MemoryManager(frames, SwapArea(swap_slots), replacement)
+        self.memory.on_evict(self._on_page_evicted)
+
+        self.device = ULLDevice(config.device)
+        self.link = PCIeLink(config.pcie)
+        self.dma = DMAController(self.device, self.link, self.events)
+
+        self.cpu = SimCPU(config, self.hierarchy, self.tlb, self.memory)
+        self.fault_handler = PageFaultHandler(config, self.memory, self.dma)
+        self.context_switch = ContextSwitchModel(config.scheduler, self.tlb, self.hierarchy)
+
+        self.preexec_cache: Optional[PreExecuteCache] = None
+        self.preexec_engine: Optional[PreExecuteEngine] = None
+        if with_preexec_cache:
+            self.preexec_cache = PreExecuteCache(config.llc.halved())
+            self.preexec_engine = PreExecuteEngine(
+                config, self.hierarchy, self.memory, self.preexec_cache
+            )
+
+    # -- the clock ----------------------------------------------------------
+
+    def advance(self, dt_ns: int) -> None:
+        """Move the clock forward by *dt_ns*, firing due device events."""
+        if dt_ns < 0:
+            raise SimulationError(f"cannot advance clock by negative {dt_ns}")
+        self.now_ns += dt_ns
+        self.events.run_due(self.now_ns)
+
+    def advance_to(self, t_ns: int) -> None:
+        """Move the clock to absolute time *t_ns* (monotone)."""
+        if t_ns < self.now_ns:
+            raise SimulationError(f"clock would move backwards ({t_ns} < {self.now_ns})")
+        self.advance(t_ns - self.now_ns)
+
+    # -- wiring --------------------------------------------------------------
+
+    def _on_page_evicted(self, pid: int, vpn: int, frame: int) -> None:
+        """Eviction side effects: TLB shootdown, LLC invalidation, and
+        dirty write-back over DMA (occupying link + device bandwidth)."""
+        self.tlb.shootdown(pid, vpn)
+        base = self.memory.frames.frame_base_address(frame)
+        self.hierarchy.invalidate_frame(base, self.memory.frames.page_size)
+        if not self.config.memory.writeback_dirty:
+            return
+        pte = self.memory.mm_of(pid).pte_for(vpn)
+        if pte is not None and pte.dirty:
+            pte.dirty = False
+            self.dma.write_page(
+                self.now_ns,
+                DMARequest(pid=pid, vpn=vpn, page_bytes=self.memory.frames.page_size),
+            )

@@ -1,0 +1,329 @@
+"""The multi-programmed, trace-driven simulation loop.
+
+One CPU executes the admitted processes under SCHED_RR; the installed
+:class:`~repro.baselines.base.IOPolicy` decides what happens at every
+major page fault.  Device-side progress (demand swap-ins, prefetches,
+asynchronous completions) fires from the event queue as the clock
+advances, so CPU and DMA overlap exactly as the paper's design intends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.common.config import MachineConfig
+from repro.common.errors import SimulationError
+from repro.cpu.core import StepOutcome
+from repro.kernel.process import Process
+from repro.kernel.scheduler import RoundRobinScheduler
+from repro.sim.machine import Machine
+from repro.sim.metrics import MetricsCollector, ProcessRecord, SimulationResult
+from repro.storage.dma import DMARequest
+from repro.trace.record import footprint_vpns
+from repro.cpu.isa import Instruction
+
+
+@dataclass(frozen=True)
+class WorkloadInstance:
+    """One process to admit: a named trace with a priority.
+
+    ``mapped_vpns`` optionally declares the process's full mapped
+    address space; when omitted it defaults to the pages the trace
+    touches.  Mapping more than is touched is how graph workloads expose
+    a real prefetch-accuracy problem (candidates may never be used).
+    """
+
+    name: str
+    trace: list[Instruction]
+    priority: int
+    data_intensive: bool = False
+    mapped_vpns: Optional[frozenset[int]] = None
+
+
+def _rescale_vpns(vpns_4k: frozenset[int], page_size: int) -> set[int]:
+    """Convert 4 KiB-based VPNs (the declaration convention used by the
+    workload catalogue) to the machine's page granularity."""
+    shift = page_size.bit_length() - 1
+    delta = shift - 12
+    if delta == 0:
+        return set(vpns_4k)
+    if delta > 0:  # huge pages: many 4K pages per machine page
+        return {v >> delta for v in vpns_4k}
+    # sub-4K pages: each 4K page spans several machine pages
+    per_page = 1 << (-delta)
+    return {
+        (v << (-delta)) + i for v in vpns_4k for i in range(per_page)
+    }
+
+
+class Simulation:
+    """A single run: one machine, one process batch, one I/O policy."""
+
+    MAX_STEPS = 200_000_000
+    """Hard safety bound on loop iterations (a run that needs more than
+    this has diverged)."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        workloads: Sequence[WorkloadInstance],
+        policy,
+        *,
+        batch_name: str = "custom",
+        event_log=None,
+        progress=None,
+        progress_interval: int = 50_000,
+    ) -> None:
+        if not workloads:
+            raise SimulationError("a simulation needs at least one workload")
+        if progress_interval <= 0:
+            raise SimulationError("progress interval must be positive")
+        self.config = config
+        self.policy = policy
+        self.batch_name = batch_name
+        self.event_log = event_log
+        self.progress = progress
+        self.progress_interval = progress_interval
+
+        self.processes: list[Process] = [
+            Process(
+                pid=index,
+                name=w.name,
+                priority=w.priority,
+                trace=w.trace,
+                data_intensive=w.data_intensive,
+            )
+            for index, w in enumerate(workloads)
+        ]
+        replacement = policy.create_replacement(self.processes)
+        self.machine = Machine(
+            config, replacement, with_preexec_cache=policy.uses_preexec_cache
+        )
+        page_size = config.memory.page_size
+        for process, workload in zip(self.processes, workloads):
+            vpns = set(footprint_vpns(process.trace, page_size))
+            if workload.mapped_vpns is not None:
+                declared = _rescale_vpns(workload.mapped_vpns, page_size)
+                missing = vpns - declared
+                if missing:
+                    raise SimulationError(
+                        f"workload {process.name!r} touches pages outside its "
+                        f"declared mapping (e.g. vpn {min(missing):#x})"
+                    )
+                vpns = declared
+            if not vpns:
+                raise SimulationError(f"workload {process.name!r} touches no memory")
+            self.machine.memory.register_process(process.pid, sorted(vpns))
+
+        self.scheduler = RoundRobinScheduler(config.scheduler)
+        for process in self.processes:
+            self.scheduler.add(process)
+
+        self.metrics = MetricsCollector()
+        self._last_pid: Optional[int] = None
+        self._prefetch_inflight: set[tuple[int, int]] = set()
+        policy.attach(self)
+
+    # -- driving the run ----------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute until every process finishes; returns the result.
+
+        If a ``progress`` callback was supplied, it fires every
+        ``progress_interval`` loop steps with
+        ``(now_ns, instructions_committed, processes_finished)`` — useful
+        feedback on paper-scale runs.
+        """
+        steps = 0
+        while self.scheduler.has_work():
+            steps += 1
+            if steps > self.MAX_STEPS:
+                raise SimulationError("simulation exceeded MAX_STEPS; diverged?")
+            if self.progress is not None and steps % self.progress_interval == 0:
+                finished = sum(1 for p in self.processes if p.finished)
+                self.progress(
+                    self.machine.now_ns,
+                    self.machine.cpu.instructions_committed,
+                    finished,
+                )
+            if self.scheduler.current is None:
+                if not self._dispatch_or_idle():
+                    continue
+            self._step_current()
+        return self._build_result()
+
+    def _dispatch_or_idle(self) -> bool:
+        """Bring a process onto the CPU; returns True if one is running."""
+        process = self.scheduler.dispatch()
+        if process is None:
+            self._idle_until_next_event()
+            return False
+        if self._last_pid is not None and self._last_pid != process.pid:
+            cost = self.machine.context_switch.perform(self._last_pid)
+            self.machine.advance(cost)
+            self.metrics.add_ctx_overhead(cost)
+            process.stats.context_switches += 1
+            self.log_event("ctx_switch", process.pid)
+        self._last_pid = process.pid
+        self.log_event("dispatch", process.pid)
+        return True
+
+    def _idle_until_next_event(self) -> None:
+        next_time = self.machine.events.peek_time()
+        if next_time is None:
+            raise SimulationError(
+                "no runnable process and no pending I/O: the machine is deadlocked"
+            )
+        gap = max(0, next_time - self.machine.now_ns)
+        self.machine.advance_to(max(next_time, self.machine.now_ns))
+        self.metrics.add_async_idle(gap)
+
+    def _step_current(self) -> None:
+        process = self.scheduler.current
+        if process is None:  # the fault handler may have blocked it
+            return
+        instr = process.current_instruction
+        result = self.machine.cpu.execute(process.pid, instr)
+
+        if result.outcome is StepOutcome.MAJOR_FAULT:
+            process.stats.major_faults += 1
+            self.log_event("major_fault", process.pid, result.fault_vpn)
+            self.policy.on_major_fault(self, process, result.fault_vpn)
+            if self.scheduler.current is process and process.slice_remaining_ns <= 0:
+                self.scheduler.preempt_current()
+            return
+
+        self.consume_time(process, result.time_ns)
+        if result.stall_ns:
+            process.stats.memory_stall_ns += result.stall_ns
+            self.metrics.add_memory_stall(result.stall_ns)
+        if result.minor_fault:
+            process.stats.minor_faults += 1
+            self.metrics.add_handler_overhead(self.config.fault_handler_ns)
+            self.log_event("minor_fault", process.pid)
+        self.policy.on_instruction_complete(self, process, instr, result)
+        process.advance()
+
+        if process.finished:
+            self.scheduler.finish_current(self.machine.now_ns)
+            self._release_process_memory(process.pid)
+            self.log_event("finish", process.pid)
+        elif process.slice_remaining_ns <= 0:
+            self.scheduler.preempt_current()
+        elif self.scheduler.resume_preempts_current():
+            # A sacrificed process's I/O completed and it outranks the
+            # running process: RT semantics let it take the CPU back.
+            displaced = self.scheduler.preempt_for_resume()
+            cost = self.machine.context_switch.perform(displaced.pid)
+            self.machine.advance(cost)
+            self.metrics.add_ctx_overhead(cost)
+            resumed = self.scheduler.current
+            if resumed is not None:
+                resumed.stats.context_switches += 1
+                self._last_pid = resumed.pid
+
+    # -- services used by policies ------------------------------------------
+
+    def log_event(
+        self, kind: str, pid: Optional[int] = None, vpn: Optional[int] = None
+    ) -> None:
+        """Record an event if a log is attached (cheap no-op otherwise)."""
+        if self.event_log is not None:
+            self.event_log.record(self.machine.now_ns, kind, pid, vpn)
+
+    def consume_time(self, process: Process, dt_ns: int) -> None:
+        """Charge *dt_ns* of CPU occupancy to *process* and advance the
+        clock (firing any device events that come due)."""
+        self.machine.advance(dt_ns)
+        process.slice_remaining_ns -= dt_ns
+        process.stats.cpu_time_ns += dt_ns
+
+    def process_by_pid(self, pid: int) -> Process:
+        """Look up a process by pid."""
+        return self.processes[pid]
+
+    def issue_prefetch(self, pid: int, vpn: int, *, at_ns: Optional[int] = None) -> bool:
+        """Start a prefetch DMA for (pid, vpn) if it is worthwhile.
+
+        Skips pages already resident, swap-cached, in flight, or not
+        mapped by the process.  The completed page lands in the swap
+        cache (a later touch is a minor fault).  ``at_ns`` lets a caller
+        inside a busy-wait window submit at the logical issue time rather
+        than the (not yet advanced) clock.  Returns True if a DMA was
+        issued.
+        """
+        key = (pid, vpn)
+        if key in self._prefetch_inflight:
+            return False
+        mm = self.machine.memory.mm_of(pid)
+        pte = mm.pte_for(vpn)
+        if pte is None or self.machine.memory.is_resident_or_cached(pid, vpn):
+            return False
+        self._prefetch_inflight.add(key)
+        request = DMARequest(
+            pid=pid, vpn=vpn, page_bytes=self.machine.memory.frames.page_size, prefetch=True
+        )
+        submit_ns = max(self.machine.now_ns, at_ns if at_ns is not None else 0)
+        self.machine.dma.read_page(submit_ns, request, self._prefetch_complete)
+        self.log_event("prefetch_issue", pid, vpn)
+        return True
+
+    def _prefetch_complete(self, request: DMARequest, __time_ns: int) -> None:
+        self._prefetch_inflight.discard((request.pid, request.vpn))
+        process = self.process_by_pid(request.pid)
+        if process.finished:
+            return
+        if not self.machine.memory.is_resident_or_cached(request.pid, request.vpn):
+            self.machine.memory.install_page(request.pid, request.vpn, prefetched=True)
+            self.log_event("prefetch_done", request.pid, request.vpn)
+
+    def _release_process_memory(self, pid: int) -> None:
+        """Free a finished process's frames and swap slots (process exit)."""
+        self.machine.memory.release_process(pid)
+
+    # -- result assembly -----------------------------------------------------
+
+    def _build_result(self) -> SimulationResult:
+        records = []
+        majors = minors = 0
+        for process in self.processes:
+            mm = self.machine.memory.mm_of(process.pid)
+            majors += mm.major_faults
+            minors += mm.minor_faults
+            if process.stats.finish_time_ns is None:
+                raise SimulationError(f"process {process.pid} never finished")
+            records.append(
+                ProcessRecord(
+                    pid=process.pid,
+                    name=process.name,
+                    priority=process.priority,
+                    data_intensive=process.data_intensive,
+                    finish_time_ns=process.stats.finish_time_ns,
+                    cpu_time_ns=process.stats.cpu_time_ns,
+                    memory_stall_ns=process.stats.memory_stall_ns,
+                    storage_wait_ns=process.stats.storage_wait_ns,
+                    major_faults=mm.major_faults,
+                    minor_faults=mm.minor_faults,
+                    context_switches=process.stats.context_switches,
+                )
+            )
+        llc = self.machine.hierarchy.llc.stats
+        engine = self.machine.preexec_engine
+        return SimulationResult(
+            policy=self.policy.name,
+            batch=self.batch_name,
+            makespan_ns=self.machine.now_ns,
+            idle=self.metrics.idle,
+            processes=records,
+            demand_cache_misses=llc.demand_misses,
+            demand_cache_accesses=llc.demand_accesses,
+            major_faults=majors,
+            minor_faults=minors,
+            context_switches=self.machine.context_switch.switches,
+            prefetch_issued=self.machine.dma.prefetches_issued,
+            prefetch_hits=self.machine.memory.swap_cache.hits,
+            preexec_instructions=engine.stats.instructions if engine else 0,
+            preexec_lines_warmed=engine.stats.lines_warmed if engine else 0,
+            instructions_committed=self.machine.cpu.instructions_committed,
+        )

@@ -1,0 +1,13 @@
+"""Storage substrate: ULL device, PCIe link, DMA controller."""
+
+from repro.storage.device import DeviceStats, ULLDevice
+from repro.storage.pcie import PCIeLink
+from repro.storage.dma import DMAController, DMARequest
+
+__all__ = [
+    "DeviceStats",
+    "ULLDevice",
+    "PCIeLink",
+    "DMAController",
+    "DMARequest",
+]

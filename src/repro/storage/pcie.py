@@ -1,0 +1,45 @@
+"""PCIe host-interface bandwidth model.
+
+The paper simulates a 4-lane PCIe 5.x link (~3.983 GB/s per lane) between
+DRAM and the ULL device.  The link is a shared serial resource: transfers
+queue behind one another, so a prefetch burst pays bandwidth even though
+the device channels overlap the flash accesses.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import PCIeConfig
+
+
+class PCIeLink:
+    """Serially-shared link with a configurable aggregate bandwidth."""
+
+    def __init__(self, config: PCIeConfig) -> None:
+        self.config = config
+        self._free_at = 0
+        self.bytes_transferred = 0
+        self.transfers = 0
+        self.busy_ns = 0
+
+    def schedule_transfer(self, ready_ns: int, n_bytes: int) -> tuple[int, int]:
+        """Book a transfer of *n_bytes* that becomes ready at *ready_ns*.
+
+        Returns ``(start_ns, done_ns)``; the transfer starts when both
+        the data is ready and the link is free.
+        """
+        start = max(ready_ns, self._free_at)
+        done = start + self.config.transfer_time_ns(n_bytes)
+        self._free_at = done
+        self.bytes_transferred += n_bytes
+        self.transfers += 1
+        self.busy_ns += done - start
+        return start, done
+
+    def free_at(self) -> int:
+        """Earliest time a new transfer could start."""
+        return self._free_at
+
+    @property
+    def total_bandwidth_bytes_per_sec(self) -> float:
+        """Aggregate bandwidth of the configured link."""
+        return self.config.total_bandwidth_bytes_per_sec

@@ -1,0 +1,54 @@
+"""Trace capture and synthesis.
+
+The paper drives its simulator with Valgrind-captured virtual-address
+traces of nine workloads.  This package provides (a) synthetic generators
+with per-workload locality signatures, (b) a parser for real Valgrind
+``lackey`` output so captured traces can be dropped in, and (c) a simple
+trace file format.
+"""
+
+from repro.trace.record import TraceSummary, summarize, footprint_vpns
+from repro.trace.synthetic import (
+    TraceBuilder,
+    sequential_scan,
+    strided_scan,
+    working_set_loop,
+    zipf_accesses,
+    random_walk_graph,
+    frontier_sweep,
+)
+from repro.trace.workloads import (
+    EXTRA_WORKLOADS,
+    WORKLOADS,
+    WorkloadBuild,
+    WorkloadSpec,
+    build_workload,
+    workload_names,
+)
+from repro.trace.lackey import parse_lackey
+from repro.trace.tracefile import load_trace, save_trace
+from repro.trace.binfile import load_trace_binary, save_trace_binary
+
+__all__ = [
+    "TraceSummary",
+    "summarize",
+    "footprint_vpns",
+    "TraceBuilder",
+    "sequential_scan",
+    "strided_scan",
+    "working_set_loop",
+    "zipf_accesses",
+    "random_walk_graph",
+    "frontier_sweep",
+    "WORKLOADS",
+    "EXTRA_WORKLOADS",
+    "WorkloadBuild",
+    "WorkloadSpec",
+    "build_workload",
+    "workload_names",
+    "parse_lackey",
+    "load_trace",
+    "save_trace",
+    "load_trace_binary",
+    "save_trace_binary",
+]

@@ -1,0 +1,261 @@
+"""Synthetic trace generators with controlled locality signatures.
+
+Each generator models one access-pattern family observed across the
+paper's nine workloads:
+
+* :func:`sequential_scan` — streaming over a region in VA order (Caffe
+  layer sweeps, Xz input streaming): the best case for the
+  virtual-address-based prefetcher.
+* :func:`strided_scan` — fixed page stride (Wrf stencils).
+* :func:`working_set_loop` — repeated passes over a hot set (DeepSjeng
+  search tables, Blender scene data): high cache reuse, faults only on
+  the first pass or after eviction.
+* :func:`zipf_accesses` — skewed random pages (GraphChi community
+  detection): some hot pages, a long unpredictable tail.
+* :func:`random_walk_graph` — pointer-chase hops with short sequential
+  adjacency bursts (GraphChi random walk): prefetch-hostile.
+* :func:`frontier_sweep` — alternating sequential frontier scans and
+  random neighbour probes (Graph500 SSSP).
+
+All generators emit register-dependency chains so the INV-propagation
+rules of the pre-execute policy have realistic structure: loads feed
+computes, some addresses come from registers (``addr_reg``), and stores
+write computed values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import TraceError
+from repro.common.rng import DeterministicRNG
+from repro.cpu.isa import Branch, Compute, Instruction, Load, Store
+from repro.cpu.registers import NUM_REGISTERS
+from repro.vm.address import PAGE_SHIFT
+
+_PAGE = 1 << PAGE_SHIFT
+
+
+@dataclass
+class TraceBuilder:
+    """Incrementally builds an instruction trace with realistic register
+    pressure: destinations rotate through the register file and memory
+    ops consume recently produced values."""
+
+    rng: DeterministicRNG
+    instructions: list[Instruction] = field(default_factory=list)
+    _next_reg: int = 0
+    _last_load_dst: int = 0
+
+    def _fresh_reg(self) -> int:
+        reg = self._next_reg
+        self._next_reg = (self._next_reg + 1) % NUM_REGISTERS
+        return reg
+
+    def load(self, vaddr: int, size: int = 8, *, pointer: bool = False) -> int:
+        """Emit a load; with ``pointer=True`` its address depends on the
+        previous load's destination (pointer-chase edge)."""
+        dst = self._fresh_reg()
+        addr_reg = self._last_load_dst if pointer else None
+        self.instructions.append(Load(dst=dst, vaddr=vaddr, size=size, addr_reg=addr_reg))
+        self._last_load_dst = dst
+        return dst
+
+    def store(self, vaddr: int, src: int, size: int = 8) -> None:
+        """Emit a store of register *src*."""
+        self.instructions.append(Store(src=src, vaddr=vaddr, size=size))
+
+    def compute(self, srcs: tuple[int, ...] = (), cycles: int = 1) -> int:
+        """Emit an ALU op consuming *srcs*; returns its destination."""
+        dst = self._fresh_reg()
+        self.instructions.append(Compute(dst=dst, srcs=srcs, cycles=cycles))
+        return dst
+
+    def branch(self, srcs: tuple[int, ...] = (), taken: bool = True) -> None:
+        """Emit a conditional branch."""
+        self.instructions.append(Branch(srcs=srcs, taken=taken))
+
+    def compute_burst(self, count: int, feed: int) -> int:
+        """Emit *count* dependent ALU ops rooted at register *feed*."""
+        reg = feed
+        for __ in range(count):
+            reg = self.compute(srcs=(reg,))
+        return reg
+
+    def visit_page(
+        self,
+        page_va: int,
+        lines: int,
+        *,
+        compute_per_access: int = 2,
+        store_every: int = 4,
+        line_size: int = 64,
+        pointer_fraction: float = 0.0,
+    ) -> None:
+        """Touch *lines* distinct cache lines of one page.
+
+        Each access is a load followed by a short dependent compute
+        burst; every ``store_every``-th access writes the computed value
+        back.  ``pointer_fraction`` of the loads take their address from
+        the previous load (pointer chasing).
+        """
+        if lines <= 0:
+            raise TraceError("visit_page needs at least one line")
+        lines_in_page = _PAGE // line_size
+        for i in range(lines):
+            offset = (i * 7 % lines_in_page) * line_size  # scatter within the page
+            pointer = self.rng.random() < pointer_fraction
+            dst = self.load(page_va + offset, pointer=pointer)
+            value = self.compute_burst(compute_per_access, dst)
+            if store_every and i % store_every == store_every - 1:
+                self.store(page_va + offset + 8, value)
+            if i % 8 == 7:
+                self.branch(srcs=(value,), taken=self.rng.random() < 0.9)
+
+
+def _base_va(region_index: int) -> int:
+    # Separate regions by 1 GiB so workloads never alias.
+    return 0x4000_0000 * (region_index + 1)
+
+
+def sequential_scan(
+    rng: DeterministicRNG,
+    *,
+    pages: int,
+    passes: int = 1,
+    lines_per_page: int = 8,
+    region: int = 0,
+) -> list[Instruction]:
+    """Stream over *pages* in ascending VA order, *passes* times."""
+    builder = TraceBuilder(rng)
+    base = _base_va(region)
+    for __ in range(passes):
+        for p in range(pages):
+            builder.visit_page(base + p * _PAGE, lines_per_page)
+    return builder.instructions
+
+
+def strided_scan(
+    rng: DeterministicRNG,
+    *,
+    pages: int,
+    stride_pages: int = 2,
+    passes: int = 1,
+    lines_per_page: int = 6,
+    region: int = 0,
+) -> list[Instruction]:
+    """Visit pages with a fixed stride, wrapping phase by phase (stencil
+    sweeps): ``0, s, 2s, ..., 1, s+1, ...``."""
+    if stride_pages <= 0:
+        raise TraceError("stride must be positive")
+    builder = TraceBuilder(rng)
+    base = _base_va(region)
+    for __ in range(passes):
+        for phase in range(stride_pages):
+            for p in range(phase, pages, stride_pages):
+                builder.visit_page(base + p * _PAGE, lines_per_page)
+    return builder.instructions
+
+
+def working_set_loop(
+    rng: DeterministicRNG,
+    *,
+    pages: int,
+    iterations: int,
+    lines_per_page: int = 4,
+    region: int = 0,
+) -> list[Instruction]:
+    """Loop repeatedly over a hot working set of *pages*."""
+    builder = TraceBuilder(rng)
+    base = _base_va(region)
+    order = list(range(pages))
+    for __ in range(iterations):
+        rng.shuffle(order)
+        for p in order:
+            builder.visit_page(base + p * _PAGE, lines_per_page)
+    return builder.instructions
+
+
+def zipf_accesses(
+    rng: DeterministicRNG,
+    *,
+    pages: int,
+    accesses: int,
+    alpha: float = 0.8,
+    lines_per_visit: int = 3,
+    region: int = 0,
+) -> list[Instruction]:
+    """Visit pages sampled from a Zipf law (skewed graph-vertex access)."""
+    builder = TraceBuilder(rng)
+    base = _base_va(region)
+    # A fixed random permutation decouples popularity from VA order, so
+    # the hot pages are NOT VA-adjacent (defeats naive prefetching).
+    perm = list(range(pages))
+    rng.shuffle(perm)
+    for __ in range(accesses):
+        p = perm[rng.zipf(pages, alpha)]
+        builder.visit_page(base + p * _PAGE, lines_per_visit, pointer_fraction=0.2)
+    return builder.instructions
+
+
+def random_walk_graph(
+    rng: DeterministicRNG,
+    *,
+    pages: int,
+    hops: int,
+    adjacency_lines: int = 3,
+    shard_pages: int = 0,
+    shard_every: int = 0,
+    region: int = 0,
+) -> list[Instruction]:
+    """Pointer-chase hops across uniformly random pages.
+
+    Each hop reads a short sequential burst (the adjacency list of the
+    current vertex) and then jumps to a random next page whose address
+    came from the loaded data — the canonical prefetch-hostile pattern.
+
+    GraphChi-style out-of-core execution additionally streams shard
+    intervals *sequentially* between vertex updates; with
+    ``shard_every > 0``, every that many hops the walk streams
+    ``shard_pages`` consecutive pages from a rotating shard window (this
+    is what keeps page-level prefetching partially effective on real
+    GraphChi workloads).
+    """
+    builder = TraceBuilder(rng)
+    base = _base_va(region)
+    current = rng.randint(0, pages - 1)
+    shard_cursor = 0
+    for hop in range(hops):
+        builder.visit_page(
+            base + current * _PAGE, adjacency_lines, pointer_fraction=0.6
+        )
+        current = rng.randint(0, pages - 1)
+        if shard_every and shard_pages and hop % shard_every == shard_every - 1:
+            for offset in range(shard_pages):
+                page = (shard_cursor + offset) % pages
+                builder.visit_page(base + page * _PAGE, 2)
+            shard_cursor = (shard_cursor + shard_pages) % pages
+    return builder.instructions
+
+
+def frontier_sweep(
+    rng: DeterministicRNG,
+    *,
+    frontier_pages: int,
+    graph_pages: int,
+    rounds: int,
+    probes_per_round: int,
+    region: int = 0,
+) -> list[Instruction]:
+    """BFS/SSSP shape: sequential scan of a frontier array, then random
+    probes into the graph's property pages."""
+    builder = TraceBuilder(rng)
+    base = _base_va(region)
+    graph_base = base + frontier_pages * _PAGE
+    for __ in range(rounds):
+        for p in range(frontier_pages):
+            builder.visit_page(base + p * _PAGE, 4)
+        for __probe in range(probes_per_round):
+            p = rng.randint(0, graph_pages - 1)
+            builder.visit_page(graph_base + p * _PAGE, 2, pointer_fraction=0.4)
+    return builder.instructions

@@ -1,0 +1,243 @@
+"""The nine paper workloads as parameterised synthetic traces.
+
+Section 4.1 evaluates six general-purpose processes (Caffe inference,
+SPEC Wrf/Blender/Xz/DeepSjeng, GraphChi community detection) and three
+data-intensive processes (Graph500 single-shortest-path, GraphChi random
+walk and page rank).  Real traces came from Valgrind; here each workload
+is a synthetic trace whose locality signature matches the workload class
+(see :mod:`repro.trace.synthetic` for the signatures and DESIGN.md for
+the substitution argument).
+
+``scale`` multiplies trace length (passes/iterations/visits), leaving the
+footprint untouched, so memory pressure is configured independently of
+runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import TraceError
+from repro.common.rng import DeterministicRNG
+from repro.cpu.isa import Instruction
+from repro.trace.synthetic import (
+    TraceBuilder,
+    frontier_sweep,
+    random_walk_graph,
+    sequential_scan,
+    strided_scan,
+    working_set_loop,
+    zipf_accesses,
+)
+from repro.vm.address import PAGE_SHIFT
+
+_PAGE = 1 << PAGE_SHIFT
+
+
+@dataclass(frozen=True)
+class WorkloadBuild:
+    """A built workload: the trace plus its mapped address space.
+
+    ``mapped_vpns`` is the workload's whole mapped region (its memory
+    footprint in the paper's sense), which can exceed the pages the
+    trace actually touches — graph applications map the full vertex and
+    edge arrays even though a particular run visits only part of them.
+    The gap is what gives prefetchers a real accuracy problem: a
+    VA-adjacent candidate page is *mapped* but may never be used.
+    """
+
+    trace: list[Instruction]
+    mapped_vpns: frozenset[int]
+
+
+def _span_vpns(base_va: int, pages: int) -> frozenset[int]:
+    """VPNs of the *pages*-page region starting at *base_va*."""
+    first = base_va >> PAGE_SHIFT
+    return frozenset(range(first, first + pages))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named workload: its class and trace builder."""
+
+    name: str
+    data_intensive: bool
+    description: str
+    build: Callable[[DeterministicRNG, float], WorkloadBuild]
+
+
+def _caffe(rng: DeterministicRNG, scale: float) -> WorkloadBuild:
+    # Layer-by-layer inference: streaming sweeps over weights/activations.
+    trace = sequential_scan(
+        rng, pages=80, passes=max(1, round(3 * scale)), lines_per_page=8, region=0
+    )
+    return WorkloadBuild(trace, _span_vpns(0x4000_0000, 80))
+
+
+def _wrf(rng: DeterministicRNG, scale: float) -> WorkloadBuild:
+    # Weather stencil: strided sweeps over the grid.
+    trace = strided_scan(
+        rng,
+        pages=100,
+        stride_pages=2,
+        passes=max(1, round(2 * scale)),
+        lines_per_page=6,
+        region=1,
+    )
+    return WorkloadBuild(trace, _span_vpns(0x4000_0000 * 2, 100))
+
+
+def _blender(rng: DeterministicRNG, scale: float) -> WorkloadBuild:
+    # Render loop over scene data: a hot working set revisited.
+    trace = working_set_loop(
+        rng, pages=60, iterations=max(1, round(6 * scale)), lines_per_page=4, region=2
+    )
+    return WorkloadBuild(trace, _span_vpns(0x4000_0000 * 3, 60))
+
+
+def _xz(rng: DeterministicRNG, scale: float) -> WorkloadBuild:
+    # Compression: stream the input, keep a small hot dictionary.
+    builder = TraceBuilder(rng)
+    dict_base = 0x4000_0000 * 4
+    input_base = dict_base + 32 * _PAGE
+    for __ in range(max(1, round(2 * scale))):
+        for p in range(120):
+            builder.visit_page(input_base + p * _PAGE, 6)
+            if p % 4 == 0:
+                builder.visit_page(dict_base + (p % 20) * _PAGE, 3)
+    return WorkloadBuild(builder.instructions, _span_vpns(dict_base, 32 + 120))
+
+
+def _deepsjeng(rng: DeterministicRNG, scale: float) -> WorkloadBuild:
+    # Chess search: small, heavily reused tables.
+    trace = working_set_loop(
+        rng, pages=40, iterations=max(1, round(10 * scale)), lines_per_page=4, region=4
+    )
+    return WorkloadBuild(trace, _span_vpns(0x4000_0000 * 5, 40))
+
+
+def _community(rng: DeterministicRNG, scale: float) -> WorkloadBuild:
+    # GraphChi community detection: skewed vertex popularity over a
+    # mapped vertex array larger than any single run's touch set.
+    trace = zipf_accesses(
+        rng, pages=200, accesses=max(1, round(1200 * scale)), alpha=0.9, region=5
+    )
+    return WorkloadBuild(trace, _span_vpns(0x4000_0000 * 6, 200))
+
+
+def _random_walk(rng: DeterministicRNG, scale: float) -> WorkloadBuild:
+    # GraphChi random walk: pointer-chase vertex hops interleaved with
+    # GraphChi's sequential shard-interval streaming, over a mapped
+    # graph larger than any single run's touch set.
+    trace = random_walk_graph(
+        rng,
+        pages=800,
+        hops=max(1, round(700 * scale)),
+        adjacency_lines=3,
+        shard_pages=12,
+        shard_every=16,
+        region=6,
+    )
+    return WorkloadBuild(trace, _span_vpns(0x4000_0000 * 7, 800))
+
+
+def _pagerank(rng: DeterministicRNG, scale: float) -> WorkloadBuild:
+    # GraphChi page rank: sequential shard sweeps plus skewed rank reads.
+    builder = TraceBuilder(rng)
+    base = 0x4000_0000 * 8
+    rank_base = base + 300 * _PAGE
+    for __ in range(max(1, round(2 * scale))):
+        for p in range(300):
+            builder.visit_page(base + p * _PAGE, 4)
+            if p % 6 == 0:
+                hot = rng.zipf(100, 0.9)
+                builder.visit_page(rank_base + hot * _PAGE, 2, pointer_fraction=0.3)
+    return WorkloadBuild(builder.instructions, _span_vpns(base, 300 + 100))
+
+
+def _graph500(rng: DeterministicRNG, scale: float) -> WorkloadBuild:
+    # Graph500 SSSP: frontier scans alternating with random probes into
+    # a property array mapped well beyond what one traversal touches.
+    trace = frontier_sweep(
+        rng,
+        frontier_pages=50,
+        graph_pages=650,
+        rounds=max(1, round(4 * scale)),
+        probes_per_round=220,
+        region=9,
+    )
+    return WorkloadBuild(trace, _span_vpns(0x4000_0000 * 10, 50 + 650))
+
+
+def _llm_inference(rng: DeterministicRNG, scale: float) -> WorkloadBuild:
+    # Beyond the paper's nine: autoregressive LLM decoding, the intro's
+    # headline data-intensive motivation.  Each decoded token streams
+    # the weight shards sequentially (prefetch-friendly, dominates the
+    # footprint) and re-reads a KV-cache working set that grows by one
+    # page per token (reuse grows over the run).
+    builder = TraceBuilder(rng)
+    base = 0x4000_0000 * 12
+    weight_pages = 240
+    kv_base = base + weight_pages * _PAGE
+    max_tokens = max(1, round(24 * scale))
+    for token in range(max_tokens):
+        for p in range(0, weight_pages, 3):  # strided shard sweep
+            builder.visit_page(base + p * _PAGE, 3)
+        kv_pages = token + 1
+        builder.visit_page(kv_base + token * _PAGE, 4, store_every=1)  # append
+        for kv in range(kv_pages):  # attention re-reads the whole cache
+            builder.visit_page(kv_base + kv * _PAGE, 2)
+    return WorkloadBuild(
+        builder.instructions, _span_vpns(base, weight_pages + max_tokens)
+    )
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        WorkloadSpec("caffe", False, "Caffenet inference over 160 images", _caffe),
+        WorkloadSpec("wrf", False, "SPEC CPU2006 Wrf weather stencil", _wrf),
+        WorkloadSpec("blender", False, "SPEC CPU2017 Blender render loop", _blender),
+        WorkloadSpec("xz", False, "SPEC CPU2017 Xz compression", _xz),
+        WorkloadSpec("deepsjeng", False, "SPEC CPU2017 DeepSjeng chess search", _deepsjeng),
+        WorkloadSpec("community", False, "GraphChi community detection", _community),
+        WorkloadSpec("random_walk", True, "GraphChi random walk", _random_walk),
+        WorkloadSpec("pagerank", True, "GraphChi page rank", _pagerank),
+        WorkloadSpec("graph500", True, "Graph500 single shortest path", _graph500),
+    )
+}
+"""All nine paper workloads, keyed by name."""
+
+EXTRA_WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        WorkloadSpec(
+            "llm_inference",
+            True,
+            "Autoregressive LLM decoding (weights streaming + KV cache)",
+            _llm_inference,
+        ),
+    )
+}
+"""Extension workloads beyond the paper's evaluation set (the intro's
+motivating applications).  Not part of the paper batches."""
+
+
+def workload_names(*, include_extras: bool = False) -> list[str]:
+    """Workload names in a stable order (paper's nine by default)."""
+    names = list(WORKLOADS)
+    if include_extras:
+        names.extend(EXTRA_WORKLOADS)
+    return names
+
+
+def build_workload(name: str, rng: DeterministicRNG, scale: float = 1.0) -> WorkloadBuild:
+    """Build the trace (and mapped region) for workload *name*."""
+    spec = WORKLOADS.get(name) or EXTRA_WORKLOADS.get(name)
+    if spec is None:
+        known = ", ".join([*WORKLOADS, *EXTRA_WORKLOADS])
+        raise TraceError(f"unknown workload {name!r}; known: {known}")
+    if scale <= 0:
+        raise TraceError("scale must be positive")
+    return spec.build(rng, scale)

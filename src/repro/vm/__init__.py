@@ -1,0 +1,49 @@
+"""Virtual memory: addresses, 4-level page tables, frames, swap, replacement."""
+
+from repro.vm.address import (
+    PAGE_SHIFT,
+    VA_BITS,
+    VirtualAddress,
+    page_number,
+    page_offset,
+    compose,
+)
+from repro.vm.page_table import PageTable, PageTableEntry, PageTableStats
+from repro.vm.frames import FrameAllocator, FrameInfo
+from repro.vm.swap import SwapArea, SwapCache
+from repro.vm.replacement import (
+    ClockPolicy,
+    GlobalLRUPolicy,
+    PriorityAwareLRUPolicy,
+    ReplacementPolicy,
+    ResidentPage,
+)
+from repro.vm.mm import FaultKind, MemoryManager, MMStruct, TouchResult
+from repro.vm.vma import VMA, AddressSpace
+
+__all__ = [
+    "PAGE_SHIFT",
+    "VA_BITS",
+    "VirtualAddress",
+    "page_number",
+    "page_offset",
+    "compose",
+    "PageTable",
+    "PageTableEntry",
+    "PageTableStats",
+    "FrameAllocator",
+    "FrameInfo",
+    "SwapArea",
+    "SwapCache",
+    "ReplacementPolicy",
+    "GlobalLRUPolicy",
+    "PriorityAwareLRUPolicy",
+    "ClockPolicy",
+    "ResidentPage",
+    "FaultKind",
+    "MemoryManager",
+    "MMStruct",
+    "TouchResult",
+    "VMA",
+    "AddressSpace",
+]

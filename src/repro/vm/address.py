@@ -1,0 +1,119 @@
+"""x86-64 virtual address decomposition.
+
+A 64-bit x86-64 Linux system with 4-level page tables uses 48 meaningful
+bits: 9 index bits each for PGD, PUD, PMD and PT, plus a 12-bit page
+offset.  The paper's virtual-address-based prefetcher (Figure 2) walks
+exactly this layout, so the decomposition is exposed as a first-class
+value type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import AddressError
+
+PAGE_SHIFT = 12
+"""log2 of the 4 KiB base page size."""
+
+INDEX_BITS = 9
+"""Index bits per page-table level."""
+
+LEVELS = 4
+"""Page-table levels: PGD, PUD, PMD, PT."""
+
+VA_BITS = PAGE_SHIFT + LEVELS * INDEX_BITS
+"""Meaningful virtual address bits (48)."""
+
+ENTRIES_PER_TABLE = 1 << INDEX_BITS
+"""Entries per page-table level (512)."""
+
+_INDEX_MASK = ENTRIES_PER_TABLE - 1
+_OFFSET_MASK = (1 << PAGE_SHIFT) - 1
+_VA_LIMIT = 1 << VA_BITS
+
+
+def _check(addr: int) -> None:
+    if not 0 <= addr < _VA_LIMIT:
+        raise AddressError(f"virtual address {addr:#x} outside the {VA_BITS}-bit space")
+
+
+def page_number(addr: int) -> int:
+    """Virtual page number of *addr*."""
+    _check(addr)
+    return addr >> PAGE_SHIFT
+
+
+def page_offset(addr: int) -> int:
+    """Byte offset of *addr* within its page."""
+    _check(addr)
+    return addr & _OFFSET_MASK
+
+
+def compose(vpn: int, offset: int = 0) -> int:
+    """Build a virtual address from a page number and offset."""
+    if not 0 <= offset < (1 << PAGE_SHIFT):
+        raise AddressError(f"page offset {offset:#x} out of range")
+    addr = (vpn << PAGE_SHIFT) | offset
+    _check(addr)
+    return addr
+
+
+@dataclass(frozen=True)
+class VirtualAddress:
+    """A decomposed 48-bit virtual address.
+
+    Provides the per-level indices the prefetcher uses when it emulates
+    ``pgd_offset()`` / ``pud_offset()`` / ``pmd_offset()`` /
+    ``pte_offset()`` traversal.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        _check(self.value)
+
+    @property
+    def pgd_index(self) -> int:
+        """Index into the Page Global Directory (bits 47:39)."""
+        return (self.value >> (PAGE_SHIFT + 3 * INDEX_BITS)) & _INDEX_MASK
+
+    @property
+    def pud_index(self) -> int:
+        """Index into the Page Upper Directory (bits 38:30)."""
+        return (self.value >> (PAGE_SHIFT + 2 * INDEX_BITS)) & _INDEX_MASK
+
+    @property
+    def pmd_index(self) -> int:
+        """Index into the Page Middle Directory (bits 29:21)."""
+        return (self.value >> (PAGE_SHIFT + INDEX_BITS)) & _INDEX_MASK
+
+    @property
+    def pt_index(self) -> int:
+        """Index into the Page Table (bits 20:12)."""
+        return (self.value >> PAGE_SHIFT) & _INDEX_MASK
+
+    @property
+    def offset(self) -> int:
+        """Byte offset within the page (bits 11:0)."""
+        return self.value & _OFFSET_MASK
+
+    @property
+    def vpn(self) -> int:
+        """Virtual page number."""
+        return self.value >> PAGE_SHIFT
+
+    def indices(self) -> tuple[int, int, int, int]:
+        """(pgd, pud, pmd, pt) indices, outermost first."""
+        return (self.pgd_index, self.pud_index, self.pmd_index, self.pt_index)
+
+    @classmethod
+    def from_indices(
+        cls, pgd: int, pud: int, pmd: int, pt: int, offset: int = 0
+    ) -> "VirtualAddress":
+        """Compose an address from per-level indices."""
+        for name, idx in (("pgd", pgd), ("pud", pud), ("pmd", pmd), ("pt", pt)):
+            if not 0 <= idx < ENTRIES_PER_TABLE:
+                raise AddressError(f"{name} index {idx} out of range [0, {ENTRIES_PER_TABLE})")
+        vpn = ((pgd << (3 * INDEX_BITS)) | (pud << (2 * INDEX_BITS)) | (pmd << INDEX_BITS)) | pt
+        return cls(compose(vpn, offset))

@@ -1,0 +1,92 @@
+"""Physical frame allocation.
+
+One global pool of DRAM frames is shared by every process in a batch —
+the contention over this pool ("all processes share and contend the
+memory resources", Section 2.2) is what drives the page-fault behaviour
+the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass
+class FrameInfo:
+    """Reverse mapping for one allocated frame: who maps it."""
+
+    frame: int
+    pid: int
+    vpn: int
+    prefetched: bool = False
+
+
+class FrameAllocator:
+    """Fixed pool of physical frames with reverse mappings.
+
+    Frames are identified by small integers ``[0, num_frames)``; the
+    physical byte address of a frame is ``frame * page_size`` (used to
+    invalidate cache lines when a frame is repurposed).
+    """
+
+    def __init__(self, num_frames: int, page_size: int) -> None:
+        if num_frames <= 0:
+            raise ValueError("frame pool must have at least one frame")
+        self.num_frames = num_frames
+        self.page_size = page_size
+        self._free: list[int] = list(range(num_frames - 1, -1, -1))
+        self._info: dict[int, FrameInfo] = {}
+
+    @property
+    def free_frames(self) -> int:
+        """Frames currently unallocated."""
+        return len(self._free)
+
+    @property
+    def used_frames(self) -> int:
+        """Frames currently allocated."""
+        return self.num_frames - len(self._free)
+
+    @property
+    def full(self) -> bool:
+        """True if an allocation would require an eviction first."""
+        return not self._free
+
+    def allocate(self, pid: int, vpn: int, *, prefetched: bool = False) -> Optional[int]:
+        """Allocate a frame for (pid, vpn); ``None`` if the pool is full."""
+        if not self._free:
+            return None
+        frame = self._free.pop()
+        self._info[frame] = FrameInfo(frame=frame, pid=pid, vpn=vpn, prefetched=prefetched)
+        return frame
+
+    def free(self, frame: int) -> FrameInfo:
+        """Release *frame* back to the pool; returns its old mapping."""
+        info = self._info.pop(frame, None)
+        if info is None:
+            raise SimulationError(f"freeing unallocated frame {frame}")
+        self._free.append(frame)
+        return info
+
+    def owner_of(self, frame: int) -> Optional[FrameInfo]:
+        """Mapping info of *frame*, or ``None`` if free."""
+        return self._info.get(frame)
+
+    def frames_of(self, pid: int) -> list[int]:
+        """All frames currently mapped by *pid*."""
+        return [f for f, info in self._info.items() if info.pid == pid]
+
+    def frame_base_address(self, frame: int) -> int:
+        """Physical byte address of the first byte of *frame*."""
+        if not 0 <= frame < self.num_frames:
+            raise SimulationError(f"frame {frame} out of range")
+        return frame * self.page_size
+
+    def clear_prefetched(self, frame: int) -> None:
+        """Mark a prefetched frame as demand-touched."""
+        info = self._info.get(frame)
+        if info is not None:
+            info.prefetched = False

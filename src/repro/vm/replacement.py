@@ -1,0 +1,174 @@
+"""Page replacement policies over the global frame pool.
+
+Three policies:
+
+* :class:`GlobalLRUPolicy` — plain global LRU, what the baselines use.
+* :class:`PriorityAwareLRUPolicy` — the eviction bias implied by the ITS
+  self-sacrificing thread (Section 4.2.1: it "avoids pages belonging to
+  low-priority processes to kick out high-priority process's pages"):
+  victims are preferentially drawn from low-priority processes, falling
+  back to global LRU when no low-priority page is resident.
+* :class:`ClockPolicy` — second-chance CLOCK, the approximation real
+  kernels use instead of true LRU (a reference bit per page, a sweeping
+  hand).  Available for fidelity experiments; the paper's simulator is
+  LRU-based, so the defaults stay LRU.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ResidentPage:
+    """Identity of one resident page for replacement bookkeeping."""
+
+    pid: int
+    vpn: int
+
+
+class ReplacementPolicy(ABC):
+    """Interface shared by all page replacement policies."""
+
+    @abstractmethod
+    def on_resident(self, page: ResidentPage) -> None:
+        """A page became resident."""
+
+    @abstractmethod
+    def on_touch(self, page: ResidentPage) -> None:
+        """A resident page was accessed."""
+
+    @abstractmethod
+    def on_evicted(self, page: ResidentPage) -> None:
+        """A page was removed from DRAM."""
+
+    @abstractmethod
+    def choose_victim(self) -> ResidentPage:
+        """Pick the next page to evict; raises if nothing is resident."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of tracked resident pages."""
+
+
+class GlobalLRUPolicy(ReplacementPolicy):
+    """Global least-recently-used across all processes."""
+
+    def __init__(self) -> None:
+        self._lru: OrderedDict[ResidentPage, None] = OrderedDict()
+
+    def on_resident(self, page: ResidentPage) -> None:
+        self._lru[page] = None
+        self._lru.move_to_end(page)
+
+    def on_touch(self, page: ResidentPage) -> None:
+        if page in self._lru:
+            self._lru.move_to_end(page)
+
+    def on_evicted(self, page: ResidentPage) -> None:
+        self._lru.pop(page, None)
+
+    def choose_victim(self) -> ResidentPage:
+        if not self._lru:
+            raise SimulationError("no resident pages to evict")
+        return next(iter(self._lru))
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance CLOCK.
+
+    Pages sit on a circular list with a reference bit.  The hand sweeps:
+    a referenced page gets its bit cleared and a second chance; the
+    first unreferenced page becomes the victim.  O(1) amortised, like
+    the kernel's page-frame reclaim approximation.
+    """
+
+    def __init__(self) -> None:
+        self._ring: OrderedDict[ResidentPage, bool] = OrderedDict()
+        self.hand_sweeps = 0
+
+    def on_resident(self, page: ResidentPage) -> None:
+        self._ring[page] = True  # inserted hot
+
+    def on_touch(self, page: ResidentPage) -> None:
+        if page in self._ring:
+            self._ring[page] = True
+
+    def on_evicted(self, page: ResidentPage) -> None:
+        self._ring.pop(page, None)
+
+    def choose_victim(self) -> ResidentPage:
+        if not self._ring:
+            raise SimulationError("no resident pages to evict")
+        # Sweep from the oldest insertion point, giving second chances.
+        while True:
+            page, referenced = next(iter(self._ring.items()))
+            if not referenced:
+                return page
+            # Clear the bit and rotate the page to the back.
+            del self._ring[page]
+            self._ring[page] = False
+            self.hand_sweeps += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class PriorityAwareLRUPolicy(ReplacementPolicy):
+    """LRU that shields high-priority processes' pages.
+
+    ``is_low_priority`` is consulted at eviction time (priorities are a
+    scheduler property, not a page property): the LRU order is scanned
+    for the least-recent page owned by a *low-priority* process; only if
+    none exists does the policy fall back to the global LRU victim.
+
+    ``scan_limit`` bounds the shielding scan so the policy stays
+    light-weight (a real kernel cannot scan the whole LRU list either).
+    """
+
+    def __init__(
+        self,
+        is_low_priority: Callable[[int], bool],
+        scan_limit: int = 64,
+    ) -> None:
+        if scan_limit <= 0:
+            raise ValueError("scan limit must be positive")
+        self._lru: OrderedDict[ResidentPage, None] = OrderedDict()
+        self._is_low_priority = is_low_priority
+        self._scan_limit = scan_limit
+        self.shielded_evictions = 0
+        self.fallback_evictions = 0
+
+    def on_resident(self, page: ResidentPage) -> None:
+        self._lru[page] = None
+        self._lru.move_to_end(page)
+
+    def on_touch(self, page: ResidentPage) -> None:
+        if page in self._lru:
+            self._lru.move_to_end(page)
+
+    def on_evicted(self, page: ResidentPage) -> None:
+        self._lru.pop(page, None)
+
+    def choose_victim(self) -> ResidentPage:
+        if not self._lru:
+            raise SimulationError("no resident pages to evict")
+        for scanned, page in enumerate(self._lru):
+            if scanned >= self._scan_limit:
+                break
+            if self._is_low_priority(page.pid):
+                self.shielded_evictions += 1
+                return page
+        self.fallback_evictions += 1
+        return next(iter(self._lru))
+
+    def __len__(self) -> int:
+        return len(self._lru)

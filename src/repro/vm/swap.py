@@ -1,0 +1,102 @@
+"""Swap area and swap cache.
+
+Process I/O (swap I/O) moves pages between DRAM and the ULL device's swap
+area.  The :class:`SwapCache` tracks pages whose transfer into DRAM has
+completed but which the owning process has not yet touched — the landing
+zone for the paper's DMA prefetches; a fault on a swap-cached page is a
+*minor* fault (metadata only), not a major one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import SimulationError
+
+
+class SwapArea:
+    """Slot allocator for the device-side swap space."""
+
+    def __init__(self, num_slots: int) -> None:
+        if num_slots <= 0:
+            raise ValueError("swap area needs at least one slot")
+        self.num_slots = num_slots
+        self._next_fresh = 0
+        self._recycled: list[int] = []
+        self._used: dict[int, tuple[int, int]] = {}
+
+    @property
+    def used_slots(self) -> int:
+        """Slots currently holding a page."""
+        return len(self._used)
+
+    def allocate(self, pid: int, vpn: int) -> int:
+        """Reserve a slot for (pid, vpn)."""
+        if self._recycled:
+            slot = self._recycled.pop()
+        elif self._next_fresh < self.num_slots:
+            slot = self._next_fresh
+            self._next_fresh += 1
+        else:
+            raise SimulationError("swap area exhausted; size the device to the footprint")
+        self._used[slot] = (pid, vpn)
+        return slot
+
+    def free(self, slot: int) -> None:
+        """Release *slot*."""
+        if slot not in self._used:
+            raise SimulationError(f"freeing unallocated swap slot {slot}")
+        del self._used[slot]
+        self._recycled.append(slot)
+
+    def owner_of(self, slot: int) -> Optional[tuple[int, int]]:
+        """(pid, vpn) stored in *slot*, or ``None``."""
+        return self._used.get(slot)
+
+
+@dataclass
+class SwapCache:
+    """Pages brought into DRAM ahead of demand (prefetch landing zone).
+
+    Keyed by (pid, vpn).  ``hits`` counts demand touches that found their
+    page already swap-cached — each one is a major fault converted into a
+    minor fault by the prefetcher.
+    """
+
+    _pages: set[tuple[int, int]] = field(default_factory=set)
+    hits: int = 0
+    inserts: int = 0
+    evictions: int = 0
+
+    def insert(self, pid: int, vpn: int) -> None:
+        """Record that (pid, vpn) landed in DRAM without a demand touch."""
+        self._pages.add((pid, vpn))
+        self.inserts += 1
+
+    def take(self, pid: int, vpn: int) -> bool:
+        """Consume a swap-cache entry on demand touch; True if present."""
+        if (pid, vpn) in self._pages:
+            self._pages.discard((pid, vpn))
+            self.hits += 1
+            return True
+        return False
+
+    def drop(self, pid: int, vpn: int) -> None:
+        """Remove an entry because its frame was evicted before use."""
+        if (pid, vpn) in self._pages:
+            self._pages.discard((pid, vpn))
+            self.evictions += 1
+
+    def contains(self, pid: int, vpn: int) -> bool:
+        """True if (pid, vpn) is swap-cached."""
+        return (pid, vpn) in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of inserted pages that were demand-touched before
+        eviction (prefetch accuracy); 0.0 before any insert."""
+        return self.hits / self.inserts if self.inserts else 0.0

@@ -1,0 +1,118 @@
+"""Virtual memory areas: a convenient way to declare address spaces.
+
+Workloads register their mapped pages with the memory manager as VPN
+sets; building those sets by hand is error-prone for custom scenarios.
+A :class:`VMA` names one contiguous region ("heap", "graph edges",
+"kv-cache") and an :class:`AddressSpace` collects non-overlapping VMAs
+and produces the VPN set / the ``mapped_vpns`` for a
+:class:`~repro.sim.simulator.WorkloadInstance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.common.errors import AddressError
+from repro.vm.address import PAGE_SHIFT, VA_BITS
+
+_PAGE = 1 << PAGE_SHIFT
+
+
+@dataclass(frozen=True)
+class VMA:
+    """One named, contiguous, page-aligned virtual memory area."""
+
+    name: str
+    start_va: int
+    pages: int
+
+    def __post_init__(self) -> None:
+        if self.pages <= 0:
+            raise AddressError(f"VMA {self.name!r} needs at least one page")
+        if self.start_va % _PAGE != 0:
+            raise AddressError(f"VMA {self.name!r} start {self.start_va:#x} not page-aligned")
+        if self.end_va > (1 << VA_BITS):
+            raise AddressError(f"VMA {self.name!r} exceeds the 48-bit address space")
+
+    @property
+    def end_va(self) -> int:
+        """One past the last byte of the area."""
+        return self.start_va + self.pages * _PAGE
+
+    @property
+    def first_vpn(self) -> int:
+        """VPN of the first page."""
+        return self.start_va >> PAGE_SHIFT
+
+    def vpns(self) -> range:
+        """All VPNs of the area."""
+        return range(self.first_vpn, self.first_vpn + self.pages)
+
+    def contains(self, vaddr: int) -> bool:
+        """True if *vaddr* falls inside the area."""
+        return self.start_va <= vaddr < self.end_va
+
+    def address_of_page(self, index: int) -> int:
+        """Virtual address of the *index*-th page of the area."""
+        if not 0 <= index < self.pages:
+            raise AddressError(f"page index {index} outside VMA {self.name!r}")
+        return self.start_va + index * _PAGE
+
+    def overlaps(self, other: "VMA") -> bool:
+        """True if the two areas share any page."""
+        return self.start_va < other.end_va and other.start_va < self.end_va
+
+
+class AddressSpace:
+    """A set of non-overlapping VMAs forming one process's mapping."""
+
+    def __init__(self) -> None:
+        self._vmas: list[VMA] = []
+
+    def add(self, name: str, start_va: int, pages: int) -> VMA:
+        """Create and register a VMA; rejects overlaps."""
+        vma = VMA(name=name, start_va=start_va, pages=pages)
+        for existing in self._vmas:
+            if vma.overlaps(existing):
+                raise AddressError(
+                    f"VMA {name!r} overlaps {existing.name!r} "
+                    f"([{existing.start_va:#x}, {existing.end_va:#x}))"
+                )
+        self._vmas.append(vma)
+        return vma
+
+    def add_after(self, name: str, pages: int, *, gap_pages: int = 0) -> VMA:
+        """Append a VMA right after the highest existing one."""
+        if not self._vmas:
+            return self.add(name, _PAGE, pages)  # skip the null page
+        top = max(v.end_va for v in self._vmas)
+        return self.add(name, top + gap_pages * _PAGE, pages)
+
+    def __iter__(self) -> Iterator[VMA]:
+        return iter(self._vmas)
+
+    def __len__(self) -> int:
+        return len(self._vmas)
+
+    def find(self, name: str) -> Optional[VMA]:
+        """VMA by name, or ``None``."""
+        for vma in self._vmas:
+            if vma.name == name:
+                return vma
+        return None
+
+    def vma_of(self, vaddr: int) -> Optional[VMA]:
+        """The VMA holding *vaddr*, or ``None`` (a 'segfault')."""
+        for vma in self._vmas:
+            if vma.contains(vaddr):
+                return vma
+        return None
+
+    def total_pages(self) -> int:
+        """Pages across all areas."""
+        return sum(v.pages for v in self._vmas)
+
+    def mapped_vpns(self) -> frozenset[int]:
+        """The VPN set for ``WorkloadInstance.mapped_vpns``."""
+        return frozenset(vpn for vma in self._vmas for vpn in vma.vpns())

@@ -1,0 +1,70 @@
+"""Shared fixtures: tiny machines, tiny traces, assembled components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    DeviceConfig,
+    ITSConfig,
+    MachineConfig,
+    MemoryConfig,
+    SchedulerConfig,
+    TLBConfig,
+)
+from repro.common.rng import DeterministicRNG
+from repro.common.units import KIB, MS, US
+from repro.cpu.isa import Compute, Load, Store
+from repro.sim.machine import Machine
+from repro.vm.replacement import GlobalLRUPolicy
+
+
+@pytest.fixture
+def small_config() -> MachineConfig:
+    """A deliberately tiny machine for fast unit tests."""
+    return MachineConfig(
+        llc=CacheConfig(size_bytes=16 * KIB, ways=4, line_size=64, hit_latency_ns=10),
+        tlb=TLBConfig(entries=8),
+        device=DeviceConfig(access_latency_ns=3 * US, channels=4),
+        memory=MemoryConfig(dram_frames=32, dram_latency_ns=50),
+        scheduler=SchedulerConfig(
+            max_time_slice_ns=1 * MS, min_time_slice_ns=50 * US
+        ),
+        its=ITSConfig(prefetch_degree=4),
+    )
+
+
+@pytest.fixture
+def machine(small_config: MachineConfig) -> Machine:
+    """A machine with global-LRU replacement and no pre-execute cache."""
+    return Machine(small_config, GlobalLRUPolicy())
+
+
+@pytest.fixture
+def preexec_machine(small_config: MachineConfig) -> Machine:
+    """A machine with the pre-execute cache carved from the LLC."""
+    return Machine(small_config, GlobalLRUPolicy(), with_preexec_cache=True)
+
+
+@pytest.fixture
+def rng() -> DeterministicRNG:
+    """A seeded RNG."""
+    return DeterministicRNG(1234)
+
+
+def make_linear_trace(pages: int, base_va: int = 0x10_0000, per_page: int = 2):
+    """A tiny sequential trace touching *pages* pages."""
+    trace = []
+    for p in range(pages):
+        for i in range(per_page):
+            dst = (p * per_page + i) % 16
+            trace.append(Load(dst=dst, vaddr=base_va + p * 4096 + i * 64))
+            trace.append(Compute(dst=(dst + 1) % 16, srcs=(dst,)))
+    return trace
+
+
+@pytest.fixture
+def linear_trace():
+    """Four-page sequential trace."""
+    return make_linear_trace(4)

@@ -1,0 +1,108 @@
+"""End-to-end integration: every policy completes every batch and the
+fundamental accounting invariants hold."""
+
+import pytest
+
+from repro import MachineConfig, Simulation, build_batch
+from repro.analysis.experiments import POLICY_FACTORIES
+
+SCALE = 0.25
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = MachineConfig()
+    out = {}
+    for batch_name in ("No_Data_Intensive", "2_Data_Intensive"):
+        for policy_name, factory in POLICY_FACTORIES.items():
+            batch = build_batch(batch_name, seed=SEED, scale=SCALE)
+            out[(batch_name, policy_name)] = Simulation(
+                MachineConfig(), batch, factory(), batch_name=batch_name
+            ).run()
+    return out
+
+
+class TestCompletion:
+    def test_all_cells_completed(self, results):
+        assert len(results) == 2 * len(POLICY_FACTORIES)
+
+    def test_every_process_finished(self, results):
+        for result in results.values():
+            assert len(result.processes) == 6
+            assert all(p.finish_time_ns > 0 for p in result.processes)
+
+    def test_committed_instructions_identical_across_policies(self, results):
+        """Policies change timing, never the work: every policy commits
+        exactly the same instruction count on the same batch."""
+        for batch_name in ("No_Data_Intensive", "2_Data_Intensive"):
+            counts = {
+                policy: results[(batch_name, policy)].instructions_committed
+                for policy in POLICY_FACTORIES
+            }
+            assert len(set(counts.values())) == 1, counts
+
+
+class TestAccountingInvariants:
+    def test_finish_times_bounded_by_makespan(self, results):
+        for result in results.values():
+            assert max(p.finish_time_ns for p in result.processes) == result.makespan_ns
+
+    def test_idle_less_than_makespan(self, results):
+        for result in results.values():
+            assert result.total_idle_ns < result.makespan_ns
+
+    def test_major_faults_at_least_cold_footprint_fraction(self, results):
+        # Cold start: the touched footprint must be swapped in at least
+        # once, through majors or prefetch-driven minors.
+        for result in results.values():
+            assert result.major_faults + result.minor_faults > 0
+
+    def test_per_process_majors_sum_to_total(self, results):
+        for result in results.values():
+            assert sum(p.major_faults for p in result.processes) == result.major_faults
+
+    def test_sync_modes_have_no_async_idle(self, results):
+        for (batch, policy), result in results.items():
+            if policy in ("Sync", "Sync_Runahead", "Sync_Prefetch"):
+                assert result.idle.async_idle_ns == 0
+
+    def test_async_has_no_sync_wait(self, results):
+        for (batch, policy), result in results.items():
+            if policy == "Async":
+                assert result.idle.sync_storage_ns == 0
+
+    def test_prefetching_policies_issue_prefetches(self, results):
+        for (batch, policy), result in results.items():
+            if policy in ("Sync_Prefetch", "ITS"):
+                assert result.prefetch_issued > 0
+            if policy in ("Async", "Sync"):
+                assert result.prefetch_issued == 0
+
+    def test_preexec_only_where_expected(self, results):
+        for (batch, policy), result in results.items():
+            if policy in ("Sync_Runahead", "ITS"):
+                assert result.preexec_instructions > 0
+            else:
+                assert result.preexec_instructions == 0
+
+
+class TestITSEventAccounting:
+    def test_every_major_fault_takes_exactly_one_its_path(self):
+        from repro.core import ITSPolicy
+
+        policy = ITSPolicy()
+        batch = build_batch("2_Data_Intensive", seed=SEED, scale=SCALE)
+        result = Simulation(
+            MachineConfig(), batch, policy, batch_name="paths"
+        ).run()
+        selection = policy.selection
+        assert (
+            selection.high_selections + selection.low_selections
+            == result.major_faults
+        )
+        assert policy.sacrificing.sacrifices == selection.low_selections
+        # Windows are stolen for (almost) every high-priority fault; the
+        # only exceptions are faults of already-finished traces.
+        assert policy.improving.windows_stolen <= selection.high_selections
+        assert policy.improving.windows_stolen >= 0.9 * selection.high_selections

@@ -1,0 +1,47 @@
+"""Smoke tests: the example scripts run to completion and produce the
+output their docstrings promise."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "ITS reduces total CPU idle time" in out
+        assert "policy=Sync" in out and "policy=ITS" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py")
+        assert "composed trace" in out
+        assert "trace file round trip OK" in out
+        assert "Sync" in out and "ITS" in out
+
+    def test_event_timeline(self):
+        out = run_example("event_timeline.py")
+        assert "event counts:" in out
+        assert "steal" in out
+        assert "resource utilisation:" in out
+
+    def test_priority_scheduling(self):
+        out = run_example("priority_scheduling.py")
+        assert "thread selection:" in out
+        assert "self-improving:" in out
+        assert "state recovery:" in out

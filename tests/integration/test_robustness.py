@@ -1,0 +1,66 @@
+"""Seed robustness: the headline orderings hold for (almost) every
+random priority assignment, not just on average."""
+
+import pytest
+
+from repro import MachineConfig, Simulation, build_batch
+from repro.analysis.experiments import POLICY_FACTORIES
+from repro.analysis.results import MetricKind
+from repro.analysis.stats import orderings_stable, summarize_metric
+
+SEEDS = (1, 2, 3, 4, 5)
+POLICIES = ("Async", "Sync", "ITS")
+
+
+@pytest.fixture(scope="module")
+def grid():
+    results = {policy: [] for policy in POLICIES}
+    for seed in SEEDS:
+        for policy in POLICIES:
+            batch = build_batch("1_Data_Intensive", seed=seed, scale=0.5)
+            results[policy].append(
+                Simulation(
+                    MachineConfig(), batch, POLICY_FACTORIES[policy](),
+                    batch_name="robustness",
+                ).run()
+            )
+    return results
+
+
+class TestOrderingStability:
+    def test_its_beats_sync_on_idle_every_seed(self, grid):
+        assert orderings_stable(grid, MetricKind.IDLE_TIME, "ITS", "Sync") == 1.0
+
+    def test_its_beats_async_on_idle_every_seed(self, grid):
+        assert orderings_stable(grid, MetricKind.IDLE_TIME, "ITS", "Async") == 1.0
+
+    def test_sync_beats_async_on_idle_every_seed(self, grid):
+        # The paper's premise itself: with a 3 us device, sync wins.
+        assert orderings_stable(grid, MetricKind.IDLE_TIME, "Sync", "Async") == 1.0
+
+    def test_its_cuts_faults_every_seed(self, grid):
+        assert orderings_stable(grid, MetricKind.PAGE_FAULTS, "ITS", "Sync") == 1.0
+
+    def test_top_half_ordering_stable(self, grid):
+        assert (
+            orderings_stable(grid, MetricKind.FINISH_TOP_HALF, "ITS", "Async") == 1.0
+        )
+        assert (
+            orderings_stable(grid, MetricKind.FINISH_TOP_HALF, "ITS", "Sync") >= 0.8
+        )
+
+
+class TestDispersion:
+    def test_idle_spread_is_moderate(self, grid):
+        # Priority assignment shifts idle time but not wildly: the
+        # coefficient of variation stays under 1.
+        for policy in POLICIES:
+            summary = summarize_metric(grid[policy], MetricKind.IDLE_TIME)
+            assert summary.relative_spread < 1.0, (policy, summary)
+
+    def test_finish_time_spread_larger_than_idle_spread(self, grid):
+        # Finish times depend on *which* process got which priority, so
+        # they disperse more than machine-level idle time does.
+        idle = summarize_metric(grid["ITS"], MetricKind.IDLE_TIME)
+        finish = summarize_metric(grid["ITS"], MetricKind.FINISH_BOTTOM_HALF)
+        assert finish.relative_spread >= 0.5 * idle.relative_spread

@@ -1,0 +1,70 @@
+"""Property-based tests for the set-associative cache."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig
+from repro.mem.cache import SetAssociativeCache
+
+CONFIG = CacheConfig(size_bytes=2048, ways=2, line_size=64)
+
+addresses = st.integers(min_value=0, max_value=1 << 20)
+access_sequences = st.lists(
+    st.tuples(addresses, st.booleans()), min_size=1, max_size=200
+)
+
+
+@given(access_sequences)
+def test_capacity_never_exceeded(seq):
+    cache = SetAssociativeCache(CONFIG)
+    for addr, is_write in seq:
+        cache.access(addr, is_write=is_write)
+    assert cache.resident_lines() <= CONFIG.num_lines
+
+
+@given(access_sequences)
+def test_hits_plus_misses_equals_accesses(seq):
+    cache = SetAssociativeCache(CONFIG)
+    for addr, is_write in seq:
+        cache.access(addr, is_write=is_write)
+    assert cache.stats.demand_hits + cache.stats.demand_misses == len(seq)
+
+
+@given(access_sequences)
+def test_access_makes_line_resident(seq):
+    cache = SetAssociativeCache(CONFIG)
+    for addr, is_write in seq:
+        cache.access(addr, is_write=is_write)
+        assert cache.contains(addr)
+
+
+@given(addresses)
+def test_immediate_rehit(addr):
+    cache = SetAssociativeCache(CONFIG)
+    cache.access(addr)
+    assert cache.access(addr) is True
+
+
+@given(access_sequences)
+def test_flush_leaves_empty(seq):
+    cache = SetAssociativeCache(CONFIG)
+    for addr, _ in seq:
+        cache.access(addr)
+    cache.flush()
+    assert cache.resident_lines() == 0
+
+
+@given(st.lists(addresses, min_size=1, max_size=50), st.integers(0, 5))
+def test_owner_eviction_only_touches_owner(seq, owner):
+    cache = SetAssociativeCache(CONFIG)
+    for i, addr in enumerate(seq):
+        cache.access(addr, owner=i % 3)
+    other_before = sum(
+        cache.resident_lines_of(o) for o in range(3) if o != owner % 3
+    )
+    cache.evict_owner_fraction(owner % 3, 1.0)
+    other_after = sum(
+        cache.resident_lines_of(o) for o in range(3) if o != owner % 3
+    )
+    assert other_before == other_after
+    assert cache.resident_lines_of(owner % 3) == 0

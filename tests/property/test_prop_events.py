@@ -1,0 +1,57 @@
+"""Property-based tests for the event queue."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.events import EventQueue
+
+times = st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=100)
+
+
+@given(times)
+def test_events_fire_in_time_order(time_list):
+    q = EventQueue()
+    fired = []
+    for t in time_list:
+        q.schedule_at(t, str(t), lambda e: fired.append(e.time_ns))
+    q.run_due(10**9)
+    assert fired == sorted(time_list)
+
+
+@given(times, st.integers(min_value=0, max_value=10**9))
+def test_run_due_fires_exactly_due_events(time_list, horizon):
+    q = EventQueue()
+    fired = []
+    for t in time_list:
+        q.schedule_at(t, str(t), lambda e: fired.append(e.time_ns))
+    count = q.run_due(horizon)
+    expected = [t for t in time_list if t <= horizon]
+    assert count == len(expected)
+    assert sorted(fired) == sorted(expected)
+    assert len(q) == len(time_list) - len(expected)
+
+
+@given(times, st.data())
+def test_cancelled_events_never_fire(time_list, data):
+    q = EventQueue()
+    fired = []
+    handles = [
+        q.schedule_at(t, str(t), lambda e: fired.append(e.time_ns))
+        for t in time_list
+    ]
+    n_cancel = data.draw(st.integers(0, len(handles)))
+    for handle in handles[:n_cancel]:
+        q.cancel(handle)
+    q.run_due(10**9)
+    assert len(fired) == len(time_list) - n_cancel
+
+
+@given(times)
+def test_peek_matches_next_pop(time_list):
+    q = EventQueue()
+    for t in time_list:
+        q.schedule_at(t, str(t), lambda e: None)
+    while len(q):
+        peeked = q.peek_time()
+        popped = q.pop()
+        assert popped.time_ns == peeked

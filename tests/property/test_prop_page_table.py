@@ -1,0 +1,57 @@
+"""Property-based tests for the 4-level page table."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vm.page_table import PageTable
+
+vpns = st.integers(min_value=0, max_value=(1 << 36) - 1)
+vpn_sets = st.sets(vpns, min_size=1, max_size=60)
+
+
+@given(vpn_sets)
+def test_mapped_vpns_is_sorted_exact_set(vpn_set):
+    table = PageTable()
+    for vpn in vpn_set:
+        table.ensure_vpn(vpn)
+    mapped = table.mapped_vpns()
+    assert mapped == sorted(vpn_set)
+
+
+@given(vpn_sets)
+def test_walk_finds_every_mapping(vpn_set):
+    table = PageTable()
+    ptes = {vpn: table.ensure_vpn(vpn) for vpn in vpn_set}
+    for vpn, pte in ptes.items():
+        assert table.lookup_vpn(vpn) is pte
+
+
+@given(vpn_sets, vpns)
+def test_iter_from_yields_strictly_greater_in_order(vpn_set, start):
+    table = PageTable()
+    for vpn in vpn_set:
+        table.ensure_vpn(vpn)
+    yielded = [vpn for vpn, _ in table.iter_ptes_from(start << 12)]
+    assert yielded == sorted(v for v in vpn_set if v > start)
+
+
+@given(vpn_sets)
+def test_unmapped_neighbours_walk_to_none(vpn_set):
+    table = PageTable()
+    for vpn in vpn_set:
+        table.ensure_vpn(vpn)
+    probe = max(vpn_set) + 1
+    if probe not in vpn_set and probe < (1 << 36):
+        assert table.lookup_vpn(probe) is None
+
+
+@given(vpn_sets)
+def test_resident_subset_of_mapped(vpn_set):
+    table = PageTable()
+    for i, vpn in enumerate(sorted(vpn_set)):
+        pte = table.ensure_vpn(vpn)
+        if i % 2 == 0:
+            pte.map_frame(i)
+    resident = table.resident_vpns()
+    assert set(resident) <= vpn_set
+    assert resident == sorted(resident)

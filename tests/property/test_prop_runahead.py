@@ -1,0 +1,106 @@
+"""Property-based tests for the pre-execute engine's budget arithmetic
+and monotonicity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import (
+    CacheConfig,
+    ITSConfig,
+    MachineConfig,
+    MemoryConfig,
+    TLBConfig,
+)
+from repro.common.units import KIB
+from repro.cpu.isa import Compute, Load, Store
+from repro.cpu.registers import NUM_REGISTERS, RegisterFile
+from repro.cpu.runahead import PreExecuteEngine
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.preexec_cache import PreExecuteCache
+from repro.vm.frames import FrameAllocator
+from repro.vm.mm import MemoryManager
+from repro.vm.replacement import GlobalLRUPolicy
+from repro.vm.swap import SwapArea
+
+BASE_VPN = 0x200
+
+
+def build_engine(per_instr=2, cap=1024):
+    config = MachineConfig(
+        llc=CacheConfig(size_bytes=16 * KIB, ways=4),
+        tlb=TLBConfig(entries=8),
+        memory=MemoryConfig(dram_frames=16),
+        its=ITSConfig(preexec_instr_ns=per_instr, preexec_max_instructions=cap),
+    )
+    memory = MemoryManager(FrameAllocator(16, 4096), SwapArea(64), GlobalLRUPolicy())
+    memory.register_process(1, range(BASE_VPN, BASE_VPN + 8))
+    for vpn in range(BASE_VPN, BASE_VPN + 4):
+        memory.install_page(1, vpn)
+    hierarchy = MemoryHierarchy(config.llc.halved(), config.memory)
+    return PreExecuteEngine(
+        config, hierarchy, memory, PreExecuteCache(config.llc.halved())
+    )
+
+
+regs = st.integers(0, NUM_REGISTERS - 1)
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(1, 80))
+    out = []
+    for i in range(n):
+        kind = draw(st.sampled_from(["c", "l", "s"]))
+        vpn = BASE_VPN + draw(st.integers(0, 7))
+        vaddr = (vpn << 12) + draw(st.integers(0, 63)) * 64
+        if kind == "c":
+            out.append(Compute(dst=i % NUM_REGISTERS, srcs=(draw(regs),)))
+        elif kind == "l":
+            out.append(Load(dst=i % NUM_REGISTERS, vaddr=vaddr))
+        else:
+            out.append(Store(src=draw(regs), vaddr=vaddr))
+    return out
+
+
+@given(traces(), st.integers(0, 500))
+@settings(max_examples=80, deadline=None)
+def test_instructions_bounded_by_budget_and_cap(trace, budget):
+    engine = build_engine(per_instr=2, cap=30)
+    stats, _ = engine.run_episode(1, RegisterFile(), trace, 0, budget, faulting_reg=0)
+    assert stats.instructions <= min(len(trace), 30, budget // 2)
+    # And the bound is tight: the minimum of the three constraints is met.
+    assert stats.instructions == min(len(trace), 30, budget // 2)
+
+
+@given(traces(), st.integers(1, 400))
+@settings(max_examples=60, deadline=None)
+def test_more_budget_never_fewer_instructions(trace, budget):
+    small_stats, _ = build_engine().run_episode(
+        1, RegisterFile(), trace, 0, budget, faulting_reg=0
+    )
+    big_stats, _ = build_engine().run_episode(
+        1, RegisterFile(), trace, 0, budget * 2, faulting_reg=0
+    )
+    assert big_stats.instructions >= small_stats.instructions
+
+
+@given(traces())
+@settings(max_examples=60, deadline=None)
+def test_discovered_pages_are_genuinely_absent(trace):
+    engine = build_engine()
+    __, discovered = engine.run_episode(
+        1, RegisterFile(), trace, 0, 10**6, faulting_reg=0
+    )
+    for vpn in discovered:
+        pte = engine.memory.mm_of(1).pte_for(vpn)
+        assert pte is not None and not pte.present
+
+
+@given(traces(), st.integers(1, 40))
+@settings(max_examples=60, deadline=None)
+def test_start_index_respected(trace, start):
+    engine = build_engine()
+    stats, _ = engine.run_episode(
+        1, RegisterFile(), trace, start, 10**6, faulting_reg=0
+    )
+    assert stats.instructions <= max(0, len(trace) - start)

@@ -1,0 +1,99 @@
+"""Property-based tests for the SCHED_RR scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SchedulerConfig
+from repro.cpu.isa import Compute
+from repro.kernel.process import Process, ProcessState
+from repro.kernel.scheduler import RoundRobinScheduler
+
+CONFIG = SchedulerConfig(max_time_slice_ns=800, min_time_slice_ns=5)
+
+priorities = st.integers(min_value=0, max_value=CONFIG.priority_levels - 1)
+
+
+def make_processes(prios):
+    return [
+        Process(pid=i, name=f"p{i}", priority=p, trace=[Compute(dst=0)])
+        for i, p in enumerate(prios)
+    ]
+
+
+actions = st.lists(
+    st.sampled_from(["preempt", "block", "unblock", "unblock_resume", "finish"]),
+    max_size=60,
+)
+
+
+@given(st.lists(priorities, min_size=1, max_size=8), actions)
+@settings(max_examples=100, deadline=None)
+def test_no_process_lost_or_duplicated(prios, action_list):
+    """Conservation: every admitted process is always in exactly one of
+    {current, ready, blocked, finished}."""
+    processes = make_processes(prios)
+    sched = RoundRobinScheduler(CONFIG)
+    for p in processes:
+        sched.add(p)
+    blocked: list[Process] = []
+    finished = 0
+
+    for action in action_list:
+        if sched.current is None:
+            if sched.dispatch() is None and not blocked:
+                break
+        if action == "preempt" and sched.current is not None:
+            sched.preempt_current()
+        elif action == "block" and sched.current is not None:
+            blocked.append(sched.block_current())
+        elif action == "unblock" and blocked:
+            sched.unblock(blocked.pop(0))
+        elif action == "unblock_resume" and blocked:
+            sched.unblock(blocked.pop(0), resume=True)
+        elif action == "finish" and sched.current is not None:
+            sched.finish_current(0)
+            finished += 1
+
+        in_system = (
+            (1 if sched.current is not None else 0)
+            + sched.ready_count()
+            + sched.blocked_count()
+            + finished
+        )
+        assert in_system == len(processes)
+
+    # States are consistent with queue membership.
+    for p in processes:
+        if p.state is ProcessState.BLOCKED:
+            assert p.pid in {b.pid for b in blocked}
+
+
+@given(st.lists(priorities, min_size=1, max_size=8))
+def test_dispatch_slice_matches_priority(prios):
+    sched = RoundRobinScheduler(CONFIG)
+    for p in make_processes(prios):
+        sched.add(p)
+    while True:
+        process = sched.dispatch()
+        if process is None:
+            break
+        assert process.slice_remaining_ns == CONFIG.time_slice_ns(process.priority)
+        sched.finish_current(0)
+
+
+@given(st.lists(priorities, min_size=2, max_size=8))
+def test_round_robin_is_fair_cycle(prios):
+    """With only preemptions, the dispatch order cycles."""
+    processes = make_processes(prios)
+    sched = RoundRobinScheduler(CONFIG)
+    for p in processes:
+        sched.add(p)
+    first_cycle = []
+    for _ in range(len(processes)):
+        first_cycle.append(sched.dispatch().pid)
+        sched.preempt_current()
+    second_cycle = []
+    for _ in range(len(processes)):
+        second_cycle.append(sched.dispatch().pid)
+        sched.preempt_current()
+    assert first_cycle == second_cycle

@@ -1,0 +1,108 @@
+"""Property-based tests over whole simulations.
+
+Random tiny traces under every policy: the run must terminate, commit
+every instruction exactly once, and satisfy the time-conservation
+decomposition — regardless of access pattern or priorities.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import POLICY_FACTORIES
+from repro.common.config import (
+    CacheConfig,
+    MachineConfig,
+    MemoryConfig,
+    SchedulerConfig,
+    TLBConfig,
+)
+from repro.common.units import KIB, MS, US
+from repro.cpu.isa import Compute, Load, Store
+from repro.sim.simulator import Simulation, WorkloadInstance
+
+
+def tiny_config():
+    return MachineConfig(
+        llc=CacheConfig(size_bytes=8 * KIB, ways=2),
+        tlb=TLBConfig(entries=4),
+        memory=MemoryConfig(dram_frames=12),
+        scheduler=SchedulerConfig(max_time_slice_ns=200 * US, min_time_slice_ns=20 * US),
+    )
+
+
+@st.composite
+def tiny_trace(draw):
+    n = draw(st.integers(4, 40))
+    base = 0x40_0000
+    instructions = []
+    for i in range(n):
+        kind = draw(st.sampled_from(["load", "store", "compute"]))
+        if kind == "compute":
+            instructions.append(Compute(dst=i % 16, srcs=((i + 1) % 16,)))
+            continue
+        page = draw(st.integers(0, 19))
+        offset = draw(st.integers(0, 63)) * 64
+        vaddr = base + page * 4096 + offset
+        if kind == "load":
+            instructions.append(Load(dst=i % 16, vaddr=vaddr))
+        else:
+            instructions.append(Store(src=i % 16, vaddr=vaddr))
+    # Guarantee at least one memory touch.
+    instructions.append(Load(dst=0, vaddr=base))
+    return instructions
+
+
+@st.composite
+def workload_sets(draw):
+    count = draw(st.integers(1, 4))
+    priorities = draw(
+        st.lists(
+            st.integers(0, 39), min_size=count, max_size=count, unique=True
+        )
+    )
+    return [
+        WorkloadInstance(
+            name=f"w{i}", trace=draw(tiny_trace()), priority=priorities[i]
+        )
+        for i in range(count)
+    ]
+
+
+policy_names = st.sampled_from(list(POLICY_FACTORIES))
+
+
+@given(workload_sets(), policy_names)
+@settings(max_examples=60, deadline=None)
+def test_every_run_terminates_and_conserves_time(workloads, policy_name):
+    sim = Simulation(
+        tiny_config(), workloads, POLICY_FACTORIES[policy_name](), batch_name="prop"
+    )
+    result = sim.run()
+    # Work conservation: every instruction committed exactly once.
+    assert result.instructions_committed == sum(len(w.trace) for w in workloads)
+    # Time conservation.
+    cpu = sum(p.cpu_time_ns for p in result.processes)
+    assert (
+        cpu + result.idle.ctx_switch_overhead_ns + result.idle.async_idle_ns
+        == result.makespan_ns
+    )
+    # Everyone finished, memory fully released.
+    assert all(p.finish_time_ns is not None for p in result.processes)
+    assert sim.machine.memory.frames.used_frames == 0
+
+
+@given(workload_sets(), policy_names)
+@settings(max_examples=40, deadline=None)
+def test_runs_are_deterministic(workloads, policy_name):
+    def run():
+        return Simulation(
+            tiny_config(),
+            workloads,
+            POLICY_FACTORIES[policy_name](),
+            batch_name="prop",
+        ).run()
+
+    a, b = run(), run()
+    assert a.makespan_ns == b.makespan_ns
+    assert a.total_idle_ns == b.total_idle_ns
+    assert a.major_faults == b.major_faults

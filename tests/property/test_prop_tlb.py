@@ -1,0 +1,62 @@
+"""Property-based tests for the TLB against a reference LRU model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import TLBConfig
+from repro.mem.tlb import TLB
+
+ENTRIES = 4
+
+keys = st.tuples(st.integers(0, 3), st.integers(0, 15))  # (pid, vpn)
+ops = st.lists(
+    st.tuples(st.sampled_from(["lookup", "insert", "shootdown", "flush"]), keys),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(ops)
+@settings(max_examples=150, deadline=None)
+def test_tlb_matches_reference_lru(op_list):
+    tlb = TLB(TLBConfig(entries=ENTRIES))
+    model: OrderedDict = OrderedDict()
+
+    for op, key in op_list:
+        pid, vpn = key
+        if op == "lookup":
+            got = tlb.lookup(pid, vpn)
+            expected = model.get(key)
+            if expected is not None:
+                model.move_to_end(key)
+            assert got == expected
+        elif op == "insert":
+            frame = (pid * 100) + vpn
+            tlb.insert(pid, vpn, frame)
+            if key in model:
+                model.move_to_end(key)
+            elif len(model) >= ENTRIES:
+                model.popitem(last=False)
+            model[key] = frame
+        elif op == "shootdown":
+            dropped = tlb.shootdown(pid, vpn)
+            assert dropped == (model.pop(key, None) is not None)
+        else:  # flush
+            dropped = tlb.flush()
+            assert dropped == len(model)
+            model.clear()
+        assert len(tlb) == len(model)
+
+
+@given(ops)
+@settings(max_examples=80, deadline=None)
+def test_capacity_invariant(op_list):
+    tlb = TLB(TLBConfig(entries=ENTRIES))
+    for op, (pid, vpn) in op_list:
+        if op == "insert":
+            tlb.insert(pid, vpn, 1)
+        elif op == "lookup":
+            tlb.lookup(pid, vpn)
+        assert len(tlb) <= ENTRIES

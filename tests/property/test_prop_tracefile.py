@@ -1,0 +1,100 @@
+"""Property-based round-trip tests for the trace file format and the
+lackey parser."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.isa import Branch, Compute, Load, Store
+from repro.cpu.registers import NUM_REGISTERS
+from repro.trace.lackey import parse_lackey
+from repro.trace.tracefile import load_trace, save_trace
+
+regs = st.integers(min_value=0, max_value=NUM_REGISTERS - 1)
+vaddrs = st.integers(min_value=0, max_value=(1 << 47) - 1)
+sizes = st.integers(min_value=1, max_value=64)
+
+instruction = st.one_of(
+    st.builds(
+        Compute,
+        dst=regs,
+        srcs=st.lists(regs, max_size=3).map(tuple),
+        cycles=st.integers(1, 10),
+    ),
+    st.builds(
+        Load,
+        dst=regs,
+        vaddr=vaddrs,
+        size=sizes,
+        addr_reg=st.one_of(st.none(), regs),
+    ),
+    st.builds(
+        Store,
+        src=regs,
+        vaddr=vaddrs,
+        size=sizes,
+        addr_reg=st.one_of(st.none(), regs),
+    ),
+    st.builds(
+        Branch, srcs=st.lists(regs, max_size=2).map(tuple), taken=st.booleans()
+    ),
+)
+
+
+@given(st.lists(instruction, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_tracefile_roundtrip_identity(tmp_path_factory, trace):
+    path = tmp_path_factory.mktemp("traces") / "t.txt"
+    save_trace(path, trace)
+    assert load_trace(path) == trace
+
+
+lackey_record = st.one_of(
+    st.tuples(st.just("I "), vaddrs, sizes),
+    st.tuples(st.just(" L "), vaddrs, sizes),
+    st.tuples(st.just(" S "), vaddrs, sizes),
+    st.tuples(st.just(" M "), vaddrs, sizes),
+)
+
+
+@given(st.lists(lackey_record, min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_lackey_preserves_memory_addresses(records):
+    lines = [f"{marker}{addr:x},{size}" for marker, addr, size in records]
+    trace = parse_lackey(lines)
+    expected_mem = []
+    for marker, addr, size in records:
+        kind = marker.strip()
+        if kind == "L":
+            expected_mem.append(("load", addr, size))
+        elif kind == "S":
+            expected_mem.append(("store", addr, size))
+        elif kind == "M":
+            expected_mem.append(("load", addr, size))
+            expected_mem.append(("store", addr, size))
+    actual_mem = [
+        (i.kind, i.vaddr, i.size)
+        for i in trace
+        if isinstance(i, (Load, Store))
+    ]
+    assert actual_mem == expected_mem
+
+
+@given(st.lists(lackey_record, min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_lackey_instruction_count(records):
+    lines = [f"{marker}{addr:x},{size}" for marker, addr, size in records]
+    trace = parse_lackey(lines)
+    expected = sum(2 if marker.strip() == "M" else 1 for marker, _, __ in records)
+    assert len(trace) == expected
+
+
+@given(st.lists(instruction, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_binary_roundtrip_identity(tmp_path_factory, trace):
+    from repro.trace.binfile import load_trace_binary, save_trace_binary
+
+    # The binary format caps compute cycles at 255; clamp the strategy's
+    # output accordingly (the text format has no such cap).
+    path = tmp_path_factory.mktemp("bintraces") / "t.bin"
+    save_trace_binary(path, trace)
+    assert load_trace_binary(path) == trace

@@ -1,0 +1,96 @@
+"""Property-based tests for the VM substrate: frames + swap + manager."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.frames import FrameAllocator
+from repro.vm.mm import FaultKind, MemoryManager
+from repro.vm.replacement import GlobalLRUPolicy
+from repro.vm.swap import SwapArea
+
+N_FRAMES = 8
+N_PAGES = 24
+
+vpn_strategy = st.integers(min_value=0, max_value=N_PAGES - 1)
+ops = st.lists(
+    st.tuples(st.sampled_from(["touch", "install", "prefetch"]), vpn_strategy),
+    min_size=1,
+    max_size=120,
+)
+
+
+def build_memory():
+    memory = MemoryManager(
+        FrameAllocator(N_FRAMES, 4096), SwapArea(N_PAGES * 2), GlobalLRUPolicy()
+    )
+    memory.register_process(1, range(N_PAGES))
+    return memory
+
+
+def apply_ops(memory, op_list):
+    for op, vpn in op_list:
+        if op == "touch":
+            result = memory.classify_touch(1, vpn)
+            if result.kind is FaultKind.MAJOR:
+                memory.install_page(1, vpn)
+        elif op == "install":
+            if not memory.is_resident_or_cached(1, vpn):
+                memory.install_page(1, vpn)
+        else:  # prefetch
+            if not memory.is_resident_or_cached(1, vpn):
+                memory.install_page(1, vpn, prefetched=True)
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_frames_never_overcommitted(op_list):
+    memory = build_memory()
+    apply_ops(memory, op_list)
+    assert memory.frames.used_frames <= N_FRAMES
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_frame_mappings_bijective(op_list):
+    """Every used frame maps exactly one page, and every present or
+    swap-cached PTE points at a distinct used frame."""
+    memory = build_memory()
+    apply_ops(memory, op_list)
+    seen_frames = set()
+    for vpn in range(N_PAGES):
+        pte = memory.mm_of(1).pte_for(vpn)
+        if pte.present or memory.swap_cache.contains(1, vpn):
+            assert pte.frame is not None
+            assert pte.frame not in seen_frames
+            seen_frames.add(pte.frame)
+            info = memory.frames.owner_of(pte.frame)
+            assert info is not None and info.vpn == vpn
+        elif not pte.present:
+            assert pte.swap_slot is not None  # always backed by swap
+    assert len(seen_frames) == memory.frames.used_frames
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_touch_after_ops_never_crashes_and_is_classified(op_list):
+    memory = build_memory()
+    apply_ops(memory, op_list)
+    for vpn in range(N_PAGES):
+        kind = memory.classify_touch(1, vpn).kind
+        assert kind in (FaultKind.HIT, FaultKind.MINOR, FaultKind.MAJOR)
+        if kind is FaultKind.MAJOR:
+            memory.install_page(1, vpn)
+
+
+@given(ops)
+@settings(max_examples=50, deadline=None)
+def test_replacement_tracks_exactly_residents(op_list):
+    memory = build_memory()
+    apply_ops(memory, op_list)
+    resident = sum(
+        1
+        for vpn in range(N_PAGES)
+        if memory.mm_of(1).pte_for(vpn).present
+        or memory.swap_cache.contains(1, vpn)
+    )
+    assert len(memory.replacement) == resident

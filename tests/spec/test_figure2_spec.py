@@ -1,0 +1,93 @@
+"""Paper-spec conformance: Figure 2, the virtual-address-based page
+prefetcher.
+
+Each test pins one numbered step of the figure's walk:
+
+  (1) enter via the PGD base in the memory descriptor;
+  (2-5) pgd/pud/pmd/pte offset traversal;
+  (6) iterate candidates after the victim, skipping present pages;
+  (7) on page-table exhaustion, revert to the next PMD entry.
+"""
+
+import pytest
+
+from repro.core.prefetch import VirtualAddressPrefetcher
+from repro.vm.address import ENTRIES_PER_TABLE, VirtualAddress
+from repro.vm.page_table import PageTable
+
+
+@pytest.fixture
+def env(machine):
+    machine.memory.register_process(1, range(0x300, 0x340))
+    return machine
+
+
+class TestSteps1Through5_TableTraversal:
+    """The pgd_offset()/pud_offset()/pmd_offset()/pte_offset() chain the
+    figure names resolves exactly the mapped leaf."""
+
+    def test_four_level_offset_chain(self):
+        table = PageTable()
+        pte = table.ensure_pte(0x0000_7F12_3456_7000)
+        va = VirtualAddress(0x0000_7F12_3456_7000)
+        pud = table.pgd_offset(va)          # step 2
+        pmd = table.pud_offset(pud, va)     # step 3
+        pt = table.pmd_offset(pmd, va)      # step 4
+        assert table.pte_offset(pt, va) is pte  # step 5
+
+    def test_each_level_has_512_entries(self):
+        assert ENTRIES_PER_TABLE == 512  # 9 index bits per level
+
+
+class TestStep6_CandidateIteration:
+    """'iteratively increments the page table offset ... to retrieve the
+    candidate page following the victim page in the virtual addressing
+    space' and 'checks the present bit stored in the PT entry'."""
+
+    def test_candidates_follow_victim_in_va_order(self, env):
+        prefetcher = VirtualAddressPrefetcher(env.memory, degree=3)
+        candidates, __ = prefetcher.collect(1, 0x305)
+        assert candidates == [0x306, 0x307, 0x308]
+
+    def test_present_pages_skipped_not_fetched(self, env):
+        env.memory.install_page(1, 0x306)
+        prefetcher = VirtualAddressPrefetcher(env.memory, degree=3)
+        candidates, __ = prefetcher.collect(1, 0x305)
+        assert 0x306 not in candidates
+        assert candidates == [0x307, 0x308, 0x309]
+
+    def test_victim_itself_never_a_candidate(self, env):
+        prefetcher = VirtualAddressPrefetcher(env.memory, degree=8)
+        candidates, __ = prefetcher.collect(1, 0x305)
+        assert 0x305 not in candidates
+
+
+class TestStep7_NextPMDEntry:
+    """'In cases where an insufficient number of candidate pages is
+    gathered after walking through the entire page table, the policy
+    reverts to traversing the next PMD entry.'"""
+
+    def test_walk_continues_into_next_leaf_table(self, machine):
+        # 0x1FF and 0x200 sit in different leaf page tables (PT index
+        # wraps at 512).
+        machine.memory.register_process(2, [0x1FE, 0x1FF, 0x200, 0x201])
+        prefetcher = VirtualAddressPrefetcher(machine.memory, degree=3)
+        candidates, __ = prefetcher.collect(2, 0x1FE)
+        assert candidates == [0x1FF, 0x200, 0x201]
+
+    def test_walk_skips_unpopulated_pmd_ranges(self, machine):
+        # A hole of several leaf tables between mapped regions.
+        machine.memory.register_process(3, [0x400, 0x400 + 4 * 512])
+        prefetcher = VirtualAddressPrefetcher(machine.memory, degree=2)
+        candidates, __ = prefetcher.collect(3, 0x400)
+        assert candidates == [0x400 + 4 * 512]
+
+
+class TestDMADispatchIsCPUFree:
+    """'Employing DMA for this task bypasses utilizing CPU resources' —
+    only the walk costs CPU time; the transfers do not."""
+
+    def test_walk_cost_independent_of_transfer_size(self, env):
+        prefetcher = VirtualAddressPrefetcher(env.memory, degree=4, walk_entry_ns=5)
+        __, cost = prefetcher.collect(1, 0x300)
+        assert cost == 4 * 5  # four PTEs scanned, nothing transfer-related

@@ -1,0 +1,121 @@
+"""Paper-spec conformance: Sections 3.2-3.4 policy-level sentences."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import ITSPolicy
+from repro.core.recovery import RecoveryTrigger, StateRecoveryPolicy
+from repro.cpu.registers import RegisterFile
+from repro.sim.simulator import Simulation, WorkloadInstance
+
+from tests.conftest import make_linear_trace
+
+
+def two_tier(small_config, policy, lo_first=True):
+    lo = WorkloadInstance(name="lo", trace=make_linear_trace(6), priority=2)
+    hi = WorkloadInstance(
+        name="hi", trace=make_linear_trace(6, base_va=0x90_0000), priority=35
+    )
+    workloads = [lo, hi] if lo_first else [hi, lo]
+    sim = Simulation(small_config, workloads, policy, batch_name="spec")
+    result = sim.run()
+    return sim, result
+
+
+class TestSection32_Selection:
+    """'our policy does not change the priority of each process and the
+    process-execution orders maintained by the process scheduler' and
+    'switching to kernel-level designs takes only hundreds of
+    nanoseconds'."""
+
+    def test_priorities_never_mutated(self, small_config):
+        policy = ITSPolicy()
+        sim, result = two_tier(small_config, policy)
+        assert [p.priority for p in sim.processes] == [2, 35]
+
+    def test_kernel_entry_cost_is_hundreds_of_ns(self, small_config):
+        assert 100 <= small_config.its.kernel_entry_ns < 1000
+
+    def test_classification_is_relative_not_absolute(self, small_config):
+        # The same process is HIGH when nothing outranks it at the queue
+        # head — classification depends on the moment, not a static tag.
+        policy = ITSPolicy()
+        sim, __ = two_tier(small_config, policy)
+        # Both kinds of selections occurred across the run.
+        assert policy.selection.high_selections > 0
+        assert policy.selection.low_selections > 0
+
+
+class TestSection33_SelfSacrifice:
+    """'all low-priority processes are forced to switch their CPU
+    resources to other processes once they are waiting for I/O
+    completion' — 'even when it still has sufficient time slices'."""
+
+    def test_forced_switch_with_slice_remaining(self, small_config):
+        policy = ITSPolicy()
+        sim, result = two_tier(small_config, policy)
+        lo = next(p for p in result.processes if p.name == "lo")
+        # The low process context-switched far more often than its slice
+        # count would require (slices are >= 50 us; it ran ~us of work).
+        assert policy.sacrificing.sacrifices > 0
+        assert lo.context_switches >= 1
+
+    def test_high_priority_never_blocks(self, small_config):
+        policy = ITSPolicy()
+        sim, result = two_tier(small_config, policy)
+        hi = next(p for p in result.processes if p.name == "hi")
+        # All of hi's faults were served synchronously.
+        assert hi.storage_wait_ns > 0
+
+
+class TestSection343_StateRecovery:
+    """'checkpoints the register file state, including the program
+    counter and stack pointer, to a shadow register file ... critical
+    registers such as the branch history register and return address
+    stack are checkpointed' — 'triggered by either polling ... or
+    interruption'."""
+
+    def test_checkpoint_covers_all_named_state(self):
+        registers = RegisterFile()
+        registers.pc = 11
+        registers.sp = 22
+        registers.record_branch(True)
+        registers.return_stack.append(33)
+        shadow = registers.checkpoint()
+        assert shadow.pc == 11
+        assert shadow.sp == 22
+        assert shadow.branch_history == 1
+        assert shadow.return_stack == (33,)
+
+    def test_polling_detects_later_than_interrupt(self):
+        registers = RegisterFile()
+        poll = StateRecoveryPolicy(
+            trigger=RecoveryTrigger.POLLING, poll_interval_ns=800
+        )
+        poll.checkpoint(registers)
+        poll_latency = poll.restore(registers)
+        irq = StateRecoveryPolicy(trigger=RecoveryTrigger.INTERRUPT)
+        irq.checkpoint(registers)
+        irq_latency = irq.restore(registers)
+        assert poll_latency > irq_latency
+
+    def test_both_triggers_work_end_to_end(self, small_config):
+        for trigger in (RecoveryTrigger.POLLING, RecoveryTrigger.INTERRUPT):
+            policy = ITSPolicy(recovery_trigger=trigger)
+            __, result = two_tier(small_config, policy)
+            assert result.makespan_ns > 0
+            assert policy.recovery.checkpoints == policy.recovery.restores
+
+
+class TestSection31_MajorFaultsOnly:
+    """'this work concentrates solely on addressing major page faults':
+    minor faults never invoke the ITS threads."""
+
+    def test_minor_faults_do_not_steal(self, small_config):
+        policy = ITSPolicy()
+        sim, result = two_tier(small_config, policy)
+        faults_seen = policy.selection.high_selections + policy.selection.low_selections
+        assert faults_seen == result.major_faults
+        assert result.minor_faults > 0  # prefetch produced minors...
+        # ...and none of them entered the selection policy.

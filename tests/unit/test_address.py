@@ -1,0 +1,79 @@
+"""Unit tests for x86-64 virtual address decomposition."""
+
+import pytest
+
+from repro.common.errors import AddressError
+from repro.vm import address
+from repro.vm.address import VirtualAddress
+
+
+class TestModuleHelpers:
+    def test_page_number(self):
+        assert address.page_number(0x1000) == 1
+        assert address.page_number(0x1FFF) == 1
+        assert address.page_number(0x2000) == 2
+
+    def test_page_offset(self):
+        assert address.page_offset(0x1234) == 0x234
+
+    def test_compose_roundtrip(self):
+        addr = address.compose(5, 0x123)
+        assert address.page_number(addr) == 5
+        assert address.page_offset(addr) == 0x123
+
+    def test_compose_rejects_large_offset(self):
+        with pytest.raises(AddressError):
+            address.compose(1, 0x1000)
+
+    def test_out_of_space_rejected(self):
+        with pytest.raises(AddressError):
+            address.page_number(1 << 48)
+        with pytest.raises(AddressError):
+            address.page_number(-1)
+
+    def test_constants(self):
+        assert address.VA_BITS == 48
+        assert address.PAGE_SHIFT == 12
+        assert address.ENTRIES_PER_TABLE == 512
+
+
+class TestVirtualAddress:
+    def test_index_decomposition(self):
+        # Build an address from known indices and read them back.
+        va = VirtualAddress.from_indices(pgd=1, pud=2, pmd=3, pt=4, offset=5)
+        assert va.pgd_index == 1
+        assert va.pud_index == 2
+        assert va.pmd_index == 3
+        assert va.pt_index == 4
+        assert va.offset == 5
+
+    def test_indices_tuple(self):
+        va = VirtualAddress.from_indices(pgd=7, pud=0, pmd=511, pt=1)
+        assert va.indices() == (7, 0, 511, 1)
+
+    def test_vpn_consistent_with_indices(self):
+        va = VirtualAddress.from_indices(pgd=0, pud=0, pmd=1, pt=0)
+        assert va.vpn == 512  # one PMD entry covers 512 pages
+
+    def test_zero_address(self):
+        va = VirtualAddress(0)
+        assert va.indices() == (0, 0, 0, 0)
+        assert va.offset == 0
+
+    def test_max_address(self):
+        va = VirtualAddress((1 << 48) - 1)
+        assert va.indices() == (511, 511, 511, 511)
+        assert va.offset == 0xFFF
+
+    def test_from_indices_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            VirtualAddress.from_indices(pgd=512, pud=0, pmd=0, pt=0)
+
+    def test_rejects_out_of_space_value(self):
+        with pytest.raises(AddressError):
+            VirtualAddress(1 << 48)
+
+    def test_adjacent_pages_differ_in_pt_index(self):
+        a = VirtualAddress(0x1000)
+        b = VirtualAddress(0x2000)
+        assert b.pt_index == a.pt_index + 1

@@ -1,0 +1,166 @@
+"""Unit tests for result aggregation, normalisation, and tables."""
+
+import pytest
+
+from repro.analysis.results import (
+    FigureSeries,
+    MetricKind,
+    average_results,
+)
+from repro.analysis.tables import render_result_summary, render_series_table
+from repro.common.errors import ConfigError
+from repro.sim.metrics import IdleBreakdown, ProcessRecord, SimulationResult
+
+
+def make_result(policy, idle_ns=100, majors=10, misses=50):
+    return SimulationResult(
+        policy=policy,
+        batch="b",
+        makespan_ns=1000,
+        idle=IdleBreakdown(sync_storage_ns=idle_ns),
+        processes=[
+            ProcessRecord(
+                pid=0,
+                name="w",
+                priority=10,
+                data_intensive=False,
+                finish_time_ns=500,
+                cpu_time_ns=100,
+                memory_stall_ns=1,
+                storage_wait_ns=2,
+                major_faults=majors,
+                minor_faults=0,
+                context_switches=1,
+            )
+        ],
+        demand_cache_misses=misses,
+        demand_cache_accesses=100,
+        major_faults=majors,
+        minor_faults=0,
+        context_switches=1,
+        prefetch_issued=0,
+        prefetch_hits=0,
+        preexec_instructions=0,
+        preexec_lines_warmed=0,
+        instructions_committed=10,
+    )
+
+
+class TestAveraging:
+    def test_mean_across_seeds(self):
+        results = {
+            "Sync": [make_result("Sync", idle_ns=100), make_result("Sync", idle_ns=200)]
+        }
+        averages = average_results(results, MetricKind.IDLE_TIME)
+        assert averages.values["Sync"] == 150.0
+
+    def test_all_metric_kinds_extract(self):
+        results = {"Sync": [make_result("Sync")]}
+        for kind in MetricKind:
+            averages = average_results(results, kind)
+            assert averages.values["Sync"] >= 0
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ConfigError):
+            average_results({"Sync": []}, MetricKind.IDLE_TIME)
+
+    def test_normalized_to(self):
+        results = {
+            "Sync": [make_result("Sync", idle_ns=300)],
+            "ITS": [make_result("ITS", idle_ns=100)],
+        }
+        averages = average_results(results, MetricKind.IDLE_TIME)
+        normalized = averages.normalized_to("ITS")
+        assert normalized["Sync"] == 3.0
+        assert normalized["ITS"] == 1.0
+
+    def test_normalized_missing_reference(self):
+        averages = average_results(
+            {"Sync": [make_result("Sync")]}, MetricKind.IDLE_TIME
+        )
+        with pytest.raises(ConfigError):
+            averages.normalized_to("ITS")
+
+
+class TestFigureSeries:
+    def _series(self):
+        return FigureSeries(
+            title="t",
+            metric=MetricKind.IDLE_TIME,
+            x_labels=["b0", "b1"],
+            series={"Sync": [200.0, 400.0], "ITS": [100.0, 100.0]},
+        )
+
+    def test_normalize_pointwise(self):
+        normalized = self._series().normalized_to("ITS")
+        assert normalized.series["Sync"] == [2.0, 4.0]
+        assert normalized.series["ITS"] == [1.0, 1.0]
+
+    def test_normalize_zero_reference_rejected(self):
+        series = FigureSeries(
+            title="t",
+            metric=MetricKind.IDLE_TIME,
+            x_labels=["b0"],
+            series={"ITS": [0.0]},
+        )
+        with pytest.raises(ConfigError):
+            series.normalized_to("ITS")
+
+    def test_policy_names(self):
+        assert self._series().policy_names() == ["Sync", "ITS"]
+
+
+class TestRendering:
+    def test_series_table_contains_all_cells(self):
+        table = render_series_table(self._make_series())
+        assert "Sync" in table and "ITS" in table
+        assert "b0" in table and "b1" in table
+        assert "2.00" in table
+
+    def _make_series(self):
+        return FigureSeries(
+            title="demo",
+            metric=MetricKind.IDLE_TIME,
+            x_labels=["b0", "b1"],
+            series={"Sync": [2.0, 4.0], "ITS": [1.0, 1.0]},
+        )
+
+    def test_result_summary_mentions_key_metrics(self):
+        text = render_result_summary(make_result("Sync"))
+        assert "policy=Sync" in text
+        assert "major faults" in text
+        assert "per-process finish times" in text
+
+
+class TestSeriesCSV:
+    def _series(self):
+        return FigureSeries(
+            title="csv demo",
+            metric=MetricKind.IDLE_TIME,
+            x_labels=["b0", "b1"],
+            series={"Sync": [2.0, 4.0], "ITS": [1.0, 1.5]},
+        )
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "series.csv"
+        original = self._series()
+        original.to_csv(path)
+        loaded = FigureSeries.from_csv(path, metric=MetricKind.IDLE_TIME)
+        assert loaded.title == original.title
+        assert loaded.x_labels == original.x_labels
+        assert loaded.series == original.series
+
+    def test_title_override(self, tmp_path):
+        path = tmp_path / "series.csv"
+        self._series().to_csv(path)
+        loaded = FigureSeries.from_csv(
+            path, metric=MetricKind.IDLE_TIME, title="other"
+        )
+        assert loaded.title == "other"
+
+    def test_csv_is_plain_text(self, tmp_path):
+        path = tmp_path / "series.csv"
+        self._series().to_csv(path)
+        text = path.read_text()
+        assert text.startswith("# csv demo\n")
+        assert "policy,b0,b1" in text

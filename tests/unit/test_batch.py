@@ -1,0 +1,62 @@
+"""Unit tests for the four paper process batches."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.batch import PAPER_BATCHES, batch_names, build_batch
+
+
+class TestCatalogue:
+    def test_four_batches(self):
+        assert batch_names() == [
+            "No_Data_Intensive",
+            "1_Data_Intensive",
+            "2_Data_Intensive",
+            "3_Data_Intensive",
+        ]
+
+    def test_data_intensive_counts_match_names(self):
+        expected = {"No_Data_Intensive": 0}
+        for k in (1, 2, 3):
+            expected[f"{k}_Data_Intensive"] = k
+        for name, spec in PAPER_BATCHES.items():
+            assert spec.data_intensive_count == expected[name]
+
+    def test_common_members(self):
+        # All four batches comprise Wrf, Blender and community detection.
+        for spec in PAPER_BATCHES.values():
+            assert {"wrf", "blender", "community"} <= set(spec.workloads)
+
+    def test_six_processes_each(self):
+        for spec in PAPER_BATCHES.values():
+            assert len(spec.workloads) == 6
+
+
+class TestBuild:
+    def test_priorities_distinct(self):
+        batch = build_batch("1_Data_Intensive", seed=4)
+        priorities = [w.priority for w in batch]
+        assert len(set(priorities)) == 6
+
+    def test_deterministic_per_seed(self):
+        a = build_batch("1_Data_Intensive", seed=4)
+        b = build_batch("1_Data_Intensive", seed=4)
+        assert [(w.name, w.priority) for w in a] == [(w.name, w.priority) for w in b]
+        assert all(x.trace == y.trace for x, y in zip(a, b))
+
+    def test_seeds_change_priorities(self):
+        a = build_batch("1_Data_Intensive", seed=4)
+        b = build_batch("1_Data_Intensive", seed=5)
+        assert [w.priority for w in a] != [w.priority for w in b]
+
+    def test_data_intensive_flags(self):
+        batch = build_batch("3_Data_Intensive", seed=4)
+        assert sum(w.data_intensive for w in batch) == 3
+
+    def test_mapped_vpns_present(self):
+        batch = build_batch("2_Data_Intensive", seed=4)
+        assert all(w.mapped_vpns for w in batch)
+
+    def test_unknown_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            build_batch("5_Data_Intensive")

@@ -1,0 +1,73 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import render_bar_chart, render_sparkline
+from repro.analysis.results import FigureSeries, MetricKind
+
+
+@pytest.fixture
+def series():
+    return FigureSeries(
+        title="demo",
+        metric=MetricKind.IDLE_TIME,
+        x_labels=["b0", "b1"],
+        series={"Sync": [2.0, 4.0], "ITS": [1.0, 1.0]},
+    )
+
+
+class TestBarChart:
+    def test_contains_groups_and_values(self, series):
+        chart = render_bar_chart(series)
+        assert "b0:" in chart and "b1:" in chart
+        assert "4.00" in chart and "1.00" in chart
+
+    def test_peak_value_spans_width(self, series):
+        chart = render_bar_chart(series, width=10)
+        longest = max(line.count("█") for line in chart.splitlines())
+        assert longest == 10
+
+    def test_bars_proportional(self, series):
+        chart = render_bar_chart(series, width=40)
+        lines = {
+            line.split()[0]: line.count("█")
+            for line in chart.splitlines()
+            if "█" in line
+        }
+        # In group b1 Sync is 4x ITS.
+        sync_lines = [l.count("█") for l in chart.splitlines() if "Sync" in l]
+        its_lines = [l.count("█") for l in chart.splitlines() if "ITS" in l]
+        assert max(sync_lines) >= 3.5 * max(its_lines)
+
+    def test_zero_values_render(self):
+        series = FigureSeries(
+            title="z",
+            metric=MetricKind.IDLE_TIME,
+            x_labels=["b"],
+            series={"A": [0.0]},
+        )
+        chart = render_bar_chart(series)
+        assert "0.00" in chart
+
+    def test_rejects_tiny_width(self, series):
+        with pytest.raises(ValueError):
+            render_bar_chart(series, width=2)
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(render_sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_input_monotone_blocks(self):
+        spark = render_sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert spark == "".join(sorted(spark))
+
+    def test_flat_input(self):
+        assert render_sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_extremes_use_full_range(self):
+        spark = render_sparkline([0, 100])
+        assert spark[0] == "▁" and spark[1] == "█"

@@ -1,0 +1,157 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.batch == "1_Data_Intensive"
+        assert args.policy == "ITS"
+        assert args.seed == 1
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "Magic"])
+
+    def test_rejects_unknown_batch(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--batch", "nope"])
+
+    def test_seed_list_parsing(self):
+        args = build_parser().parse_args(["figures", "--seeds", "1,2,5"])
+        assert args.seeds == (1, 2, 5)
+
+    def test_bad_seed_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--seeds", "1,x"])
+
+
+class TestCommands:
+    def test_workloads_lists_everything(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("caffe", "random_walk", "3_Data_Intensive", "ITS"):
+            assert name in out
+
+    def test_run_prints_summary(self, capsys):
+        code = main(
+            ["run", "--batch", "No_Data_Intensive", "--policy", "Sync", "--scale", "0.2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy=Sync" in out
+        assert "total CPU idle time" in out
+
+    def test_run_save_and_compare(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main(["run", "--policy", "Sync", "--scale", "0.2", "--save", str(a)])
+        main(["run", "--policy", "ITS", "--scale", "0.2", "--save", str(b)])
+        capsys.readouterr()
+        assert main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "major faults" in out
+
+    def test_observation_runs(self, capsys):
+        code = main(["observation", "--counts", "2", "3", "--scale", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "idle/makespan" in out
+
+    def test_crossover_runs(self, capsys):
+        code = main(
+            ["crossover", "--latencies", "1", "30", "--scale", "0.2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+        assert "Sync" in out and "Async" in out
+
+    def test_figures_single_panel(self, capsys):
+        code = main(
+            ["figures", "--figure", "4a", "--seeds", "1", "--scale", "0.2", "--normalize"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 4a" in out
+        assert "normalized to ITS" in out
+
+    def test_figures_chart_mode(self, capsys):
+        code = main(
+            ["figures", "--figure", "4b", "--seeds", "1", "--scale", "0.2", "--chart"]
+        )
+        assert code == 0
+        assert "█" in capsys.readouterr().out
+
+    def test_compare_rejects_multi_result_files(self, capsys, tmp_path):
+        from repro.analysis.store import save_results
+        from repro.analysis.experiments import run_batch_policy
+        from repro.common.config import MachineConfig
+
+        result = run_batch_policy(
+            MachineConfig(), "No_Data_Intensive", "Sync", seed=1, scale=0.2
+        )
+        path = tmp_path / "two.json"
+        save_results(path, [result, result])
+        assert main(["compare", str(path), str(path)]) == 2
+
+
+class TestTraceStats:
+    SAMPLE = str(
+        __import__("pathlib").Path(__file__).resolve().parents[2]
+        / "examples"
+        / "data"
+        / "sample.lackey"
+    )
+
+    def test_lackey_stats(self, capsys):
+        code = main(["trace-stats", self.SAMPLE, "--lackey"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out and "footprint pages" in out
+
+    def test_trace_file_stats(self, capsys, tmp_path):
+        from repro.cpu.isa import Compute, Load
+        from repro.trace.tracefile import save_trace
+
+        path = tmp_path / "t.trace"
+        save_trace(path, [Load(dst=0, vaddr=0x1000), Compute(dst=1)])
+        assert main(["trace-stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "loads           1" in out
+
+    def test_max_instructions(self, capsys):
+        code = main(
+            ["trace-stats", self.SAMPLE, "--lackey", "--max-instructions", "10"]
+        )
+        assert code == 0
+        assert "instructions    10" in capsys.readouterr().out
+
+
+class TestFiguresCSVExport:
+    def test_save_csv_writes_panels(self, capsys, tmp_path):
+        out = tmp_path / "csv"
+        code = main(
+            [
+                "figures",
+                "--figure",
+                "4a",
+                "--seeds",
+                "1",
+                "--scale",
+                "0.2",
+                "--save-csv",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert (out / "fig4a.csv").exists()
+        text = (out / "fig4a.csv").read_text()
+        assert "policy," in text and "ITS" in text

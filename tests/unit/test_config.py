@@ -1,0 +1,213 @@
+"""Unit tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    DeviceConfig,
+    ITSConfig,
+    MachineConfig,
+    MemoryConfig,
+    PCIeConfig,
+    SchedulerConfig,
+    TLBConfig,
+)
+from repro.common.errors import ConfigError
+from repro.common.units import KIB, MIB, MS, US
+
+
+class TestCacheConfig:
+    def test_defaults_are_consistent(self):
+        config = CacheConfig()
+        assert config.size_bytes == config.num_sets * config.ways * config.line_size
+
+    def test_num_lines(self):
+        config = CacheConfig(size_bytes=64 * KIB, ways=4, line_size=64)
+        assert config.num_lines == 1024
+        assert config.num_sets == 256
+
+    def test_halved_keeps_geometry(self):
+        config = CacheConfig(size_bytes=64 * KIB, ways=4, line_size=64)
+        half = config.halved()
+        assert half.size_bytes == 32 * KIB
+        assert half.ways == config.ways
+        assert half.line_size == config.line_size
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(line_size=48)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=0)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=3 * 64 * 16, ways=16, line_size=64)
+
+
+class TestTLBConfig:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigError):
+            TLBConfig(entries=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            TLBConfig(hit_latency_ns=-1)
+
+
+class TestDeviceConfig:
+    def test_defaults_match_paper(self):
+        config = DeviceConfig()
+        assert config.access_latency_ns == 3 * US  # Z-NAND class
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(access_latency_ns=0)
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(channels=0)
+
+
+class TestPCIeConfig:
+    def test_total_bandwidth(self):
+        config = PCIeConfig(lanes=4, bandwidth_per_lane_bytes_per_sec=1e9)
+        assert config.total_bandwidth_bytes_per_sec == 4e9
+
+    def test_transfer_time(self):
+        config = PCIeConfig(lanes=1, bandwidth_per_lane_bytes_per_sec=1e9)
+        assert config.transfer_time_ns(1000) == 1000  # 1 KB at 1 GB/s = 1 us
+
+    def test_transfer_time_zero_bytes(self):
+        assert PCIeConfig().transfer_time_ns(0) == 0
+
+    def test_transfer_time_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            PCIeConfig().transfer_time_ns(-1)
+
+    def test_paper_link_speed(self):
+        config = PCIeConfig()
+        # 4 lanes x 3.983 GB/s: a 4 KiB page moves in ~257 ns.
+        assert 200 < config.transfer_time_ns(4096) < 320
+
+
+class TestSchedulerConfig:
+    def test_highest_priority_gets_max_slice(self):
+        config = SchedulerConfig()
+        top = config.priority_levels - 1
+        assert config.time_slice_ns(top) == config.max_time_slice_ns
+
+    def test_lowest_priority_gets_min_slice(self):
+        config = SchedulerConfig()
+        assert config.time_slice_ns(0) == config.min_time_slice_ns
+
+    def test_slices_monotone_in_priority(self):
+        config = SchedulerConfig()
+        slices = [config.time_slice_ns(p) for p in range(config.priority_levels)]
+        assert slices == sorted(slices)
+
+    def test_paper_nice_extremes(self):
+        config = SchedulerConfig()
+        assert config.max_time_slice_ns == 800 * MS
+        assert config.min_time_slice_ns == 5 * MS
+        assert config.context_switch_ns == 7 * US
+
+    def test_rejects_out_of_range_priority(self):
+        config = SchedulerConfig()
+        with pytest.raises(ConfigError):
+            config.time_slice_ns(config.priority_levels)
+        with pytest.raises(ConfigError):
+            config.time_slice_ns(-1)
+
+    def test_rejects_bad_pollution_fraction(self):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(switch_pollution_fraction=1.5)
+
+
+class TestITSConfig:
+    def test_defaults(self):
+        config = ITSConfig()
+        assert config.prefetch_degree > 0
+        assert config.preexec_max_instructions > 0
+        assert config.kernel_entry_ns < 1 * US  # kernel-space transition
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(ConfigError):
+            ITSConfig(prefetch_degree=-1)
+
+    def test_rejects_zero_instr_cost(self):
+        with pytest.raises(ConfigError):
+            ITSConfig(preexec_instr_ns=0)
+
+
+class TestMachineConfig:
+    def test_default_constructs(self):
+        config = MachineConfig()
+        assert config.memory.page_size % config.llc.line_size == 0
+
+    def test_paper_platform(self):
+        config = MachineConfig.paper()
+        assert config.llc.size_bytes == 8 * MIB
+        assert config.llc.ways == 16
+        assert config.scheduler.max_time_slice_ns == 800 * MS
+        assert config.memory.dram_latency_ns == 50
+
+    def test_small_constructs(self):
+        assert MachineConfig.small().llc.size_bytes == 16 * KIB
+
+    def test_dict_roundtrip(self):
+        config = MachineConfig.paper()
+        rebuilt = MachineConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_from_dict_rejects_missing_key(self):
+        data = MachineConfig().to_dict()
+        del data["llc"]
+        with pytest.raises(ConfigError):
+            MachineConfig.from_dict(data)
+
+    def test_dram_bytes(self):
+        config = MemoryConfig(dram_frames=100, page_size=4096)
+        assert config.dram_bytes == 400 * KIB
+
+
+class TestValidationEdges:
+    def test_memory_rejects_tiny_page(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(page_size=256)
+
+    def test_memory_rejects_non_power_of_two_page(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(page_size=3000)
+
+    def test_device_rejects_sub_page_capacity(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(capacity_bytes=1024)
+
+    def test_pcie_rejects_zero_lanes(self):
+        with pytest.raises(ConfigError):
+            PCIeConfig(lanes=0)
+
+    def test_pcie_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigError):
+            PCIeConfig(bandwidth_per_lane_bytes_per_sec=0)
+
+    def test_machine_rejects_page_smaller_than_line(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                llc=CacheConfig(line_size=1024),
+                memory=MemoryConfig(page_size=512),
+            )
+
+    def test_its_rejects_zero_episode_cap(self):
+        with pytest.raises(ConfigError):
+            ITSConfig(preexec_max_instructions=0)
+
+    def test_scheduler_rejects_inverted_slices(self):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(max_time_slice_ns=10, min_time_slice_ns=20)
+
+    def test_scheduler_rejects_single_level(self):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(priority_levels=1)

@@ -1,0 +1,102 @@
+"""Unit tests for committed-mode CPU execution."""
+
+import pytest
+
+from repro.cpu.core import StepOutcome
+from repro.cpu.isa import Branch, Compute, Load, Store
+
+
+@pytest.fixture
+def cpu_env(machine):
+    machine.memory.register_process(1, range(0x100, 0x108))
+    return machine
+
+
+def _va(vpn, offset=0):
+    return (vpn << 12) + offset
+
+
+class TestCompute:
+    def test_compute_costs_cycles(self, cpu_env):
+        result = cpu_env.cpu.execute(1, Compute(dst=0, cycles=5))
+        assert result.outcome is StepOutcome.COMPLETED
+        assert result.time_ns == 5 * cpu_env.config.compute_ns_per_instr
+        assert result.stall_ns == 0
+
+    def test_branch_costs_one(self, cpu_env):
+        result = cpu_env.cpu.execute(1, Branch(taken=True))
+        assert result.time_ns == cpu_env.config.compute_ns_per_instr
+
+    def test_committed_counter(self, cpu_env):
+        cpu_env.cpu.execute(1, Compute(dst=0))
+        cpu_env.cpu.execute(1, Branch())
+        assert cpu_env.cpu.instructions_committed == 2
+
+
+class TestMemoryOps:
+    def test_absent_page_is_major_fault(self, cpu_env):
+        result = cpu_env.cpu.execute(1, Load(dst=0, vaddr=_va(0x100)))
+        assert result.outcome is StepOutcome.MAJOR_FAULT
+        assert result.fault_vpn == 0x100
+        assert result.time_ns == 0
+
+    def test_fault_does_not_commit(self, cpu_env):
+        cpu_env.cpu.execute(1, Load(dst=0, vaddr=_va(0x100)))
+        assert cpu_env.cpu.instructions_committed == 0
+
+    def test_resident_load_completes(self, cpu_env):
+        cpu_env.memory.install_page(1, 0x100)
+        result = cpu_env.cpu.execute(1, Load(dst=0, vaddr=_va(0x100)))
+        assert result.outcome is StepOutcome.COMPLETED
+        assert result.stall_ns == cpu_env.config.memory.dram_latency_ns  # cold miss
+
+    def test_second_load_hits_cache(self, cpu_env):
+        cpu_env.memory.install_page(1, 0x100)
+        cpu_env.cpu.execute(1, Load(dst=0, vaddr=_va(0x100)))
+        result = cpu_env.cpu.execute(1, Load(dst=0, vaddr=_va(0x100)))
+        assert result.stall_ns == 0
+
+    def test_tlb_miss_then_hit_latency(self, cpu_env):
+        cpu_env.memory.install_page(1, 0x100)
+        first = cpu_env.cpu.execute(1, Load(dst=0, vaddr=_va(0x100)))
+        second = cpu_env.cpu.execute(1, Load(dst=0, vaddr=_va(0x100)))
+        walk = cpu_env.config.tlb.miss_walk_latency_ns
+        hit = cpu_env.config.tlb.hit_latency_ns
+        assert first.time_ns - second.time_ns >= walk - hit
+
+    def test_store_completes_on_resident_page(self, cpu_env):
+        cpu_env.memory.install_page(1, 0x100)
+        result = cpu_env.cpu.execute(1, Store(src=0, vaddr=_va(0x100)))
+        assert result.outcome is StepOutcome.COMPLETED
+
+    def test_minor_fault_on_prefetched_page(self, cpu_env):
+        cpu_env.memory.install_page(1, 0x100, prefetched=True)
+        result = cpu_env.cpu.execute(1, Load(dst=0, vaddr=_va(0x100)))
+        assert result.outcome is StepOutcome.COMPLETED
+        assert result.minor_fault
+        assert result.time_ns >= cpu_env.config.fault_handler_ns
+
+    def test_stale_tlb_entry_refaults(self, cpu_env):
+        # Install, touch (fills TLB), evict behind the TLB's back, touch.
+        cpu_env.memory.install_page(1, 0x100)
+        cpu_env.cpu.execute(1, Load(dst=0, vaddr=_va(0x100)))
+        pte = cpu_env.memory.mm_of(1).pte_for(0x100)
+        # Simulate an eviction that bypassed the machine's shootdown.
+        cpu_env.memory.frames.free(pte.frame)
+        pte.unmap(pte.swap_slot)
+        cpu_env.memory.replacement.on_evicted  # callback path not used here
+        result = cpu_env.cpu.execute(1, Load(dst=0, vaddr=_va(0x100)))
+        assert result.outcome is StepOutcome.MAJOR_FAULT
+
+    def test_unknown_instruction_rejected(self, cpu_env):
+        with pytest.raises(TypeError):
+            cpu_env.cpu.execute(1, object())
+
+
+class TestPhysicalMapping:
+    def test_distinct_frames_distinct_lines(self, cpu_env):
+        cpu_env.memory.install_page(1, 0x100)
+        cpu_env.memory.install_page(1, 0x101)
+        cpu_env.cpu.execute(1, Load(dst=0, vaddr=_va(0x100)))
+        result = cpu_env.cpu.execute(1, Load(dst=0, vaddr=_va(0x101)))
+        assert result.stall_ns > 0  # different frame: its own cold miss

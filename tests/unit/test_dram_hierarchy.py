@@ -1,0 +1,75 @@
+"""Unit tests for the DRAM model and the composed memory hierarchy."""
+
+import pytest
+
+from repro.common.config import CacheConfig, MemoryConfig
+from repro.mem.dram import DRAMModel
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+class TestDRAM:
+    def test_read_latency_and_counters(self):
+        dram = DRAMModel(MemoryConfig(dram_latency_ns=50))
+        assert dram.read_latency_ns(64) == 50
+        assert dram.reads == 1
+        assert dram.bytes_read == 64
+
+    def test_write_latency_and_counters(self):
+        dram = DRAMModel(MemoryConfig(dram_latency_ns=50))
+        assert dram.write_latency_ns(64) == 50
+        assert dram.writes == 1
+        assert dram.bytes_written == 64
+
+    def test_total_accesses(self):
+        dram = DRAMModel(MemoryConfig())
+        dram.read_latency_ns()
+        dram.write_latency_ns()
+        assert dram.total_accesses == 2
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(
+        CacheConfig(size_bytes=1024, ways=2, line_size=64, hit_latency_ns=10),
+        MemoryConfig(dram_latency_ns=50),
+    )
+
+
+class TestHierarchy:
+    def test_miss_pays_dram(self, hierarchy):
+        result = hierarchy.access(0x1000)
+        assert not result.hit
+        assert result.latency_ns == 60  # hit latency + DRAM
+        assert result.stall_ns == 50
+
+    def test_hit_pays_only_llc(self, hierarchy):
+        hierarchy.access(0x1000)
+        result = hierarchy.access(0x1000)
+        assert result.hit
+        assert result.latency_ns == 10
+        assert result.stall_ns == 0
+
+    def test_warm_makes_next_access_hit(self, hierarchy):
+        hierarchy.warm(0x2000, owner=1)
+        result = hierarchy.access(0x2000, owner=1)
+        assert result.hit
+
+    def test_warm_does_not_touch_demand_stats(self, hierarchy):
+        hierarchy.warm(0x2000)
+        assert hierarchy.llc.stats.demand_accesses == 0
+
+    def test_invalidate_frame_forces_miss(self, hierarchy):
+        hierarchy.access(0x1000)
+        dropped = hierarchy.invalidate_frame(0x1000, 4096)
+        assert dropped >= 1
+        assert not hierarchy.access(0x1000).hit
+
+    def test_pollute_on_switch_evicts_owner_lines(self, hierarchy):
+        for i in range(4):
+            hierarchy.access(i * 64, owner=7)
+        polluted = hierarchy.pollute_on_switch(7, 0.5)
+        assert polluted == 2
+
+    def test_write_miss_counts_dram_write(self, hierarchy):
+        hierarchy.access(0x3000, is_write=True)
+        assert hierarchy.dram.writes == 1

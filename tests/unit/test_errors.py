@@ -1,0 +1,33 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    AddressError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_type", [ConfigError, TraceError, AddressError, SimulationError]
+)
+def test_all_derive_from_repro_error(exc_type):
+    assert issubclass(exc_type, ReproError)
+
+
+def test_repro_error_is_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_catching_base_catches_derived():
+    with pytest.raises(ReproError):
+        raise ConfigError("bad knob")
+
+
+def test_errors_are_distinct():
+    assert not issubclass(ConfigError, TraceError)
+    assert not issubclass(TraceError, ConfigError)
+    assert not issubclass(SimulationError, ConfigError)

@@ -1,0 +1,102 @@
+"""Unit tests for the simulation event log."""
+
+import csv
+
+import pytest
+
+from repro.baselines import SyncIOPolicy
+from repro.core import ITSPolicy
+from repro.sim.eventlog import EventLog, SimEvent
+from repro.sim.simulator import Simulation, WorkloadInstance
+
+from tests.conftest import make_linear_trace
+
+
+class TestEventLog:
+    def test_record_and_len(self):
+        log = EventLog()
+        log.record(10, "major_fault", pid=1, vpn=5)
+        assert len(log) == 1
+        assert list(log)[0] == SimEvent(10, "major_fault", 1, 5)
+
+    def test_of_kind_and_pid(self):
+        log = EventLog()
+        log.record(1, "a", pid=1)
+        log.record(2, "b", pid=2)
+        log.record(3, "a", pid=2)
+        assert [e.time_ns for e in log.of_kind("a")] == [1, 3]
+        assert [e.time_ns for e in log.of_pid(2)] == [2, 3]
+
+    def test_counts(self):
+        log = EventLog()
+        for kind in ("a", "a", "b"):
+            log.record(0, kind)
+        assert log.counts() == {"a": 2, "b": 1}
+
+    def test_capacity_drops_oldest(self):
+        log = EventLog(capacity=3)
+        for t in range(5):
+            log.record(t, "x")
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [e.time_ns for e in log] == [2, 3, 4]
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_csv_roundtrip(self, tmp_path):
+        log = EventLog()
+        log.record(5, "major_fault", pid=1, vpn=0x10)
+        log.record(9, "finish", pid=1)
+        path = tmp_path / "events.csv"
+        log.to_csv(path)
+        with path.open() as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["time_ns", "kind", "pid", "vpn"]
+        assert rows[1] == ["5", "major_fault", "1", "16"]
+        assert rows[2] == ["9", "finish", "1", ""]
+
+
+class TestSimulationIntegration:
+    def test_sync_run_logs_faults_and_finishes(self, small_config):
+        log = EventLog()
+        workloads = [
+            WorkloadInstance(name="w", trace=make_linear_trace(4), priority=10)
+        ]
+        result = Simulation(
+            small_config, workloads, SyncIOPolicy(), event_log=log
+        ).run()
+        counts = log.counts()
+        assert counts["major_fault"] == result.major_faults
+        assert counts["finish"] == 1
+        assert counts["dispatch"] >= 1
+
+    def test_its_run_logs_steals(self, small_config):
+        log = EventLog()
+        workloads = [
+            WorkloadInstance(name="w", trace=make_linear_trace(6), priority=10),
+            WorkloadInstance(
+                name="v", trace=make_linear_trace(6, base_va=0x90_0000), priority=20
+            ),
+        ]
+        Simulation(small_config, workloads, ITSPolicy(), event_log=log).run()
+        counts = log.counts()
+        assert counts.get("steal", 0) > 0
+        assert counts.get("prefetch_issue", 0) > 0
+
+    def test_no_log_attached_is_fine(self, small_config):
+        workloads = [
+            WorkloadInstance(name="w", trace=make_linear_trace(2), priority=10)
+        ]
+        result = Simulation(small_config, workloads, SyncIOPolicy()).run()
+        assert result.makespan_ns > 0
+
+    def test_event_times_monotone(self, small_config):
+        log = EventLog()
+        workloads = [
+            WorkloadInstance(name="w", trace=make_linear_trace(4), priority=10)
+        ]
+        Simulation(small_config, workloads, SyncIOPolicy(), event_log=log).run()
+        times = [e.time_ns for e in log]
+        assert times == sorted(times)

@@ -1,0 +1,123 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.events import Event, EventQueue
+
+
+def _noop(event):
+    pass
+
+
+class TestScheduling:
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        q.schedule_at(10, "a", _noop)
+        q.schedule_at(20, "b", _noop)
+        assert len(q) == 2
+
+    def test_peek_returns_earliest(self):
+        q = EventQueue()
+        q.schedule_at(20, "late", _noop)
+        q.schedule_at(10, "early", _noop)
+        assert q.peek_time() == 10
+
+    def test_peek_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_orders_by_time(self):
+        q = EventQueue()
+        q.schedule_at(30, "c", _noop)
+        q.schedule_at(10, "a", _noop)
+        q.schedule_at(20, "b", _noop)
+        assert [q.pop().tag for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        q = EventQueue()
+        q.schedule_at(10, "first", _noop)
+        q.schedule_at(10, "second", _noop)
+        assert q.pop().tag == "first"
+        assert q.pop().tag == "second"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule_at(-1, "bad", _noop)
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self):
+        q = EventQueue()
+        fired = []
+        handle = q.schedule_at(10, "x", lambda e: fired.append(e.tag))
+        q.cancel(handle)
+        q.run_due(100)
+        assert fired == []
+        assert len(q) == 0
+
+    def test_cancel_does_not_affect_others(self):
+        q = EventQueue()
+        fired = []
+        q.schedule_at(10, "keep", lambda e: fired.append(e.tag))
+        handle = q.schedule_at(5, "drop", lambda e: fired.append(e.tag))
+        q.cancel(handle)
+        q.run_due(100)
+        assert fired == ["keep"]
+
+
+class TestRunDue:
+    def test_fires_only_due_events(self):
+        q = EventQueue()
+        fired = []
+        q.schedule_at(10, "a", lambda e: fired.append(e.tag))
+        q.schedule_at(50, "b", lambda e: fired.append(e.tag))
+        count = q.run_due(20)
+        assert count == 1
+        assert fired == ["a"]
+        assert len(q) == 1
+
+    def test_callbacks_can_chain_events(self):
+        q = EventQueue()
+        fired = []
+
+        def chain(event):
+            fired.append(event.tag)
+            if event.tag == "a":
+                q.schedule_at(event.time_ns + 5, "chained", chain)
+
+        q.schedule_at(10, "a", chain)
+        count = q.run_due(20)
+        assert count == 2
+        assert fired == ["a", "chained"]
+
+    def test_chained_event_beyond_horizon_waits(self):
+        q = EventQueue()
+        fired = []
+
+        def chain(event):
+            fired.append(event.tag)
+            q.schedule_at(event.time_ns + 100, "later", chain)
+
+        q.schedule_at(10, "a", chain)
+        q.run_due(20)
+        assert fired == ["a"]
+        assert q.peek_time() == 110
+
+    def test_pop_due_returns_in_order(self):
+        q = EventQueue()
+        for t in (30, 10, 20):
+            q.schedule_at(t, str(t), _noop)
+        due = q.pop_due(25)
+        assert [e.time_ns for e in due] == [10, 20]
+
+    def test_payload_carried(self):
+        q = EventQueue()
+        seen = []
+        q.schedule_at(1, "p", lambda e: seen.append(e.payload), payload={"k": 1})
+        q.run_due(1)
+        assert seen == [{"k": 1}]

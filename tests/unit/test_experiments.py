@@ -1,0 +1,86 @@
+"""Unit tests for the experiment runners (small scales)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    OBSERVATION_WORKLOADS,
+    POLICY_FACTORIES,
+    run_batch_policy,
+    run_figure4,
+    run_figure5,
+    run_observation,
+)
+from repro.analysis.results import MetricKind
+from repro.common.config import MachineConfig
+from repro.common.errors import ConfigError
+
+
+class TestRunBatchPolicy:
+    def test_runs_one_cell(self):
+        result = run_batch_policy(
+            MachineConfig(), "No_Data_Intensive", "Sync", seed=1, scale=0.2
+        )
+        assert result.policy == "Sync"
+        assert result.batch == "No_Data_Intensive"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            run_batch_policy(MachineConfig(), "No_Data_Intensive", "Magic")
+
+    def test_all_policy_factories_fresh(self):
+        # Each factory call must produce a new instance (policies are
+        # stateful per run).
+        for factory in POLICY_FACTORIES.values():
+            assert factory() is not factory()
+
+
+class TestFigureRunners:
+    def test_figure4_shapes_structure(self):
+        data = run_figure4(
+            MachineConfig(),
+            seeds=(1,),
+            scale=0.2,
+            batches=("No_Data_Intensive",),
+            policies=("Sync", "ITS"),
+        )
+        assert data.idle_time.x_labels == ["No_Data_Intensive"]
+        assert set(data.idle_time.series) == {"Sync", "ITS"}
+        assert data.page_faults.metric is MetricKind.PAGE_FAULTS
+        normalized = data.normalized_idle()
+        assert normalized.series["ITS"] == [1.0]
+
+    def test_figure5_structure(self):
+        data = run_figure5(
+            MachineConfig(),
+            seeds=(1,),
+            scale=0.2,
+            batches=("No_Data_Intensive",),
+            policies=("Sync", "ITS"),
+        )
+        top, bottom = data.normalized(reference="ITS")
+        assert top.series["ITS"] == [1.0]
+        assert bottom.series["ITS"] == [1.0]
+
+
+class TestObservation:
+    def test_five_representative_processes(self):
+        assert OBSERVATION_WORKLOADS == (
+            "wrf",
+            "blender",
+            "pagerank",
+            "random_walk",
+            "graph500",
+        )
+
+    def test_counts_validated(self):
+        with pytest.raises(ConfigError):
+            run_observation(MachineConfig(), process_counts=(0,))
+        with pytest.raises(ConfigError):
+            run_observation(MachineConfig(), process_counts=(9,))
+
+    def test_normalized_first_is_one(self):
+        data = run_observation(
+            MachineConfig(), process_counts=(2, 3), scale=0.2
+        )
+        assert data.normalized_idle[0] == 1.0
+        assert len(data.idle_fraction) == 2

@@ -1,0 +1,63 @@
+"""Failure-injection tests: the simulator must fail loudly, not hang,
+when a policy violates its contract."""
+
+import pytest
+
+from repro.baselines.base import IOPolicy
+from repro.common.errors import SimulationError
+from repro.sim.simulator import Simulation, WorkloadInstance
+
+from tests.conftest import make_linear_trace
+
+
+class DeadlockingPolicy(IOPolicy):
+    """Blocks the faulting process without arming any completion."""
+
+    name = "Deadlock"
+
+    def on_major_fault(self, sim, process, vpn):
+        sim.scheduler.block_current()
+
+
+class DoNothingPolicy(IOPolicy):
+    """Neither installs the page nor blocks: the fault repeats forever."""
+
+    name = "DoNothing"
+
+    def on_major_fault(self, sim, process, vpn):
+        sim.consume_time(process, 10)
+
+
+class MisaccountingPolicy(IOPolicy):
+    """Installs the page twice — a state-machine violation."""
+
+    name = "DoubleInstall"
+
+    def on_major_fault(self, sim, process, vpn):
+        sim.machine.memory.install_page(process.pid, vpn)
+        sim.machine.memory.install_page(process.pid, vpn)
+
+
+def make_sim(config, policy):
+    workloads = [
+        WorkloadInstance(name="w", trace=make_linear_trace(2), priority=10)
+    ]
+    return Simulation(config, workloads, policy, batch_name="failure")
+
+
+class TestContractViolations:
+    def test_deadlock_detected(self, small_config):
+        sim = make_sim(small_config, DeadlockingPolicy())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run()
+
+    def test_livelock_hits_step_bound(self, small_config, monkeypatch):
+        sim = make_sim(small_config, DoNothingPolicy())
+        monkeypatch.setattr(Simulation, "MAX_STEPS", 1000)
+        with pytest.raises(SimulationError, match="MAX_STEPS"):
+            sim.run()
+
+    def test_double_install_raises(self, small_config):
+        sim = make_sim(small_config, MisaccountingPolicy())
+        with pytest.raises(SimulationError, match="already resident"):
+            sim.run()

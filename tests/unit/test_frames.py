@@ -1,0 +1,90 @@
+"""Unit tests for the physical frame allocator."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.vm.frames import FrameAllocator
+
+
+@pytest.fixture
+def frames():
+    return FrameAllocator(num_frames=4, page_size=4096)
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_frames(self, frames):
+        allocated = {frames.allocate(1, vpn) for vpn in range(4)}
+        assert len(allocated) == 4
+
+    def test_exhaustion_returns_none(self, frames):
+        for vpn in range(4):
+            frames.allocate(1, vpn)
+        assert frames.allocate(1, 99) is None
+        assert frames.full
+
+    def test_free_then_reallocate(self, frames):
+        frame = frames.allocate(1, 0)
+        frames.free(frame)
+        assert frames.allocate(2, 5) is not None
+        assert frames.free_frames == 3
+
+    def test_counters(self, frames):
+        frames.allocate(1, 0)
+        assert frames.used_frames == 1
+        assert frames.free_frames == 3
+
+    def test_double_free_raises(self, frames):
+        frame = frames.allocate(1, 0)
+        frames.free(frame)
+        with pytest.raises(SimulationError):
+            frames.free(frame)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(num_frames=0, page_size=4096)
+
+
+class TestReverseMapping:
+    def test_owner_of(self, frames):
+        frame = frames.allocate(3, 7)
+        info = frames.owner_of(frame)
+        assert info is not None
+        assert (info.pid, info.vpn) == (3, 7)
+
+    def test_owner_of_free_frame_none(self, frames):
+        frame = frames.allocate(3, 7)
+        frames.free(frame)
+        assert frames.owner_of(frame) is None
+
+    def test_frames_of_pid(self, frames):
+        frames.allocate(1, 0)
+        frames.allocate(1, 1)
+        frames.allocate(2, 0)
+        assert len(frames.frames_of(1)) == 2
+        assert len(frames.frames_of(2)) == 1
+
+    def test_free_returns_old_info(self, frames):
+        frame = frames.allocate(5, 9)
+        info = frames.free(frame)
+        assert (info.pid, info.vpn) == (5, 9)
+
+
+class TestAddressing:
+    def test_frame_base_address(self, frames):
+        assert frames.frame_base_address(0) == 0
+        assert frames.frame_base_address(3) == 3 * 4096
+
+    def test_base_address_out_of_range(self, frames):
+        with pytest.raises(SimulationError):
+            frames.frame_base_address(4)
+
+
+class TestPrefetchedFlag:
+    def test_allocate_prefetched(self, frames):
+        frame = frames.allocate(1, 0, prefetched=True)
+        assert frames.owner_of(frame).prefetched
+
+    def test_clear_prefetched(self, frames):
+        frame = frames.allocate(1, 0, prefetched=True)
+        frames.clear_prefetched(frame)
+        assert not frames.owner_of(frame).prefetched

@@ -1,0 +1,65 @@
+"""Unit tests for the trace instruction model."""
+
+import pytest
+
+from repro.cpu.isa import (
+    Branch,
+    Compute,
+    Load,
+    Store,
+    is_memory_op,
+    register_written,
+    registers_read,
+)
+
+
+class TestKinds:
+    def test_kind_tags(self):
+        assert Compute(dst=0).kind == "compute"
+        assert Load(dst=0, vaddr=0).kind == "load"
+        assert Store(src=0, vaddr=0).kind == "store"
+        assert Branch().kind == "branch"
+
+    def test_is_memory_op(self):
+        assert is_memory_op(Load(dst=0, vaddr=0))
+        assert is_memory_op(Store(src=0, vaddr=0))
+        assert not is_memory_op(Compute(dst=0))
+        assert not is_memory_op(Branch())
+
+
+class TestRegisterSets:
+    def test_compute_reads_srcs(self):
+        assert tuple(registers_read(Compute(dst=1, srcs=(2, 3)))) == (2, 3)
+
+    def test_compute_writes_dst(self):
+        assert register_written(Compute(dst=1)) == 1
+
+    def test_load_reads_addr_reg_only(self):
+        assert tuple(registers_read(Load(dst=1, vaddr=0))) == ()
+        assert tuple(registers_read(Load(dst=1, vaddr=0, addr_reg=5))) == (5,)
+
+    def test_load_writes_dst(self):
+        assert register_written(Load(dst=4, vaddr=0)) == 4
+
+    def test_store_reads_src_and_addr(self):
+        assert tuple(registers_read(Store(src=2, vaddr=0))) == (2,)
+        assert tuple(registers_read(Store(src=2, vaddr=0, addr_reg=7))) == (2, 7)
+
+    def test_store_writes_nothing(self):
+        assert register_written(Store(src=2, vaddr=0)) is None
+
+    def test_branch_reads_srcs_writes_nothing(self):
+        branch = Branch(srcs=(1, 2), taken=True)
+        assert tuple(registers_read(branch)) == (1, 2)
+        assert register_written(branch) is None
+
+
+class TestImmutability:
+    def test_instructions_are_frozen(self):
+        instr = Load(dst=0, vaddr=0)
+        with pytest.raises(AttributeError):
+            instr.vaddr = 5
+
+    def test_equality_by_value(self):
+        assert Load(dst=0, vaddr=64) == Load(dst=0, vaddr=64)
+        assert Load(dst=0, vaddr=64) != Load(dst=0, vaddr=128)

@@ -1,0 +1,126 @@
+"""Unit tests for the optional L1 cache level."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import SyncIOPolicy, SyncRunaheadPolicy
+from repro.common.config import CacheConfig, MachineConfig, MemoryConfig
+from repro.common.errors import ConfigError
+from repro.common.units import KIB
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.sim.simulator import Simulation, WorkloadInstance
+
+from tests.conftest import make_linear_trace
+
+L1 = CacheConfig(size_bytes=1024, ways=2, line_size=64, hit_latency_ns=4)
+LLC = CacheConfig(size_bytes=8 * KIB, ways=4, line_size=64, hit_latency_ns=20)
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(LLC, MemoryConfig(dram_latency_ns=50), L1)
+
+
+class TestL1Hierarchy:
+    def test_first_access_misses_both(self, hierarchy):
+        result = hierarchy.access(0x1000)
+        assert not result.hit
+        assert result.latency_ns == 4 + 20 + 50
+        assert result.stall_ns == 50
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.access(0x1000)
+        result = hierarchy.access(0x1000)
+        assert result.hit
+        assert result.latency_ns == 4  # L1 hit only
+
+    def test_l1_evicted_line_hits_llc(self, hierarchy):
+        hierarchy.access(0x0000)
+        # Evict 0x0000 from L1 (2 ways, 8 sets at 64B: 0x200 aliasing).
+        hierarchy.access(0x0200)
+        hierarchy.access(0x0400)
+        result = hierarchy.access(0x0000)
+        assert result.hit  # still in the LLC
+        assert result.latency_ns == 4 + 20
+
+    def test_warm_fills_both_levels(self, hierarchy):
+        hierarchy.warm(0x3000)
+        assert hierarchy.l1.contains(0x3000)
+        assert hierarchy.llc.contains(0x3000)
+
+    def test_invalidate_hits_both(self, hierarchy):
+        hierarchy.access(0x1000)
+        hierarchy.invalidate_frame(0x1000, 4096)
+        assert not hierarchy.l1.contains(0x1000)
+        assert not hierarchy.llc.contains(0x1000)
+
+    def test_switch_flushes_l1(self, hierarchy):
+        hierarchy.access(0x1000, owner=1)
+        hierarchy.pollute_on_switch(1, 0.0)
+        assert hierarchy.l1.resident_lines() == 0
+
+
+class TestConfigValidation:
+    def test_l1_line_size_must_match(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                llc=CacheConfig(line_size=64),
+                l1=CacheConfig(size_bytes=1024, ways=2, line_size=128),
+            )
+
+    def test_l1_must_not_exceed_llc(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                llc=CacheConfig(size_bytes=16 * KIB, ways=4),
+                l1=CacheConfig(size_bytes=32 * KIB, ways=4),
+            )
+
+    def test_default_has_no_l1(self):
+        assert MachineConfig().l1 is None
+
+    def test_dict_roundtrip_with_l1(self):
+        config = MachineConfig(l1=L1)
+        rebuilt = MachineConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_dict_roundtrip_without_l1(self):
+        config = MachineConfig()
+        assert MachineConfig.from_dict(config.to_dict()).l1 is None
+
+
+class TestEndToEnd:
+    def _config(self, small_config, with_l1):
+        return dataclasses.replace(small_config, l1=L1 if with_l1 else None)
+
+    def test_simulation_runs_with_l1(self, small_config):
+        config = self._config(small_config, True)
+        workloads = [
+            WorkloadInstance(name="w", trace=make_linear_trace(4, per_page=8), priority=10)
+        ]
+        result = Simulation(config, workloads, SyncIOPolicy()).run()
+        assert result.makespan_ns > 0
+
+    def test_l1_reduces_llc_demand_traffic(self, small_config):
+        # A trace with line reuse: the second touch of each line hits
+        # the L1 and never reaches the LLC.
+        reused = make_linear_trace(2, per_page=4) * 3
+
+        def run(with_l1):
+            config = self._config(small_config, with_l1)
+            workloads = [WorkloadInstance(name="w", trace=list(reused), priority=10)]
+            sim = Simulation(config, workloads, SyncIOPolicy())
+            sim.run()
+            return sim.machine.hierarchy.llc.stats.demand_accesses
+
+        assert run(True) < run(False)
+
+    def test_runahead_with_l1(self, small_config):
+        config = self._config(small_config, True)
+        workloads = [
+            WorkloadInstance(
+                name="w", trace=make_linear_trace(6, per_page=16), priority=10
+            )
+        ]
+        result = Simulation(config, workloads, SyncRunaheadPolicy()).run()
+        assert result.preexec_instructions > 0

@@ -1,0 +1,68 @@
+"""Unit tests for machine assembly and the virtual clock."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.machine import Machine
+from repro.vm.replacement import GlobalLRUPolicy
+
+
+class TestClock:
+    def test_advance_moves_time(self, machine):
+        machine.advance(100)
+        assert machine.now_ns == 100
+
+    def test_advance_fires_due_events(self, machine):
+        fired = []
+        machine.events.schedule_at(50, "x", lambda e: fired.append(e.tag))
+        machine.advance(100)
+        assert fired == ["x"]
+
+    def test_advance_to(self, machine):
+        machine.advance_to(500)
+        assert machine.now_ns == 500
+
+    def test_clock_monotone(self, machine):
+        machine.advance(100)
+        with pytest.raises(SimulationError):
+            machine.advance_to(50)
+        with pytest.raises(SimulationError):
+            machine.advance(-1)
+
+
+class TestAssembly:
+    def test_no_preexec_by_default(self, machine):
+        assert machine.preexec_engine is None
+        assert machine.preexec_cache is None
+
+    def test_preexec_halves_llc(self, small_config):
+        plain = Machine(small_config, GlobalLRUPolicy())
+        carved = Machine(small_config, GlobalLRUPolicy(), with_preexec_cache=True)
+        assert (
+            carved.hierarchy.llc.config.size_bytes
+            == plain.hierarchy.llc.config.size_bytes // 2
+        )
+        assert carved.preexec_cache is not None
+        assert (
+            carved.preexec_cache.config.size_bytes
+            == small_config.llc.size_bytes // 2
+        )
+
+    def test_swap_sized_from_device(self, machine):
+        expected = machine.config.device.capacity_bytes // machine.config.memory.page_size
+        assert machine.memory.swap.num_slots == expected
+
+
+class TestEvictionWiring:
+    def test_eviction_shoots_down_tlb_and_llc(self, machine):
+        machine.memory.register_process(1, range(0x100, 0x100 + 40))
+        # Fill DRAM (32 frames) and touch the first page's cache line.
+        machine.memory.install_page(1, 0x100)
+        frame = machine.memory.mm_of(1).pte_for(0x100).frame
+        machine.tlb.insert(1, 0x100, frame)
+        machine.hierarchy.llc.access(frame * 4096, owner=1)
+        for vpn in range(0x101, 0x100 + 33):
+            machine.memory.install_page(1, vpn)
+        # vpn 0x100 was evicted: TLB and LLC entries must be gone.
+        assert machine.tlb.lookup(1, 0x100) is None
+        assert not machine.hierarchy.llc.contains(frame * 4096)

@@ -1,0 +1,162 @@
+"""Unit tests for the memory manager's residency state machine."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.vm.frames import FrameAllocator
+from repro.vm.mm import FaultKind, MemoryManager
+from repro.vm.replacement import GlobalLRUPolicy
+from repro.vm.swap import SwapArea
+
+
+@pytest.fixture
+def memory():
+    return MemoryManager(
+        FrameAllocator(num_frames=4, page_size=4096),
+        SwapArea(64),
+        GlobalLRUPolicy(),
+    )
+
+
+@pytest.fixture
+def memory_with_proc(memory):
+    memory.register_process(1, range(8))
+    return memory
+
+
+class TestRegistration:
+    def test_register_maps_footprint_to_swap(self, memory):
+        mm = memory.register_process(1, [0, 1, 2])
+        assert mm.footprint_pages == 3
+        for vpn in (0, 1, 2):
+            pte = mm.pte_for(vpn)
+            assert pte is not None and not pte.present
+            assert pte.swap_slot is not None
+
+    def test_duplicate_registration_raises(self, memory):
+        memory.register_process(1, [0])
+        with pytest.raises(SimulationError):
+            memory.register_process(1, [1])
+
+    def test_mm_of_unknown_raises(self, memory):
+        with pytest.raises(SimulationError):
+            memory.mm_of(9)
+
+
+class TestTouchClassification:
+    def test_cold_touch_is_major(self, memory_with_proc):
+        result = memory_with_proc.classify_touch(1, 0)
+        assert result.kind is FaultKind.MAJOR
+        assert memory_with_proc.mm_of(1).major_faults == 1
+
+    def test_resident_touch_is_hit(self, memory_with_proc):
+        memory_with_proc.install_page(1, 0)
+        result = memory_with_proc.classify_touch(1, 0)
+        assert result.kind is FaultKind.HIT
+        assert result.frame is not None
+
+    def test_prefetched_touch_is_minor(self, memory_with_proc):
+        memory_with_proc.install_page(1, 0, prefetched=True)
+        result = memory_with_proc.classify_touch(1, 0)
+        assert result.kind is FaultKind.MINOR
+        assert memory_with_proc.mm_of(1).minor_faults == 1
+
+    def test_minor_maps_page(self, memory_with_proc):
+        memory_with_proc.install_page(1, 0, prefetched=True)
+        memory_with_proc.classify_touch(1, 0)
+        assert memory_with_proc.classify_touch(1, 0).kind is FaultKind.HIT
+
+    def test_unmapped_touch_raises(self, memory_with_proc):
+        with pytest.raises(SimulationError):
+            memory_with_proc.classify_touch(1, 99)
+
+
+class TestInstall:
+    def test_demand_install_sets_present(self, memory_with_proc):
+        memory_with_proc.install_page(1, 0)
+        pte = memory_with_proc.mm_of(1).pte_for(0)
+        assert pte.present
+
+    def test_prefetch_install_goes_to_swap_cache(self, memory_with_proc):
+        memory_with_proc.install_page(1, 0, prefetched=True)
+        pte = memory_with_proc.mm_of(1).pte_for(0)
+        assert not pte.present  # parked until first touch
+        assert memory_with_proc.swap_cache.contains(1, 0)
+
+    def test_double_install_raises(self, memory_with_proc):
+        memory_with_proc.install_page(1, 0)
+        with pytest.raises(SimulationError):
+            memory_with_proc.install_page(1, 0)
+
+    def test_install_evicts_when_full(self, memory_with_proc):
+        for vpn in range(5):  # pool holds 4
+            memory_with_proc.install_page(1, vpn)
+        assert memory_with_proc.evictions == 1
+        pte0 = memory_with_proc.mm_of(1).pte_for(0)
+        assert not pte0.present  # vpn 0 was LRU
+
+    def test_eviction_callback_fires(self, memory_with_proc):
+        events = []
+        memory_with_proc.on_evict(lambda pid, vpn, frame: events.append((pid, vpn)))
+        for vpn in range(5):
+            memory_with_proc.install_page(1, vpn)
+        assert events == [(1, 0)]
+
+    def test_evicted_page_refaults_as_major(self, memory_with_proc):
+        for vpn in range(5):
+            memory_with_proc.install_page(1, vpn)
+        assert memory_with_proc.classify_touch(1, 0).kind is FaultKind.MAJOR
+
+    def test_eviction_of_swap_cached_page(self, memory_with_proc):
+        memory_with_proc.install_page(1, 0, prefetched=True)
+        for vpn in range(1, 5):
+            memory_with_proc.install_page(1, vpn)
+        # vpn 0 (prefetched, never touched) was the LRU victim.
+        assert not memory_with_proc.swap_cache.contains(1, 0)
+        assert memory_with_proc.swap_cache.evictions == 1
+
+
+class TestResidency:
+    def test_is_resident_or_cached(self, memory_with_proc):
+        assert not memory_with_proc.is_resident_or_cached(1, 0)
+        memory_with_proc.install_page(1, 0)
+        assert memory_with_proc.is_resident_or_cached(1, 0)
+
+    def test_swap_cached_counts_as_cached(self, memory_with_proc):
+        memory_with_proc.install_page(1, 0, prefetched=True)
+        assert memory_with_proc.is_resident_or_cached(1, 0)
+
+    def test_resident_pages_of(self, memory_with_proc):
+        memory_with_proc.install_page(1, 0)
+        memory_with_proc.install_page(1, 1)
+        assert memory_with_proc.resident_pages_of(1) == 2
+
+    def test_evict_pages_of(self, memory_with_proc):
+        for vpn in range(3):
+            memory_with_proc.install_page(1, vpn)
+        evicted = memory_with_proc.evict_pages_of(1, 2)
+        assert evicted == 2
+        assert memory_with_proc.resident_pages_of(1) == 1
+
+    def test_touch_refreshes_lru(self, memory_with_proc):
+        for vpn in range(4):
+            memory_with_proc.install_page(1, vpn)
+        memory_with_proc.classify_touch(1, 0)  # refresh vpn 0
+        memory_with_proc.install_page(1, 4)  # evicts vpn 1, not 0
+        assert memory_with_proc.mm_of(1).pte_for(0).present
+        assert not memory_with_proc.mm_of(1).pte_for(1).present
+
+
+class TestProcessRelease:
+    def test_release_frees_frames_and_swap(self, memory_with_proc):
+        for vpn in range(3):
+            memory_with_proc.install_page(1, vpn)
+        assert memory_with_proc.swap.used_slots == 8  # footprint backed
+        released = memory_with_proc.release_process(1)
+        assert released == 8  # the whole footprint
+        assert memory_with_proc.resident_pages_of(1) == 0
+        assert memory_with_proc.swap.used_slots == 0
+
+    def test_release_idempotent_swap_state(self, memory_with_proc):
+        memory_with_proc.release_process(1)
+        assert memory_with_proc.release_process(1) == 0

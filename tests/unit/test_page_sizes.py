@@ -1,0 +1,81 @@
+"""Unit tests for configurable (huge) page sizes."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import SyncIOPolicy
+from repro.common.config import MachineConfig
+from repro.common.units import KIB
+from repro.cpu.isa import Load
+from repro.sim.simulator import Simulation, WorkloadInstance, _rescale_vpns
+from repro.trace.record import footprint_vpns
+
+
+def config_with_pages(base: MachineConfig, page_size: int, frames: int = 32):
+    return dataclasses.replace(
+        base,
+        memory=dataclasses.replace(
+            base.memory, page_size=page_size, dram_frames=frames
+        ),
+    )
+
+
+class TestFootprintGranularity:
+    def test_footprint_at_16k(self):
+        trace = [Load(dst=0, vaddr=p * 4096) for p in range(8)]
+        assert len(footprint_vpns(trace, 4096)) == 8
+        assert len(footprint_vpns(trace, 16 * KIB)) == 2
+
+    def test_straddle_counts_both_large_pages(self):
+        trace = [Load(dst=0, vaddr=16 * KIB - 4, size=8)]
+        assert footprint_vpns(trace, 16 * KIB) == {0, 1}
+
+
+class TestRescaleVpns:
+    def test_identity_at_4k(self):
+        assert _rescale_vpns(frozenset({1, 2, 3}), 4096) == {1, 2, 3}
+
+    def test_coarsens_for_huge_pages(self):
+        # 4K vpns 0..7 live in 16K vpns 0..1.
+        assert _rescale_vpns(frozenset(range(8)), 16 * KIB) == {0, 1}
+
+    def test_expands_for_small_pages(self):
+        assert _rescale_vpns(frozenset({1}), 2048) == {2, 3}
+
+
+class TestSimulationAtLargePages:
+    def _run(self, small_config, page_size):
+        config = config_with_pages(small_config, page_size)
+        # 16 x 4KiB-page trace = 4 x 16KiB pages.
+        trace = [Load(dst=p % 16, vaddr=0x10_0000 + p * 4096) for p in range(16)]
+        workloads = [WorkloadInstance(name="w", trace=trace, priority=10)]
+        sim = Simulation(config, workloads, SyncIOPolicy(), batch_name="hp")
+        return sim, sim.run()
+
+    def test_fault_count_matches_page_granularity(self, small_config):
+        __, result_4k = self._run(small_config, 4096)
+        __, result_16k = self._run(small_config, 16 * KIB)
+        assert result_4k.major_faults == 16
+        assert result_16k.major_faults == 4
+
+    def test_transfer_size_scales(self, small_config):
+        sim4, __ = self._run(small_config, 4096)
+        sim16, __ = self._run(small_config, 16 * KIB)
+        assert sim16.machine.link.bytes_transferred == sim4.machine.link.bytes_transferred
+        assert sim16.machine.link.transfers < sim4.machine.link.transfers
+
+    def test_mapped_declaration_rescaled(self, small_config):
+        config = config_with_pages(small_config, 16 * KIB)
+        trace = [Load(dst=0, vaddr=0x10_0000)]
+        workloads = [
+            WorkloadInstance(
+                name="w",
+                trace=trace,
+                priority=10,
+                mapped_vpns=frozenset({0x100, 0x101, 0x102, 0x103}),
+            )
+        ]
+        sim = Simulation(config, workloads, SyncIOPolicy(), batch_name="hp")
+        # Four 4K pages collapse into one 16K page.
+        assert sim.machine.memory.mm_of(0).footprint_pages == 1

@@ -1,0 +1,180 @@
+"""Unit tests for the I/O policies (baselines + ITS) on controlled
+mini-simulations."""
+
+import pytest
+
+from repro.baselines import (
+    AsyncIOPolicy,
+    SyncIOPolicy,
+    SyncPrefetchPolicy,
+    SyncRunaheadPolicy,
+)
+from repro.core import ITSPolicy
+from repro.core.recovery import RecoveryTrigger
+from repro.cpu.isa import Compute, Load
+from repro.sim.simulator import Simulation, WorkloadInstance
+from repro.vm.replacement import GlobalLRUPolicy, PriorityAwareLRUPolicy
+
+from tests.conftest import make_linear_trace
+
+
+def run_sim(config, policy, workloads=None):
+    workloads = workloads or [
+        WorkloadInstance(name="w0", trace=make_linear_trace(6), priority=20),
+        WorkloadInstance(
+            name="w1", trace=make_linear_trace(6, base_va=0x50_0000), priority=5
+        ),
+    ]
+    return Simulation(config, workloads, policy, batch_name="unit").run()
+
+
+class TestSyncPolicy:
+    def test_all_faults_synchronous(self, small_config):
+        result = run_sim(small_config, SyncIOPolicy())
+        assert result.idle.sync_storage_ns > 0
+        assert result.idle.async_idle_ns == 0
+
+    def test_fault_count_matches_pages(self, small_config):
+        result = run_sim(small_config, SyncIOPolicy())
+        # 12 distinct pages, cold-started, fit in 32 frames: 12 majors.
+        assert result.major_faults == 12
+
+    def test_makespan_includes_waits(self, small_config):
+        result = run_sim(small_config, SyncIOPolicy())
+        assert result.makespan_ns > result.idle.sync_storage_ns
+
+
+class TestAsyncPolicy:
+    def test_faults_block_instead_of_wait(self, small_config):
+        result = run_sim(small_config, AsyncIOPolicy())
+        assert result.idle.sync_storage_ns == 0
+        assert result.idle.ctx_switch_overhead_ns > 0
+
+    def test_single_process_async_idles(self, small_config):
+        workloads = [
+            WorkloadInstance(name="solo", trace=make_linear_trace(4), priority=10)
+        ]
+        result = run_sim(small_config, AsyncIOPolicy(), workloads)
+        # Nothing else to run during I/O: the CPU idles awaiting events.
+        assert result.idle.async_idle_ns > 0
+
+    def test_async_slower_than_sync_for_ull(self, small_config):
+        # The paper's core premise: with a 3 us device and a 7 us switch,
+        # Async loses.
+        sync = run_sim(small_config, SyncIOPolicy())
+        async_ = run_sim(small_config, AsyncIOPolicy())
+        assert async_.makespan_ns > sync.makespan_ns
+
+
+class TestSyncRunahead:
+    def test_uses_preexec_cache(self, small_config):
+        policy = SyncRunaheadPolicy()
+        assert policy.uses_preexec_cache
+
+    def test_preexecutes_on_misses(self, small_config):
+        result = run_sim(small_config, SyncRunaheadPolicy())
+        assert result.preexec_instructions > 0
+
+    def test_reduces_misses_vs_sync(self, small_config):
+        # Traces with spatial locality: runahead warms the next lines.
+        workloads = [
+            WorkloadInstance(
+                name="w0", trace=make_linear_trace(6, per_page=16), priority=20
+            ),
+        ]
+        sync = run_sim(small_config, SyncIOPolicy(), list(workloads))
+        runahead = run_sim(small_config, SyncRunaheadPolicy(), list(workloads))
+        assert runahead.demand_cache_misses < sync.demand_cache_misses
+
+
+class TestSyncPrefetch:
+    def test_prefetches_unit_on_fault(self, small_config):
+        result = run_sim(small_config, SyncPrefetchPolicy(unit_pages=4))
+        assert result.prefetch_issued > 0
+
+    def test_converts_majors_to_minors(self, small_config):
+        sync = run_sim(small_config, SyncIOPolicy())
+        prefetch = run_sim(small_config, SyncPrefetchPolicy(unit_pages=4))
+        assert prefetch.major_faults < sync.major_faults
+        assert prefetch.minor_faults > 0
+
+    def test_rejects_bad_unit(self):
+        with pytest.raises(ValueError):
+            SyncPrefetchPolicy(unit_pages=0)
+
+
+class TestITSPolicy:
+    def test_components_assembled(self, small_config):
+        policy = ITSPolicy()
+        run_sim(small_config, policy)
+        assert policy.improving.kthread.name == "self-improving"
+        assert policy.sacrificing.kthread.name == "self-sacrificing"
+        assert policy.selection.high_selections + policy.selection.low_selections > 0
+
+    def test_replacement_is_priority_aware(self, small_config):
+        policy = ITSPolicy()
+        workloads = [
+            WorkloadInstance(name="hi", trace=make_linear_trace(2), priority=30),
+            WorkloadInstance(
+                name="lo", trace=make_linear_trace(2, base_va=0x50_0000), priority=2
+            ),
+        ]
+        sim = Simulation(small_config, workloads, policy, batch_name="t")
+        assert isinstance(sim.machine.memory.replacement, PriorityAwareLRUPolicy)
+
+    def test_replacement_opt_out(self, small_config):
+        policy = ITSPolicy(priority_aware_replacement=False)
+        sim = Simulation(
+            small_config,
+            [WorkloadInstance(name="w", trace=make_linear_trace(2), priority=1)],
+            policy,
+            batch_name="t",
+        )
+        assert isinstance(sim.machine.memory.replacement, GlobalLRUPolicy)
+
+    def test_prefetch_reduces_majors(self, small_config):
+        sync = run_sim(small_config, SyncIOPolicy())
+        its = run_sim(small_config, ITSPolicy())
+        assert its.major_faults < sync.major_faults
+
+    def test_low_priority_faults_demoted(self, small_config):
+        policy = ITSPolicy()
+        result = run_sim(small_config, policy)
+        if policy.selection.low_selections:
+            assert policy.sacrificing.sacrifices == policy.selection.low_selections
+
+    def test_recovery_balanced(self, small_config):
+        policy = ITSPolicy()
+        run_sim(small_config, policy)
+        assert policy.recovery.checkpoints == policy.recovery.restores
+
+    def test_preexec_disabled_skips_engine(self, small_config):
+        policy = ITSPolicy(preexec=False)
+        assert not policy.uses_preexec_cache
+        result = run_sim(small_config, policy)
+        assert result.preexec_instructions == 0
+
+    def test_prefetch_disabled_issues_nothing(self, small_config):
+        policy = ITSPolicy(prefetch=False)
+        result = run_sim(small_config, policy)
+        assert result.prefetch_issued == 0
+
+    def test_self_sacrifice_disabled_all_sync(self, small_config):
+        policy = ITSPolicy(self_sacrifice=False)
+        result = run_sim(small_config, policy)
+        assert policy.sacrificing.sacrifices == 0
+        assert result.idle.async_idle_ns == 0
+
+    def test_polling_recovery_trigger(self, small_config):
+        policy = ITSPolicy(recovery_trigger=RecoveryTrigger.POLLING)
+        result = run_sim(small_config, policy)
+        assert result.makespan_ns > 0
+
+    def test_policy_instance_not_reusable_across_runs(self, small_config):
+        # A fresh policy per run is the documented contract; attach twice
+        # re-binds, but the same instance reports cumulative counters.
+        policy = ITSPolicy()
+        run_sim(small_config, policy)
+        first = policy.improving.windows_stolen
+        run_sim(small_config, policy)
+        assert policy.improving.windows_stolen >= first

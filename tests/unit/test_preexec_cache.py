@@ -1,0 +1,78 @@
+"""Unit tests for the pre-execute cache with per-byte INV bits."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.mem.preexec_cache import PreExecuteCache
+
+
+@pytest.fixture
+def cache():
+    return PreExecuteCache(CacheConfig(size_bytes=1024, ways=2, line_size=64))
+
+
+class TestLookup:
+    def test_absent_is_none(self, cache):
+        assert cache.lookup(0x1000, 8) is None
+        assert cache.misses == 1
+
+    def test_valid_write_then_valid_lookup(self, cache):
+        cache.write(0x1000, 8, invalid=False)
+        assert cache.lookup(0x1000, 8) is True
+        assert cache.hits == 1
+
+    def test_invalid_write_then_invalid_lookup(self, cache):
+        cache.write(0x1000, 8, invalid=True)
+        assert cache.lookup(0x1000, 8) is False
+
+    def test_partial_overlap_with_invalid_bytes(self, cache):
+        cache.write(0x1000, 16, invalid=False)
+        cache.write(0x1004, 4, invalid=True)  # poison the middle
+        assert cache.lookup(0x1000, 16) is False
+        assert cache.lookup(0x1008, 8) is True
+
+    def test_per_byte_granularity(self, cache):
+        cache.write(0x1000, 1, invalid=True)
+        cache.write(0x1001, 1, invalid=False)
+        assert cache.lookup(0x1000, 1) is False
+        assert cache.lookup(0x1001, 1) is True
+
+    def test_lookup_spanning_lines(self, cache):
+        cache.write(0x1000, 128, invalid=False)  # two lines
+        assert cache.lookup(0x1030, 64) is True
+
+    def test_lookup_spanning_missing_line(self, cache):
+        cache.write(0x1000, 64, invalid=False)  # only first line
+        assert cache.lookup(0x1030, 64) is None
+
+
+class TestWrite:
+    def test_write_spanning_lines_allocates_both(self, cache):
+        cache.write(0x1000, 128, invalid=True)
+        assert cache.resident_lines() == 2
+
+    def test_overwrite_updates_inv(self, cache):
+        cache.write(0x1000, 8, invalid=True)
+        cache.write(0x1000, 8, invalid=False)
+        assert cache.lookup(0x1000, 8) is True
+
+    def test_write_counter(self, cache):
+        cache.write(0x1000, 8, invalid=False)
+        cache.write(0x2000, 8, invalid=False)
+        assert cache.writes == 2
+
+
+class TestCapacity:
+    def test_lru_eviction_within_set(self, cache):
+        # 8 sets, 2 ways; addresses 0x0, 0x200, 0x400 share set 0.
+        cache.write(0x000, 8, invalid=False)
+        cache.write(0x200, 8, invalid=False)
+        cache.write(0x400, 8, invalid=False)
+        assert cache.lookup(0x000, 8) is None  # evicted
+        assert cache.lookup(0x400, 8) is True
+
+    def test_clear_wipes_everything(self, cache):
+        cache.write(0x1000, 64, invalid=True)
+        cache.clear()
+        assert cache.resident_lines() == 0
+        assert cache.lookup(0x1000, 8) is None

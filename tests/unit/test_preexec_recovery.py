@@ -1,0 +1,112 @@
+"""Unit tests for the fault-aware pre-execute policy wrapper and the
+state-recovery policy."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.preexec import FaultAwarePreExecutePolicy
+from repro.core.recovery import RecoveryTrigger, StateRecoveryPolicy
+from repro.cpu.isa import Compute, Load
+from repro.cpu.registers import RegisterFile
+from repro.kernel.process import Process
+
+
+@pytest.fixture
+def env(preexec_machine):
+    preexec_machine.memory.register_process(1, range(0x100, 0x108))
+    return preexec_machine
+
+
+def make_process(trace):
+    return Process(pid=1, name="p", priority=10, trace=trace)
+
+
+class TestJustification:
+    def test_small_window_rejected(self, env):
+        policy = FaultAwarePreExecutePolicy(env.preexec_engine, min_instructions=8)
+        per = env.config.its.preexec_instr_ns
+        assert not policy.justified(7 * per)
+        assert policy.justified(8 * per)
+
+    def test_rejected_episode_counts(self, env):
+        policy = FaultAwarePreExecutePolicy(env.preexec_engine, min_instructions=8)
+        process = make_process([Load(dst=0, vaddr=0x100 << 12), Compute(dst=1)])
+        stats, discovered = policy.run(process, budget_ns=1)
+        assert stats is None
+        assert discovered == []
+        assert policy.episodes_rejected == 1
+
+    def test_accepted_episode_runs(self, env):
+        policy = FaultAwarePreExecutePolicy(env.preexec_engine, min_instructions=1)
+        process = make_process(
+            [Load(dst=0, vaddr=0x100 << 12), Compute(dst=1, srcs=(0,))]
+        )
+        stats, _ = policy.run(process, budget_ns=10_000)
+        assert stats is not None
+        assert stats.instructions == 1  # starts after the faulting load
+        assert policy.episodes_run == 1
+
+    def test_faulting_dst_enters_inv(self, env):
+        policy = FaultAwarePreExecutePolicy(env.preexec_engine, min_instructions=1)
+        process = make_process(
+            [Load(dst=0, vaddr=0x100 << 12), Compute(dst=1, srcs=(0,))]
+        )
+        stats, _ = policy.run(process, budget_ns=10_000)
+        assert stats.skipped_invalid == 1  # the dependent compute
+
+    def test_finished_process_rejected(self, env):
+        policy = FaultAwarePreExecutePolicy(env.preexec_engine)
+        process = make_process([Compute(dst=0)])
+        process.advance()
+        with pytest.raises(SimulationError):
+            policy.run(process, budget_ns=10_000)
+
+
+class TestStateRecovery:
+    def test_checkpoint_restore_roundtrip(self):
+        policy = StateRecoveryPolicy()
+        registers = RegisterFile()
+        registers.pc = 5
+        policy.checkpoint(registers)
+        registers.pc = 99
+        registers.set_invalid(3)
+        latency = policy.restore(registers)
+        assert registers.pc == 5
+        assert not registers.is_invalid(3)
+        assert latency == policy.restore_cost_ns
+
+    def test_polling_adds_detection_latency(self):
+        policy = StateRecoveryPolicy(
+            trigger=RecoveryTrigger.POLLING, poll_interval_ns=1000
+        )
+        registers = RegisterFile()
+        policy.checkpoint(registers)
+        assert policy.restore(registers) == 500 + policy.restore_cost_ns
+
+    def test_nested_checkpoint_raises(self):
+        policy = StateRecoveryPolicy()
+        registers = RegisterFile()
+        policy.checkpoint(registers)
+        with pytest.raises(SimulationError):
+            policy.checkpoint(registers)
+
+    def test_restore_without_checkpoint_raises(self):
+        with pytest.raises(SimulationError):
+            StateRecoveryPolicy().restore(RegisterFile())
+
+    def test_armed_flag(self):
+        policy = StateRecoveryPolicy()
+        registers = RegisterFile()
+        assert not policy.armed
+        policy.checkpoint(registers)
+        assert policy.armed
+        policy.restore(registers)
+        assert not policy.armed
+
+    def test_counters(self):
+        policy = StateRecoveryPolicy()
+        registers = RegisterFile()
+        policy.checkpoint(registers)
+        policy.restore(registers)
+        assert policy.checkpoints == 1
+        assert policy.restores == 1

@@ -1,0 +1,78 @@
+"""Unit tests for the virtual-address-based page prefetcher (Figure 2)."""
+
+import pytest
+
+from repro.core.prefetch import VirtualAddressPrefetcher
+
+
+@pytest.fixture
+def env(machine):
+    machine.memory.register_process(1, range(0x100, 0x120))
+    return machine
+
+
+class TestCollection:
+    def test_collects_next_non_resident(self, env):
+        prefetcher = VirtualAddressPrefetcher(env.memory, degree=4)
+        candidates, cost = prefetcher.collect(1, 0x100)
+        assert candidates == [0x101, 0x102, 0x103, 0x104]
+        assert cost > 0
+
+    def test_skips_resident_pages(self, env):
+        env.memory.install_page(1, 0x101)
+        env.memory.install_page(1, 0x103)
+        prefetcher = VirtualAddressPrefetcher(env.memory, degree=3)
+        candidates, _ = prefetcher.collect(1, 0x100)
+        assert candidates == [0x102, 0x104, 0x105]
+        assert prefetcher.stats.already_resident_skipped == 2
+
+    def test_skips_swap_cached_pages(self, env):
+        env.memory.install_page(1, 0x101, prefetched=True)
+        prefetcher = VirtualAddressPrefetcher(env.memory, degree=2)
+        candidates, _ = prefetcher.collect(1, 0x100)
+        assert candidates == [0x102, 0x103]
+
+    def test_stops_at_end_of_mapping(self, env):
+        prefetcher = VirtualAddressPrefetcher(env.memory, degree=8)
+        candidates, _ = prefetcher.collect(1, 0x11C)
+        assert candidates == [0x11D, 0x11E, 0x11F]
+
+    def test_degree_zero_returns_nothing(self, env):
+        prefetcher = VirtualAddressPrefetcher(env.memory, degree=0)
+        assert prefetcher.collect(1, 0x100) == ([], 0)
+
+    def test_scan_limit_bounds_walk(self, env):
+        for vpn in range(0x101, 0x110):
+            env.memory.install_page(1, vpn)
+        prefetcher = VirtualAddressPrefetcher(env.memory, degree=8, scan_limit=5)
+        candidates, cost = prefetcher.collect(1, 0x100)
+        assert candidates == []  # first 5 scanned entries were resident
+        assert cost == 5 * prefetcher.walk_entry_ns
+
+    def test_walk_cost_proportional_to_scanned(self, env):
+        prefetcher = VirtualAddressPrefetcher(env.memory, degree=2, walk_entry_ns=7)
+        _, cost = prefetcher.collect(1, 0x100)
+        assert cost == 2 * 7
+
+    def test_stats_accumulate(self, env):
+        prefetcher = VirtualAddressPrefetcher(env.memory, degree=2)
+        prefetcher.collect(1, 0x100)
+        prefetcher.collect(1, 0x110)
+        assert prefetcher.stats.invocations == 2
+        assert prefetcher.stats.candidates_found == 4
+        assert prefetcher.stats.mean_scan_length == 2.0
+
+    def test_rejects_negative_degree(self, env):
+        with pytest.raises(ValueError):
+            VirtualAddressPrefetcher(env.memory, degree=-1)
+
+    def test_rejects_bad_scan_limit(self, env):
+        with pytest.raises(ValueError):
+            VirtualAddressPrefetcher(env.memory, degree=1, scan_limit=0)
+
+    def test_crosses_page_table_boundary(self, machine):
+        # Map pages straddling a 512-entry leaf table boundary.
+        machine.memory.register_process(2, [510, 511, 512, 513])
+        prefetcher = VirtualAddressPrefetcher(machine.memory, degree=4)
+        candidates, _ = prefetcher.collect(2, 510)
+        assert candidates == [511, 512, 513]

@@ -1,0 +1,87 @@
+"""Unit tests for the register file and shadow register file."""
+
+import pytest
+
+from repro.cpu.registers import NUM_REGISTERS, RegisterFile
+
+
+class TestINVBits:
+    def test_all_valid_initially(self):
+        rf = RegisterFile()
+        assert rf.invalid_count() == 0
+
+    def test_set_and_clear(self):
+        rf = RegisterFile()
+        rf.set_invalid(3)
+        assert rf.is_invalid(3)
+        rf.set_invalid(3, False)
+        assert not rf.is_invalid(3)
+
+    def test_any_invalid(self):
+        rf = RegisterFile()
+        rf.set_invalid(5)
+        assert rf.any_invalid([1, 5])
+        assert not rf.any_invalid([1, 2])
+        assert not rf.any_invalid([])
+
+    def test_clear_all(self):
+        rf = RegisterFile()
+        for i in range(4):
+            rf.set_invalid(i)
+        rf.clear_all_invalid()
+        assert rf.invalid_count() == 0
+
+    def test_custom_size(self):
+        rf = RegisterFile(4)
+        assert rf.num_registers == 4
+
+    def test_rejects_zero_registers(self):
+        with pytest.raises(ValueError):
+            RegisterFile(0)
+
+
+class TestCheckpointRestore:
+    def test_roundtrip_restores_everything(self):
+        rf = RegisterFile()
+        rf.set_invalid(2)
+        rf.pc = 17
+        rf.sp = 42
+        rf.record_branch(True)
+        rf.return_stack.append(99)
+        shadow = rf.checkpoint()
+
+        rf.set_invalid(2, False)
+        rf.set_invalid(7)
+        rf.pc = 100
+        rf.sp = 0
+        rf.record_branch(False)
+        rf.return_stack.clear()
+
+        rf.restore(shadow)
+        assert rf.is_invalid(2)
+        assert not rf.is_invalid(7)
+        assert rf.pc == 17
+        assert rf.sp == 42
+        assert rf.return_stack == [99]
+
+    def test_shadow_is_snapshot_not_alias(self):
+        rf = RegisterFile()
+        shadow = rf.checkpoint()
+        rf.set_invalid(1)
+        assert not shadow.inv_bits[1]
+
+    def test_branch_history_shifts(self):
+        rf = RegisterFile()
+        rf.record_branch(True)
+        rf.record_branch(False)
+        rf.record_branch(True)
+        assert rf.branch_history == 0b101
+
+    def test_branch_history_bounded(self):
+        rf = RegisterFile()
+        for _ in range(100):
+            rf.record_branch(True)
+        assert rf.branch_history <= 0xFFFF
+
+    def test_default_register_count(self):
+        assert RegisterFile().num_registers == NUM_REGISTERS

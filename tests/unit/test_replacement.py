@@ -1,0 +1,90 @@
+"""Unit tests for page replacement policies."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.vm.replacement import (
+    GlobalLRUPolicy,
+    PriorityAwareLRUPolicy,
+    ResidentPage,
+)
+
+
+def page(pid, vpn):
+    return ResidentPage(pid=pid, vpn=vpn)
+
+
+class TestGlobalLRU:
+    def test_victim_is_least_recent(self):
+        policy = GlobalLRUPolicy()
+        policy.on_resident(page(1, 0))
+        policy.on_resident(page(1, 1))
+        policy.on_touch(page(1, 0))
+        assert policy.choose_victim() == page(1, 1)
+
+    def test_resident_order_matters(self):
+        policy = GlobalLRUPolicy()
+        policy.on_resident(page(1, 0))
+        policy.on_resident(page(2, 0))
+        assert policy.choose_victim() == page(1, 0)
+
+    def test_eviction_removes_tracking(self):
+        policy = GlobalLRUPolicy()
+        policy.on_resident(page(1, 0))
+        policy.on_evicted(page(1, 0))
+        with pytest.raises(SimulationError):
+            policy.choose_victim()
+
+    def test_touch_unknown_page_is_noop(self):
+        policy = GlobalLRUPolicy()
+        policy.on_touch(page(9, 9))
+        assert len(policy) == 0
+
+    def test_len(self):
+        policy = GlobalLRUPolicy()
+        policy.on_resident(page(1, 0))
+        policy.on_resident(page(1, 1))
+        assert len(policy) == 2
+
+
+class TestPriorityAwareLRU:
+    def test_prefers_low_priority_victim(self):
+        policy = PriorityAwareLRUPolicy(is_low_priority=lambda pid: pid == 2)
+        policy.on_resident(page(1, 0))  # high, least recent
+        policy.on_resident(page(2, 0))  # low, more recent
+        assert policy.choose_victim() == page(2, 0)
+        assert policy.shielded_evictions == 1
+
+    def test_falls_back_to_global_lru(self):
+        policy = PriorityAwareLRUPolicy(is_low_priority=lambda pid: False)
+        policy.on_resident(page(1, 0))
+        policy.on_resident(page(1, 1))
+        assert policy.choose_victim() == page(1, 0)
+        assert policy.fallback_evictions == 1
+
+    def test_scan_limit_bounds_shielding(self):
+        # The only low-priority page sits beyond the scan horizon.
+        policy = PriorityAwareLRUPolicy(
+            is_low_priority=lambda pid: pid == 9, scan_limit=2
+        )
+        policy.on_resident(page(1, 0))
+        policy.on_resident(page(2, 0))
+        policy.on_resident(page(9, 0))
+        assert policy.choose_victim() == page(1, 0)
+        assert policy.fallback_evictions == 1
+
+    def test_low_priority_lru_order_respected(self):
+        policy = PriorityAwareLRUPolicy(is_low_priority=lambda pid: pid >= 5)
+        policy.on_resident(page(5, 0))
+        policy.on_resident(page(6, 0))
+        policy.on_touch(page(5, 0))
+        assert policy.choose_victim() == page(6, 0)
+
+    def test_empty_raises(self):
+        policy = PriorityAwareLRUPolicy(is_low_priority=lambda pid: True)
+        with pytest.raises(SimulationError):
+            policy.choose_victim()
+
+    def test_rejects_bad_scan_limit(self):
+        with pytest.raises(ValueError):
+            PriorityAwareLRUPolicy(is_low_priority=lambda pid: True, scan_limit=0)

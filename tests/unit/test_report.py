@@ -1,0 +1,70 @@
+"""Unit tests for the Markdown report generator."""
+
+import pytest
+
+from repro.analysis.report import generate_report, write_report
+from repro.common.config import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(MachineConfig(), seeds=(1,), scale=0.2)
+
+
+class TestGenerate:
+    def test_contains_all_sections(self, report_text):
+        for heading in (
+            "# ITS reproduction report",
+            "## Section 2.2 observation",
+            "## Figure 4a",
+            "## Figure 4b",
+            "## Figure 4c",
+            "## Figure 5a",
+            "## Figure 5b",
+        ):
+            assert heading in report_text
+
+    def test_contains_all_policies(self, report_text):
+        for policy in ("Async", "Sync", "Sync_Runahead", "Sync_Prefetch", "ITS"):
+            assert policy in report_text
+
+    def test_normalised_its_row_is_one(self, report_text):
+        # In the normalised tables, the ITS row is all 1.00.
+        its_rows = [
+            line
+            for line in report_text.splitlines()
+            if line.startswith("| ITS | 1.00")
+        ]
+        assert len(its_rows) == 5  # one per figure panel
+
+    def test_mentions_machine_parameters(self, report_text):
+        assert "3.000us" in report_text  # device
+        assert "7.000us" in report_text  # switch
+
+    def test_valid_markdown_tables(self, report_text):
+        # Every table row has a consistent number of pipes with its header.
+        lines = report_text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("|---"):
+                header_pipes = lines[i - 1].count("|")
+                assert line.count("|") == header_pipes
+
+
+class TestWrite:
+    def test_write_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "REPORT.md"
+        path = write_report(target, MachineConfig(), seeds=(1,), scale=0.2)
+        assert path.exists()
+        assert "# ITS reproduction report" in path.read_text()
+
+
+class TestClaimSection:
+    def test_claim_verification_included(self, report_text):
+        assert "## Claim verification" in report_text
+        assert "PASS" in report_text
+
+    def test_deviation_marked_not_failed(self, report_text):
+        # The one documented deviation must never surface as a bare FAIL.
+        for line in report_text.splitlines():
+            if "FAIL" in line and "DEVIATION" not in line:
+                raise AssertionError(f"unexpected FAIL in report: {line}")

@@ -1,0 +1,100 @@
+"""Unit tests for the deterministic RNG."""
+
+import pytest
+
+from repro.common.rng import DeterministicRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(5)
+        b = DeterministicRNG(5)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = [DeterministicRNG(1).randint(0, 10**9) for _ in range(3)]
+        b = [DeterministicRNG(2).randint(0, 10**9) for _ in range(3)]
+        assert a != b
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRNG(5).fork(3)
+        b = DeterministicRNG(5).fork(3)
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+    def test_fork_decorrelates(self):
+        parent = DeterministicRNG(5)
+        child1 = parent.fork(1)
+        child2 = parent.fork(2)
+        assert [child1.randint(0, 10**9) for _ in range(3)] != [
+            child2.randint(0, 10**9) for _ in range(3)
+        ]
+
+    def test_seed_property(self):
+        assert DeterministicRNG(42).seed == 42
+
+
+class TestDraws:
+    def test_randint_bounds(self):
+        rng = DeterministicRNG(7)
+        values = [rng.randint(3, 9) for _ in range(200)]
+        assert min(values) >= 3 and max(values) <= 9
+        assert 3 in values and 9 in values
+
+    def test_random_range(self):
+        rng = DeterministicRNG(7)
+        assert all(0 <= rng.random() < 1 for _ in range(100))
+
+    def test_choice_members(self):
+        rng = DeterministicRNG(7)
+        items = ["a", "b", "c"]
+        assert all(rng.choice(items) in items for _ in range(50))
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRNG(7)
+        items = list(range(30))
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_sample_distinct(self):
+        rng = DeterministicRNG(7)
+        sample = rng.sample(range(100), 10)
+        assert len(set(sample)) == 10
+
+
+class TestZipf:
+    def test_range(self):
+        rng = DeterministicRNG(7)
+        assert all(0 <= rng.zipf(50, 1.0) < 50 for _ in range(500))
+
+    def test_skew_favours_low_ranks(self):
+        rng = DeterministicRNG(7)
+        draws = [rng.zipf(100, 1.2) for _ in range(3000)]
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 90)
+        assert head > 5 * max(tail, 1)
+
+    def test_alpha_zero_roughly_uniform(self):
+        rng = DeterministicRNG(7)
+        draws = [rng.zipf(10, 0.0) for _ in range(5000)]
+        counts = [draws.count(i) for i in range(10)]
+        assert min(counts) > 0.5 * max(counts)
+
+
+class TestGeometric:
+    def test_returns_non_negative(self):
+        rng = DeterministicRNG(7)
+        assert all(rng.geometric(0.5) >= 0 for _ in range(100))
+
+    def test_p_one_always_zero(self):
+        rng = DeterministicRNG(7)
+        assert all(rng.geometric(1.0) == 0 for _ in range(20))
+
+    def test_rejects_bad_p(self):
+        rng = DeterministicRNG(7)
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+        with pytest.raises(ValueError):
+            rng.geometric(1.5)

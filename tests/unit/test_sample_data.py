@@ -1,0 +1,44 @@
+"""The bundled lackey sample parses and simulates end-to-end."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import MachineConfig, Simulation, SyncIOPolicy, WorkloadInstance
+from repro.trace.lackey import parse_lackey
+from repro.trace.record import summarize
+
+SAMPLE = Path(__file__).resolve().parents[2] / "examples" / "data" / "sample.lackey"
+
+
+@pytest.fixture(scope="module")
+def sample_trace():
+    with SAMPLE.open() as f:
+        return parse_lackey(f)
+
+
+class TestSampleData:
+    def test_sample_exists(self):
+        assert SAMPLE.exists()
+
+    def test_parses_to_mixed_trace(self, sample_trace):
+        summary = summarize(sample_trace)
+        assert summary.instructions > 500
+        assert summary.loads > 50
+        assert summary.stores > 30
+        assert summary.computes > 300  # instruction fetches
+
+    def test_cap_respected(self):
+        with SAMPLE.open() as f:
+            trace = parse_lackey(f, max_instructions=100)
+        assert len(trace) == 100
+
+    def test_simulates_end_to_end(self, sample_trace):
+        workloads = [
+            WorkloadInstance(name="sample", trace=sample_trace, priority=10)
+        ]
+        result = Simulation(
+            MachineConfig(), workloads, SyncIOPolicy(), batch_name="lackey"
+        ).run()
+        assert result.instructions_committed == len(sample_trace)
+        assert result.major_faults > 0  # heap/stack pages swap in

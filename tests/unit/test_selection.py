@@ -1,0 +1,64 @@
+"""Unit tests for the priority-aware thread selection policy."""
+
+import pytest
+
+from repro.common.config import SchedulerConfig
+from repro.core.selection import PriorityClass, PrioritySelectionPolicy
+from repro.cpu.isa import Compute
+from repro.kernel.process import Process
+from repro.kernel.scheduler import RoundRobinScheduler
+
+
+def make_process(pid, priority):
+    return Process(pid=pid, name=f"p{pid}", priority=priority, trace=[Compute(dst=0)])
+
+
+@pytest.fixture
+def sched():
+    return RoundRobinScheduler(SchedulerConfig())
+
+
+class TestClassification:
+    def test_low_when_next_outranks(self, sched):
+        current, waiter = make_process(1, 5), make_process(2, 30)
+        sched.add(current)
+        sched.add(waiter)
+        sched.dispatch()
+        policy = PrioritySelectionPolicy()
+        assert policy.classify(current, sched) is PriorityClass.LOW
+        assert policy.low_selections == 1
+
+    def test_high_when_next_is_weaker(self, sched):
+        current, waiter = make_process(1, 30), make_process(2, 5)
+        sched.add(current)
+        sched.add(waiter)
+        sched.dispatch()
+        policy = PrioritySelectionPolicy()
+        assert policy.classify(current, sched) is PriorityClass.HIGH
+        assert policy.high_selections == 1
+
+    def test_tie_counts_as_high(self, sched):
+        current, waiter = make_process(1, 10), make_process(2, 10)
+        sched.add(current)
+        sched.add(waiter)
+        sched.dispatch()
+        assert (
+            PrioritySelectionPolicy().classify(current, sched) is PriorityClass.HIGH
+        )
+
+    def test_empty_queue_is_high(self, sched):
+        current = make_process(1, 1)
+        sched.add(current)
+        sched.dispatch()
+        assert (
+            PrioritySelectionPolicy().classify(current, sched) is PriorityClass.HIGH
+        )
+
+    def test_classification_does_not_touch_queue(self, sched):
+        current, waiter = make_process(1, 5), make_process(2, 30)
+        sched.add(current)
+        sched.add(waiter)
+        sched.dispatch()
+        PrioritySelectionPolicy().classify(current, sched)
+        assert sched.peek_next() is waiter
+        assert sched.current is current

@@ -1,0 +1,106 @@
+"""Unit tests for seed statistics."""
+
+import pytest
+
+from repro.analysis.results import MetricKind
+from repro.analysis.stats import (
+    MetricSummary,
+    orderings_stable,
+    summarize_metric,
+    summarize_policies,
+)
+from repro.common.errors import ConfigError
+from repro.sim.metrics import IdleBreakdown, ProcessRecord, SimulationResult
+
+
+def make_result(idle_ns):
+    return SimulationResult(
+        policy="X",
+        batch="b",
+        makespan_ns=idle_ns * 2,
+        idle=IdleBreakdown(sync_storage_ns=idle_ns),
+        processes=[
+            ProcessRecord(
+                pid=0,
+                name="w",
+                priority=1,
+                data_intensive=False,
+                finish_time_ns=idle_ns,
+                cpu_time_ns=0,
+                memory_stall_ns=0,
+                storage_wait_ns=0,
+                major_faults=0,
+                minor_faults=0,
+                context_switches=0,
+            )
+        ],
+        demand_cache_misses=0,
+        demand_cache_accesses=0,
+        major_faults=0,
+        minor_faults=0,
+        context_switches=0,
+        prefetch_issued=0,
+        prefetch_hits=0,
+        preexec_instructions=0,
+        preexec_lines_warmed=0,
+        instructions_committed=0,
+    )
+
+
+class TestSummarize:
+    def test_mean_and_stdev(self):
+        runs = [make_result(100), make_result(200), make_result(300)]
+        summary = summarize_metric(runs, MetricKind.IDLE_TIME)
+        assert summary.mean == 200
+        assert summary.stdev == 100
+        assert summary.n == 3
+
+    def test_ci_brackets_mean(self):
+        runs = [make_result(100), make_result(200)]
+        summary = summarize_metric(runs, MetricKind.IDLE_TIME)
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_single_run_zero_spread(self):
+        summary = summarize_metric([make_result(42)], MetricKind.IDLE_TIME)
+        assert summary.stdev == 0
+        assert summary.ci_low == summary.ci_high == 42
+
+    def test_relative_spread(self):
+        runs = [make_result(100), make_result(300)]
+        summary = summarize_metric(runs, MetricKind.IDLE_TIME)
+        assert summary.relative_spread == pytest.approx(summary.stdev / 200)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            summarize_metric([], MetricKind.IDLE_TIME)
+
+    def test_summarize_policies(self):
+        grid = {"A": [make_result(10)], "B": [make_result(20)]}
+        summaries = summarize_policies(grid, MetricKind.IDLE_TIME)
+        assert summaries["A"].mean == 10
+        assert summaries["B"].mean == 20
+
+
+class TestOrderingStability:
+    def test_always_wins(self):
+        grid = {
+            "good": [make_result(10), make_result(20)],
+            "bad": [make_result(30), make_result(40)],
+        }
+        assert orderings_stable(grid, MetricKind.IDLE_TIME, "good", "bad") == 1.0
+
+    def test_partial_wins(self):
+        grid = {
+            "good": [make_result(10), make_result(50)],
+            "bad": [make_result(30), make_result(40)],
+        }
+        assert orderings_stable(grid, MetricKind.IDLE_TIME, "good", "bad") == 0.5
+
+    def test_mismatched_seed_counts_rejected(self):
+        grid = {"good": [make_result(1)], "bad": [make_result(2), make_result(3)]}
+        with pytest.raises(ConfigError):
+            orderings_stable(grid, MetricKind.IDLE_TIME, "good", "bad")
+
+    def test_missing_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            orderings_stable({}, MetricKind.IDLE_TIME, "good", "bad")

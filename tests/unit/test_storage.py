@@ -1,0 +1,114 @@
+"""Unit tests for the ULL device, PCIe link, and DMA controller."""
+
+import pytest
+
+from repro.common.config import DeviceConfig, PCIeConfig
+from repro.common.events import EventQueue
+from repro.storage.device import ULLDevice
+from repro.storage.dma import DMAController, DMARequest
+from repro.storage.pcie import PCIeLink
+
+
+class TestDevice:
+    def test_read_takes_access_latency(self):
+        device = ULLDevice(DeviceConfig(access_latency_ns=3000, channels=2))
+        start, done = device.submit_read(100)
+        assert start == 100
+        assert done == 3100
+
+    def test_channels_overlap(self):
+        device = ULLDevice(DeviceConfig(access_latency_ns=3000, channels=2))
+        _, done1 = device.submit_read(0)
+        _, done2 = device.submit_read(0)
+        assert done1 == done2 == 3000  # parallel channels
+
+    def test_queueing_beyond_channels(self):
+        device = ULLDevice(DeviceConfig(access_latency_ns=3000, channels=1))
+        _, done1 = device.submit_read(0)
+        start2, done2 = device.submit_read(0)
+        assert start2 == done1
+        assert done2 == 6000
+        assert device.stats.queued_ns == 3000
+
+    def test_earliest_free(self):
+        device = ULLDevice(DeviceConfig(access_latency_ns=3000, channels=1))
+        device.submit_read(0)
+        assert device.earliest_free_ns(0) == 3000
+        assert device.earliest_free_ns(5000) == 5000
+
+    def test_write_counted(self):
+        device = ULLDevice(DeviceConfig())
+        device.submit_write(0)
+        assert device.stats.writes == 1
+        assert device.stats.total_ops == 1
+
+    def test_busy_time_accumulates(self):
+        device = ULLDevice(DeviceConfig(access_latency_ns=3000, channels=4))
+        device.submit_read(0)
+        device.submit_read(0)
+        assert device.stats.busy_ns == 6000
+
+
+class TestPCIe:
+    def test_transfer_serializes(self):
+        link = PCIeLink(PCIeConfig(lanes=1, bandwidth_per_lane_bytes_per_sec=1e9))
+        _, done1 = link.schedule_transfer(0, 1000)  # 1 us
+        start2, done2 = link.schedule_transfer(0, 1000)
+        assert done1 == 1000
+        assert start2 == 1000
+        assert done2 == 2000
+
+    def test_transfer_waits_for_ready(self):
+        link = PCIeLink(PCIeConfig(lanes=1, bandwidth_per_lane_bytes_per_sec=1e9))
+        start, _ = link.schedule_transfer(500, 100)
+        assert start == 500
+
+    def test_counters(self):
+        link = PCIeLink(PCIeConfig())
+        link.schedule_transfer(0, 4096)
+        assert link.transfers == 1
+        assert link.bytes_transferred == 4096
+
+
+class TestDMA:
+    def _make(self):
+        events = EventQueue()
+        device = ULLDevice(DeviceConfig(access_latency_ns=3000, channels=2))
+        link = PCIeLink(PCIeConfig(lanes=1, bandwidth_per_lane_bytes_per_sec=4.096e9))
+        return DMAController(device, link, events), events
+
+    def test_read_page_schedules_completion(self):
+        dma, events = self._make()
+        done = dma.read_page(0, DMARequest(pid=1, vpn=2, page_bytes=4096))
+        assert done == 3000 + 1000  # flash + 4096B at 4.096 GB/s
+        assert dma.inflight == 1
+        events.run_due(done)
+        assert dma.inflight == 0
+        assert dma.completed == 1
+
+    def test_callback_receives_request_and_time(self):
+        dma, events = self._make()
+        seen = []
+        request = DMARequest(pid=1, vpn=2, page_bytes=4096)
+        done = dma.read_page(0, request, lambda r, t: seen.append((r, t)))
+        events.run_due(done)
+        assert seen == [(request, done)]
+
+    def test_prefetch_counted(self):
+        dma, _ = self._make()
+        dma.read_page(0, DMARequest(pid=1, vpn=2, page_bytes=4096, prefetch=True))
+        dma.read_page(0, DMARequest(pid=1, vpn=3, page_bytes=4096))
+        assert dma.prefetches_issued == 1
+
+    def test_estimate_matches_actual_when_idle(self):
+        dma, _ = self._make()
+        estimate = dma.estimate_read_latency(0)
+        actual = dma.read_page(0, DMARequest(pid=1, vpn=2, page_bytes=4096))
+        assert estimate == actual
+
+    def test_reads_share_channels(self):
+        dma, _ = self._make()
+        done1 = dma.read_page(0, DMARequest(pid=1, vpn=1, page_bytes=4096))
+        done2 = dma.read_page(0, DMARequest(pid=1, vpn=2, page_bytes=4096))
+        # Flash overlaps on two channels; PCIe serialises the transfers.
+        assert done2 == done1 + 1000

@@ -1,0 +1,107 @@
+"""Unit tests for JSON result persistence."""
+
+import json
+
+import pytest
+
+from repro.analysis.store import (
+    FORMAT_VERSION,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.common.errors import ConfigError
+from repro.sim.metrics import IdleBreakdown, ProcessRecord, SimulationResult
+
+
+@pytest.fixture
+def result():
+    return SimulationResult(
+        policy="ITS",
+        batch="1_Data_Intensive",
+        makespan_ns=123456,
+        idle=IdleBreakdown(
+            memory_stall_ns=10,
+            sync_storage_ns=20,
+            async_idle_ns=5,
+            ctx_switch_overhead_ns=7,
+            handler_overhead_ns=3,
+        ),
+        processes=[
+            ProcessRecord(
+                pid=0,
+                name="wrf",
+                priority=12,
+                data_intensive=False,
+                finish_time_ns=1000,
+                cpu_time_ns=900,
+                memory_stall_ns=10,
+                storage_wait_ns=20,
+                major_faults=3,
+                minor_faults=1,
+                context_switches=2,
+            )
+        ],
+        demand_cache_misses=42,
+        demand_cache_accesses=100,
+        major_faults=3,
+        minor_faults=1,
+        context_switches=2,
+        prefetch_issued=8,
+        prefetch_hits=5,
+        preexec_instructions=99,
+        preexec_lines_warmed=7,
+        instructions_committed=500,
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, result):
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt == result
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = tmp_path / "r.json"
+        save_results(path, [result])
+        loaded = load_results(path)
+        assert loaded == [result]
+
+    def test_multiple_results(self, result, tmp_path):
+        path = tmp_path / "r.json"
+        save_results(path, [result, result])
+        assert len(load_results(path)) == 2
+
+    def test_format_version_embedded(self, result):
+        assert result_to_dict(result)["_format"] == FORMAT_VERSION
+
+    def test_total_idle_survives(self, result, tmp_path):
+        path = tmp_path / "r.json"
+        save_results(path, [result])
+        assert load_results(path)[0].total_idle_ns == result.total_idle_ns
+
+
+class TestErrors:
+    def test_wrong_version_rejected(self, result):
+        payload = result_to_dict(result)
+        payload["_format"] = 999
+        with pytest.raises(ConfigError):
+            result_from_dict(payload)
+
+    def test_missing_field_rejected(self, result):
+        payload = result_to_dict(result)
+        del payload["makespan_ns"]
+        with pytest.raises(ConfigError):
+            result_from_dict(payload)
+
+    def test_non_json_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all {")
+        with pytest.raises(ConfigError):
+            load_results(path)
+
+    def test_non_list_payload_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"a": 1}))
+        with pytest.raises(ConfigError):
+            load_results(path)

@@ -1,0 +1,77 @@
+"""Unit tests for the store buffer."""
+
+import pytest
+
+from repro.mem.store_buffer import StoreBuffer, StoreEntry
+
+
+class TestEntry:
+    def test_overlap_detection(self):
+        entry = StoreEntry(address=100, size=8, invalid=False)
+        assert entry.overlaps(104, 4)
+        assert entry.overlaps(96, 8)
+        assert not entry.overlaps(108, 4)
+        assert not entry.overlaps(92, 8)
+
+    def test_adjacent_ranges_do_not_overlap(self):
+        entry = StoreEntry(address=100, size=8, invalid=False)
+        assert not entry.overlaps(108, 1)
+        assert not entry.overlaps(99, 1)
+
+
+class TestBuffer:
+    def test_push_and_lookup(self):
+        buffer = StoreBuffer(4)
+        buffer.push(100, 8, invalid=False)
+        found = buffer.lookup(100, 4)
+        assert found is not None and not found.invalid
+
+    def test_lookup_misses_disjoint(self):
+        buffer = StoreBuffer(4)
+        buffer.push(100, 8, invalid=False)
+        assert buffer.lookup(200, 8) is None
+
+    def test_youngest_entry_wins(self):
+        buffer = StoreBuffer(4)
+        buffer.push(100, 8, invalid=True)
+        buffer.push(100, 8, invalid=False)
+        found = buffer.lookup(100, 8)
+        assert found is not None and not found.invalid
+
+    def test_retirement_on_overflow(self):
+        buffer = StoreBuffer(2)
+        buffer.push(0, 8, invalid=True)
+        buffer.push(8, 8, invalid=False)
+        retired = buffer.push(16, 8, invalid=False)
+        assert retired is not None
+        assert retired.address == 0 and retired.invalid
+        assert len(buffer) == 2
+
+    def test_no_retirement_below_capacity(self):
+        buffer = StoreBuffer(2)
+        assert buffer.push(0, 8, invalid=False) is None
+
+    def test_drain_oldest_first(self):
+        buffer = StoreBuffer(4)
+        for addr in (0, 8, 16):
+            buffer.push(addr, 8, invalid=False)
+        drained = list(buffer.drain())
+        assert [e.address for e in drained] == [0, 8, 16]
+        assert len(buffer) == 0
+
+    def test_clear(self):
+        buffer = StoreBuffer(4)
+        buffer.push(0, 8, invalid=False)
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.lookup(0, 8) is None
+
+    def test_full_property(self):
+        buffer = StoreBuffer(1)
+        assert not buffer.full
+        buffer.push(0, 8, invalid=False)
+        assert buffer.full
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            StoreBuffer(0)

@@ -1,0 +1,148 @@
+"""Unit tests for the extension components: the stride prefetcher and
+the CLOCK replacement policy."""
+
+import pytest
+
+from repro.core.prefetch import StridePrefetcher
+from repro.core.its import ITSPolicy
+from repro.vm.replacement import ClockPolicy, ResidentPage
+
+
+@pytest.fixture
+def env(machine):
+    machine.memory.register_process(1, range(0x100, 0x140))
+    return machine
+
+
+class TestStridePrefetcher:
+    def test_untrained_yields_nothing(self, env):
+        prefetcher = StridePrefetcher(env.memory, degree=4)
+        assert prefetcher.collect(1, 0x100) == ([], 0)
+
+    def test_needs_confirmation(self, env):
+        prefetcher = StridePrefetcher(env.memory, degree=4)
+        prefetcher.collect(1, 0x100)
+        # One delta observed but not yet repeated: still nothing.
+        candidates, _ = prefetcher.collect(1, 0x102)
+        assert candidates == []
+
+    def test_confirmed_stride_prefetches_along_it(self, env):
+        prefetcher = StridePrefetcher(env.memory, degree=3)
+        prefetcher.collect(1, 0x100)
+        prefetcher.collect(1, 0x102)
+        candidates, cost = prefetcher.collect(1, 0x104)  # stride 2 confirmed
+        assert candidates == [0x106, 0x108, 0x10A]
+        assert cost > 0
+
+    def test_negative_stride(self, env):
+        prefetcher = StridePrefetcher(env.memory, degree=2)
+        prefetcher.collect(1, 0x120)
+        prefetcher.collect(1, 0x11C)
+        candidates, _ = prefetcher.collect(1, 0x118)  # stride -4
+        assert candidates == [0x114, 0x110]
+
+    def test_stride_change_retrains(self, env):
+        prefetcher = StridePrefetcher(env.memory, degree=2)
+        prefetcher.collect(1, 0x100)
+        prefetcher.collect(1, 0x102)
+        prefetcher.collect(1, 0x104)
+        # Break the pattern: stride becomes 7, unconfirmed.
+        candidates, _ = prefetcher.collect(1, 0x10B)
+        assert candidates == []
+
+    def test_skips_resident(self, env):
+        env.memory.install_page(1, 0x106)
+        prefetcher = StridePrefetcher(env.memory, degree=2)
+        prefetcher.collect(1, 0x100)
+        prefetcher.collect(1, 0x102)
+        candidates, _ = prefetcher.collect(1, 0x104)
+        assert candidates == [0x108]
+        assert prefetcher.stats.already_resident_skipped == 1
+
+    def test_stops_at_mapping_edge(self, env):
+        prefetcher = StridePrefetcher(env.memory, degree=8)
+        prefetcher.collect(1, 0x13A)
+        prefetcher.collect(1, 0x13C)
+        candidates, _ = prefetcher.collect(1, 0x13E)
+        assert candidates == []  # 0x140 is unmapped
+
+    def test_per_pid_training(self, machine):
+        machine.memory.register_process(1, range(0x100, 0x120))
+        machine.memory.register_process(2, range(0x200, 0x220))
+        prefetcher = StridePrefetcher(machine.memory, degree=2)
+        prefetcher.collect(1, 0x100)
+        prefetcher.collect(2, 0x200)
+        prefetcher.collect(1, 0x102)
+        prefetcher.collect(2, 0x204)
+        candidates1, _ = prefetcher.collect(1, 0x104)
+        candidates2, _ = prefetcher.collect(2, 0x208)
+        assert candidates1 == [0x106, 0x108]
+        assert candidates2 == [0x20C, 0x210]
+
+    def test_degree_zero(self, env):
+        prefetcher = StridePrefetcher(env.memory, degree=0)
+        prefetcher.collect(1, 0x100)
+        prefetcher.collect(1, 0x101)
+        assert prefetcher.collect(1, 0x102) == ([], 0)
+
+    def test_its_policy_accepts_kind(self):
+        policy = ITSPolicy(prefetcher_kind="stride")
+        assert policy.prefetcher_kind == "stride"
+        with pytest.raises(ValueError):
+            ITSPolicy(prefetcher_kind="magic")
+
+
+def page(pid, vpn):
+    return ResidentPage(pid=pid, vpn=vpn)
+
+
+class TestClockPolicy:
+    def test_victim_is_unreferenced_oldest(self):
+        clock = ClockPolicy()
+        clock.on_resident(page(1, 0))
+        clock.on_resident(page(1, 1))
+        # Both hot: the sweep clears 0 then 1, then returns 0.
+        assert clock.choose_victim() == page(1, 0)
+
+    def test_second_chance_protects_touched(self):
+        clock = ClockPolicy()
+        clock.on_resident(page(1, 0))
+        clock.on_resident(page(1, 1))
+        clock.choose_victim()  # sweep: all bits cleared
+        clock.on_touch(page(1, 0))  # re-reference 0
+        assert clock.choose_victim() == page(1, 1)
+
+    def test_eviction_removes(self):
+        clock = ClockPolicy()
+        clock.on_resident(page(1, 0))
+        clock.on_evicted(page(1, 0))
+        assert len(clock) == 0
+        with pytest.raises(Exception):
+            clock.choose_victim()
+
+    def test_sweeps_counted(self):
+        clock = ClockPolicy()
+        for vpn in range(3):
+            clock.on_resident(page(1, vpn))
+        clock.choose_victim()
+        assert clock.hand_sweeps == 3  # all were hot
+
+    def test_touch_unknown_is_noop(self):
+        clock = ClockPolicy()
+        clock.on_touch(page(9, 9))
+        assert len(clock) == 0
+
+    def test_usable_in_simulation(self, small_config):
+        from repro.baselines.sync_io import SyncIOPolicy
+        from repro.sim.simulator import Simulation, WorkloadInstance
+        from tests.conftest import make_linear_trace
+
+        class ClockSync(SyncIOPolicy):
+            def create_replacement(self, processes):
+                return ClockPolicy()
+
+        workloads = [
+            WorkloadInstance(name="w", trace=make_linear_trace(48), priority=10)
+        ]
+        result = Simulation(small_config, workloads, ClockSync()).run()
+        assert result.major_faults >= 48  # refaults under CLOCK churn

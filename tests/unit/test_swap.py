@@ -1,0 +1,99 @@
+"""Unit tests for the swap area and swap cache."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.vm.swap import SwapArea, SwapCache
+
+
+class TestSwapArea:
+    def test_allocate_distinct_slots(self):
+        area = SwapArea(4)
+        slots = {area.allocate(1, vpn) for vpn in range(4)}
+        assert len(slots) == 4
+
+    def test_exhaustion_raises(self):
+        area = SwapArea(1)
+        area.allocate(1, 0)
+        with pytest.raises(SimulationError):
+            area.allocate(1, 1)
+
+    def test_free_recycles(self):
+        area = SwapArea(1)
+        slot = area.allocate(1, 0)
+        area.free(slot)
+        assert area.allocate(2, 2) == slot
+
+    def test_owner_of(self):
+        area = SwapArea(4)
+        slot = area.allocate(7, 9)
+        assert area.owner_of(slot) == (7, 9)
+
+    def test_owner_of_free_slot_none(self):
+        area = SwapArea(4)
+        assert area.owner_of(0) is None
+
+    def test_double_free_raises(self):
+        area = SwapArea(4)
+        slot = area.allocate(1, 0)
+        area.free(slot)
+        with pytest.raises(SimulationError):
+            area.free(slot)
+
+    def test_used_slots(self):
+        area = SwapArea(4)
+        area.allocate(1, 0)
+        area.allocate(1, 1)
+        assert area.used_slots == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SwapArea(0)
+
+
+class TestSwapCache:
+    def test_take_consumes(self):
+        cache = SwapCache()
+        cache.insert(1, 5)
+        assert cache.take(1, 5) is True
+        assert cache.take(1, 5) is False
+        assert cache.hits == 1
+
+    def test_take_missing_is_false(self):
+        cache = SwapCache()
+        assert cache.take(1, 5) is False
+        assert cache.hits == 0
+
+    def test_contains(self):
+        cache = SwapCache()
+        cache.insert(1, 5)
+        assert cache.contains(1, 5)
+        assert not cache.contains(2, 5)
+
+    def test_drop_counts_eviction(self):
+        cache = SwapCache()
+        cache.insert(1, 5)
+        cache.drop(1, 5)
+        assert cache.evictions == 1
+        assert not cache.contains(1, 5)
+
+    def test_drop_missing_is_noop(self):
+        cache = SwapCache()
+        cache.drop(1, 5)
+        assert cache.evictions == 0
+
+    def test_accuracy(self):
+        cache = SwapCache()
+        cache.insert(1, 1)
+        cache.insert(1, 2)
+        cache.take(1, 1)
+        assert cache.accuracy == 0.5
+
+    def test_accuracy_empty(self):
+        assert SwapCache().accuracy == 0.0
+
+    def test_len(self):
+        cache = SwapCache()
+        cache.insert(1, 1)
+        cache.insert(1, 2)
+        assert len(cache) == 2

@@ -1,0 +1,91 @@
+"""Unit tests for the parameter-sweep helpers."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    SweepRow,
+    find_crossover,
+    sweep,
+    sweep_context_switch_cost,
+    sweep_device_latency,
+    sweep_page_size,
+)
+from repro.common.config import MachineConfig
+from repro.common.errors import ConfigError
+
+FAST = dict(scale=0.2, batch="No_Data_Intensive", seed=1)
+
+
+class TestSweepMechanics:
+    def test_rows_cover_values(self):
+        rows = sweep_device_latency([1, 10], policies=("Sync",), **FAST)
+        assert [r.value for r in rows] == [1, 10]
+        assert set(rows[0].results) == {"Sync"}
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep_device_latency([], **FAST)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep_device_latency([1], policies=("Nope",), **FAST)
+
+    def test_transform_applied(self):
+        captured = []
+
+        def spy(config, value):
+            captured.append(value)
+            return config
+
+        sweep(spy, [1, 2, 3], policies=("Sync",), **FAST)
+        assert captured == [1, 2, 3]
+
+
+class TestSweepSemantics:
+    def test_device_latency_slows_sync(self):
+        rows = sweep_device_latency([1, 30], policies=("Sync",), **FAST)
+        assert (
+            rows[1].results["Sync"].makespan_ns > rows[0].results["Sync"].makespan_ns
+        )
+
+    def test_switch_cost_slows_async_only(self):
+        rows = sweep_context_switch_cost([1, 20], policies=("Sync", "Async"), **FAST)
+        sync_delta = (
+            rows[1].results["Sync"].makespan_ns - rows[0].results["Sync"].makespan_ns
+        )
+        async_delta = (
+            rows[1].results["Async"].makespan_ns
+            - rows[0].results["Async"].makespan_ns
+        )
+        assert async_delta > 10 * max(sync_delta, 1)
+
+    def test_page_size_reduces_fault_count(self):
+        rows = sweep_page_size([4, 16], policies=("Sync",), **FAST)
+        assert (
+            rows[1].results["Sync"].major_faults
+            < rows[0].results["Sync"].major_faults
+        )
+
+
+class TestCrossover:
+    def test_crossover_found_in_latency_sweep(self):
+        rows = sweep_device_latency(
+            [1, 3, 10, 30, 60], policies=("Sync", "Async"), **FAST
+        )
+        crossover = find_crossover(rows, "Sync", "Async")
+        assert crossover is not None
+        assert 3 <= crossover <= 60
+
+    def test_no_crossover_returns_none(self):
+        rows = sweep_device_latency([1, 2], policies=("Sync", "Async"), **FAST)
+        assert find_crossover(rows, "Sync", "Async") is None
+
+    def test_winners(self):
+        rows = sweep_device_latency([1], policies=("Sync", "Async"), **FAST)
+        assert rows[0].winner_by_makespan() == "Sync"
+        assert rows[0].winner_by_idle() == "Sync"
+
+    def test_missing_policy_rejected(self):
+        rows = sweep_device_latency([1], policies=("Sync",), **FAST)
+        with pytest.raises(ConfigError):
+            find_crossover(rows, "Sync", "Async")

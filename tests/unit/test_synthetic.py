@@ -1,0 +1,169 @@
+"""Unit tests for the synthetic trace generators."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.common.rng import DeterministicRNG
+from repro.cpu.isa import Load, Store
+from repro.trace.record import footprint_vpns, summarize
+from repro.trace.synthetic import (
+    TraceBuilder,
+    frontier_sweep,
+    random_walk_graph,
+    sequential_scan,
+    strided_scan,
+    working_set_loop,
+    zipf_accesses,
+)
+
+
+def pages_in_order(trace):
+    seen = []
+    for instr in trace:
+        if isinstance(instr, (Load, Store)):
+            vpn = instr.vaddr >> 12
+            if not seen or seen[-1] != vpn:
+                seen.append(vpn)
+    return seen
+
+
+class TestBuilder:
+    def test_visit_page_touches_requested_lines(self):
+        builder = TraceBuilder(DeterministicRNG(1))
+        builder.visit_page(0x100000, lines=4)
+        summary = summarize(builder.instructions)
+        assert summary.loads == 4
+        assert summary.footprint_pages == 1
+
+    def test_visit_page_rejects_zero_lines(self):
+        builder = TraceBuilder(DeterministicRNG(1))
+        with pytest.raises(TraceError):
+            builder.visit_page(0x100000, lines=0)
+
+    def test_pointer_loads_have_addr_reg(self):
+        builder = TraceBuilder(DeterministicRNG(1))
+        builder.visit_page(0x100000, lines=8, pointer_fraction=1.0)
+        loads = [i for i in builder.instructions if isinstance(i, Load)]
+        assert all(l.addr_reg is not None for l in loads)
+
+    def test_compute_burst_chains_registers(self):
+        builder = TraceBuilder(DeterministicRNG(1))
+        feed = builder.load(0x100000)
+        builder.compute_burst(3, feed)
+        assert summarize(builder.instructions).computes == 3
+
+
+class TestSequential:
+    def test_visits_pages_in_va_order(self):
+        trace = sequential_scan(DeterministicRNG(1), pages=5, passes=1)
+        order = pages_in_order(trace)
+        assert order == sorted(order)
+        assert len(set(order)) == 5
+
+    def test_passes_multiply_length(self):
+        one = sequential_scan(DeterministicRNG(1), pages=5, passes=1)
+        two = sequential_scan(DeterministicRNG(1), pages=5, passes=2)
+        assert len(two) == 2 * len(one)
+
+
+class TestStrided:
+    def test_covers_all_pages(self):
+        trace = strided_scan(DeterministicRNG(1), pages=10, stride_pages=3)
+        assert len(footprint_vpns(trace)) == 10
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(TraceError):
+            strided_scan(DeterministicRNG(1), pages=10, stride_pages=0)
+
+    def test_stride_pattern(self):
+        trace = strided_scan(DeterministicRNG(1), pages=6, stride_pages=2, passes=1)
+        order = pages_in_order(trace)
+        base = order[0]
+        relative = [p - base for p in order]
+        assert relative == [0, 2, 4, 1, 3, 5]
+
+
+class TestWorkingSet:
+    def test_footprint_is_working_set(self):
+        trace = working_set_loop(DeterministicRNG(1), pages=7, iterations=3)
+        assert len(footprint_vpns(trace)) == 7
+
+    def test_iterations_revisit(self):
+        trace = working_set_loop(DeterministicRNG(1), pages=4, iterations=5)
+        order = pages_in_order(trace)
+        # 5 iterations x 4 pages, minus possible collapses where one
+        # iteration ends on the page the next begins with.
+        assert 16 <= len(order) <= 20
+
+
+class TestZipf:
+    def test_footprint_bounded(self):
+        trace = zipf_accesses(DeterministicRNG(1), pages=50, accesses=200)
+        assert len(footprint_vpns(trace)) <= 50
+
+    def test_skew_produces_hot_pages(self):
+        trace = zipf_accesses(
+            DeterministicRNG(1), pages=100, accesses=500, alpha=1.2
+        )
+        order = pages_in_order(trace)
+        counts = {}
+        for p in order:
+            counts[p] = counts.get(p, 0) + 1
+        top = max(counts.values())
+        assert top > 3 * (len(order) / len(counts))
+
+
+class TestGraphWalk:
+    def test_hops_visit_random_pages(self):
+        trace = random_walk_graph(DeterministicRNG(1), pages=100, hops=50)
+        assert 1 < len(footprint_vpns(trace)) <= 100
+
+    def test_shard_streaming_adds_sequential_runs(self):
+        trace = random_walk_graph(
+            DeterministicRNG(1),
+            pages=100,
+            hops=32,
+            shard_pages=8,
+            shard_every=8,
+        )
+        order = pages_in_order(trace)
+        # Look for at least one run of 8 consecutive ascending pages.
+        runs = 0
+        streak = 1
+        for prev, cur in zip(order, order[1:]):
+            if cur == prev + 1:
+                streak += 1
+                if streak >= 8:
+                    runs += 1
+                    streak = 1
+            else:
+                streak = 1
+        assert runs >= 1
+
+
+class TestFrontier:
+    def test_frontier_and_graph_regions_touched(self):
+        trace = frontier_sweep(
+            DeterministicRNG(1),
+            frontier_pages=4,
+            graph_pages=50,
+            rounds=2,
+            probes_per_round=10,
+        )
+        vpns = footprint_vpns(trace)
+        assert len(vpns) > 4  # frontier + some graph pages
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            lambda rng: sequential_scan(rng, pages=5),
+            lambda rng: strided_scan(rng, pages=6),
+            lambda rng: working_set_loop(rng, pages=4, iterations=2),
+            lambda rng: zipf_accesses(rng, pages=20, accesses=50),
+            lambda rng: random_walk_graph(rng, pages=20, hops=20),
+        ],
+    )
+    def test_same_seed_same_trace(self, generator):
+        assert generator(DeterministicRNG(9)) == generator(DeterministicRNG(9))

@@ -1,0 +1,79 @@
+"""Unit tests for the TLB model."""
+
+import pytest
+
+from repro.common.config import TLBConfig
+from repro.mem.tlb import TLB
+
+
+@pytest.fixture
+def tlb():
+    return TLB(TLBConfig(entries=4))
+
+
+class TestLookups:
+    def test_miss_on_empty(self, tlb):
+        assert tlb.lookup(1, 0x10) is None
+        assert tlb.stats.misses == 1
+
+    def test_hit_after_insert(self, tlb):
+        tlb.insert(1, 0x10, 7)
+        assert tlb.lookup(1, 0x10) == 7
+        assert tlb.stats.hits == 1
+
+    def test_pid_isolation(self, tlb):
+        tlb.insert(1, 0x10, 7)
+        assert tlb.lookup(2, 0x10) is None
+
+    def test_update_existing(self, tlb):
+        tlb.insert(1, 0x10, 7)
+        tlb.insert(1, 0x10, 9)
+        assert tlb.lookup(1, 0x10) == 9
+        assert len(tlb) == 1
+
+
+class TestCapacity:
+    def test_lru_eviction(self, tlb):
+        for vpn in range(4):
+            tlb.insert(1, vpn, vpn)
+        tlb.lookup(1, 0)  # refresh vpn 0
+        tlb.insert(1, 99, 99)  # evicts vpn 1 (LRU)
+        assert tlb.lookup(1, 0) == 0
+        assert tlb.lookup(1, 1) is None
+
+    def test_capacity_never_exceeded(self, tlb):
+        for vpn in range(20):
+            tlb.insert(1, vpn, vpn)
+        assert len(tlb) <= 4
+
+
+class TestInvalidation:
+    def test_shootdown_removes(self, tlb):
+        tlb.insert(1, 0x10, 7)
+        assert tlb.shootdown(1, 0x10) is True
+        assert tlb.lookup(1, 0x10) is None
+        assert tlb.stats.shootdowns == 1
+
+    def test_shootdown_missing_is_false(self, tlb):
+        assert tlb.shootdown(1, 0x10) is False
+        assert tlb.stats.shootdowns == 0
+
+    def test_flush_drops_everything(self, tlb):
+        for vpn in range(3):
+            tlb.insert(1, vpn, vpn)
+        dropped = tlb.flush()
+        assert dropped == 3
+        assert len(tlb) == 0
+        assert tlb.stats.flushes == 1
+
+
+class TestStats:
+    def test_miss_rate(self, tlb):
+        tlb.lookup(1, 1)
+        tlb.insert(1, 1, 1)
+        tlb.lookup(1, 1)
+        assert tlb.stats.accesses == 2
+        assert tlb.stats.miss_rate == 0.5
+
+    def test_miss_rate_empty(self, tlb):
+        assert tlb.stats.miss_rate == 0.0

@@ -1,0 +1,60 @@
+"""Unit tests for trace inspection helpers."""
+
+from repro.cpu.isa import Branch, Compute, Load, Store
+from repro.trace.record import footprint_vpns, summarize
+
+
+class TestFootprint:
+    def test_pages_of_loads_and_stores(self):
+        trace = [
+            Load(dst=0, vaddr=0x1000),
+            Store(src=0, vaddr=0x3000),
+            Compute(dst=1),
+        ]
+        assert footprint_vpns(trace) == {1, 3}
+
+    def test_straddling_access_counts_both_pages(self):
+        trace = [Load(dst=0, vaddr=0x1FFC, size=8)]
+        assert footprint_vpns(trace) == {1, 2}
+
+    def test_empty_trace(self):
+        assert footprint_vpns([]) == set()
+
+    def test_computes_have_no_footprint(self):
+        assert footprint_vpns([Compute(dst=0), Branch()]) == set()
+
+
+class TestSummary:
+    def test_kind_counts(self):
+        trace = [
+            Load(dst=0, vaddr=0x1000),
+            Load(dst=1, vaddr=0x1040),
+            Store(src=0, vaddr=0x1080),
+            Compute(dst=2),
+            Branch(taken=True),
+        ]
+        summary = summarize(trace)
+        assert summary.loads == 2
+        assert summary.stores == 1
+        assert summary.computes == 1
+        assert summary.branches == 1
+        assert summary.instructions == 5
+
+    def test_memory_ratio(self):
+        trace = [Load(dst=0, vaddr=0), Compute(dst=1)]
+        assert summarize(trace).memory_ratio == 0.5
+
+    def test_memory_ratio_empty(self):
+        assert summarize([]).memory_ratio == 0.0
+
+    def test_unique_lines(self):
+        trace = [
+            Load(dst=0, vaddr=0x1000),
+            Load(dst=0, vaddr=0x1010),  # same line
+            Load(dst=0, vaddr=0x1040),  # next line
+        ]
+        assert summarize(trace, line_size=64).unique_lines == 2
+
+    def test_footprint_pages(self):
+        trace = [Load(dst=0, vaddr=p << 12) for p in range(5)]
+        assert summarize(trace).footprint_pages == 5

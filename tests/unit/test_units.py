@@ -1,0 +1,65 @@
+"""Unit tests for repro.common.units."""
+
+import pytest
+
+from repro.common import units
+
+
+class TestConstants:
+    def test_time_ladder(self):
+        assert units.US == 1_000 * units.NS
+        assert units.MS == 1_000 * units.US
+        assert units.SEC == 1_000 * units.MS
+
+    def test_size_ladder(self):
+        assert units.MIB == 1024 * units.KIB
+        assert units.GIB == 1024 * units.MIB
+
+    def test_page_and_line(self):
+        assert units.PAGE_SIZE == 4096
+        assert units.CACHE_LINE_SIZE == 64
+        assert units.PAGE_SIZE % units.CACHE_LINE_SIZE == 0
+
+
+class TestConversions:
+    def test_ns_to_us(self):
+        assert units.ns_to_us(1500) == 1.5
+
+    def test_ns_to_ms(self):
+        assert units.ns_to_ms(2_500_000) == 2.5
+
+    def test_us_to_ns_rounds(self):
+        assert units.us_to_ns(1.0004) == 1000
+        assert units.us_to_ns(3) == 3000
+
+    def test_ms_to_ns(self):
+        assert units.ms_to_ns(5) == 5_000_000
+
+    def test_roundtrip(self):
+        assert units.ns_to_us(units.us_to_ns(7.25)) == pytest.approx(7.25)
+
+
+class TestFormatting:
+    def test_format_ns(self):
+        assert units.format_time_ns(42) == "42ns"
+
+    def test_format_us(self):
+        assert units.format_time_ns(1500) == "1.500us"
+
+    def test_format_ms(self):
+        assert units.format_time_ns(2_300_000) == "2.300ms"
+
+    def test_format_seconds(self):
+        assert units.format_time_ns(3 * units.SEC) == "3.000s"
+
+    def test_format_size_bytes(self):
+        assert units.format_size(12) == "12B"
+
+    def test_format_size_kib(self):
+        assert units.format_size(4096) == "4.0KiB"
+
+    def test_format_size_mib(self):
+        assert units.format_size(8 * units.MIB) == "8.0MiB"
+
+    def test_format_size_gib(self):
+        assert units.format_size(2 * units.GIB) == "2.0GiB"

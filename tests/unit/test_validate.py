@@ -1,0 +1,126 @@
+"""Unit tests for the claim-validation module."""
+
+import pytest
+
+from repro.analysis.experiments import Figure4Data, Figure5Data, ObservationData
+from repro.analysis.results import FigureSeries, MetricKind
+from repro.analysis.validate import (
+    ClaimCheck,
+    render_claims,
+    validate_figure4,
+    validate_figure5,
+    validate_observation,
+)
+
+POLICIES = ("Async", "Sync", "Sync_Runahead", "Sync_Prefetch", "ITS")
+
+
+def series(metric, values_by_policy):
+    return FigureSeries(
+        title="t",
+        metric=metric,
+        x_labels=["b0"],
+        series={name: [values_by_policy[name]] for name in POLICIES},
+    )
+
+
+def good_fig4():
+    return Figure4Data(
+        idle_time=series(
+            MetricKind.IDLE_TIME,
+            {"ITS": 1.0, "Sync_Prefetch": 1.2, "Sync_Runahead": 2.0, "Sync": 2.1, "Async": 4.0},
+        ),
+        page_faults=series(
+            MetricKind.PAGE_FAULTS,
+            {"ITS": 100, "Sync_Prefetch": 101, "Sync_Runahead": 300, "Sync": 300, "Async": 320},
+        ),
+        cache_misses=series(
+            MetricKind.CACHE_MISSES,
+            {"Sync_Runahead": 50, "ITS": 100, "Sync": 105, "Sync_Prefetch": 106, "Async": 150},
+        ),
+    )
+
+
+def good_fig5(prefetch_bottom=1.2):
+    return Figure5Data(
+        top_half=series(
+            MetricKind.FINISH_TOP_HALF,
+            {"ITS": 1.0, "Sync_Prefetch": 1.3, "Sync_Runahead": 1.9, "Sync": 2.0, "Async": 4.0},
+        ),
+        bottom_half=series(
+            MetricKind.FINISH_BOTTOM_HALF,
+            {"ITS": 1.0, "Sync_Prefetch": prefetch_bottom, "Sync_Runahead": 1.3, "Sync": 1.4, "Async": 2.0},
+        ),
+    )
+
+
+class TestFigure4Claims:
+    def test_all_pass_on_paper_shape(self):
+        checks = validate_figure4(good_fig4())
+        assert all(c.passed for c in checks), [c.claim_id for c in checks if not c.passed]
+
+    def test_broken_ordering_fails(self):
+        fig4 = good_fig4()
+        fig4.idle_time.series["ITS"] = [5.0]  # worst instead of best
+        checks = {c.claim_id: c for c in validate_figure4(fig4)}
+        assert not checks["fig4a-ordering"].passed
+        assert checks["fig4a-ordering"].details  # names the batch
+
+    def test_faults_floor_check(self):
+        fig4 = good_fig4()
+        fig4.page_faults.series["ITS"] = [200]  # 2x the floor
+        checks = {c.claim_id: c for c in validate_figure4(fig4)}
+        assert not checks["fig4b-its-lowest"].passed
+
+
+class TestFigure5Claims:
+    def test_all_pass_on_paper_shape(self):
+        checks = validate_figure5(good_fig5())
+        assert all(c.passed for c in checks)
+
+    def test_prefetch_deviation_is_marked_expected(self):
+        checks = {c.claim_id: c for c in validate_figure5(good_fig5(prefetch_bottom=0.8))}
+        check = checks["fig5b-vs-prefetch"]
+        assert not check.passed
+        assert check.expected_deviation
+        assert check.status == "DEVIATION"
+
+    def test_unexpected_failure_is_fail(self):
+        fig5 = good_fig5()
+        fig5.top_half.series["ITS"] = [9.0]
+        checks = {c.claim_id: c for c in validate_figure5(fig5)}
+        assert checks["fig5a-its-best"].status == "FAIL"
+
+
+class TestObservationClaims:
+    def test_pass(self):
+        obs = ObservationData(
+            process_counts=[2, 3], idle_ns=[100.0, 250.0], idle_fraction=[0.5, 0.6]
+        )
+        assert all(c.passed for c in validate_observation(obs))
+
+    def test_low_share_fails(self):
+        obs = ObservationData(
+            process_counts=[2, 3], idle_ns=[100.0, 250.0], idle_fraction=[0.1, 0.2]
+        )
+        checks = {c.claim_id: c for c in validate_observation(obs)}
+        assert not checks["sec2.2-share"].passed
+
+    def test_shrinking_idle_fails_growth(self):
+        obs = ObservationData(
+            process_counts=[2, 3], idle_ns=[250.0, 100.0], idle_fraction=[0.5, 0.5]
+        )
+        checks = {c.claim_id: c for c in validate_observation(obs)}
+        assert not checks["sec2.2-growth"].passed
+
+
+class TestRendering:
+    def test_statuses_visible(self):
+        checks = [
+            ClaimCheck("a", "first", True),
+            ClaimCheck("b", "second", False, details="boom"),
+            ClaimCheck("c", "third", False, expected_deviation=True),
+        ]
+        text = render_claims(checks)
+        assert "PASS" in text and "FAIL" in text and "DEVIATION" in text
+        assert "boom" in text

@@ -1,0 +1,99 @@
+"""Unit tests for VMAs and address spaces."""
+
+import pytest
+
+from repro.common.errors import AddressError
+from repro.vm.vma import VMA, AddressSpace
+
+PAGE = 4096
+
+
+class TestVMA:
+    def test_basic_geometry(self):
+        vma = VMA("heap", 0x10000, 4)
+        assert vma.end_va == 0x10000 + 4 * PAGE
+        assert vma.first_vpn == 0x10
+        assert list(vma.vpns()) == [0x10, 0x11, 0x12, 0x13]
+
+    def test_contains(self):
+        vma = VMA("heap", 0x10000, 2)
+        assert vma.contains(0x10000)
+        assert vma.contains(0x11FFF)
+        assert not vma.contains(0x12000)
+        assert not vma.contains(0x0FFFF)
+
+    def test_address_of_page(self):
+        vma = VMA("heap", 0x10000, 3)
+        assert vma.address_of_page(2) == 0x12000
+        with pytest.raises(AddressError):
+            vma.address_of_page(3)
+
+    def test_rejects_misaligned_start(self):
+        with pytest.raises(AddressError):
+            VMA("bad", 0x10001, 1)
+
+    def test_rejects_zero_pages(self):
+        with pytest.raises(AddressError):
+            VMA("bad", 0x10000, 0)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(AddressError):
+            VMA("bad", (1 << 48) - PAGE, 2)
+
+    def test_overlap_detection(self):
+        a = VMA("a", 0x10000, 4)
+        assert a.overlaps(VMA("b", 0x13000, 1))
+        assert not a.overlaps(VMA("c", 0x14000, 1))
+        assert not a.overlaps(VMA("d", 0x0F000, 1))
+
+
+class TestAddressSpace:
+    def test_add_and_find(self):
+        space = AddressSpace()
+        space.add("heap", 0x10000, 4)
+        space.add("stack", 0x7FFF0000, 2)
+        assert space.find("heap").pages == 4
+        assert space.find("nope") is None
+        assert len(space) == 2
+        assert space.total_pages() == 6
+
+    def test_overlap_rejected(self):
+        space = AddressSpace()
+        space.add("a", 0x10000, 4)
+        with pytest.raises(AddressError):
+            space.add("b", 0x12000, 4)
+
+    def test_add_after_stacks_regions(self):
+        space = AddressSpace()
+        first = space.add_after("weights", 10)
+        second = space.add_after("kv", 5, gap_pages=2)
+        assert second.start_va == first.end_va + 2 * PAGE
+        assert not first.overlaps(second)
+
+    def test_vma_of(self):
+        space = AddressSpace()
+        space.add("heap", 0x10000, 2)
+        assert space.vma_of(0x10800).name == "heap"
+        assert space.vma_of(0x90000) is None
+
+    def test_mapped_vpns_union(self):
+        space = AddressSpace()
+        space.add("a", 0x10000, 2)
+        space.add("b", 0x20000, 1)
+        assert space.mapped_vpns() == frozenset({0x10, 0x11, 0x20})
+
+    def test_works_as_workload_mapping(self, small_config):
+        from repro.baselines import SyncIOPolicy
+        from repro.cpu.isa import Load
+        from repro.sim.simulator import Simulation, WorkloadInstance
+
+        space = AddressSpace()
+        data = space.add("data", 0x40_0000, 4)
+        trace = [Load(dst=0, vaddr=data.address_of_page(0))]
+        workloads = [
+            WorkloadInstance(
+                name="w", trace=trace, priority=1, mapped_vpns=space.mapped_vpns()
+            )
+        ]
+        sim = Simulation(small_config, workloads, SyncIOPolicy())
+        assert sim.machine.memory.mm_of(0).footprint_pages == 4

@@ -1,0 +1,118 @@
+"""Unit tests for the nine named paper workloads."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.common.rng import DeterministicRNG
+from repro.trace.record import footprint_vpns, summarize
+from repro.trace.workloads import WORKLOADS, build_workload, workload_names
+
+
+class TestCatalogue:
+    def test_nine_workloads(self):
+        assert len(WORKLOADS) == 9
+
+    def test_three_data_intensive(self):
+        intensive = [w for w in WORKLOADS.values() if w.data_intensive]
+        assert {w.name for w in intensive} == {"random_walk", "pagerank", "graph500"}
+
+    def test_names_match_keys(self):
+        assert all(spec.name == key for key, spec in WORKLOADS.items())
+
+    def test_workload_names_order_stable(self):
+        assert workload_names() == list(WORKLOADS)
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+class TestEveryWorkload:
+    def test_builds_nonempty_trace(self, name):
+        build = build_workload(name, DeterministicRNG(3), scale=0.2)
+        assert len(build.trace) > 100
+
+    def test_touched_pages_within_mapping(self, name):
+        build = build_workload(name, DeterministicRNG(3), scale=0.2)
+        assert footprint_vpns(build.trace) <= set(build.mapped_vpns)
+
+    def test_deterministic(self, name):
+        a = build_workload(name, DeterministicRNG(3), scale=0.2)
+        b = build_workload(name, DeterministicRNG(3), scale=0.2)
+        assert a.trace == b.trace
+        assert a.mapped_vpns == b.mapped_vpns
+
+    def test_has_memory_traffic(self, name):
+        build = build_workload(name, DeterministicRNG(3), scale=0.2)
+        assert summarize(build.trace).memory_ratio > 0.1
+
+
+class TestScaling:
+    def test_scale_changes_length_not_mapping(self):
+        small = build_workload("caffe", DeterministicRNG(3), scale=0.4)
+        large = build_workload("caffe", DeterministicRNG(3), scale=2.0)
+        assert len(large.trace) > len(small.trace)
+        assert small.mapped_vpns == large.mapped_vpns
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(TraceError):
+            build_workload("caffe", DeterministicRNG(3), scale=0)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(TraceError):
+            build_workload("nosuch", DeterministicRNG(3))
+
+
+class TestGraphMappingsExceedTouch:
+    """Graph workloads map more than a run touches — the property that
+    gives prefetchers a genuine accuracy problem."""
+
+    @pytest.mark.parametrize("name", ["random_walk", "graph500"])
+    def test_mapping_strictly_larger(self, name):
+        build = build_workload(name, DeterministicRNG(3), scale=0.3)
+        touched = footprint_vpns(build.trace)
+        assert len(build.mapped_vpns) > len(touched)
+
+    def test_regions_do_not_overlap(self):
+        mappings = [
+            build_workload(name, DeterministicRNG(3), scale=0.2).mapped_vpns
+            for name in WORKLOADS
+        ]
+        for i, a in enumerate(mappings):
+            for b in mappings[i + 1 :]:
+                assert not (a & b)
+
+
+class TestExtensionWorkloads:
+    def test_llm_inference_builds(self):
+        from repro.trace.workloads import EXTRA_WORKLOADS
+
+        build = build_workload("llm_inference", DeterministicRNG(3), scale=0.3)
+        assert len(build.trace) > 500
+        assert footprint_vpns(build.trace) <= set(build.mapped_vpns)
+        assert EXTRA_WORKLOADS["llm_inference"].data_intensive
+
+    def test_extras_not_in_paper_set(self):
+        assert "llm_inference" not in WORKLOADS
+        assert "llm_inference" not in workload_names()
+        assert "llm_inference" in workload_names(include_extras=True)
+
+    def test_llm_kv_cache_grows(self):
+        small = build_workload("llm_inference", DeterministicRNG(3), scale=0.2)
+        large = build_workload("llm_inference", DeterministicRNG(3), scale=1.0)
+        assert len(footprint_vpns(large.trace)) > len(footprint_vpns(small.trace))
+
+    def test_llm_simulates_end_to_end(self):
+        from repro import MachineConfig, Simulation, SyncIOPolicy, ITSPolicy, WorkloadInstance
+
+        build = build_workload("llm_inference", DeterministicRNG(3), scale=0.3)
+        results = {}
+        for policy in (SyncIOPolicy(), ITSPolicy()):
+            workloads = [
+                WorkloadInstance(
+                    "llm", build.trace, priority=20, data_intensive=True,
+                    mapped_vpns=build.mapped_vpns,
+                )
+            ]
+            results[policy.name] = Simulation(
+                MachineConfig(), workloads, policy, batch_name="llm"
+            ).run()
+        # Streaming weights are prefetch-friendly: ITS wins.
+        assert results["ITS"].total_idle_ns < results["Sync"].total_idle_ns

@@ -1,0 +1,76 @@
+"""Unit tests for dirty-page write-back on eviction."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import SyncIOPolicy
+from repro.cpu.isa import Load, Store
+from repro.sim.simulator import Simulation, WorkloadInstance
+
+
+def dirty_trace(pages, base_va=0x10_0000):
+    """Store into every page (all become dirty)."""
+    return [Store(src=i % 16, vaddr=base_va + p * 4096) for p, i in
+            zip(range(pages), range(pages))]
+
+
+def clean_trace(pages, base_va=0x10_0000):
+    """Load from every page (all stay clean)."""
+    return [Load(dst=i % 16, vaddr=base_va + p * 4096) for p, i in
+            zip(range(pages), range(pages))]
+
+
+class TestDirtyTracking:
+    def test_store_sets_pte_dirty(self, machine):
+        machine.memory.register_process(1, [0x100])
+        machine.memory.install_page(1, 0x100)
+        machine.cpu.execute(1, Store(src=0, vaddr=0x100 << 12))
+        assert machine.memory.mm_of(1).pte_for(0x100).dirty
+
+    def test_load_leaves_page_clean(self, machine):
+        machine.memory.register_process(1, [0x100])
+        machine.memory.install_page(1, 0x100)
+        machine.cpu.execute(1, Load(dst=0, vaddr=0x100 << 12))
+        assert not machine.memory.mm_of(1).pte_for(0x100).dirty
+
+
+class TestWritebackOnEviction:
+    def _run(self, config, trace):
+        workloads = [WorkloadInstance(name="w", trace=trace, priority=10)]
+        sim = Simulation(config, workloads, SyncIOPolicy(), batch_name="wb")
+        sim.run()
+        return sim
+
+    def test_dirty_evictions_issue_device_writes(self, small_config):
+        # 64 dirty pages through a 32-frame pool: >= 32 write-backs.
+        sim = self._run(small_config, dirty_trace(64))
+        assert sim.machine.dma.writebacks_issued >= 32
+        assert sim.machine.device.stats.writes >= 32
+
+    def test_clean_evictions_are_free(self, small_config):
+        sim = self._run(small_config, clean_trace(64))
+        assert sim.machine.dma.writebacks_issued == 0
+
+    def test_writeback_disabled_by_config(self, small_config):
+        config = dataclasses.replace(
+            small_config,
+            memory=dataclasses.replace(small_config.memory, writeback_dirty=False),
+        )
+        sim = self._run(config, dirty_trace(64))
+        assert sim.machine.dma.writebacks_issued == 0
+
+    def test_writeback_consumes_device_bandwidth(self, small_config):
+        dirty_sim = self._run(small_config, dirty_trace(64))
+        clean_sim = self._run(small_config, clean_trace(64))
+        assert (
+            dirty_sim.machine.device.stats.busy_ns
+            > clean_sim.machine.device.stats.busy_ns
+        )
+
+    def test_dirty_bit_cleared_after_writeback(self, small_config):
+        sim = self._run(small_config, dirty_trace(64))
+        for vpn in range(0x100, 0x100 + 64):
+            pte = sim.machine.memory.mm_of(0).pte_for(vpn)
+            if pte is not None:
+                assert not pte.dirty
