@@ -20,7 +20,33 @@ from repro.sim.batch import batch_names
 SEEDS = (1, 2, 3)
 SCALE = 1.0
 
+TRACE_OUT: str | None = None
+"""Directory for per-cell Chrome traces; set by ``--trace-out`` in
+``benchmarks/conftest.py``, ``None`` disables tracing (the default)."""
+
 _GRID_CACHE: dict = {}
+
+
+def _run_cell(config, batch: str, policy: str, seed: int, scale: float):
+    """One grid cell; exports a trace when ``--trace-out`` is active."""
+    if TRACE_OUT is None:
+        return run_batch_policy(config, batch, policy, seed=seed, scale=scale)
+    from pathlib import Path
+
+    from repro.telemetry import Telemetry, export_chrome_trace
+
+    telemetry = Telemetry(events=False)
+    result = run_batch_policy(
+        config, batch, policy, seed=seed, scale=scale, telemetry=telemetry
+    )
+    out_dir = Path(TRACE_OUT)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    export_chrome_trace(
+        telemetry,
+        out_dir / f"{batch}.{policy}.seed{seed}.trace.json",
+        process_name=f"{policy} on {batch} (seed {seed})",
+    )
+    return result
 
 
 def figure_grid(seeds: Sequence[int] = SEEDS, scale: float = SCALE):
@@ -34,7 +60,7 @@ def figure_grid(seeds: Sequence[int] = SEEDS, scale: float = SCALE):
             for seed in seeds:
                 for policy in POLICY_FACTORIES:
                     grid[batch][policy].append(
-                        run_batch_policy(config, batch, policy, seed=seed, scale=scale)
+                        _run_cell(config, batch, policy, seed, scale)
                     )
         _GRID_CACHE[key] = grid
     return _GRID_CACHE[key]

@@ -1,0 +1,31 @@
+"""Benchmark-harness pytest hooks.
+
+Adds ``--trace-out DIR``: when set, every (batch, policy, seed) cell the
+grid cache simulates is run with telemetry attached and its
+Chrome/Perfetto trace written to
+``DIR/<batch>.<policy>.seed<seed>.trace.json``, e.g.::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fig4_idle_time.py \
+        --trace-out /tmp/traces
+
+Tracing costs a few percent of simulated throughput, so leave the flag
+off when benchmarking wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+import benchmarks._shared as _shared
+
+
+def pytest_addoption(parser):
+    """Register ``--trace-out`` with the benchmark harness."""
+    parser.addoption(
+        "--trace-out",
+        default=None,
+        help="directory for per-(batch, policy, seed) Chrome trace JSON files",
+    )
+
+
+def pytest_configure(config):
+    """Publish the option to the shared grid cache before collection."""
+    _shared.TRACE_OUT = config.getoption("--trace-out")

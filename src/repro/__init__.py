@@ -55,6 +55,7 @@ from repro.sim import (
     batch_names,
     build_batch,
 )
+from repro.telemetry import Telemetry
 from repro.trace import WORKLOADS, build_workload, workload_names
 from repro.vm import VMA, AddressSpace
 
@@ -94,6 +95,8 @@ __all__ = [
     "PAPER_BATCHES",
     "batch_names",
     "build_batch",
+    # telemetry
+    "Telemetry",
     # traces
     "WORKLOADS",
     "build_workload",

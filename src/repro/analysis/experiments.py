@@ -52,8 +52,14 @@ def run_batch_policy(
     seed: int = 1,
     scale: float = 1.0,
     event_log=None,
+    telemetry=None,
 ) -> SimulationResult:
-    """Run one (batch, policy, seed) cell and return its raw result."""
+    """Run one (batch, policy, seed) cell and return its raw result.
+
+    Pass a :class:`~repro.telemetry.Telemetry` handle as *telemetry* to
+    collect spans and metrics from the run (its embedded event log is
+    used when *event_log* is not given).
+    """
     factory = POLICY_FACTORIES.get(policy_name)
     if factory is None:
         raise ConfigError(
@@ -61,7 +67,12 @@ def run_batch_policy(
         )
     workloads = build_batch(batch_name, seed=seed, scale=scale, config=config)
     return Simulation(
-        config, workloads, factory(), batch_name=batch_name, event_log=event_log
+        config,
+        workloads,
+        factory(),
+        batch_name=batch_name,
+        event_log=event_log,
+        telemetry=telemetry,
     ).run()
 
 

@@ -69,8 +69,12 @@ def render_timeline(
 
     ``kinds`` defaults to every kind present in the log, in first-seen
     order.  ``density=True`` uses block levels instead of occupancy
-    marks.
+    marks.  A :class:`~repro.telemetry.Telemetry` handle is accepted in
+    place of *log* (its embedded event log is used).
     """
+    event_log = getattr(log, "event_log", None)
+    if event_log is not None:
+        log = event_log
     if kinds is None:
         seen: list[str] = []
         for event in log:

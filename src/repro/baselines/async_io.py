@@ -27,13 +27,14 @@ def block_on_fault(
     ITS self-sacrificing thread (``resume=True``: the forced-off process
     re-enters at the queue head with its residual slice)."""
     machine = sim.machine
+    start_ns = machine.now_ns
 
     def complete(request: DMARequest, __time_ns: int) -> None:
         if not machine.memory.is_resident_or_cached(request.pid, request.vpn):
             machine.memory.install_page(request.pid, request.vpn)
         sim.scheduler.unblock(process, resume=resume)
 
-    machine.fault_handler.begin_major_fault(
+    fault = machine.fault_handler.begin_major_fault(
         process.pid, vpn, machine.now_ns, on_complete=complete
     )
     # The handler itself runs on the CPU before the switch.
@@ -41,6 +42,16 @@ def block_on_fault(
     sim.metrics.add_handler_overhead(machine.config.fault_handler_ns)
     process.stats.async_faults += 1
     sim.scheduler.block_current()
+    telemetry = sim.telemetry
+    if telemetry is not None:
+        # The I/O completion time is already determined, so the whole
+        # blocked interval can be recorded up front.
+        name = "fault.sacrifice.blocked" if resume else "fault.async"
+        telemetry.record_span(
+            name, start_ns, fault.io_done_ns,
+            track="cpu", pid=process.pid, args={"vpn": vpn},
+        )
+        telemetry.histogram("fault.service_ns").observe(fault.io_done_ns - start_ns)
 
 
 class AsyncIOPolicy(IOPolicy):

@@ -25,6 +25,7 @@ def busy_wait_fault(sim: "Simulation", process: Process, vpn: int) -> int:
     ITS self-improving path (which steals the returned window).
     """
     machine = sim.machine
+    start_ns = machine.now_ns
     fault = machine.fault_handler.begin_major_fault(process.pid, vpn, machine.now_ns)
     sim.metrics.add_handler_overhead(machine.config.fault_handler_ns)
     wait_ns = fault.io_done_ns - fault.handler_done_ns
@@ -33,6 +34,17 @@ def busy_wait_fault(sim: "Simulation", process: Process, vpn: int) -> int:
     process.stats.storage_wait_ns += wait_ns
     process.stats.sync_faults += 1
     machine.memory.install_page(process.pid, vpn)
+    telemetry = sim.telemetry
+    if telemetry is not None:
+        telemetry.record_span(
+            "fault.sync", start_ns, fault.io_done_ns,
+            track="cpu", pid=process.pid, args={"vpn": vpn},
+        )
+        telemetry.record_span(
+            "fault.sync.wait", fault.handler_done_ns, fault.io_done_ns,
+            track="cpu", pid=process.pid,
+        )
+        telemetry.histogram("fault.service_ns").observe(fault.io_done_ns - start_ns)
     return wait_ns
 
 

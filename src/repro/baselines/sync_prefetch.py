@@ -34,7 +34,10 @@ class SyncPrefetchPolicy(SyncIOPolicy):
         # Issue the rest of the aligned unit over DMA first, so the
         # prefetch reads overlap the demand read's busy-wait.
         unit_start = vpn - (vpn % self.unit_pages)
+        issued = 0
         for candidate in range(unit_start, unit_start + self.unit_pages):
-            if candidate != vpn:
-                sim.issue_prefetch(process.pid, candidate)
+            if candidate != vpn and sim.issue_prefetch(process.pid, candidate):
+                issued += 1
+        if sim.telemetry is not None:
+            sim.telemetry.counter("prefetch.unit_pages_issued").inc(issued)
         busy_wait_fault(sim, process, vpn)

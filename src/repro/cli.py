@@ -3,6 +3,8 @@
 Subcommands::
 
     repro run          one simulation (batch x policy x seed)
+    repro trace        run instrumented; export a Perfetto-loadable trace
+    repro stats        run instrumented; print the telemetry stats report
     repro figures      regenerate the paper's Figure 4 / Figure 5 series
     repro observation  the Section 2.2 motivation experiment
     repro crossover    sync-vs-async sweep over device latency
@@ -64,6 +66,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: simulate one (batch, policy, seed) cell."""
     config = _machine_config(args)
+    telemetry = None
+    if getattr(args, "trace_out", None):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     event_log = EventLog() if args.events else None
     result = run_batch_policy(
         config,
@@ -72,6 +79,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         scale=args.scale,
         event_log=event_log,
+        telemetry=telemetry,
     )
     print(render_result_summary(result))
     if args.save:
@@ -81,6 +89,60 @@ def cmd_run(args: argparse.Namespace) -> int:
         event_log.to_csv(args.events)
         counts = ", ".join(f"{k}={v}" for k, v in sorted(event_log.counts().items()))
         print(f"event log ({len(event_log)} events: {counts}) written to {args.events}")
+    if telemetry is not None:
+        from repro.telemetry import export_chrome_trace
+
+        export_chrome_trace(telemetry, args.trace_out)
+        print(
+            f"trace ({len(telemetry.tracer)} spans) written to {args.trace_out} "
+            "(open in ui.perfetto.dev or chrome://tracing)"
+        )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: run one cell instrumented and export the trace."""
+    from repro.telemetry import Telemetry, export_chrome_trace, export_jsonl
+
+    config = _machine_config(args)
+    telemetry = Telemetry()
+    result = run_batch_policy(
+        config,
+        args.batch,
+        args.policy,
+        seed=args.seed,
+        scale=args.scale,
+        telemetry=telemetry,
+    )
+    print(render_result_summary(result))
+    if args.format == "jsonl":
+        export_jsonl(telemetry, args.out)
+    else:
+        export_chrome_trace(telemetry, args.out)
+    dropped = telemetry.tracer.dropped
+    note = f", {dropped} dropped" if dropped else ""
+    print(f"trace ({len(telemetry.tracer)} spans{note}) written to {args.out}")
+    if args.format == "chrome":
+        print("open in ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: run one cell instrumented and print the report."""
+    from repro.telemetry import Telemetry, render_stats_report
+
+    config = _machine_config(args)
+    telemetry = Telemetry(events=False)
+    run_batch_policy(
+        config,
+        args.batch,
+        args.policy,
+        seed=args.seed,
+        scale=args.scale,
+        telemetry=telemetry,
+    )
+    title = f"{args.policy} on {args.batch} (seed {args.seed}, scale {args.scale})"
+    print(render_stats_report(telemetry, title=title))
     return 0
 
 
@@ -259,8 +321,34 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--save", help="write the result to a JSON file")
     run_p.add_argument("--events", help="write a CSV event log of the run")
+    run_p.add_argument(
+        "--trace-out", help="also capture telemetry and write a Chrome/Perfetto trace"
+    )
     _add_common(run_p)
     run_p.set_defaults(func=cmd_run)
+
+    trace_p = sub.add_parser("trace", help="run instrumented and export a trace")
+    trace_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
+    trace_p.add_argument("--policy", choices=list(POLICY_FACTORIES), default="ITS")
+    trace_p.add_argument("--seed", type=int, default=1)
+    trace_p.add_argument("--out", default="repro.trace.json", help="trace output path")
+    trace_p.add_argument(
+        "--format",
+        choices=["chrome", "jsonl"],
+        default="chrome",
+        help="chrome: Perfetto-loadable JSON; jsonl: one span per line",
+    )
+    _add_common(trace_p)
+    trace_p.set_defaults(func=cmd_trace)
+
+    stats_p2 = sub.add_parser(
+        "stats", help="run instrumented and print the telemetry report"
+    )
+    stats_p2.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
+    stats_p2.add_argument("--policy", choices=list(POLICY_FACTORIES), default="ITS")
+    stats_p2.add_argument("--seed", type=int, default=1)
+    _add_common(stats_p2)
+    stats_p2.set_defaults(func=cmd_stats)
 
     fig_p = sub.add_parser("figures", help="regenerate paper figures")
     fig_p.add_argument(

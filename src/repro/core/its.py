@@ -102,25 +102,46 @@ class ITSPolicy(IOPolicy):
             preexec_policy = FaultAwarePreExecutePolicy(engine)
 
         self.recovery = StateRecoveryPolicy(trigger=self.recovery_trigger)
+        telemetry = sim.telemetry
         self.improving = SelfImprovingThread(
-            kthread=KernelThread("self-improving", its_config.kernel_entry_ns),
+            kthread=KernelThread(
+                "self-improving", its_config.kernel_entry_ns, telemetry=telemetry
+            ),
             prefetcher=prefetcher,
             preexec=preexec_policy,
             recovery=self.recovery,
             prefetch_discovered=self.prefetch_discovered,
         )
         self.sacrificing = SelfSacrificingThread(
-            kthread=KernelThread("self-sacrificing", its_config.kernel_entry_ns),
+            kthread=KernelThread(
+                "self-sacrificing", its_config.kernel_entry_ns, telemetry=telemetry
+            ),
             prefetcher=prefetcher,
         )
 
     # -- the fault path ------------------------------------------------------
 
     def on_major_fault(self, sim: "Simulation", process: Process, vpn: int) -> None:
+        telemetry = sim.telemetry
         if (
             self.self_sacrifice_enabled
             and self.selection.classify(process, sim.scheduler) is PriorityClass.LOW
         ):
+            if telemetry is not None:
+                # Selection is free in the cost model (one priority
+                # compare inside the handler); the instant marks which
+                # way it went.
+                telemetry.instant(
+                    "fault.its.selection", sim.machine.now_ns,
+                    track="its", pid=process.pid, args={"class": "low"},
+                )
+                telemetry.counter("its.selection.low").inc()
             self.sacrificing.handle_fault(sim, process, vpn)
         else:
+            if telemetry is not None:
+                telemetry.instant(
+                    "fault.its.selection", sim.machine.now_ns,
+                    track="its", pid=process.pid, args={"class": "high"},
+                )
+                telemetry.counter("its.selection.high").inc()
             self.improving.handle_fault(sim, process, vpn)

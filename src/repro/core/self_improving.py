@@ -18,6 +18,7 @@ from repro.core.prefetch import VirtualAddressPrefetcher
 from repro.core.recovery import StateRecoveryPolicy
 from repro.kernel.kthread import KernelThread
 from repro.kernel.process import Process
+from repro.telemetry.registry import DEFAULT_COUNT_BOUNDS, PERCENT_BOUNDS
 
 if TYPE_CHECKING:
     from repro.sim.simulator import Simulation
@@ -42,12 +43,19 @@ class SelfImprovingThread:
         """Serve a high-priority major fault synchronously, stealing the
         wait window."""
         machine = sim.machine
+        telemetry = sim.telemetry
+        fault_start = machine.now_ns
         fault = machine.fault_handler.begin_major_fault(
             process.pid, vpn, machine.now_ns
         )
         sim.metrics.add_handler_overhead(machine.config.fault_handler_ns)
         window_ns = fault.io_done_ns - fault.handler_done_ns
         work_start, budget_ns = self.kthread.activate(fault.handler_done_ns, window_ns)
+        # For tracing, the entry/checkpoint phase cannot outlast the
+        # window itself (a too-small window means the thread never ran).
+        entry_end_ns = min(work_start, fault.io_done_ns)
+        walk_end_ns = entry_end_ns
+        preexec_end_ns = entry_end_ns
 
         recovery_latency = 0
         if budget_ns > 0 and not process.finished:
@@ -59,11 +67,24 @@ class SelfImprovingThread:
             if self.prefetcher is not None:
                 candidates, walk_cost_ns = self.prefetcher.collect(process.pid, vpn)
                 budget_ns = max(0, budget_ns - walk_cost_ns)
+                walk_end_ns = min(work_start + walk_cost_ns, fault.io_done_ns)
                 for candidate in candidates:
                     sim.issue_prefetch(process.pid, candidate, at_ns=work_start)
+                if telemetry is not None:
+                    distance_hist = telemetry.histogram(
+                        "its.prefetch.distance_pages", DEFAULT_COUNT_BOUNDS
+                    )
+                    for candidate in candidates:
+                        distance_hist.observe(abs(candidate - vpn))
+            preexec_end_ns = walk_end_ns
 
             if self.preexec is not None and process.pc + 1 < len(process.trace):
-                __stats, discovered = self.preexec.run(process, budget_ns)
+                episode, discovered = self.preexec.run(process, budget_ns)
+                preexec_end_ns = min(
+                    walk_end_ns
+                    + episode.instructions * machine.config.its.preexec_instr_ns,
+                    fault.io_done_ns,
+                )
                 # Pages the speculative stream found missing are known
                 # future faults — prime prefetch candidates (extension,
                 # see ``prefetch_discovered``).
@@ -84,3 +105,72 @@ class SelfImprovingThread:
         process.stats.storage_wait_ns += window_ns
         process.stats.sync_faults += 1
         machine.memory.install_page(process.pid, vpn)
+        if telemetry is not None:
+            self._trace_fault_phases(
+                telemetry,
+                pid=process.pid,
+                vpn=vpn,
+                fault_start=fault_start,
+                handler_done=fault.handler_done_ns,
+                work_start=entry_end_ns,
+                walk_end=walk_end_ns,
+                preexec_end=preexec_end_ns,
+                io_done=fault.io_done_ns,
+                recovery_latency=recovery_latency,
+                window_ns=window_ns,
+            )
+
+    def _trace_fault_phases(
+        self,
+        telemetry,
+        *,
+        pid: int,
+        vpn: int,
+        fault_start: int,
+        handler_done: int,
+        work_start: int,
+        walk_end: int,
+        preexec_end: int,
+        io_done: int,
+        recovery_latency: int,
+        window_ns: int,
+    ) -> None:
+        """Emit the per-phase spans and window histograms of one stolen
+        fault.
+
+        The child phases tile the parent ``fault.its`` span exactly:
+        handler -> checkpoint (kernel entry + register snapshot) ->
+        prefetch_walk -> runahead -> wait (residual busy-wait) ->
+        restore, so summed child durations equal the parent duration.
+        """
+        end = io_done + recovery_latency
+        args = {"vpn": vpn}
+        telemetry.record_span(
+            "fault.its", fault_start, end, track="its", pid=pid, args=args
+        )
+        telemetry.record_span(
+            "fault.its.checkpoint", handler_done, work_start, track="its", pid=pid
+        )
+        if walk_end > work_start:
+            telemetry.record_span(
+                "fault.its.prefetch_walk", work_start, walk_end, track="its", pid=pid
+            )
+        if preexec_end > walk_end:
+            telemetry.record_span(
+                "fault.its.runahead", walk_end, preexec_end, track="its", pid=pid
+            )
+        if io_done > preexec_end:
+            telemetry.record_span(
+                "fault.its.wait", preexec_end, io_done, track="its", pid=pid
+            )
+        if recovery_latency > 0:
+            telemetry.record_span(
+                "fault.its.restore", io_done, end, track="its", pid=pid
+            )
+        telemetry.histogram("fault.service_ns").observe(end - fault_start)
+        telemetry.histogram("its.steal.window_ns").observe(window_ns)
+        if window_ns > 0:
+            used_ns = preexec_end - handler_done  # entry + walk + runahead
+            telemetry.histogram(
+                "its.steal.utilization_pct", PERCENT_BOUNDS
+            ).observe(100 * used_ns / window_ns)

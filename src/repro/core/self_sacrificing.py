@@ -27,6 +27,7 @@ from repro.baselines.async_io import block_on_fault
 from repro.core.prefetch import VirtualAddressPrefetcher
 from repro.kernel.kthread import KernelThread
 from repro.kernel.process import Process
+from repro.telemetry.registry import DEFAULT_COUNT_BOUNDS
 
 if TYPE_CHECKING:
     from repro.sim.simulator import Simulation
@@ -42,15 +43,37 @@ class SelfSacrificingThread:
 
     def handle_fault(self, sim: "Simulation", process: Process, vpn: int) -> None:
         """Switch the fault to asynchronous mode and yield the CPU."""
+        telemetry = sim.telemetry
+        start_ns = sim.machine.now_ns
         self.sacrifices += 1
         sim.log_event("sacrifice", process.pid, vpn)
         self.kthread.activate(sim.machine.now_ns, self.kthread.entry_cost_ns)
         # The mode-switch decision itself runs in kernel space for a few
         # hundred nanoseconds on the faulting process's time.
         sim.consume_time(process, self.kthread.entry_cost_ns)
+        entry_done_ns = sim.machine.now_ns
         if self.prefetcher is not None:
             candidates, walk_cost_ns = self.prefetcher.collect(process.pid, vpn)
             sim.consume_time(process, walk_cost_ns)
             for candidate in candidates:
                 sim.issue_prefetch(process.pid, candidate)
+            if telemetry is not None:
+                if walk_cost_ns > 0:
+                    telemetry.record_span(
+                        "fault.sacrifice.prefetch_walk",
+                        entry_done_ns,
+                        entry_done_ns + walk_cost_ns,
+                        track="its",
+                        pid=process.pid,
+                    )
+                distance_hist = telemetry.histogram(
+                    "its.prefetch.distance_pages", DEFAULT_COUNT_BOUNDS
+                )
+                for candidate in candidates:
+                    distance_hist.observe(abs(candidate - vpn))
+        if telemetry is not None:
+            telemetry.record_span(
+                "fault.sacrifice", start_ns, sim.machine.now_ns,
+                track="its", pid=process.pid, args={"vpn": vpn},
+            )
         block_on_fault(sim, process, vpn, resume=True)

@@ -30,6 +30,7 @@ from repro.cpu.registers import RegisterFile
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.preexec_cache import PreExecuteCache
 from repro.mem.store_buffer import StoreBuffer
+from repro.telemetry.registry import DEFAULT_COUNT_BOUNDS
 from repro.vm.mm import MemoryManager
 
 
@@ -67,6 +68,8 @@ class PreExecuteEngine:
         memory: MemoryManager,
         preexec_cache: PreExecuteCache,
         store_buffer_capacity: int = 32,
+        *,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.hierarchy = hierarchy
@@ -74,6 +77,7 @@ class PreExecuteEngine:
         self.preexec_cache = preexec_cache
         self.store_buffer = StoreBuffer(store_buffer_capacity)
         self.stats = PreExecuteStats()
+        self.telemetry = telemetry
         self._dirty_inv_ptes: list[tuple[int, int]] = []
 
     def run_episode(
@@ -117,6 +121,17 @@ class PreExecuteEngine:
 
         self._end_episode(registers, shadow, episode)
         self.stats = self.stats.merged(episode)
+        if self.telemetry is not None:
+            tel = self.telemetry
+            tel.histogram(
+                "runahead.instructions", DEFAULT_COUNT_BOUNDS
+            ).observe(episode.instructions)
+            tel.histogram(
+                "runahead.skipped_inv", DEFAULT_COUNT_BOUNDS
+            ).observe(episode.skipped_invalid)
+            tel.counter("runahead.episodes").inc()
+            tel.counter("runahead.lines_warmed").inc(episode.lines_warmed)
+            tel.counter("runahead.faults_discovered").inc(episode.faults_discovered)
         return episode, discovered
 
     # -- per-instruction semantics -------------------------------------------

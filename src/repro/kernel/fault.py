@@ -37,10 +37,13 @@ class PageFaultHandler:
         config: MachineConfig,
         memory: MemoryManager,
         dma: DMAController,
+        *,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.memory = memory
         self.dma = dma
+        self.telemetry = telemetry
         self.major_faults = 0
         self.handler_time_ns = 0
 
@@ -65,6 +68,15 @@ class PageFaultHandler:
             pid=pid, vpn=vpn, page_bytes=self.memory.frames.page_size, prefetch=False
         )
         io_done = self.dma.read_page(handler_done, request, on_complete)
+        if self.telemetry is not None:
+            self.telemetry.record_span(
+                "fault.handler", now_ns, handler_done,
+                track="cpu", pid=pid, args={"vpn": vpn},
+            )
+            self.telemetry.histogram("fault.window_ns").observe(
+                io_done - handler_done
+            )
+            self.telemetry.counter("fault.major").inc()
         return FaultContext(
             pid=pid,
             vpn=vpn,

@@ -25,6 +25,9 @@ class KernelThread:
     entry_cost_ns: int
     activations: int = 0
     busy_ns: int = 0
+    telemetry: object = None
+    """Optional :class:`~repro.telemetry.Telemetry` handle; when set,
+    each activation feeds a per-thread budget histogram."""
 
     def activate(self, now_ns: int, budget_ns: int) -> tuple[int, int]:
         """Account one activation starting at *now_ns* with *budget_ns*
@@ -40,4 +43,7 @@ class KernelThread:
         start = now_ns + self.entry_cost_ns
         budget = max(0, budget_ns - self.entry_cost_ns)
         self.busy_ns += budget
+        if self.telemetry is not None:
+            self.telemetry.counter(f"kthread.{self.name}.activations").inc()
+            self.telemetry.histogram(f"kthread.{self.name}.budget_ns").observe(budget)
         return start, budget

@@ -196,3 +196,15 @@ class RoundRobinScheduler:
         process = self._current
         self._current = None
         return process
+
+    def publish_telemetry(self, registry) -> None:
+        """Publish the scheduling counters as ``sched.*`` gauges.
+
+        Called once at the end of a run; the dispatch/preempt hot paths
+        themselves stay uninstrumented.
+        """
+        registry.gauge("sched.dispatches").set(self.stats.dispatches)
+        registry.gauge("sched.preemptions").set(self.stats.preemptions)
+        registry.gauge("sched.voluntary_switches").set(self.stats.voluntary_switches)
+        registry.gauge("sched.blocks").set(self.stats.blocks)
+        registry.gauge("sched.unblocks").set(self.stats.unblocks)

@@ -198,6 +198,21 @@ class SetAssociativeCache:
 
     # -- introspection ----------------------------------------------------
 
+    def publish_telemetry(self, registry, prefix: str) -> None:
+        """Publish the hit/miss counters as ``<prefix>.*`` gauges.
+
+        The per-access path stays uninstrumented — a run with telemetry
+        attached publishes these once, at the end.
+        """
+        stats = self.stats
+        registry.gauge(f"{prefix}.demand_hits").set(stats.demand_hits)
+        registry.gauge(f"{prefix}.demand_misses").set(stats.demand_misses)
+        registry.gauge(f"{prefix}.demand_miss_rate").set(stats.demand_miss_rate)
+        registry.gauge(f"{prefix}.preexec_hits").set(stats.preexec_hits)
+        registry.gauge(f"{prefix}.preexec_misses").set(stats.preexec_misses)
+        registry.gauge(f"{prefix}.evictions").set(stats.evictions)
+        registry.gauge(f"{prefix}.invalidations").set(stats.invalidations)
+
     def resident_lines(self) -> int:
         """Number of lines currently resident."""
         return sum(len(s) for s in self._sets)

@@ -84,3 +84,12 @@ class TLB:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def publish_telemetry(self, registry, prefix: str = "tlb") -> None:
+        """Publish the hit/miss/flush counters as ``<prefix>.*`` gauges
+        (end-of-run; the lookup hot path stays uninstrumented)."""
+        registry.gauge(f"{prefix}.hits").set(self.stats.hits)
+        registry.gauge(f"{prefix}.misses").set(self.stats.misses)
+        registry.gauge(f"{prefix}.miss_rate").set(self.stats.miss_rate)
+        registry.gauge(f"{prefix}.flushes").set(self.stats.flushes)
+        registry.gauge(f"{prefix}.shootdowns").set(self.stats.shootdowns)

@@ -82,3 +82,36 @@ def build_batch(
             )
         )
     return instances
+
+
+def run_batch_instrumented(
+    name: str,
+    policy,
+    *,
+    seed: int = 42,
+    scale: float = 1.0,
+    config: MachineConfig | None = None,
+    telemetry=None,
+):
+    """Build a paper batch, run it fully instrumented, return
+    ``(result, telemetry)``.
+
+    Convenience hook for trace capture: constructs a fresh
+    :class:`~repro.telemetry.Telemetry` when none is passed, so
+    ``result, t = run_batch_instrumented("1_Data_Intensive", ITSPolicy())``
+    followed by :func:`~repro.telemetry.export_chrome_trace` is the
+    shortest path from batch name to a Perfetto-loadable trace.
+    *policy* is an :class:`~repro.baselines.base.IOPolicy` instance (not
+    a name — name lookup lives in :mod:`repro.analysis.experiments`).
+    """
+    from repro.sim.simulator import Simulation
+    from repro.telemetry import Telemetry
+
+    config = config or MachineConfig()
+    if telemetry is None:
+        telemetry = Telemetry()
+    workloads = build_batch(name, seed=seed, scale=scale, config=config)
+    result = Simulation(
+        config, workloads, policy, batch_name=name, telemetry=telemetry
+    ).run()
+    return result, telemetry

@@ -6,6 +6,14 @@ prefetches, ITS steals, finishes) with virtual timestamps — the raw
 material for debugging a policy or plotting a timeline.  Recording is
 disabled by default; an unattached simulation pays a single ``None``
 check per event site.
+
+.. note::
+   Attaching a bare ``EventLog`` directly to a
+   :class:`~repro.sim.simulator.Simulation` is deprecated in favour of
+   attaching a :class:`~repro.telemetry.Telemetry` handle, which owns an
+   event log (``telemetry.event_log``) and additionally provides span
+   tracing, counters and latency histograms.  The direct path keeps
+   working for existing callers and :mod:`repro.analysis.timeline`.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ class EventLog:
         self.capacity = capacity
         self.dropped = 0
         self._events: list[SimEvent] = []
+        self._head = 0  # index of the oldest event once the ring is full
 
     def record(
         self,
@@ -53,41 +62,55 @@ class EventLog:
         pid: Optional[int] = None,
         vpn: Optional[int] = None,
     ) -> None:
-        """Append one event, evicting the oldest beyond capacity."""
-        self._events.append(SimEvent(time_ns=time_ns, kind=kind, pid=pid, vpn=vpn))
-        if len(self._events) > self.capacity:
-            overflow = len(self._events) - self.capacity
-            del self._events[:overflow]
-            self.dropped += overflow
+        """Append one event, overwriting the oldest beyond capacity.
+
+        A true ring buffer: once full, each new event lands where the
+        oldest one sat (O(1), no list shifting) and ``dropped`` grows.
+        """
+        event = SimEvent(time_ns=time_ns, kind=kind, pid=pid, vpn=vpn)
+        if len(self._events) < self.capacity:
+            self._events.append(event)
+        else:
+            self._events[self._head] = event
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
 
     def __len__(self) -> int:
         return len(self._events)
 
     def __iter__(self) -> Iterator[SimEvent]:
-        return iter(self._events)
+        if self._head == 0:
+            return iter(list(self._events))
+        return iter(self._events[self._head :] + self._events[: self._head])
 
     def of_kind(self, kind: str) -> list[SimEvent]:
         """All events with the given tag, in time order."""
-        return [e for e in self._events if e.kind == kind]
+        return [e for e in self if e.kind == kind]
 
     def of_pid(self, pid: int) -> list[SimEvent]:
         """All events attributed to *pid*, in time order."""
-        return [e for e in self._events if e.pid == pid]
+        return [e for e in self if e.pid == pid]
 
     def counts(self) -> dict[str, int]:
         """Events per kind."""
         out: dict[str, int] = {}
-        for event in self._events:
+        for event in self:
             out[event.kind] = out.get(event.kind, 0) + 1
         return out
 
     def to_csv(self, path: str | Path) -> None:
-        """Dump the log as ``time_ns,kind,pid,vpn`` CSV."""
+        """Dump the log as ``time_ns,kind,pid,vpn`` CSV.
+
+        The first line is a ``# dropped=N`` comment recording how many
+        oldest events the ring buffer overwrote, so a reader knows the
+        file is a suffix of the run rather than the whole of it.
+        """
         path = Path(path)
         with path.open("w", newline="", encoding="utf-8") as f:
+            f.write(f"# dropped={self.dropped}\n")
             writer = csv.writer(f)
             writer.writerow(["time_ns", "kind", "pid", "vpn"])
-            for event in self._events:
+            for event in self:
                 writer.writerow(
                     [
                         event.time_ns,

@@ -43,8 +43,10 @@ class Machine:
         replacement: ReplacementPolicy,
         *,
         with_preexec_cache: bool = False,
+        telemetry=None,
     ) -> None:
         self.config = config
+        self.telemetry = telemetry
         self.now_ns = 0
         self.events = EventQueue()
 
@@ -59,10 +61,14 @@ class Machine:
 
         self.device = ULLDevice(config.device)
         self.link = PCIeLink(config.pcie)
-        self.dma = DMAController(self.device, self.link, self.events)
+        self.dma = DMAController(
+            self.device, self.link, self.events, telemetry=telemetry
+        )
 
         self.cpu = SimCPU(config, self.hierarchy, self.tlb, self.memory)
-        self.fault_handler = PageFaultHandler(config, self.memory, self.dma)
+        self.fault_handler = PageFaultHandler(
+            config, self.memory, self.dma, telemetry=telemetry
+        )
         self.context_switch = ContextSwitchModel(config.scheduler, self.tlb, self.hierarchy)
 
         self.preexec_cache: Optional[PreExecuteCache] = None
@@ -70,7 +76,11 @@ class Machine:
         if with_preexec_cache:
             self.preexec_cache = PreExecuteCache(config.llc.halved())
             self.preexec_engine = PreExecuteEngine(
-                config, self.hierarchy, self.memory, self.preexec_cache
+                config,
+                self.hierarchy,
+                self.memory,
+                self.preexec_cache,
+                telemetry=telemetry,
             )
 
     # -- the clock ----------------------------------------------------------

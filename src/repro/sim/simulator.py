@@ -10,7 +10,7 @@ advances, so CPU and DMA overlap exactly as the paper's design intends.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.common.config import MachineConfig
 from repro.common.errors import SimulationError
@@ -22,6 +22,9 @@ from repro.sim.metrics import MetricsCollector, ProcessRecord, SimulationResult
 from repro.storage.dma import DMARequest
 from repro.trace.record import footprint_vpns
 from repro.cpu.isa import Instruction
+
+if TYPE_CHECKING:
+    from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -72,6 +75,7 @@ class Simulation:
         *,
         batch_name: str = "custom",
         event_log=None,
+        telemetry: Optional["Telemetry"] = None,
         progress=None,
         progress_interval: int = 50_000,
     ) -> None:
@@ -82,6 +86,11 @@ class Simulation:
         self.config = config
         self.policy = policy
         self.batch_name = batch_name
+        self.telemetry = telemetry
+        if telemetry is not None and event_log is None:
+            # The telemetry handle owns the event log (adapter path); a
+            # directly attached log still wins for backward compatibility.
+            event_log = telemetry.event_log
         self.event_log = event_log
         self.progress = progress
         self.progress_interval = progress_interval
@@ -98,8 +107,13 @@ class Simulation:
         ]
         replacement = policy.create_replacement(self.processes)
         self.machine = Machine(
-            config, replacement, with_preexec_cache=policy.uses_preexec_cache
+            config,
+            replacement,
+            with_preexec_cache=policy.uses_preexec_cache,
+            telemetry=telemetry,
         )
+        if telemetry is not None:
+            telemetry.bind_clock(lambda: self.machine.now_ns)
         page_size = config.memory.page_size
         for process, workload in zip(self.processes, workloads):
             vpns = set(footprint_vpns(process.trace, page_size))
@@ -160,11 +174,17 @@ class Simulation:
             self._idle_until_next_event()
             return False
         if self._last_pid is not None and self._last_pid != process.pid:
+            switch_start = self.machine.now_ns
             cost = self.machine.context_switch.perform(self._last_pid)
             self.machine.advance(cost)
             self.metrics.add_ctx_overhead(cost)
             process.stats.context_switches += 1
             self.log_event("ctx_switch", process.pid)
+            if self.telemetry is not None:
+                self.telemetry.record_span(
+                    "sched.ctx_switch", switch_start, switch_start + cost,
+                    track="cpu", pid=process.pid,
+                )
         self._last_pid = process.pid
         self.log_event("dispatch", process.pid)
         return True
@@ -176,8 +196,14 @@ class Simulation:
                 "no runnable process and no pending I/O: the machine is deadlocked"
             )
         gap = max(0, next_time - self.machine.now_ns)
+        idle_start = self.machine.now_ns
         self.machine.advance_to(max(next_time, self.machine.now_ns))
         self.metrics.add_async_idle(gap)
+        if self.telemetry is not None and gap > 0:
+            self.telemetry.record_span(
+                "cpu.idle", idle_start, idle_start + gap, track="cpu"
+            )
+            self.telemetry.histogram("cpu.idle_gap_ns").observe(gap)
 
     def _step_current(self) -> None:
         process = self.scheduler.current
@@ -215,6 +241,7 @@ class Simulation:
             # A sacrificed process's I/O completed and it outranks the
             # running process: RT semantics let it take the CPU back.
             displaced = self.scheduler.preempt_for_resume()
+            switch_start = self.machine.now_ns
             cost = self.machine.context_switch.perform(displaced.pid)
             self.machine.advance(cost)
             self.metrics.add_ctx_overhead(cost)
@@ -222,15 +249,28 @@ class Simulation:
             if resumed is not None:
                 resumed.stats.context_switches += 1
                 self._last_pid = resumed.pid
+            if self.telemetry is not None:
+                self.telemetry.record_span(
+                    "sched.ctx_switch", switch_start, switch_start + cost,
+                    track="cpu",
+                    pid=resumed.pid if resumed is not None else None,
+                )
 
     # -- services used by policies ------------------------------------------
 
     def log_event(
         self, kind: str, pid: Optional[int] = None, vpn: Optional[int] = None
     ) -> None:
-        """Record an event if a log is attached (cheap no-op otherwise)."""
+        """Record an event if a log is attached (cheap no-op otherwise).
+
+        With a telemetry handle attached, the event is also mirrored
+        into the metric registry (``events.<kind>`` counters) and the
+        span tracer (as an instant on the ``events`` track).
+        """
         if self.event_log is not None:
             self.event_log.record(self.machine.now_ns, kind, pid, vpn)
+        if self.telemetry is not None:
+            self.telemetry.on_event(self.machine.now_ns, kind, pid, vpn)
 
     def consume_time(self, process: Process, dt_ns: int) -> None:
         """Charge *dt_ns* of CPU occupancy to *process* and advance the
@@ -284,6 +324,40 @@ class Simulation:
 
     # -- result assembly -----------------------------------------------------
 
+    def _publish_telemetry(self) -> None:
+        """Dump end-of-run component statistics into the registry.
+
+        The structures with per-access hot paths (caches, TLB) are not
+        instrumented inline — their existing counters are published as
+        gauges once the run completes, so enabling telemetry never
+        perturbs the cache/TLB fast paths.
+        """
+        telemetry = self.telemetry
+        assert telemetry is not None
+        registry = telemetry.registry
+        machine = self.machine
+        machine.hierarchy.llc.publish_telemetry(registry, "llc")
+        if machine.hierarchy.l1 is not None:
+            machine.hierarchy.l1.publish_telemetry(registry, "l1")
+        machine.tlb.publish_telemetry(registry, "tlb")
+        self.scheduler.publish_telemetry(registry)
+        registry.gauge("dma.completed").set(machine.dma.completed)
+        registry.gauge("dma.prefetches_issued").set(machine.dma.prefetches_issued)
+        registry.gauge("dma.writebacks_issued").set(machine.dma.writebacks_issued)
+        registry.gauge("fault.handler_time_ns").set(machine.fault_handler.handler_time_ns)
+        registry.gauge("swap_cache.hits").set(machine.memory.swap_cache.hits)
+        idle = self.metrics.idle
+        registry.gauge("idle.memory_stall_ns").set(idle.memory_stall_ns)
+        registry.gauge("idle.sync_storage_ns").set(idle.sync_storage_ns)
+        registry.gauge("idle.async_idle_ns").set(idle.async_idle_ns)
+        registry.gauge("idle.ctx_switch_overhead_ns").set(idle.ctx_switch_overhead_ns)
+        registry.gauge("idle.total_ns").set(idle.total_idle_ns)
+        registry.gauge("overhead.handler_ns").set(idle.handler_overhead_ns)
+        registry.gauge("cpu.instructions_committed").set(
+            machine.cpu.instructions_committed
+        )
+        registry.gauge("sim.makespan_ns").set(machine.now_ns)
+
     def _build_result(self) -> SimulationResult:
         records = []
         majors = minors = 0
@@ -308,6 +382,8 @@ class Simulation:
                     context_switches=process.stats.context_switches,
                 )
             )
+        if self.telemetry is not None:
+            self._publish_telemetry()
         llc = self.machine.hierarchy.llc.stats
         engine = self.machine.preexec_engine
         return SimulationResult(

@@ -30,10 +30,18 @@ class DMARequest:
 class DMAController:
     """Issues device reads and schedules their completion events."""
 
-    def __init__(self, device: ULLDevice, link: PCIeLink, events: EventQueue) -> None:
+    def __init__(
+        self,
+        device: ULLDevice,
+        link: PCIeLink,
+        events: EventQueue,
+        *,
+        telemetry=None,
+    ) -> None:
         self.device = device
         self.link = link
         self.events = events
+        self.telemetry = telemetry
         self.inflight = 0
         self.completed = 0
         self.prefetches_issued = 0
@@ -56,6 +64,13 @@ class DMAController:
         self.inflight += 1
         if request.prefetch:
             self.prefetches_issued += 1
+        if self.telemetry is not None:
+            name = "dma.prefetch_read" if request.prefetch else "dma.demand_read"
+            self.telemetry.record_span(
+                name, now_ns, done,
+                track="dma", pid=request.pid, args={"vpn": request.vpn},
+            )
+            self.telemetry.histogram("dma.read_latency_ns").observe(done - now_ns)
 
         def _fire(event: Event) -> None:
             self.inflight -= 1
@@ -81,6 +96,12 @@ class DMAController:
         __, done = self.device.submit_write(link_done)
         self.inflight += 1
         self.writebacks_issued += 1
+        if self.telemetry is not None:
+            self.telemetry.record_span(
+                "dma.writeback", now_ns, done,
+                track="dma", pid=request.pid, args={"vpn": request.vpn},
+            )
+            self.telemetry.histogram("dma.write_latency_ns").observe(done - now_ns)
 
         def _fire(event: Event) -> None:
             self.inflight -= 1

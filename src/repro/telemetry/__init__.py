@@ -1,0 +1,61 @@
+"""First-class observability for the simulator.
+
+The telemetry subsystem answers *where the virtual nanoseconds go*
+inside a run: per-phase fault spans (selection -> checkpoint ->
+prefetch walk -> runahead -> restore), fixed-bucket latency histograms
+with p50/p95/p99, and event counters — exported as Chrome/Perfetto
+``trace_event`` JSON, JSONL streams, or a plain-text stats report.
+
+Three layers:
+
+* :mod:`repro.telemetry.registry` — counters, gauges and histograms
+  under hierarchical dotted names;
+* :mod:`repro.telemetry.spans` — the span tracer on the virtual clock;
+* :mod:`repro.telemetry.exporters` — the output formats.
+
+:class:`Telemetry` bundles all three (plus the legacy
+:class:`~repro.sim.eventlog.EventLog`, which it routes through so
+existing timeline tooling keeps working) behind the single optional
+handle that ``Simulation(..., telemetry=...)`` threads through every
+instrumented component.  See ``docs/TELEMETRY.md`` for the span naming
+convention and a Perfetto walkthrough.
+"""
+
+from repro.telemetry.exporters import (
+    chrome_trace_dict,
+    export_chrome_trace,
+    export_jsonl,
+    render_span_table,
+    render_stats_report,
+    span_latency_rows,
+)
+from repro.telemetry.handle import Telemetry
+from repro.telemetry.registry import (
+    DEFAULT_COUNT_BOUNDS,
+    DEFAULT_LATENCY_BOUNDS_NS,
+    PERCENT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.telemetry.spans import Span, SpanTracer
+
+__all__ = [
+    "Telemetry",
+    "MetricRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BOUNDS_NS",
+    "DEFAULT_COUNT_BOUNDS",
+    "PERCENT_BOUNDS",
+    "Span",
+    "SpanTracer",
+    "chrome_trace_dict",
+    "export_chrome_trace",
+    "export_jsonl",
+    "render_span_table",
+    "render_stats_report",
+    "span_latency_rows",
+]

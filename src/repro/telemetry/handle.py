@@ -1,0 +1,146 @@
+"""The ``Telemetry`` handle: one object threaded through a run.
+
+Bundles the three telemetry primitives — a
+:class:`~repro.telemetry.registry.MetricRegistry`, a
+:class:`~repro.telemetry.spans.SpanTracer`, and (by default) a
+:class:`~repro.sim.eventlog.EventLog` — behind a single handle that
+:class:`~repro.sim.simulator.Simulation` and the machine components
+accept as an optional argument.  Attach one to get counters, latency
+histograms, spans and the legacy event log from a single run::
+
+    from repro.telemetry import Telemetry, export_chrome_trace
+
+    telemetry = Telemetry()
+    result = Simulation(config, batch, ITSPolicy(), telemetry=telemetry).run()
+    export_chrome_trace(telemetry, "run.trace.json")
+    print(telemetry.registry.render_report())
+
+Detached (``telemetry=None``) is the zero-cost mode: every instrumented
+site guards with a single ``None`` check, the same discipline the event
+log has always used.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_BOUNDS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.telemetry.spans import SpanTracer
+
+if TYPE_CHECKING:
+    from repro.sim.eventlog import EventLog
+
+
+class Telemetry:
+    """Registry + span tracer + event log, under one optional handle.
+
+    ``events=False`` drops the embedded event log (spans and metrics
+    only); ``event_capacity``/``span_capacity`` bound memory use on long
+    runs exactly like :class:`~repro.sim.eventlog.EventLog` does.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+        events: bool = True,
+        event_capacity: int = 100_000,
+        span_capacity: int = 1_000_000,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.tracer = tracer if tracer is not None else SpanTracer(span_capacity)
+        self.event_log: Optional["EventLog"] = None
+        if events:
+            # Imported lazily: the telemetry package must stay importable
+            # without repro.sim (hot modules import repro.telemetry.registry
+            # at module scope, and repro.sim imports those hot modules).
+            from repro.sim.eventlog import EventLog
+
+            self.event_log = EventLog(event_capacity)
+
+    # -- clock binding -------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Point the span tracer at the run's virtual clock."""
+        self.tracer.bind_clock(clock)
+
+    # -- registry shortcuts --------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter (see :class:`MetricRegistry`)."""
+        return self.registry.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a gauge (see :class:`MetricRegistry`)."""
+        return self.registry.gauge(name)
+
+    def histogram(
+        self, name: str, bounds: Sequence[int] = DEFAULT_LATENCY_BOUNDS_NS
+    ) -> Histogram:
+        """Get or create a histogram (see :class:`MetricRegistry`)."""
+        return self.registry.histogram(name, bounds)
+
+    # -- tracer shortcuts ----------------------------------------------------
+
+    def record_span(
+        self,
+        name: str,
+        start_ns: int,
+        end_ns: int,
+        *,
+        track: str = "cpu",
+        pid: Optional[int] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a completed span (see :meth:`SpanTracer.record`)."""
+        self.tracer.record(name, start_ns, end_ns, track=track, pid=pid, args=args)
+
+    def instant(
+        self,
+        name: str,
+        ts_ns: int,
+        *,
+        track: str = "events",
+        pid: Optional[int] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a zero-width marker (see :meth:`SpanTracer.instant`)."""
+        self.tracer.instant(name, ts_ns, track=track, pid=pid, args=args)
+
+    def span(
+        self,
+        name: str,
+        *,
+        track: str = "cpu",
+        pid: Optional[int] = None,
+        args: Optional[dict] = None,
+    ):
+        """Nestable context manager on the virtual clock (see
+        :meth:`SpanTracer.span`)."""
+        return self.tracer.span(name, track=track, pid=pid, args=args)
+
+    # -- event-log adapter ---------------------------------------------------
+
+    def on_event(
+        self,
+        time_ns: int,
+        kind: str,
+        pid: Optional[int] = None,
+        vpn: Optional[int] = None,
+    ) -> None:
+        """Mirror one simulator event into the registry and tracer.
+
+        Called by :meth:`Simulation.log_event` *in addition to* the
+        event-log write, so the legacy CSV/timeline surface and the
+        telemetry surface stay consistent without double-recording.
+        """
+        self.registry.counter(f"events.{kind}").inc()
+        args = None if vpn is None else {"vpn": vpn}
+        self.tracer.instant(kind, time_ns, track="events", pid=pid, args=args)

@@ -1,0 +1,257 @@
+"""Hierarchical counter/gauge/histogram registry.
+
+Metric names are dotted paths (``fault.window_ns``,
+``its.prefetch.distance_pages``); the registry hands out one instrument
+per name and renders them grouped by prefix.  Histograms use **fixed
+buckets** (a 1-2-5 geometric ladder by default) so a million
+observations cost one list index each and the registry never grows with
+the run length; percentiles are estimated by linear interpolation inside
+the owning bucket and clamped to the exact observed min/max.
+
+Instruments are deliberately tiny: a site that holds a reference pays an
+attribute load and an integer add per event, which is what lets the
+simulator keep them on hot paths behind a single ``None`` check.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional, Sequence
+
+from repro.common.errors import SimulationError
+
+
+def _one_two_five(lo: int, hi: int) -> tuple[int, ...]:
+    """The 1-2-5 geometric ladder covering [lo, hi]."""
+    bounds: list[int] = []
+    decade = 1
+    while decade <= hi:
+        for mult in (1, 2, 5):
+            value = mult * decade
+            if lo <= value <= hi:
+                bounds.append(value)
+        decade *= 10
+    return tuple(bounds)
+
+
+DEFAULT_LATENCY_BOUNDS_NS = _one_two_five(100, 10_000_000_000)
+"""Default histogram bucket upper bounds for nanosecond latencies
+(100 ns .. 10 s)."""
+
+DEFAULT_COUNT_BOUNDS = _one_two_five(1, 1_000_000)
+"""Default bucket upper bounds for per-event counts (instructions,
+pages, entries)."""
+
+PERCENT_BOUNDS = tuple(range(5, 101, 5))
+"""Linear 5%-wide buckets for ratio metrics expressed in percent."""
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (default 1) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with min/max/sum tracking.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets, in
+    ascending order; one implicit overflow bucket catches everything
+    above the last edge.  ``percentile`` interpolates linearly within
+    the bucket that holds the requested rank, using the exact observed
+    ``min``/``max`` to tighten the first, last and overflow buckets.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(
+        self, name: str, bounds: Sequence[int] = DEFAULT_LATENCY_BOUNDS_NS
+    ) -> None:
+        if not bounds:
+            raise SimulationError(f"histogram {name!r} needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise SimulationError(f"histogram {name!r} bounds must strictly ascend")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated value at percentile *p* (0..100).
+
+        Returns 0.0 for an empty histogram.  Exact for the extremes
+        (p=0 -> min, p=100 -> max); interior percentiles interpolate
+        within the owning bucket.
+        """
+        if not 0 <= p <= 100:
+            raise SimulationError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        rank = p / 100 * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count < rank:
+                cumulative += bucket_count
+                continue
+            # The rank lands in this bucket: interpolate across it.
+            lo = self.bounds[index - 1] if index > 0 else self.min
+            hi = self.bounds[index] if index < len(self.bounds) else self.max
+            lo = max(lo, self.min)
+            hi = min(hi, self.max)
+            if hi <= lo:
+                return float(lo)
+            fraction = (rank - cumulative) / bucket_count
+            return lo + fraction * (hi - lo)
+        return float(self.max)
+
+    def snapshot(self) -> dict:
+        """Summary dict: count, sum, mean, min/max and key percentiles."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricRegistry:
+    """Name-keyed store of counters, gauges and histograms.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call for a name fixes the instrument kind (and, for histograms, the
+    buckets); later calls return the same object, and asking for the
+    same name with a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind, factory):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise SimulationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called *name*."""
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called *name*."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: Sequence[int] = DEFAULT_LATENCY_BOUNDS_NS
+    ) -> Histogram:
+        """Get or create the histogram called *name* (first caller's
+        *bounds* win)."""
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, bounds))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        return iter(self._instruments[k] for k in sorted(self._instruments))
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[Counter | Gauge | Histogram]:
+        """The instrument called *name*, or ``None``."""
+        return self._instruments.get(name)
+
+    def snapshot(self) -> dict:
+        """Plain-dict dump of every instrument, keyed by name."""
+        out: dict[str, object] = {}
+        for instrument in self:
+            if isinstance(instrument, Histogram):
+                out[instrument.name] = instrument.snapshot()
+            else:
+                out[instrument.name] = instrument.value
+        return out
+
+    def render_report(self) -> str:
+        """Human-readable text report, grouped by dotted-name prefix."""
+        counters = [i for i in self if isinstance(i, Counter)]
+        gauges = [i for i in self if isinstance(i, Gauge)]
+        histograms = [i for i in self if isinstance(i, Histogram)]
+        lines: list[str] = []
+        if counters or gauges:
+            lines.append("scalars:")
+            width = max(len(i.name) for i in (*counters, *gauges))
+            for inst in sorted((*counters, *gauges), key=lambda i: i.name):
+                value = inst.value
+                rendered = f"{value:g}" if isinstance(value, float) else str(value)
+                lines.append(f"  {inst.name:<{width}}  {rendered}")
+        if histograms:
+            if lines:
+                lines.append("")
+            lines.append("histograms:")
+            width = max(len(h.name) for h in histograms)
+            header = (
+                f"  {'name':<{width}}  {'count':>8} {'mean':>12} "
+                f"{'p50':>12} {'p95':>12} {'p99':>12} {'max':>12}"
+            )
+            lines.append(header)
+            for hist in histograms:
+                lines.append(
+                    f"  {hist.name:<{width}}  {hist.count:>8} {hist.mean:>12.1f} "
+                    f"{hist.percentile(50):>12.1f} {hist.percentile(95):>12.1f} "
+                    f"{hist.percentile(99):>12.1f} {(hist.max or 0):>12.1f}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

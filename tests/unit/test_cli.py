@@ -103,6 +103,52 @@ class TestCommands:
         assert main(["compare", str(path), str(path)]) == 2
 
 
+class TestTelemetryCommands:
+    def test_trace_writes_chrome_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "run.trace.json"
+        code = main(
+            ["trace", "--policy", "Sync", "--scale", "0.1", "--out", str(out)]
+        )
+        assert code == 0
+        assert "perfetto" in capsys.readouterr().out
+        with out.open() as f:
+            doc = json.load(f)
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_trace_jsonl_format(self, tmp_path):
+        import json
+
+        out = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "trace", "--policy", "Sync", "--scale", "0.1",
+                "--out", str(out), "--format", "jsonl",
+            ]
+        )
+        assert code == 0
+        last = json.loads(out.read_text().splitlines()[-1])
+        assert last["type"] == "metrics"
+
+    def test_stats_prints_span_table(self, capsys):
+        code = main(["stats", "--policy", "ITS", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span latency" in out
+        assert "fault.its" in out
+        assert "p99" in out
+
+    def test_run_trace_out(self, capsys, tmp_path):
+        out = tmp_path / "t.json"
+        code = main(
+            ["run", "--policy", "ITS", "--scale", "0.1", "--trace-out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "trace (" in capsys.readouterr().out
+
+
 class TestTraceStats:
     SAMPLE = str(
         __import__("pathlib").Path(__file__).resolve().parents[2]

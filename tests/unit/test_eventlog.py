@@ -41,6 +41,17 @@ class TestEventLog:
         assert log.dropped == 2
         assert [e.time_ns for e in log] == [2, 3, 4]
 
+    def test_ring_wraps_many_times(self):
+        log = EventLog(capacity=4)
+        for t in range(25):
+            log.record(t, "x", pid=t % 3)
+        assert len(log) == 4
+        assert log.dropped == 21
+        assert [e.time_ns for e in log] == [21, 22, 23, 24]
+        # Filtered views follow the ring order too.
+        assert [e.time_ns for e in log.of_pid(0)] == [21, 24]
+        assert log.counts() == {"x": 4}
+
     def test_rejects_zero_capacity(self):
         with pytest.raises(ValueError):
             EventLog(capacity=0)
@@ -52,10 +63,20 @@ class TestEventLog:
         path = tmp_path / "events.csv"
         log.to_csv(path)
         with path.open() as f:
+            comment = f.readline().strip()
             rows = list(csv.reader(f))
+        assert comment == "# dropped=0"
         assert rows[0] == ["time_ns", "kind", "pid", "vpn"]
         assert rows[1] == ["5", "major_fault", "1", "16"]
         assert rows[2] == ["9", "finish", "1", ""]
+
+    def test_csv_header_reports_drops(self, tmp_path):
+        log = EventLog(capacity=2)
+        for t in range(5):
+            log.record(t, "x")
+        path = tmp_path / "events.csv"
+        log.to_csv(path)
+        assert path.read_text().splitlines()[0] == "# dropped=3"
 
 
 class TestSimulationIntegration:
