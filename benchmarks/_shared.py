@@ -3,10 +3,30 @@
 The three Figure 4 panels and both Figure 5 panels come from the same
 (batch x policy x seed) grid; this module caches that grid per
 (seeds, scale) so each bench file reuses it instead of re-simulating.
+
+Two cache layers stack here:
+
+* **In-process** (``_GRID_CACHE``): one pytest invocation collecting
+  several bench files simulates the grid once and shares it.
+* **On-disk** (:class:`repro.analysis.runner.ResultCache`): every grid
+  cell is content-addressed by its config/batch/policy/seed/scale hash,
+  so a *repeated* bench invocation — or one interrupted halfway and
+  restarted — re-simulates nothing.  Benches discover the cache
+  directory from ``--cache-dir``, falling back to ``$REPRO_CACHE_DIR``
+  and then ``~/.cache/repro-its`` (the same resolution the CLI uses;
+  ``repro cache stats`` / ``repro cache clear`` manage it).  ``--no-cache``
+  opts out.
+
+``--workers N`` fans uncached cells out on a process pool; because each
+cell is seeded independently and shares no state, the grid is bit-for-bit
+identical at any worker count.  A per-cell progress line and a final
+hit/miss summary (fed by the runner's ``runner.cache.*`` telemetry
+counters) are printed to stderr as the grid fills.
 """
 
 from __future__ import annotations
 
+import sys
 from typing import Sequence
 
 from repro import MachineConfig
@@ -22,15 +42,23 @@ SCALE = 1.0
 
 TRACE_OUT: str | None = None
 """Directory for per-cell Chrome traces; set by ``--trace-out`` in
-``benchmarks/conftest.py``, ``None`` disables tracing (the default)."""
+``benchmarks/conftest.py``, ``None`` disables tracing (the default).
+Tracing forces the serial, uncached path."""
+
+WORKERS: int = 1
+"""Process-pool size for grid simulation; set by ``--workers``."""
+
+CACHE_DIR: str | None = None
+"""Result-cache directory override; set by ``--cache-dir``."""
+
+NO_CACHE: bool = False
+"""Bypass the on-disk result cache; set by ``--no-cache``."""
 
 _GRID_CACHE: dict = {}
 
 
-def _run_cell(config, batch: str, policy: str, seed: int, scale: float):
-    """One grid cell; exports a trace when ``--trace-out`` is active."""
-    if TRACE_OUT is None:
-        return run_batch_policy(config, batch, policy, seed=seed, scale=scale)
+def _run_cell_traced(config, batch: str, policy: str, seed: int, scale: float):
+    """One grid cell with telemetry attached and its trace exported."""
     from pathlib import Path
 
     from repro.telemetry import Telemetry, export_chrome_trace
@@ -49,20 +77,62 @@ def _run_cell(config, batch: str, policy: str, seed: int, scale: float):
     return result
 
 
+def _traced_grid(config, seeds: Sequence[int], scale: float):
+    """Serial, uncached grid for ``--trace-out`` (per-cell telemetry)."""
+    grid = {}
+    for batch in batch_names():
+        grid[batch] = {policy: [] for policy in POLICY_FACTORIES}
+        for seed in seeds:
+            for policy in POLICY_FACTORIES:
+                grid[batch][policy].append(
+                    _run_cell_traced(config, batch, policy, seed, scale)
+                )
+    return grid
+
+
+def _engine_grid(config, seeds: Sequence[int], scale: float):
+    """Grid via the parallel/cached sweep engine (the default path)."""
+    from repro.analysis.runner import ResultCache, run_grid
+    from repro.telemetry import Telemetry
+
+    cache = None if NO_CACHE else ResultCache(CACHE_DIR)
+    telemetry = Telemetry(events=False)
+
+    def progress(done, total, cell, cached):
+        tag = "cache" if cached else "ran"
+        print(f"  [grid {done}/{total}] {cell.describe()} ({tag})", file=sys.stderr)
+
+    grid = run_grid(
+        config,
+        batches=batch_names(),
+        policies=list(POLICY_FACTORIES),
+        seeds=seeds,
+        scale=scale,
+        workers=WORKERS,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
+    )
+    hits = telemetry.counter("runner.cache.hit").value
+    misses = telemetry.counter("runner.cache.miss").value
+    where = "cache disabled" if cache is None else f"cache {cache.root}"
+    print(
+        f"grid: {hits} cache hits, {misses} simulated "
+        f"(workers={WORKERS}, {where})",
+        file=sys.stderr,
+    )
+    return grid
+
+
 def figure_grid(seeds: Sequence[int] = SEEDS, scale: float = SCALE):
     """results[batch][policy] -> list of per-seed SimulationResult."""
     key = (tuple(seeds), scale)
     if key not in _GRID_CACHE:
         config = MachineConfig()
-        grid = {}
-        for batch in batch_names():
-            grid[batch] = {policy: [] for policy in POLICY_FACTORIES}
-            for seed in seeds:
-                for policy in POLICY_FACTORIES:
-                    grid[batch][policy].append(
-                        _run_cell(config, batch, policy, seed, scale)
-                    )
-        _GRID_CACHE[key] = grid
+        if TRACE_OUT is not None:
+            _GRID_CACHE[key] = _traced_grid(config, seeds, scale)
+        else:
+            _GRID_CACHE[key] = _engine_grid(config, seeds, scale)
     return _GRID_CACHE[key]
 
 

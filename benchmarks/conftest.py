@@ -1,15 +1,31 @@
 """Benchmark-harness pytest hooks.
 
-Adds ``--trace-out DIR``: when set, every (batch, policy, seed) cell the
-grid cache simulates is run with telemetry attached and its
-Chrome/Perfetto trace written to
-``DIR/<batch>.<policy>.seed<seed>.trace.json``, e.g.::
+Execution-engine options (all published to ``benchmarks/_shared.py``
+before collection; see docs/RUNNING.md for the full story):
 
-    PYTHONPATH=src python -m pytest benchmarks/bench_fig4_idle_time.py \
-        --trace-out /tmp/traces
+``--workers N``
+    Simulate the (batch, policy, seed) grid cells on a process pool of
+    *N* workers.  ``1`` (the default) runs in-process; results are
+    bit-for-bit identical at any worker count.
 
-Tracing costs a few percent of simulated throughput, so leave the flag
-off when benchmarking wall-clock numbers.
+``--cache-dir DIR`` / ``--no-cache``
+    Where the content-addressed result cache lives (default:
+    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-its``), and the switch to
+    bypass it.  With the cache on — the default — a repeated bench run
+    re-simulates nothing, and an interrupted grid resumes from the
+    completed cells.
+
+``--trace-out DIR``
+    When set, every cell the grid cache simulates is run with telemetry
+    attached and its Chrome/Perfetto trace written to
+    ``DIR/<batch>.<policy>.seed<seed>.trace.json``, e.g.::
+
+        PYTHONPATH=src python -m pytest benchmarks/bench_fig4_idle_time.py \
+            --trace-out /tmp/traces
+
+    Tracing forces serial, uncached execution (each cell carries its own
+    telemetry handle) and costs a few percent of simulated throughput,
+    so leave the flag off when benchmarking wall-clock numbers.
 """
 
 from __future__ import annotations
@@ -18,14 +34,33 @@ import benchmarks._shared as _shared
 
 
 def pytest_addoption(parser):
-    """Register ``--trace-out`` with the benchmark harness."""
+    """Register the execution-engine options with the bench harness."""
     parser.addoption(
         "--trace-out",
         default=None,
         help="directory for per-(batch, policy, seed) Chrome trace JSON files",
     )
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for grid simulation (1 = in-process)",
+    )
+    parser.addoption(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-its)",
+    )
+    parser.addoption(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed result cache",
+    )
 
 
 def pytest_configure(config):
-    """Publish the option to the shared grid cache before collection."""
+    """Publish the options to the shared grid cache before collection."""
     _shared.TRACE_OUT = config.getoption("--trace-out")
+    _shared.WORKERS = config.getoption("--workers")
+    _shared.CACHE_DIR = config.getoption("--cache-dir")
+    _shared.NO_CACHE = config.getoption("--no-cache")

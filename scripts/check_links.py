@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative Markdown link must resolve.
+
+Scans the given Markdown files (default: README.md and docs/*.md) for
+inline links/images ``[text](target)`` and verifies that relative
+targets exist on disk, resolved against the linking file's directory.
+External schemes (http/https/mailto) and pure in-page anchors are
+skipped.  Exits non-zero listing every broken link — CI runs this so a
+renamed doc can't leave dangling cross-references.
+
+Usage:  python scripts/check_links.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline Markdown links/images; [text](target "title") titles are cut
+# below, reference-style definitions are rare enough here to ignore.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every inline link in *path*."""
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for match in LINK_RE.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return one error string per broken relative link in *path*."""
+    errors = []
+    for number, target in iter_links(path):
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}:{number}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    """Check every file given (or the repo's doc set); 0 = all good."""
+    root = Path(__file__).resolve().parents[1]
+    files = (
+        [Path(a) for a in argv]
+        if argv
+        else [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    )
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        if not path.is_file():
+            errors.append(f"{path}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} files: {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

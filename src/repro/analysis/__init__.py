@@ -42,6 +42,16 @@ from repro.analysis.sweeps import (
     sweep_page_size,
 )
 from repro.analysis.report import generate_report, write_report
+from repro.analysis.runner import (
+    CacheStats,
+    ResultCache,
+    SweepCell,
+    cache_key,
+    default_cache_dir,
+    run_cells,
+    run_grid,
+    stable_hash,
+)
 from repro.analysis.timeline import (
     bucket_events,
     render_density,
@@ -96,6 +106,14 @@ __all__ = [
     "find_crossover",
     "generate_report",
     "write_report",
+    "CacheStats",
+    "ResultCache",
+    "SweepCell",
+    "cache_key",
+    "default_cache_dir",
+    "run_cells",
+    "run_grid",
+    "stable_hash",
     "bucket_events",
     "render_strip",
     "render_density",

@@ -82,17 +82,31 @@ def _run_grid(
     scale: float,
     policies: Sequence[str],
     batches: Sequence[str],
+    *,
+    workers: int = 1,
+    cache=None,
+    telemetry=None,
+    progress=None,
 ) -> dict[str, dict[str, list[SimulationResult]]]:
-    """results[batch][policy] = list of per-seed results."""
-    grid: dict[str, dict[str, list[SimulationResult]]] = {}
-    for batch in batches:
-        grid[batch] = {policy: [] for policy in policies}
-        for seed in seeds:
-            for policy in policies:
-                grid[batch][policy].append(
-                    run_batch_policy(config, batch, policy, seed=seed, scale=scale)
-                )
-    return grid
+    """results[batch][policy] = list of per-seed results.
+
+    Delegates to :func:`repro.analysis.runner.run_grid`, so the figure
+    grids inherit process-pool parallelism and the content-addressed
+    result cache.
+    """
+    from repro.analysis.runner import run_grid
+
+    return run_grid(
+        config,
+        batches=batches,
+        policies=policies,
+        seeds=seeds,
+        scale=scale,
+        workers=workers,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
+    )
 
 
 def _series_from_grid(
@@ -160,11 +174,23 @@ def run_figure4(
     scale: float = 1.0,
     policies: Sequence[str] = tuple(POLICY_FACTORIES),
     batches: Optional[Sequence[str]] = None,
+    workers: int = 1,
+    cache=None,
+    telemetry=None,
+    progress=None,
 ) -> Figure4Data:
-    """Regenerate Figure 4 (all three panels)."""
+    """Regenerate Figure 4 (all three panels).
+
+    ``workers``/``cache`` are forwarded to the sweep engine (see
+    :mod:`repro.analysis.runner`); results are identical at any worker
+    count.
+    """
     config = config or MachineConfig()
     batches = list(batches) if batches is not None else batch_names()
-    grid = _run_grid(config, seeds, scale, policies, batches)
+    grid = _run_grid(
+        config, seeds, scale, policies, batches,
+        workers=workers, cache=cache, telemetry=telemetry, progress=progress,
+    )
     return Figure4Data(
         idle_time=_series_from_grid(
             grid, MetricKind.IDLE_TIME, "Fig 4a: total CPU idle time (ns)", policies
@@ -185,11 +211,23 @@ def run_figure5(
     scale: float = 1.0,
     policies: Sequence[str] = tuple(POLICY_FACTORIES),
     batches: Optional[Sequence[str]] = None,
+    workers: int = 1,
+    cache=None,
+    telemetry=None,
+    progress=None,
 ) -> Figure5Data:
-    """Regenerate Figure 5 (both panels)."""
+    """Regenerate Figure 5 (both panels).
+
+    ``workers``/``cache`` are forwarded to the sweep engine (see
+    :mod:`repro.analysis.runner`); results are identical at any worker
+    count.
+    """
     config = config or MachineConfig()
     batches = list(batches) if batches is not None else batch_names()
-    grid = _run_grid(config, seeds, scale, policies, batches)
+    grid = _run_grid(
+        config, seeds, scale, policies, batches,
+        workers=workers, cache=cache, telemetry=telemetry, progress=progress,
+    )
     return Figure5Data(
         top_half=_series_from_grid(
             grid,

@@ -38,8 +38,15 @@ def generate_report(
     *,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     scale: float = 1.0,
+    workers: int = 1,
+    cache=None,
 ) -> str:
-    """Run all experiments and return the report as Markdown text."""
+    """Run all experiments and return the report as Markdown text.
+
+    ``workers``/``cache`` are forwarded to the figure grids (see
+    :mod:`repro.analysis.runner`); Figures 4 and 5 share one grid, so
+    with a cache the second ``run_figure*`` call is entirely hits.
+    """
     config = config or MachineConfig()
     out = io.StringIO()
     write = out.write
@@ -62,8 +69,8 @@ def generate_report(
         write(f"| {count} | {format_time_ns(idle)} | {frac:.1%} | {norm:.2f} |\n")
     write("\n")
 
-    fig4 = run_figure4(config, seeds=seeds, scale=scale)
-    fig5 = run_figure5(config, seeds=seeds, scale=scale)
+    fig4 = run_figure4(config, seeds=seeds, scale=scale, workers=workers, cache=cache)
+    fig5 = run_figure5(config, seeds=seeds, scale=scale, workers=workers, cache=cache)
 
     from repro.analysis.validate import (
         render_claims,
@@ -151,9 +158,14 @@ def write_report(
     *,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     scale: float = 1.0,
+    workers: int = 1,
+    cache=None,
 ) -> Path:
     """Generate the report and write it to *path*; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(generate_report(config, seeds=seeds, scale=scale), encoding="utf-8")
+    path.write_text(
+        generate_report(config, seeds=seeds, scale=scale, workers=workers, cache=cache),
+        encoding="utf-8",
+    )
     return path

@@ -3,6 +3,20 @@
 Lets the CLI (and downstream users) save runs and compare them later
 without re-simulating.  The format is a stable, versioned, plain-JSON
 encoding of :class:`~repro.sim.metrics.SimulationResult`.
+
+This encoding is also the storage format of the content-addressed
+result cache (:class:`repro.analysis.runner.ResultCache`): each cache
+entry holds one :func:`result_to_dict` payload, and ``FORMAT_VERSION``
+is folded into every cache key, so bumping it invalidates *both* saved
+result files and every cached sweep cell at once — old entries simply
+stop being addressed (``repro cache clear`` reclaims the space).  The
+benches under ``benchmarks/`` discover that cache via ``--cache-dir``,
+``$REPRO_CACHE_DIR``, or the ``~/.cache/repro-its`` default — see the
+``benchmarks/_shared.py`` docstring and docs/RUNNING.md.
+
+When adding a field to :class:`SimulationResult`: a field with a
+default that old payloads can omit is backward-compatible; anything
+else requires a ``FORMAT_VERSION`` bump.
 """
 
 from __future__ import annotations

@@ -13,7 +13,8 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
 
-from repro.analysis.experiments import POLICY_FACTORIES, run_batch_policy
+from repro.analysis.experiments import POLICY_FACTORIES
+from repro.analysis.runner import SweepCell, run_cells
 from repro.common.config import MachineConfig
 from repro.common.errors import ConfigError
 from repro.common.units import KIB, US
@@ -45,10 +46,20 @@ def sweep(
     seed: int = 1,
     scale: float = 0.5,
     base: Optional[MachineConfig] = None,
+    workers: int = 1,
+    cache=None,
+    telemetry=None,
+    progress=None,
 ) -> list[SweepRow]:
     """Run *batch* under *policies* for every knob value.
 
     ``transform(config, value)`` returns the config for one sweep point.
+    The value x policy grid is a batch of independent cells, executed by
+    :func:`repro.analysis.runner.run_cells`: ``workers > 1`` fans them
+    out across processes, *cache* (a
+    :class:`~repro.analysis.runner.ResultCache` or a directory path)
+    serves previously simulated cells from disk, and results are
+    identical at any worker count.
     """
     if not values:
         raise ConfigError("sweep needs at least one value")
@@ -56,12 +67,26 @@ def sweep(
     if unknown:
         raise ConfigError(f"unknown policies in sweep: {unknown}")
     base = base or MachineConfig()
+    cells = [
+        SweepCell(
+            config=transform(base, value),
+            batch=batch,
+            policy=policy,
+            seed=seed,
+            scale=scale,
+        )
+        for value in values
+        for policy in policies
+    ]
+    flat = run_cells(
+        cells, workers=workers, cache=cache, telemetry=telemetry, progress=progress
+    )
     rows = []
-    for value in values:
-        config = transform(base, value)
+    for v_index, value in enumerate(values):
+        offset = v_index * len(policies)
         results = {
-            policy: run_batch_policy(config, batch, policy, seed=seed, scale=scale)
-            for policy in policies
+            policy: flat[offset + p_index]
+            for p_index, policy in enumerate(policies)
         }
         rows.append(SweepRow(value=value, results=results))
     return rows

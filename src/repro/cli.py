@@ -10,6 +10,11 @@ Subcommands::
     repro crossover    sync-vs-async sweep over device latency
     repro workloads    list workloads and batches
     repro compare      diff two saved result files
+    repro cache        result-cache statistics / clearing
+
+Grid-shaped commands (``figures``, ``crossover``, ``report``) accept
+``--workers N`` (process-pool fan-out), ``--cache-dir`` and
+``--no-cache`` — see docs/RUNNING.md for the full execution story.
 
 Also usable as ``python -m repro``.
 """
@@ -61,6 +66,55 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="use the full-scale Section 4.1 platform instead of the scaled default",
     )
+
+
+def _add_exec(parser: argparse.ArgumentParser) -> None:
+    """Execution-engine flags shared by the grid-shaped commands."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="simulate cells on a process pool of this size (1 = in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-its)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed result cache for this run",
+    )
+
+
+def _make_exec(args: argparse.Namespace):
+    """Build the (cache, telemetry, progress) trio from the exec flags."""
+    from repro.analysis.runner import ResultCache
+    from repro.telemetry import Telemetry
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    telemetry = Telemetry(events=False)
+
+    def progress(done: int, total: int, cell, cached: bool) -> None:
+        tag = "cache" if cached else "ran"
+        print(f"  [{done}/{total}] {cell.describe()} ({tag})", file=sys.stderr)
+
+    return cache, telemetry, progress
+
+
+def _print_exec_summary(args: argparse.Namespace, cache, telemetry) -> None:
+    """One stderr line: cells run vs served from cache."""
+    hits = telemetry.counter("runner.cache.hit").value
+    misses = telemetry.counter("runner.cache.miss").value
+    if cache is None:
+        print(f"cells: {misses} simulated (cache disabled)", file=sys.stderr)
+    else:
+        print(
+            f"cells: {hits} cache hits, {misses} simulated "
+            f"(workers={args.workers}, cache {cache.root})",
+            file=sys.stderr,
+        )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -164,8 +218,12 @@ def cmd_figures(args: argparse.Namespace) -> int:
             shown.to_csv(target)
             print(f"saved {target}")
 
+    cache, telemetry, progress = _make_exec(args)
+    exec_kwargs = dict(
+        workers=args.workers, cache=cache, telemetry=telemetry, progress=progress
+    )
     if wanted in ("4a", "4b", "4c", "all"):
-        fig4 = run_figure4(config, seeds=args.seeds, scale=args.scale)
+        fig4 = run_figure4(config, seeds=args.seeds, scale=args.scale, **exec_kwargs)
         panels = {
             "4a": fig4.idle_time,
             "4b": fig4.page_faults,
@@ -175,11 +233,12 @@ def cmd_figures(args: argparse.Namespace) -> int:
             if wanted in (key, "all"):
                 emit(key, series)
     if wanted in ("5a", "5b", "all"):
-        fig5 = run_figure5(config, seeds=args.seeds, scale=args.scale)
+        fig5 = run_figure5(config, seeds=args.seeds, scale=args.scale, **exec_kwargs)
         panels = {"5a": fig5.top_half, "5b": fig5.bottom_half}
         for key, series in panels.items():
             if wanted in (key, "all"):
                 emit(key, series)
+    _print_exec_summary(args, cache, telemetry)
     return 0
 
 
@@ -203,6 +262,7 @@ def cmd_observation(args: argparse.Namespace) -> int:
 def cmd_crossover(args: argparse.Namespace) -> int:
     """``repro crossover``: Sync-vs-Async device-latency sweep."""
     config = _machine_config(args)
+    cache, telemetry, progress = _make_exec(args)
     rows = sweep_device_latency(
         args.latencies,
         policies=("Sync", "Async"),
@@ -210,7 +270,12 @@ def cmd_crossover(args: argparse.Namespace) -> int:
         seed=args.seed,
         scale=args.scale,
         base=config,
+        workers=args.workers,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
     )
+    _print_exec_summary(args, cache, telemetry)
     print("device latency sweep: Sync vs Async makespan")
     print(f"{'latency(us)':>11s}  {'Sync':>10s}  {'Async':>10s}  winner")
     for row in rows:
@@ -248,8 +313,33 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     """``repro report``: write the full reproduction report."""
     config = _machine_config(args)
-    path = write_report(args.out, config, seeds=args.seeds, scale=args.scale)
+    cache = None
+    if not args.no_cache:
+        from repro.analysis.runner import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    path = write_report(
+        args.out,
+        config,
+        seeds=args.seeds,
+        scale=args.scale,
+        workers=args.workers,
+        cache=cache,
+    )
     print(f"report written to {path}")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache``: stats for / clearing of the result cache."""
+    from repro.analysis.runner import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        print(cache.stats().render())
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.root}")
     return 0
 
 
@@ -359,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--chart", action="store_true", help="ASCII bars instead of a table")
     fig_p.add_argument("--save-csv", help="also write each panel as CSV into this directory")
     _add_common(fig_p)
+    _add_exec(fig_p)
     fig_p.set_defaults(func=cmd_figures)
 
     obs_p = sub.add_parser("observation", help="Section 2.2 experiment")
@@ -374,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
     cross_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
     cross_p.add_argument("--seed", type=int, default=1)
     _add_common(cross_p)
+    _add_exec(cross_p)
     cross_p.set_defaults(func=cmd_crossover)
 
     wl_p = sub.add_parser("workloads", help="list workloads, batches, policies")
@@ -383,7 +475,17 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--out", default="REPORT.md", help="output Markdown path")
     report_p.add_argument("--seeds", type=_parse_seeds, default=(1, 2, 3))
     _add_common(report_p)
+    _add_exec(report_p)
     report_p.set_defaults(func=cmd_report)
+
+    cache_p = sub.add_parser("cache", help="result-cache stats / clear")
+    cache_p.add_argument("action", choices=["stats", "clear"])
+    cache_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-its)",
+    )
+    cache_p.set_defaults(func=cmd_cache)
 
     stats_p = sub.add_parser("trace-stats", help="summarise a trace file")
     stats_p.add_argument("path", help="trace file (or lackey capture with --lackey)")

@@ -20,6 +20,16 @@ from repro.sim.machine import Machine
 from repro.vm.replacement import GlobalLRUPolicy
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_cache_dir(tmp_path, monkeypatch):
+    """Point the sweep engine's default result cache at a throwaway dir.
+
+    Keeps the suite from reading or writing ``~/.cache/repro-its`` —
+    tests that care about cache behaviour pass their own directory.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def small_config() -> MachineConfig:
     """A deliberately tiny machine for fast unit tests."""

@@ -32,6 +32,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figures", "--seeds", "1,x"])
 
+    def test_exec_flags_on_grid_commands(self):
+        for command in ("figures", "crossover", "report"):
+            args = build_parser().parse_args(
+                [command, "--workers", "4", "--cache-dir", "/tmp/c", "--no-cache"]
+            )
+            assert args.workers == 4
+            assert args.cache_dir == "/tmp/c"
+            assert args.no_cache is True
+
+    def test_exec_flags_default_to_serial_cached(self):
+        args = build_parser().parse_args(["crossover"])
+        assert args.workers == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+
+    def test_cache_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "defrag"])
+
 
 class TestCommands:
     def test_workloads_lists_everything(self, capsys):
@@ -82,6 +103,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Fig 4a" in out
         assert "normalized to ITS" in out
+
+    def test_crossover_cached_rerun_matches(self, capsys, tmp_path):
+        argv = [
+            "crossover", "--latencies", "1", "30", "--scale", "0.2",
+            "--workers", "2", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        cold = captured.out
+        assert "0 cache hits, 4 simulated" in captured.err
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert captured.out == cold  # cached run is bit-identical
+        assert "4 cache hits, 0 simulated" in captured.err
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        main(
+            [
+                "crossover", "--latencies", "1", "--scale", "0.2",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    2" in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 2 cache entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries:    0" in capsys.readouterr().out
 
     def test_figures_chart_mode(self, capsys):
         code = main(
