@@ -25,6 +25,7 @@ from repro.common import (
     ConfigError,
     DeviceConfig,
     DeterministicRNG,
+    FaultConfig,
     ITSConfig,
     MachineConfig,
     MemoryConfig,
@@ -34,6 +35,12 @@ from repro.common import (
     SimulationError,
     TLBConfig,
     TraceError,
+)
+from repro.faults import (
+    FAULT_PROFILES,
+    FaultInjector,
+    with_fault_profile,
+    with_tail_model,
 )
 from repro.baselines import (
     AsyncIOPolicy,
@@ -72,6 +79,12 @@ __all__ = [
     "MemoryConfig",
     "SchedulerConfig",
     "ITSConfig",
+    "FaultConfig",
+    # faults
+    "FAULT_PROFILES",
+    "FaultInjector",
+    "with_fault_profile",
+    "with_tail_model",
     # errors
     "ReproError",
     "ConfigError",

@@ -66,14 +66,17 @@ from repro.analysis.validate import (
     validate_observation,
 )
 from repro.analysis.experiments import (
+    DEFAULT_TAIL_PROFILES,
     POLICY_FACTORIES,
     Figure4Data,
     Figure5Data,
     ObservationData,
+    TailSensitivityRow,
     run_batch_policy,
     run_figure4,
     run_figure5,
     run_observation,
+    run_tail_sensitivity,
 )
 
 __all__ = [
@@ -131,4 +134,7 @@ __all__ = [
     "run_figure4",
     "run_figure5",
     "run_observation",
+    "DEFAULT_TAIL_PROFILES",
+    "TailSensitivityRow",
+    "run_tail_sensitivity",
 ]

@@ -244,6 +244,94 @@ def run_figure5(
     )
 
 
+@dataclass(frozen=True)
+class TailSensitivityRow:
+    """One fault profile's crossover picture over the latency sweep.
+
+    ``crossover_us`` is the first swept device latency (µs) at which the
+    makespan winner flips from the first to the second swept policy
+    (``None`` when it never flips); ``sync_wins`` counts sweep points the
+    first policy wins; ``points`` keeps the underlying
+    :class:`~repro.analysis.sweeps.SweepRow` list for deeper inspection.
+    """
+
+    profile: str
+    crossover_us: Optional[float]
+    sync_wins: int
+    points: list
+
+
+DEFAULT_TAIL_PROFILES = ("none", "tail_lognormal", "tail_bimodal", "tail_p999")
+"""Fault profiles compared by the tail-sensitivity experiment."""
+
+
+def run_tail_sensitivity(
+    config: Optional[MachineConfig] = None,
+    *,
+    profiles: Sequence[str] = DEFAULT_TAIL_PROFILES,
+    latencies_us: Sequence[float] = (1, 3, 7, 15, 30, 60, 100),
+    policies: Sequence[str] = ("Sync", "Async"),
+    batch: str = "1_Data_Intensive",
+    seed: int = 1,
+    scale: float = 0.5,
+    workers: int = 1,
+    cache=None,
+    telemetry=None,
+    progress=None,
+) -> list[TailSensitivityRow]:
+    """How the sync/async crossover shifts under read-tail variability.
+
+    The paper's crossover argument assumes every read takes the nominal
+    device latency; this experiment re-runs the device-latency sweep
+    under each named fault profile (see
+    :data:`repro.faults.profiles.FAULT_PROFILES`) and reports where the
+    makespan winner flips.  Heavy P99.9 tails make the busy-wait bet
+    worse at a given *nominal* latency, so the crossover moves toward
+    faster devices — quantifying how much idealised-device conclusions
+    overstate the synchronous mode's window.
+
+    Cells are cached per (config, batch, policy, seed, scale) like any
+    sweep; distinct fault profiles hash to distinct cache keys.
+    """
+    from repro.analysis.sweeps import find_crossover, sweep_device_latency
+    from repro.faults.profiles import with_fault_profile
+
+    if len(policies) < 2:
+        raise ConfigError("tail sensitivity compares at least two policies")
+    config = config or MachineConfig()
+    rows: list[TailSensitivityRow] = []
+    for profile in profiles:
+        base = with_fault_profile(config, profile)
+        points = sweep_device_latency(
+            latencies_us,
+            policies=policies,
+            batch=batch,
+            seed=seed,
+            scale=scale,
+            base=base,
+            workers=workers,
+            cache=cache,
+            telemetry=telemetry,
+            progress=progress,
+        )
+        first, second = policies[0], policies[1]
+        crossover = find_crossover(points, first, second)
+        sync_wins = sum(
+            1
+            for point in points
+            if point.results[first].makespan_ns < point.results[second].makespan_ns
+        )
+        rows.append(
+            TailSensitivityRow(
+                profile=profile,
+                crossover_us=crossover,
+                sync_wins=sync_wins,
+                points=points,
+            )
+        )
+    return rows
+
+
 OBSERVATION_WORKLOADS = ("wrf", "blender", "pagerank", "random_walk", "graph500")
 """Section 2.2's five representative processes: Wrf, Blender, page rank,
 random walk, and single shortest path."""

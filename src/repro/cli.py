@@ -8,6 +8,7 @@ Subcommands::
     repro figures      regenerate the paper's Figure 4 / Figure 5 series
     repro observation  the Section 2.2 motivation experiment
     repro crossover    sync-vs-async sweep over device latency
+    repro tails        crossover shift under fault/tail-latency profiles
     repro workloads    list workloads and batches
     repro compare      diff two saved result files
     repro cache        result-cache statistics / clearing
@@ -28,11 +29,13 @@ from typing import Optional, Sequence
 from repro import __version__
 from repro.analysis.charts import render_bar_chart
 from repro.analysis.experiments import (
+    DEFAULT_TAIL_PROFILES,
     POLICY_FACTORIES,
     run_batch_policy,
     run_figure4,
     run_figure5,
     run_observation,
+    run_tail_sensitivity,
 )
 from repro.analysis.store import load_results, save_results
 from repro.analysis.report import write_report
@@ -41,13 +44,26 @@ from repro.analysis.tables import render_result_summary, render_series_table
 from repro.common.config import MachineConfig
 from repro.common.errors import ReproError
 from repro.common.units import format_time_ns
+from repro.faults.profiles import (
+    FAULT_PROFILES,
+    TAIL_MODELS,
+    with_fault_profile,
+    with_tail_model,
+)
 from repro.sim.batch import PAPER_BATCHES, batch_names
 from repro.sim.eventlog import EventLog
 from repro.trace.workloads import EXTRA_WORKLOADS, WORKLOADS
 
 
 def _machine_config(args: argparse.Namespace) -> MachineConfig:
-    return MachineConfig.paper() if getattr(args, "paper", False) else MachineConfig()
+    config = MachineConfig.paper() if getattr(args, "paper", False) else MachineConfig()
+    profile = getattr(args, "fault_profile", None)
+    if profile:
+        config = with_fault_profile(config, profile)
+    tail_model = getattr(args, "tail_model", None)
+    if tail_model:
+        config = with_tail_model(config, tail_model)
+    return config
 
 
 def _parse_seeds(text: str) -> tuple[int, ...]:
@@ -65,6 +81,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--paper",
         action="store_true",
         help="use the full-scale Section 4.1 platform instead of the scaled default",
+    )
+    parser.add_argument(
+        "--fault-profile",
+        choices=sorted(FAULT_PROFILES),
+        default=None,
+        help="enable fault injection with a named profile (see docs/FAULTS.md)",
+    )
+    parser.add_argument(
+        "--tail-model",
+        choices=list(TAIL_MODELS),
+        default=None,
+        help="override the active fault profile's read-latency tail model",
     )
 
 
@@ -291,6 +319,40 @@ def cmd_crossover(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tails(args: argparse.Namespace) -> int:
+    """``repro tails``: tail-sensitivity sweep across fault profiles."""
+    config = _machine_config(args)
+    cache, telemetry, progress = _make_exec(args)
+    rows = run_tail_sensitivity(
+        config,
+        profiles=tuple(args.profiles),
+        latencies_us=args.latencies,
+        batch=args.batch,
+        seed=args.seed,
+        scale=args.scale,
+        workers=args.workers,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
+    )
+    _print_exec_summary(args, cache, telemetry)
+    print("tail sensitivity: Sync-vs-Async crossover under fault profiles")
+    print(f"{'profile':>16s}  {'crossover(us)':>13s}  {'Sync wins':>9s}  of")
+    for row in rows:
+        cross = f"{row.crossover_us:g}" if row.crossover_us is not None else "none"
+        print(
+            f"{row.profile:>16s}  {cross:>13s}  {row.sync_wins:>9d}  {len(row.points)}"
+        )
+    baseline = next((r for r in rows if r.profile == "none"), None)
+    if baseline is not None and baseline.crossover_us is not None:
+        for row in rows:
+            if row.profile == "none" or row.crossover_us is None:
+                continue
+            shift = row.crossover_us - baseline.crossover_us
+            print(f"  {row.profile}: crossover shifts {shift:+g} us vs none")
+    return 0
+
+
 def cmd_workloads(args: argparse.Namespace) -> int:
     """``repro workloads``: list workloads, batches and policies."""
     print("workloads:")
@@ -467,6 +529,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(cross_p)
     _add_exec(cross_p)
     cross_p.set_defaults(func=cmd_crossover)
+
+    tails_p = sub.add_parser(
+        "tails", help="crossover shift under fault/tail-latency profiles"
+    )
+    tails_p.add_argument(
+        "--latencies", type=float, nargs="+", default=[1, 3, 7, 15, 30, 60, 100],
+        help="device latencies in microseconds",
+    )
+    tails_p.add_argument(
+        "--profiles", nargs="+", choices=sorted(FAULT_PROFILES),
+        default=list(DEFAULT_TAIL_PROFILES),
+        help="fault profiles to compare (always include 'none' for the baseline)",
+    )
+    tails_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
+    tails_p.add_argument("--seed", type=int, default=1)
+    _add_common(tails_p)
+    _add_exec(tails_p)
+    tails_p.set_defaults(func=cmd_tails)
 
     wl_p = sub.add_parser("workloads", help="list workloads, batches, policies")
     wl_p.set_defaults(func=cmd_workloads)

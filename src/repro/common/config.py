@@ -245,6 +245,147 @@ class ITSConfig:
         )
 
 
+_LATENCY_MODELS = ("fixed", "lognormal", "bimodal", "table")
+"""Read-latency distribution families understood by :mod:`repro.faults`."""
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Device-variability and failure-injection model (see docs/FAULTS.md).
+
+    The default instance (``enabled=False``) is the idealised legacy
+    device: fixed latencies, infallible DMA.  It deliberately serialises
+    to *nothing* in :meth:`MachineConfig.to_dict`, so configurations
+    that never enable faults keep their historical sweep-cache keys and
+    bit-identical results.
+
+    All stochastic draws flow from ``seed`` through one
+    :class:`~repro.common.rng.DeterministicRNG`, so a fault sequence is
+    reproducible from the config alone.
+    """
+
+    enabled: bool = False
+    profile: str = "none"
+    """Name of the profile this config was built from (informational)."""
+
+    seed: int = 0xFA017
+    """Seed of the injector's private RNG stream."""
+
+    # -- latency variability ------------------------------------------------
+    read_latency_model: str = "fixed"
+    """One of ``fixed`` / ``lognormal`` / ``bimodal`` / ``table``; the
+    sampled value replaces ``DeviceConfig.access_latency_ns`` per op."""
+    lognormal_sigma: float = 0.0
+    """Shape of the lognormal multiplier (mean multiplier is always 1)."""
+    bimodal_slow_prob: float = 0.0
+    """Probability a read takes the device's slow path."""
+    bimodal_slow_multiplier: float = 1.0
+    """Latency multiplier of the slow path (>= 1)."""
+    table_percentiles: tuple = ()
+    """``((cum_prob, multiplier), ...)`` step CDF, cum_probs ascending
+    and ending at 1.0 — e.g. a measured P50/P99/P99.9 read-tail table."""
+    pcie_jitter_ns: int = 0
+    """Uniform [0, jitter] ns added to every PCIe transfer."""
+
+    # -- injectable error outcomes ------------------------------------------
+    crc_error_prob: float = 0.0
+    """Per-read probability the transfer arrives corrupted (DMA CRC)."""
+    timeout_prob: float = 0.0
+    """Per-read probability the device stalls past the watchdog."""
+    drop_completion_prob: float = 0.0
+    """Per-read probability the completion interrupt is lost."""
+    timeout_ns: int = 50_000
+    """Watchdog deadline: stalls and dropped completions are detected
+    this long after submission."""
+
+    # -- retry / fallback ---------------------------------------------------
+    max_retries: int = 3
+    """Re-submissions after a failed attempt before falling back."""
+    retry_backoff_ns: int = 2_000
+    """Backoff before the first retry; grows by ``backoff_multiplier``."""
+    backoff_multiplier: float = 2.0
+    """Exponential backoff growth factor between retries."""
+    fallback_penalty_ns: int = 100_000
+    """Cost of the slow recovery path taken when retries are exhausted."""
+
+    # -- graceful degradation (ITS) -----------------------------------------
+    demote_after_ns: int = 0
+    """Steal-window deadline: an ITS busy-wait predicted or observed to
+    outlast this is abandoned (state restored) and the request demoted
+    to the asynchronous baseline path.  0 disables demotion."""
+
+    def __post_init__(self) -> None:
+        _require(
+            self.read_latency_model in _LATENCY_MODELS,
+            f"unknown read latency model {self.read_latency_model!r}; "
+            f"known: {', '.join(_LATENCY_MODELS)}",
+        )
+        _require(self.lognormal_sigma >= 0.0, "lognormal sigma must be non-negative")
+        _require(
+            0.0 <= self.bimodal_slow_prob <= 1.0,
+            "bimodal slow-path probability must lie in [0, 1]",
+        )
+        _require(
+            self.bimodal_slow_multiplier >= 1.0,
+            "bimodal slow-path multiplier must be >= 1",
+        )
+        for prob, name in (
+            (self.crc_error_prob, "CRC error"),
+            (self.timeout_prob, "timeout"),
+            (self.drop_completion_prob, "dropped completion"),
+        ):
+            _require(0.0 <= prob <= 1.0, f"{name} probability must lie in [0, 1]")
+        _require(
+            self.crc_error_prob + self.timeout_prob + self.drop_completion_prob <= 1.0,
+            "error probabilities must sum to at most 1",
+        )
+        if self.read_latency_model == "table":
+            _require(bool(self.table_percentiles), "percentile table must be non-empty")
+            last = 0.0
+            for entry in self.table_percentiles:
+                _require(
+                    len(entry) == 2,
+                    "percentile table entries must be (cum_prob, multiplier) pairs",
+                )
+                cum, mult = entry
+                _require(cum > last, "percentile table cum_probs must ascend")
+                _require(mult > 0.0, "percentile table multipliers must be positive")
+                last = float(cum)
+            _require(last == 1.0, "percentile table must end at cum_prob 1.0")
+        _require(self.pcie_jitter_ns >= 0, "PCIe jitter must be non-negative")
+        _require(self.timeout_ns > 0, "watchdog timeout must be positive")
+        _require(self.max_retries >= 0, "retry count must be non-negative")
+        _require(self.retry_backoff_ns >= 0, "retry backoff must be non-negative")
+        _require(self.backoff_multiplier >= 1.0, "backoff multiplier must be >= 1")
+        _require(self.fallback_penalty_ns >= 0, "fallback penalty must be non-negative")
+        _require(self.demote_after_ns >= 0, "demotion deadline must be non-negative")
+
+    @property
+    def error_prob(self) -> float:
+        """Total per-read probability of any injected error outcome."""
+        return self.crc_error_prob + self.timeout_prob + self.drop_completion_prob
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> "FaultConfig":
+        """Reconstruct from :meth:`MachineConfig.to_dict` output.
+
+        ``None`` (the key was omitted, i.e. a legacy or fault-free
+        config) yields the disabled default.  JSON round-trips turn the
+        percentile-table tuples into lists; they are normalised back.
+        """
+        if data is None:
+            return cls()
+        try:
+            data = dict(data)
+            data["table_percentiles"] = tuple(
+                (float(cum), float(mult))
+                for cum, mult in data.get("table_percentiles", ())
+            )
+            return cls(**data)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed FaultConfig dict: {exc}") from exc
+
+
 @dataclass(frozen=True)
 class MachineConfig:
     """Complete description of the simulated platform.
@@ -273,6 +414,10 @@ class MachineConfig:
         )
     )
     its: ITSConfig = field(default_factory=ITSConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    """Device variability / failure injection; disabled by default (the
+    idealised device).  Serialised only when it differs from the
+    default, so fault-free cache keys are stable across versions."""
 
     compute_ns_per_instr: int = 1
     """CPU cost of one non-memory instruction."""
@@ -317,8 +462,17 @@ class MachineConfig:
         )
 
     def to_dict(self) -> dict[str, Any]:
-        """Serialise to a plain nested dict (JSON-compatible)."""
-        return dataclasses.asdict(self)
+        """Serialise to a plain nested dict (JSON-compatible).
+
+        The ``faults`` block is omitted while it equals the disabled
+        default: sweep-cache keys are SHA-256 digests of this dict, and
+        fault-free configurations must keep addressing the results they
+        produced before the fault layer existed.
+        """
+        data = dataclasses.asdict(self)
+        if self.faults == FaultConfig():
+            del data["faults"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "MachineConfig":
@@ -333,6 +487,7 @@ class MachineConfig:
                 memory=MemoryConfig(**data["memory"]),
                 scheduler=SchedulerConfig(**data["scheduler"]),
                 its=ITSConfig(**data["its"]),
+                faults=FaultConfig.from_dict(data.get("faults")),
                 compute_ns_per_instr=data["compute_ns_per_instr"],
                 fault_handler_ns=data["fault_handler_ns"],
             )

@@ -77,6 +77,19 @@ class DeterministicRNG:
                 hi = mid
         return lo
 
+    def gauss(self, mu: float, sigma: float) -> float:
+        """Normal draw with mean *mu* and standard deviation *sigma*."""
+        return self._random.gauss(mu, sigma)
+
+    def lognormal(self, mu: float, sigma: float) -> float:
+        """Lognormal draw: ``exp(N(mu, sigma))``.
+
+        Used by the fault layer's latency-multiplier distributions; with
+        ``mu = -sigma**2 / 2`` the mean of the multiplier is exactly 1,
+        so tails stretch without shifting the average latency.
+        """
+        return self._random.lognormvariate(mu, sigma)
+
     def geometric(self, p: float) -> int:
         """Number of failures before the first success, ``p`` in (0, 1]."""
         if not 0 < p <= 1:

@@ -12,6 +12,12 @@ Every component can be disabled independently for ablations::
     ITSPolicy(prefetch=False)          # pre-execution + sacrifice only
     ITSPolicy(preexec=False)           # prefetch + sacrifice only
     ITSPolicy(self_sacrifice=False)    # self-improving thread only
+
+Under fault injection (``MachineConfig.faults``) the self-improving
+thread additionally degrades gracefully: a steal window that outgrows
+``demote_after_ns`` is demoted to the async baseline path after state
+recovery (see :mod:`repro.core.self_improving`); :attr:`ITSPolicy.demotions`
+counts how often that happened in the attached run.
 """
 
 from __future__ import annotations
@@ -118,6 +124,12 @@ class ITSPolicy(IOPolicy):
             ),
             prefetcher=prefetcher,
         )
+
+    @property
+    def demotions(self) -> int:
+        """Steal windows demoted to the async path (0 before attach)."""
+        improving = getattr(self, "improving", None)
+        return improving.demotions if improving is not None else 0
 
     # -- the fault path ------------------------------------------------------
 

@@ -6,6 +6,16 @@ cost only, Section 3.2), runs the page-prefetch policy over DMA, spends
 whatever window remains on fault-aware pre-execution, and finally the
 state-recovery policy restores the checkpointed context when the demand
 I/O completes.
+
+Graceful degradation: when fault injection is active and a steal window
+stretches past ``FaultConfig.demote_after_ns`` (tail read, DMA retries,
+fallback path), committing to the synchronous wait would be worse than a
+context switch.  The thread then *demotes* the fault: it steals only up
+to the deadline, restores the checkpoint via the state-recovery policy,
+and blocks the process so the rest of the wait behaves like the async
+baseline (queue-head resume with the residual slice, mirroring the
+self-sacrificing path).  Demotions surface as ``its.demote.*`` counters
+and ``fault.its.demote`` spans.
 """
 
 from __future__ import annotations
@@ -38,6 +48,8 @@ class SelfImprovingThread:
     VA-adjacent); off by default, available for the ablation bench."""
     windows_stolen: int = 0
     stolen_ns: int = 0
+    demotions: int = 0
+    demoted_wait_ns: int = 0
 
     def handle_fault(self, sim: "Simulation", process: Process, vpn: int) -> None:
         """Serve a high-priority major fault synchronously, stealing the
@@ -50,6 +62,14 @@ class SelfImprovingThread:
         )
         sim.metrics.add_handler_overhead(machine.config.fault_handler_ns)
         window_ns = fault.io_done_ns - fault.handler_done_ns
+        faults_cfg = machine.config.faults
+        if (
+            faults_cfg.enabled
+            and faults_cfg.demote_after_ns > 0
+            and window_ns > faults_cfg.demote_after_ns
+        ):
+            self._demote(sim, process, vpn, fault, fault_start, window_ns)
+            return
         work_start, budget_ns = self.kthread.activate(fault.handler_done_ns, window_ns)
         # For tracing, the entry/checkpoint phase cannot outlast the
         # window itself (a too-small window means the thread never ran).
@@ -119,6 +139,85 @@ class SelfImprovingThread:
                 recovery_latency=recovery_latency,
                 window_ns=window_ns,
             )
+
+    def _demote(
+        self,
+        sim: "Simulation",
+        process: Process,
+        vpn: int,
+        fault,
+        fault_start: int,
+        window_ns: int,
+    ) -> None:
+        """Gracefully degrade a stalled steal window to the async path.
+
+        The window turned out longer than the demotion deadline (tail
+        read, DMA retries, fallback recovery), so committing to the
+        synchronous wait would cost more than a context switch.  The
+        thread steals only up to the deadline — checkpoint, prefetch
+        walk, pre-execution within the truncated budget — then the
+        state-recovery policy restores the checkpointed registers and
+        the process blocks.  The remainder of the wait is ordinary
+        asynchronous idle; on completion the process re-enters at the
+        queue head with its residual slice (the self-sacrificing resume
+        contract), so demotion never costs it a turn.
+        """
+        machine = sim.machine
+        telemetry = sim.telemetry
+        deadline_ns = machine.config.faults.demote_after_ns
+        deadline_abs = fault.handler_done_ns + deadline_ns
+        self.demotions += 1
+        self.demoted_wait_ns += window_ns - deadline_ns
+        sim.log_event("demote", process.pid, vpn)
+
+        work_start, budget_ns = self.kthread.activate(
+            fault.handler_done_ns, deadline_ns
+        )
+        recovery_latency = 0
+        if budget_ns > 0 and not process.finished:
+            self.windows_stolen += 1
+            self.stolen_ns += budget_ns
+            self.recovery.checkpoint(process.registers)
+            if self.prefetcher is not None:
+                candidates, walk_cost_ns = self.prefetcher.collect(process.pid, vpn)
+                budget_ns = max(0, budget_ns - walk_cost_ns)
+                for candidate in candidates:
+                    sim.issue_prefetch(process.pid, candidate, at_ns=work_start)
+            if self.preexec is not None and process.pc + 1 < len(process.trace):
+                self.preexec.run(process, budget_ns)
+            recovery_latency = self.recovery.restore(process.registers)
+
+        # The CPU is occupied from the fault through the deadline and the
+        # register restore; only that truncated slice of the window stays
+        # synchronous idle — the abandoned remainder is async wait.
+        sim.consume_time(process, deadline_abs - machine.now_ns + recovery_latency)
+        sim.metrics.add_sync_storage_wait(deadline_ns)
+        process.stats.storage_wait_ns += deadline_ns
+        process.stats.async_faults += 1
+        blocked_from = machine.now_ns
+        resume_at = max(fault.io_done_ns, blocked_from)
+
+        def complete(__event) -> None:
+            if not machine.memory.is_resident_or_cached(process.pid, vpn):
+                machine.memory.install_page(process.pid, vpn)
+            sim.scheduler.unblock(process, resume=True)
+
+        machine.events.schedule_at(
+            resume_at, tag=f"demote:{process.pid}:{vpn:#x}", callback=complete
+        )
+        sim.scheduler.block_current()
+        if telemetry is not None:
+            telemetry.counter("its.demote.count").inc()
+            telemetry.histogram("its.demote.window_ns").observe(window_ns)
+            telemetry.record_span(
+                "fault.its.demote", fault_start, blocked_from,
+                track="its", pid=process.pid, args={"vpn": vpn},
+            )
+            telemetry.record_span(
+                "fault.its.demote.blocked", blocked_from, resume_at,
+                track="cpu", pid=process.pid, args={"vpn": vpn},
+            )
+            telemetry.histogram("fault.service_ns").observe(resume_at - fault_start)
 
     def _trace_fault_phases(
         self,

@@ -1,0 +1,49 @@
+"""Fault injection and device variability.
+
+This package models what the idealised storage stack leaves out: ULL
+read-tail variability (lognormal / bimodal / measured-percentile
+latency distributions), DMA-level error outcomes (CRC error, device
+timeout, dropped completion) with retry-backoff-fallback recovery, and
+the resulting graceful degradation of ITS (demotion to the async
+baseline when a steal window stalls).
+
+Everything is driven by one seeded RNG stream owned by the
+:class:`FaultInjector`, so faulty runs are exactly as reproducible and
+cacheable as clean ones.  See docs/FAULTS.md for the full story.
+"""
+
+from repro.faults.distributions import (
+    MIN_LATENCY_FRACTION,
+    BimodalLatency,
+    FixedLatency,
+    LatencyDistribution,
+    LognormalLatency,
+    PercentileTableLatency,
+    build_distribution,
+)
+from repro.faults.injector import FaultInjector, InjectorStats, IOOutcome
+from repro.faults.profiles import (
+    FAULT_PROFILES,
+    TAIL_MODELS,
+    get_fault_profile,
+    with_fault_profile,
+    with_tail_model,
+)
+
+__all__ = [
+    "MIN_LATENCY_FRACTION",
+    "BimodalLatency",
+    "FixedLatency",
+    "LatencyDistribution",
+    "LognormalLatency",
+    "PercentileTableLatency",
+    "build_distribution",
+    "FaultInjector",
+    "InjectorStats",
+    "IOOutcome",
+    "FAULT_PROFILES",
+    "TAIL_MODELS",
+    "get_fault_profile",
+    "with_fault_profile",
+    "with_tail_model",
+]

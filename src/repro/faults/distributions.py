@@ -1,0 +1,135 @@
+"""Latency-distribution models for the ULL device's read tail.
+
+Real ULL SSDs are nothing like the fixed-latency device the paper
+simulates: "Faster than Flash" measures heavy read-tail variability on
+Z-NAND-class parts (garbage collection, program suspends, internal
+retries).  Each model here maps the configured *base* latency to one
+sampled per-operation latency, drawn from the machine's seeded
+:class:`~repro.common.rng.DeterministicRNG` so runs stay bit-for-bit
+reproducible.
+
+Every distribution is a **multiplier family**: the sample is
+``base_ns * m`` with the multiplier ``m`` drawn per op.  That way one
+config composes with device-latency sweeps — sweeping the base latency
+under a tail model scales the whole distribution, which is exactly what
+the tail-sensitivity experiment needs.
+
+Families (see docs/FAULTS.md for the maths):
+
+* ``fixed`` — ``m = 1``; the legacy idealised device.
+* ``lognormal`` — ``m = exp(N(-sigma^2/2, sigma))``; mean multiplier is
+  exactly 1, so tails stretch without moving the average.
+* ``bimodal`` — fast path ``m = 1`` with probability ``1 - p``, slow
+  path ``m = M`` with probability ``p`` (GC/suspend interference).
+* ``table`` — a step inverse-CDF over measured percentiles, e.g.
+  P50/P90/P99/P99.9 multipliers taken from a device datasheet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.common.config import FaultConfig
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRNG
+
+MIN_LATENCY_FRACTION = 0.25
+"""Physical floor: no sample may undercut a quarter of the base latency
+(the flash array cannot be read faster than its access time allows)."""
+
+
+def _clamp(base_ns: int, sampled_ns: float) -> int:
+    """Round and apply the physical floor to one sampled latency."""
+    floor = max(1, int(base_ns * MIN_LATENCY_FRACTION))
+    return max(floor, round(sampled_ns))
+
+
+class LatencyDistribution(Protocol):
+    """One per-operation latency model over a configured base latency."""
+
+    def sample_ns(self, rng: DeterministicRNG, base_ns: int) -> int:
+        """Draw one operation latency in nanoseconds."""
+        ...
+
+
+@dataclass(frozen=True)
+class FixedLatency:
+    """The legacy idealised device: every op takes the base latency."""
+
+    def sample_ns(self, rng: DeterministicRNG, base_ns: int) -> int:
+        """Return the base latency unchanged (no RNG draw)."""
+        return base_ns
+
+
+@dataclass(frozen=True)
+class LognormalLatency:
+    """Lognormal multiplier with unit mean: ``exp(N(-sigma^2/2, sigma))``."""
+
+    sigma: float
+
+    def sample_ns(self, rng: DeterministicRNG, base_ns: int) -> int:
+        """Draw one lognormally-stretched latency."""
+        if self.sigma == 0.0:
+            return base_ns
+        multiplier = rng.lognormal(-0.5 * self.sigma * self.sigma, self.sigma)
+        return _clamp(base_ns, base_ns * multiplier)
+
+
+@dataclass(frozen=True)
+class BimodalLatency:
+    """Fast path at the base latency; slow path ``multiplier`` x with
+    probability ``slow_prob`` (GC, program suspend, internal retry)."""
+
+    slow_prob: float
+    slow_multiplier: float
+
+    def sample_ns(self, rng: DeterministicRNG, base_ns: int) -> int:
+        """Draw the fast or the slow path."""
+        if rng.random() < self.slow_prob:
+            return _clamp(base_ns, base_ns * self.slow_multiplier)
+        return base_ns
+
+    @property
+    def mean_multiplier(self) -> float:
+        """Expected multiplier: ``1 + p * (M - 1)``."""
+        return 1.0 + self.slow_prob * (self.slow_multiplier - 1.0)
+
+
+@dataclass(frozen=True)
+class PercentileTableLatency:
+    """Step inverse-CDF over ``((cum_prob, multiplier), ...)`` entries.
+
+    A uniform draw ``u`` selects the first entry whose cumulative
+    probability covers it, so the table reads directly as "90% of reads
+    are 1x, 9% are 1.5x, 0.9% are 4x, 0.1% are 12x".
+    """
+
+    table: tuple
+
+    def sample_ns(self, rng: DeterministicRNG, base_ns: int) -> int:
+        """Draw one latency from the percentile step function."""
+        u = rng.random()
+        for cum, multiplier in self.table:
+            if u < cum:
+                return _clamp(base_ns, base_ns * multiplier)
+        # u in [last_cum, 1) can't happen (table ends at 1.0), but float
+        # edge cases land on the heaviest tail bucket.
+        return _clamp(base_ns, base_ns * self.table[-1][1])
+
+
+def build_distribution(config: FaultConfig) -> LatencyDistribution:
+    """Instantiate the distribution named by ``config.read_latency_model``."""
+    model = config.read_latency_model
+    if model == "fixed":
+        return FixedLatency()
+    if model == "lognormal":
+        return LognormalLatency(sigma=config.lognormal_sigma)
+    if model == "bimodal":
+        return BimodalLatency(
+            slow_prob=config.bimodal_slow_prob,
+            slow_multiplier=config.bimodal_slow_multiplier,
+        )
+    if model == "table":
+        return PercentileTableLatency(table=tuple(config.table_percentiles))
+    raise ConfigError(f"unknown read latency model {model!r}")

@@ -1,0 +1,162 @@
+"""The fault-injection engine: one seeded source of device misbehaviour.
+
+A :class:`FaultInjector` is constructed by the
+:class:`~repro.sim.machine.Machine` from ``MachineConfig.faults`` when
+injection is enabled, and shared by the storage components:
+
+* :class:`~repro.storage.device.ULLDevice` asks it for per-operation
+  flash latencies (``sample_read_latency_ns`` / ``sample_write_latency_ns``);
+* :class:`~repro.storage.pcie.PCIeLink` asks it for link jitter;
+* :class:`~repro.storage.dma.DMAController` asks it for per-read error
+  outcomes (``next_read_outcome``) and retry backoffs (``backoff_ns``).
+
+All draws come from one private :class:`DeterministicRNG` stream seeded
+by ``FaultConfig.seed``, so the full fault sequence of a run is a pure
+function of the configuration — parallel sweep workers and cache
+replays observe identical faults.
+
+Telemetry: the injector owns the ``faults.injected.*`` counters
+(``tail`` for slow-path latency samples, ``crc`` / ``timeout`` /
+``dropped`` for error outcomes) and the ``faults.tail.excess_ns``
+histogram of sampled-minus-base latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.config import FaultConfig
+from repro.common.rng import DeterministicRNG
+from repro.faults.distributions import LatencyDistribution, build_distribution
+
+
+class IOOutcome(enum.Enum):
+    """How one device read ends, as decided by the injector."""
+
+    OK = "ok"
+    """The read completes normally."""
+    CRC_ERROR = "crc"
+    """The transfer arrives corrupted; detected when the data lands."""
+    TIMEOUT = "timeout"
+    """The device stalls; detected by the watchdog deadline."""
+    DROPPED_COMPLETION = "dropped"
+    """The completion interrupt is lost; detected by the watchdog."""
+
+
+@dataclass
+class InjectorStats:
+    """Cumulative injection counters (mirrored to telemetry when attached)."""
+
+    latency_samples: int = 0
+    tail_samples: int = 0
+    crc_errors: int = 0
+    timeouts: int = 0
+    dropped_completions: int = 0
+
+    @property
+    def errors(self) -> int:
+        """Total injected error outcomes of any kind."""
+        return self.crc_errors + self.timeouts + self.dropped_completions
+
+
+@dataclass
+class FaultInjector:
+    """Seeded sampler for latency variability and error outcomes."""
+
+    config: FaultConfig
+    telemetry: object = None
+    rng: DeterministicRNG = field(init=False)
+    distribution: LatencyDistribution = field(init=False)
+    stats: InjectorStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.rng = DeterministicRNG(self.config.seed)
+        self.distribution = build_distribution(self.config)
+        self.stats = InjectorStats()
+
+    # -- latency variability -------------------------------------------------
+
+    def sample_read_latency_ns(self, base_ns: int) -> int:
+        """One flash read latency under the configured distribution."""
+        return self._sample_latency(base_ns)
+
+    def sample_write_latency_ns(self, base_ns: int) -> int:
+        """One flash program latency (same distribution as reads)."""
+        return self._sample_latency(base_ns)
+
+    def _sample_latency(self, base_ns: int) -> int:
+        latency = self.distribution.sample_ns(self.rng, base_ns)
+        self.stats.latency_samples += 1
+        if latency > base_ns:
+            self.stats.tail_samples += 1
+            if self.telemetry is not None:
+                self.telemetry.counter("faults.injected.tail").inc()
+                self.telemetry.histogram("faults.tail.excess_ns").observe(
+                    latency - base_ns
+                )
+        return latency
+
+    def sample_link_jitter_ns(self) -> int:
+        """Uniform [0, pcie_jitter_ns] addition to one PCIe transfer."""
+        jitter = self.config.pcie_jitter_ns
+        if jitter <= 0:
+            return 0
+        return self.rng.randint(0, jitter)
+
+    # -- error outcomes --------------------------------------------------------
+
+    def next_read_outcome(self) -> IOOutcome:
+        """Decide how the next device read ends.
+
+        One uniform draw is split across the configured probabilities,
+        so the per-outcome frequencies match the config exactly in
+        expectation and the draw count per read is constant (stable
+        streams under config edits that only move probabilities).
+        """
+        cfg = self.config
+        if cfg.error_prob == 0.0:
+            return IOOutcome.OK
+        u = self.rng.random()
+        if u < cfg.crc_error_prob:
+            return self._record(IOOutcome.CRC_ERROR)
+        if u < cfg.crc_error_prob + cfg.timeout_prob:
+            return self._record(IOOutcome.TIMEOUT)
+        if u < cfg.error_prob:
+            return self._record(IOOutcome.DROPPED_COMPLETION)
+        return IOOutcome.OK
+
+    def _record(self, outcome: IOOutcome) -> IOOutcome:
+        if outcome is IOOutcome.CRC_ERROR:
+            self.stats.crc_errors += 1
+        elif outcome is IOOutcome.TIMEOUT:
+            self.stats.timeouts += 1
+        else:
+            self.stats.dropped_completions += 1
+        if self.telemetry is not None:
+            self.telemetry.counter(f"faults.injected.{outcome.value}").inc()
+        return outcome
+
+    # -- retry schedule --------------------------------------------------------
+
+    def backoff_ns(self, attempt: int) -> int:
+        """Backoff before retry *attempt* (1-based): exponential growth.
+
+        ``retry_backoff_ns * backoff_multiplier ** (attempt - 1)``,
+        rounded to whole nanoseconds.
+        """
+        if attempt < 1:
+            raise ValueError(f"retry attempts are 1-based, got {attempt}")
+        cfg = self.config
+        return round(cfg.retry_backoff_ns * cfg.backoff_multiplier ** (attempt - 1))
+
+    def detection_delay_ns(self, outcome: IOOutcome, submit_ns: int, done_ns: int) -> int:
+        """Absolute time the failure of one attempt is detected.
+
+        CRC errors surface when the (corrupted) data lands; stalls and
+        lost completions are caught by the watchdog ``timeout_ns`` after
+        submission.
+        """
+        if outcome is IOOutcome.CRC_ERROR:
+            return done_ns
+        return submit_ns + self.config.timeout_ns

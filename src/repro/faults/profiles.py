@@ -1,0 +1,132 @@
+"""Named fault profiles: curated ``FaultConfig`` presets.
+
+Profiles bundle a latency model, error probabilities, and a demotion
+deadline into one name usable from the CLI (``--fault-profile``) and
+the tail-sensitivity sweep.  The parameters are loosely calibrated to
+the read-tail measurements in "Faster than Flash" (Koh et al.) —
+roughly an order of magnitude between the median and the P99.9 read —
+scaled to this simulator's ~3 µs base device latency.
+
+``none`` is special: it is the default :class:`FaultConfig`, which
+``MachineConfig.to_dict`` omits entirely, so cache keys and results of
+fault-free runs are bit-for-bit identical to a build without the fault
+layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.config import FaultConfig, MachineConfig
+from repro.common.errors import ConfigError
+
+#: Percentile table shaped like a measured ULL read-tail CDF:
+#: 90% of reads at the base latency, 9% mildly slow, 0.9% at 4x
+#: (program suspend), 0.1% at 12x (GC interference).
+P999_TABLE = (
+    (0.90, 1.0),
+    (0.99, 1.5),
+    (0.999, 4.0),
+    (1.0, 12.0),
+)
+
+FAULT_PROFILES: dict = {
+    "none": FaultConfig(),
+    "tail_lognormal": FaultConfig(
+        enabled=True,
+        profile="tail_lognormal",
+        read_latency_model="lognormal",
+        lognormal_sigma=0.6,
+        demote_after_ns=15_000,
+    ),
+    "tail_bimodal": FaultConfig(
+        enabled=True,
+        profile="tail_bimodal",
+        read_latency_model="bimodal",
+        bimodal_slow_prob=0.05,
+        bimodal_slow_multiplier=12.0,
+        demote_after_ns=15_000,
+    ),
+    "tail_p999": FaultConfig(
+        enabled=True,
+        profile="tail_p999",
+        read_latency_model="table",
+        table_percentiles=P999_TABLE,
+        demote_after_ns=15_000,
+    ),
+    "flaky_dma": FaultConfig(
+        enabled=True,
+        profile="flaky_dma",
+        crc_error_prob=0.02,
+        timeout_prob=0.01,
+        drop_completion_prob=0.01,
+        pcie_jitter_ns=200,
+    ),
+    "worst_case": FaultConfig(
+        enabled=True,
+        profile="worst_case",
+        read_latency_model="bimodal",
+        bimodal_slow_prob=0.08,
+        bimodal_slow_multiplier=16.0,
+        crc_error_prob=0.02,
+        timeout_prob=0.01,
+        drop_completion_prob=0.01,
+        pcie_jitter_ns=500,
+        demote_after_ns=12_000,
+    ),
+}
+"""Registry of named profiles, keyed by their CLI name."""
+
+#: Tail-model names accepted by ``--tail-model`` / ``with_tail_model``.
+TAIL_MODELS = ("fixed", "lognormal", "bimodal", "table")
+
+
+def get_fault_profile(name: str) -> FaultConfig:
+    """Look up a named profile, raising :class:`ConfigError` if unknown."""
+    try:
+        return FAULT_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_PROFILES))
+        raise ConfigError(f"unknown fault profile {name!r} (known: {known})") from None
+
+
+def with_fault_profile(config: MachineConfig, name: str) -> MachineConfig:
+    """Return *config* with the named fault profile installed."""
+    return dataclasses.replace(config, faults=get_fault_profile(name))
+
+
+def with_tail_model(config: MachineConfig, model: str) -> MachineConfig:
+    """Return *config* with its fault latency model swapped to *model*.
+
+    Keeps the rest of the active fault profile (error probabilities,
+    demotion deadline) and substitutes only the latency distribution,
+    borrowing that model's parameters from the matching ``tail_*``
+    profile.  Enables the fault layer if it was off.
+    """
+    if model not in TAIL_MODELS:
+        known = ", ".join(TAIL_MODELS)
+        raise ConfigError(f"unknown tail model {model!r} (known: {known})")
+    base = config.faults
+    if model == "fixed":
+        faults = dataclasses.replace(
+            base,
+            enabled=True,
+            read_latency_model="fixed",
+            lognormal_sigma=0.0,
+            bimodal_slow_prob=0.0,
+            bimodal_slow_multiplier=1.0,
+            table_percentiles=(),
+        )
+        return dataclasses.replace(config, faults=faults)
+    donor = FAULT_PROFILES[f"tail_{model}" if model != "table" else "tail_p999"]
+    faults = dataclasses.replace(
+        base,
+        enabled=True,
+        read_latency_model=model,
+        lognormal_sigma=donor.lognormal_sigma,
+        bimodal_slow_prob=donor.bimodal_slow_prob,
+        bimodal_slow_multiplier=donor.bimodal_slow_multiplier,
+        table_percentiles=donor.table_percentiles,
+        demote_after_ns=base.demote_after_ns or donor.demote_after_ns,
+    )
+    return dataclasses.replace(config, faults=faults)

@@ -6,6 +6,16 @@ fault marks the DMA to move the page from the ULL device into DRAM.
 What happens *while* that DMA runs — busy-wait, context switch, or ITS
 stealing — is the I/O policy's decision; the handler only provides the
 mechanics and the cost accounting.
+
+Timing and error contract: ``begin_major_fault`` charges exactly
+``fault_handler_ns`` of software time, then issues the DMA read at
+``handler_done_ns``.  The returned ``FaultContext.io_done_ns`` is the
+*final* completion time — if fault injection made the read retry or
+take the fallback path, those delays are already folded in, and the
+handler records the read as retried (``fault.retried`` counter,
+``retried`` field on the context).  The handler itself never fails:
+every major fault eventually installs its page; policies see failure
+only as a longer-than-estimated window.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ class FaultContext:
     now_ns: int
     handler_done_ns: int
     io_done_ns: int
+    retried: bool = False
 
 
 class PageFaultHandler:
@@ -68,6 +79,9 @@ class PageFaultHandler:
             pid=pid, vpn=vpn, page_bytes=self.memory.frames.page_size, prefetch=False
         )
         io_done = self.dma.read_page(handler_done, request, on_complete)
+        retried = self.dma.last_read_attempts > 1
+        if retried and self.telemetry is not None:
+            self.telemetry.counter("fault.retried").inc()
         if self.telemetry is not None:
             self.telemetry.record_span(
                 "fault.handler", now_ns, handler_done,
@@ -83,4 +97,5 @@ class PageFaultHandler:
             now_ns=now_ns,
             handler_done_ns=handler_done,
             io_done_ns=io_done,
+            retried=retried,
         )

@@ -20,6 +20,7 @@ from repro.common.errors import SimulationError
 from repro.common.events import EventQueue
 from repro.cpu.core import SimCPU
 from repro.cpu.runahead import PreExecuteEngine
+from repro.faults.injector import FaultInjector
 from repro.kernel.context import ContextSwitchModel
 from repro.kernel.fault import PageFaultHandler
 from repro.mem.hierarchy import MemoryHierarchy
@@ -59,10 +60,18 @@ class Machine:
         self.memory = MemoryManager(frames, SwapArea(swap_slots), replacement)
         self.memory.on_evict(self._on_page_evicted)
 
-        self.device = ULLDevice(config.device)
-        self.link = PCIeLink(config.pcie)
+        # The injector exists only when faults are enabled; with it absent
+        # every storage component takes its deterministic fast path, so a
+        # fault-free machine is bit-identical to one built before the
+        # fault layer existed.
+        self.injector: Optional[FaultInjector] = None
+        if config.faults.enabled:
+            self.injector = FaultInjector(config.faults, telemetry=telemetry)
+        self.device = ULLDevice(config.device, injector=self.injector)
+        self.link = PCIeLink(config.pcie, injector=self.injector)
         self.dma = DMAController(
-            self.device, self.link, self.events, telemetry=telemetry
+            self.device, self.link, self.events,
+            telemetry=telemetry, injector=self.injector,
         )
 
         self.cpu = SimCPU(config, self.hierarchy, self.tlb, self.memory)

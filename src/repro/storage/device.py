@@ -5,6 +5,19 @@ A Z-NAND-class device: page reads complete in ``access_latency_ns``
 that a burst of prefetch reads proceeds in parallel ("Leveraging the
 substantial parallelism offered by SSDs", Section 3.4.1).  Reads beyond
 the channel count queue on the earliest-free channel.
+
+Timing contract: ``submit_read`` / ``submit_write`` return absolute
+``(start_ns, done_ns)`` with ``start_ns >= now_ns`` (channel queueing)
+and ``done_ns = start_ns + latency``.  With no fault injector attached
+the latency is exactly ``access_latency_ns`` for every op — the
+idealised fixed-latency device the paper evaluates.  With an injector,
+the latency of each op is drawn from the configured tail distribution
+(see :mod:`repro.faults.distributions`); the device itself never fails —
+error outcomes (CRC/timeout/drop) are modelled one layer up, in the
+:class:`~repro.storage.dma.DMAController`, because that is where
+detection and retry happen.  Submissions must be monotone in time per
+caller, but the device tolerates out-of-order ``now_ns`` across callers
+by queueing on the earliest-free channel.
 """
 
 from __future__ import annotations
@@ -32,10 +45,11 @@ class DeviceStats:
 class ULLDevice:
     """Channel-parallel latency model of an ULL SSD."""
 
-    def __init__(self, config: DeviceConfig) -> None:
+    def __init__(self, config: DeviceConfig, *, injector=None) -> None:
         self.config = config
         self.stats = DeviceStats()
         self._channel_free_at: list[int] = [0] * config.channels
+        self._injector = injector
 
     def submit_read(self, now_ns: int) -> tuple[int, int]:
         """Submit one page read at *now_ns*.
@@ -63,7 +77,14 @@ class ULLDevice:
     def _submit(self, now_ns: int, *, is_write: bool) -> tuple[int, int]:
         index = min(range(len(self._channel_free_at)), key=self._channel_free_at.__getitem__)
         start = max(now_ns, self._channel_free_at[index])
-        done = start + self.config.access_latency_ns
+        base = self.config.access_latency_ns
+        if self._injector is None:
+            latency = base
+        elif is_write:
+            latency = self._injector.sample_write_latency_ns(base)
+        else:
+            latency = self._injector.sample_read_latency_ns(base)
+        done = start + latency
         self._channel_free_at[index] = done
         self.stats.queued_ns += start - now_ns
         self.stats.busy_ns += done - start

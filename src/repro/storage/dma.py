@@ -5,6 +5,20 @@ in the DRAM"; the prefetcher likewise "sends these physical addresses to
 the DMA for data moving", bypassing the CPU.  Completions are events on
 the shared queue, so DMA progress overlaps CPU execution exactly as in
 the paper's overlap argument.
+
+Timing and error contract: ``read_page`` / ``write_page`` always
+complete — ``on_complete`` fires exactly once, at the returned absolute
+time.  Without a fault injector that time is flash access plus PCIe
+serialisation, deterministically.  With an injector, each read may be
+assigned an error outcome (CRC error detected when the data lands;
+device timeout or dropped completion caught by a watchdog
+``timeout_ns`` after submission), after which the controller backs off
+exponentially and retries on a fresh channel slot.  After
+``max_retries`` failed retries the read takes a host-software fallback
+path (PIO re-read) costing ``fallback_penalty_ns`` and then succeeds,
+so the simulation stays total: no request is ever lost, it only gets
+slower.  Retries are visible as ``io.retry.*`` telemetry and in
+``last_read_attempts`` for the fault handler's accounting.
 """
 
 from __future__ import annotations
@@ -13,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.common.events import Event, EventQueue
+from repro.faults.injector import IOOutcome
 from repro.storage.device import ULLDevice
 from repro.storage.pcie import PCIeLink
 
@@ -37,15 +52,20 @@ class DMAController:
         events: EventQueue,
         *,
         telemetry=None,
+        injector=None,
     ) -> None:
         self.device = device
         self.link = link
         self.events = events
         self.telemetry = telemetry
+        self.injector = injector
         self.inflight = 0
         self.completed = 0
         self.prefetches_issued = 0
         self.writebacks_issued = 0
+        self.retries = 0
+        self.fallbacks = 0
+        self.last_read_attempts = 1
 
     def read_page(
         self,
@@ -58,9 +78,16 @@ class DMAController:
         The read occupies a device channel for the flash access, then the
         PCIe link for the transfer.  If *on_complete* is given it fires as
         an event at the completion time with ``(request, done_ns)``.
+        Under fault injection a read may internally retry (see the module
+        docstring); the returned time is the final, successful completion.
         """
-        __, flash_done = self.device.submit_read(now_ns)
-        __, done = self.link.schedule_transfer(flash_done, request.page_bytes)
+        if self.injector is None:
+            __, flash_done = self.device.submit_read(now_ns)
+            __, done = self.link.schedule_transfer(flash_done, request.page_bytes)
+            self.last_read_attempts = 1
+        else:
+            done, attempts = self._read_with_retries(now_ns, request)
+            self.last_read_attempts = attempts
         self.inflight += 1
         if request.prefetch:
             self.prefetches_issued += 1
@@ -112,9 +139,55 @@ class DMAController:
         self.events.schedule_at(done, tag=f"dma-wb:{request.pid}:{request.vpn:#x}", callback=_fire)
         return done
 
+    def _read_with_retries(self, now_ns: int, request: DMARequest) -> tuple[int, int]:
+        """Run one read through the injector's outcome/retry machinery.
+
+        Returns ``(done_ns, attempts)``.  Each attempt books a real
+        channel slot and link transfer (failed attempts still consume
+        device time).  On failure the controller waits out the detection
+        delay plus an exponential backoff, then resubmits; once
+        ``max_retries`` retries are spent, the fallback path adds
+        ``fallback_penalty_ns`` after the last attempt and succeeds.
+        """
+        injector = self.injector
+        cfg = injector.config
+        submit = now_ns
+        attempt = 1
+        while True:
+            __, flash_done = self.device.submit_read(submit)
+            __, done = self.link.schedule_transfer(flash_done, request.page_bytes)
+            outcome = injector.next_read_outcome()
+            if outcome is IOOutcome.OK:
+                return done, attempt
+            detected = injector.detection_delay_ns(outcome, submit, done)
+            if attempt > cfg.max_retries:
+                self.fallbacks += 1
+                done = max(done, detected) + cfg.fallback_penalty_ns
+                if self.telemetry is not None:
+                    self.telemetry.counter("io.retry.fallback").inc()
+                return done, attempt
+            backoff = injector.backoff_ns(attempt)
+            next_submit = max(detected, submit) + backoff
+            self.retries += 1
+            if self.telemetry is not None:
+                self.telemetry.counter("io.retry.attempts").inc()
+                self.telemetry.histogram("io.retry.backoff_ns").observe(backoff)
+                self.telemetry.record_span(
+                    "io.retry.backoff", detected, next_submit,
+                    track="dma", pid=request.pid,
+                    args={"vpn": request.vpn, "attempt": attempt, "outcome": outcome.value},
+                )
+            submit = next_submit
+            attempt += 1
+
     def estimate_read_latency(self, now_ns: int) -> int:
         """Completion latency a read submitted now would see, without
-        submitting it (used by policies to bound busy-wait windows)."""
+        submitting it (used by policies to bound busy-wait windows).
+
+        The estimate assumes the *nominal* access latency even under
+        fault injection — policies plan against the datasheet number,
+        and the gap between plan and tail reality is exactly what the
+        demotion machinery (docs/FAULTS.md) absorbs."""
         start = self.device.earliest_free_ns(now_ns)
         flash_done = start + self.device.config.access_latency_ns
         link_start = max(flash_done, self.link.free_at())

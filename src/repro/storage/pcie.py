@@ -14,21 +14,26 @@ from repro.common.config import PCIeConfig
 class PCIeLink:
     """Serially-shared link with a configurable aggregate bandwidth."""
 
-    def __init__(self, config: PCIeConfig) -> None:
+    def __init__(self, config: PCIeConfig, *, injector=None) -> None:
         self.config = config
         self._free_at = 0
         self.bytes_transferred = 0
         self.transfers = 0
         self.busy_ns = 0
+        self._injector = injector
 
     def schedule_transfer(self, ready_ns: int, n_bytes: int) -> tuple[int, int]:
         """Book a transfer of *n_bytes* that becomes ready at *ready_ns*.
 
         Returns ``(start_ns, done_ns)``; the transfer starts when both
-        the data is ready and the link is free.
+        the data is ready and the link is free.  A fault injector, if
+        attached, adds uniform per-transfer jitter (arbitration and
+        replay delays) on top of the deterministic serialisation time.
         """
         start = max(ready_ns, self._free_at)
         done = start + self.config.transfer_time_ns(n_bytes)
+        if self._injector is not None:
+            done += self._injector.sample_link_jitter_ns()
         self._free_at = done
         self.bytes_transferred += n_bytes
         self.transfers += 1

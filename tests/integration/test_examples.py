@@ -10,9 +10,9 @@ import pytest
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
 
-def run_example(name: str, timeout: int = 240) -> str:
+def run_example(name: str, *argv: str, timeout: int = 240) -> str:
     result = subprocess.run(
-        [sys.executable, str(EXAMPLES / name)],
+        [sys.executable, str(EXAMPLES / name), *argv],
         capture_output=True,
         text=True,
         timeout=timeout,
@@ -45,3 +45,10 @@ class TestExamples:
         assert "thread selection:" in out
         assert "self-improving:" in out
         assert "state recovery:" in out
+
+    def test_tail_latency(self, tmp_path):
+        out = run_example("tail_latency.py", str(tmp_path / "cache"))
+        assert "crossover" in out
+        assert "tail_bimodal" in out
+        assert "async takes over" in out
+        assert "steal windows demoted to the async path" in out

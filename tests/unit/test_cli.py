@@ -53,6 +53,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "defrag"])
 
+    def test_fault_profile_flag(self):
+        args = build_parser().parse_args(["run", "--fault-profile", "tail_bimodal"])
+        assert args.fault_profile == "tail_bimodal"
+        args = build_parser().parse_args(["run"])
+        assert args.fault_profile is None
+
+    def test_rejects_unknown_fault_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--fault-profile", "chaos_monkey"])
+
+    def test_tail_model_flag(self):
+        args = build_parser().parse_args(["stats", "--tail-model", "lognormal"])
+        assert args.tail_model == "lognormal"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--tail-model", "weibull"])
+
+    def test_tails_defaults(self):
+        args = build_parser().parse_args(["tails"])
+        assert args.batch == "1_Data_Intensive"
+        assert "none" in args.profiles and "tail_bimodal" in args.profiles
+        assert args.workers == 1
+
 
 class TestCommands:
     def test_workloads_lists_everything(self, capsys):
@@ -189,6 +211,31 @@ class TestTelemetryCommands:
         assert "span latency" in out
         assert "fault.its" in out
         assert "p99" in out
+
+    def test_stats_under_fault_profile_shows_fault_counters(self, capsys):
+        code = main(
+            [
+                "stats", "--policy", "ITS", "--scale", "0.1",
+                "--fault-profile", "tail_bimodal",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults.injected.tail" in out
+        assert "its.demote.count" in out
+
+    def test_tails_prints_crossover_table(self, capsys, tmp_path):
+        code = main(
+            [
+                "tails", "--latencies", "3", "30", "--scale", "0.1",
+                "--profiles", "none", "tail_bimodal",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile" in out and "crossover" in out
+        assert "tail_bimodal" in out
 
     def test_run_trace_out(self, capsys, tmp_path):
         out = tmp_path / "t.json"

@@ -1,0 +1,316 @@
+"""Unit tests for the fault-injection layer: distributions, the
+injector's outcome/backoff machinery, FaultConfig validation, and the
+cache-key contract (default config hashes as if the layer didn't exist)."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.runner import SweepCell, cache_key
+from repro.common.config import FaultConfig, MachineConfig
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRNG
+from repro.faults import (
+    FAULT_PROFILES,
+    BimodalLatency,
+    FaultInjector,
+    FixedLatency,
+    IOOutcome,
+    LognormalLatency,
+    PercentileTableLatency,
+    build_distribution,
+    get_fault_profile,
+    with_fault_profile,
+    with_tail_model,
+)
+from repro.faults.distributions import MIN_LATENCY_FRACTION
+
+BASE_NS = 3000
+
+
+class TestDistributions:
+    def test_fixed_returns_base_without_drawing(self):
+        rng = DeterministicRNG(1)
+        before = rng.random()
+        rng2 = DeterministicRNG(1)
+        dist = FixedLatency()
+        assert dist.sample_ns(rng2, BASE_NS) == BASE_NS
+        # No draw was consumed: the next value matches a fresh stream.
+        assert rng2.random() == before
+
+    def test_seeded_determinism(self):
+        for dist in (
+            LognormalLatency(sigma=0.7),
+            BimodalLatency(slow_prob=0.1, slow_multiplier=8.0),
+            PercentileTableLatency(table=((0.9, 1.0), (1.0, 5.0))),
+        ):
+            rng1, rng2 = DeterministicRNG(99), DeterministicRNG(99)
+            seq1 = [dist.sample_ns(rng1, BASE_NS) for _ in range(200)]
+            seq2 = [dist.sample_ns(rng2, BASE_NS) for _ in range(200)]
+            assert seq1 == seq2
+
+    def test_lognormal_mean_multiplier_near_one(self):
+        dist = LognormalLatency(sigma=0.5)
+        rng = DeterministicRNG(7)
+        n = 20_000
+        mean = sum(dist.sample_ns(rng, BASE_NS) for _ in range(n)) / n
+        # mu = -sigma^2/2 makes E[multiplier] = 1; clamping biases the
+        # mean slightly upward, so allow a few percent.
+        assert mean == pytest.approx(BASE_NS, rel=0.05)
+
+    def test_lognormal_sigma_zero_is_fixed(self):
+        dist = LognormalLatency(sigma=0.0)
+        rng = DeterministicRNG(5)
+        assert all(dist.sample_ns(rng, BASE_NS) == BASE_NS for _ in range(10))
+
+    def test_bimodal_moments(self):
+        dist = BimodalLatency(slow_prob=0.2, slow_multiplier=10.0)
+        assert dist.mean_multiplier == pytest.approx(2.8)
+        rng = DeterministicRNG(11)
+        n = 20_000
+        samples = [dist.sample_ns(rng, BASE_NS) for _ in range(n)]
+        slow = sum(1 for s in samples if s > BASE_NS)
+        assert slow / n == pytest.approx(0.2, abs=0.02)
+        mean = sum(samples) / n
+        assert mean == pytest.approx(BASE_NS * dist.mean_multiplier, rel=0.05)
+        assert set(samples) == {BASE_NS, BASE_NS * 10}
+
+    def test_table_frequencies(self):
+        table = ((0.5, 1.0), (0.9, 2.0), (1.0, 4.0))
+        dist = PercentileTableLatency(table=table)
+        rng = DeterministicRNG(13)
+        n = 20_000
+        samples = [dist.sample_ns(rng, BASE_NS) for _ in range(n)]
+        freq = {
+            BASE_NS: 0.5,
+            2 * BASE_NS: 0.4,
+            4 * BASE_NS: 0.1,
+        }
+        for value, expected in freq.items():
+            observed = sum(1 for s in samples if s == value) / n
+            assert observed == pytest.approx(expected, abs=0.02)
+
+    def test_clamp_floor(self):
+        # A table multiplier far below the physical floor clamps up.
+        dist = PercentileTableLatency(table=((1.0, 0.01),))
+        rng = DeterministicRNG(3)
+        sample = dist.sample_ns(rng, BASE_NS)
+        assert sample == max(1, int(BASE_NS * MIN_LATENCY_FRACTION))
+
+    def test_build_distribution_dispatch(self):
+        assert isinstance(build_distribution(FaultConfig()), FixedLatency)
+        assert isinstance(
+            build_distribution(
+                FaultConfig(read_latency_model="lognormal", lognormal_sigma=0.4)
+            ),
+            LognormalLatency,
+        )
+        assert isinstance(
+            build_distribution(FAULT_PROFILES["tail_bimodal"]), BimodalLatency
+        )
+        assert isinstance(
+            build_distribution(FAULT_PROFILES["tail_p999"]), PercentileTableLatency
+        )
+
+
+class TestFaultConfigValidation:
+    def test_defaults_valid_and_disabled(self):
+        config = FaultConfig()
+        assert not config.enabled
+        assert config.error_prob == 0.0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(read_latency_model="weibull")
+
+    def test_probabilities_bounded(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(bimodal_slow_prob=1.5)
+        with pytest.raises(ConfigError):
+            FaultConfig(crc_error_prob=-0.1)
+        with pytest.raises(ConfigError):
+            FaultConfig(crc_error_prob=0.5, timeout_prob=0.4, drop_completion_prob=0.2)
+
+    def test_table_shape_enforced(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(read_latency_model="table")  # empty table
+        with pytest.raises(ConfigError):
+            FaultConfig(
+                read_latency_model="table",
+                table_percentiles=((0.9, 1.0), (0.5, 2.0)),  # not ascending
+            )
+        with pytest.raises(ConfigError):
+            FaultConfig(
+                read_latency_model="table",
+                table_percentiles=((0.9, 1.0),),  # does not end at 1.0
+            )
+
+    def test_multiplier_and_backoff_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(bimodal_slow_multiplier=0.5)
+        with pytest.raises(ConfigError):
+            FaultConfig(backoff_multiplier=0.9)
+        with pytest.raises(ConfigError):
+            FaultConfig(timeout_ns=0)
+
+    def test_round_trip_through_machine_config(self):
+        config = dataclasses.replace(
+            MachineConfig(), faults=FAULT_PROFILES["tail_p999"]
+        )
+        restored = MachineConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert restored.faults.table_percentiles == FAULT_PROFILES[
+            "tail_p999"
+        ].table_percentiles
+
+    def test_from_dict_none_is_default(self):
+        assert FaultConfig.from_dict(None) == FaultConfig()
+
+    def test_from_dict_rejects_junk(self):
+        with pytest.raises(ConfigError):
+            FaultConfig.from_dict({"read_latency_model": "weibull"})
+        with pytest.raises(ConfigError):
+            FaultConfig.from_dict({"no_such_field": 1})
+
+
+class TestProfiles:
+    def test_known_profiles_build(self):
+        for name in FAULT_PROFILES:
+            profile = get_fault_profile(name)
+            assert profile.profile == name or name == "none"
+            build_distribution(profile)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            get_fault_profile("chaos_monkey")
+
+    def test_none_profile_is_default(self):
+        config = with_fault_profile(MachineConfig(), "none")
+        assert config == MachineConfig()
+
+    def test_with_tail_model_swaps_distribution(self):
+        config = with_fault_profile(MachineConfig(), "flaky_dma")
+        tailed = with_tail_model(config, "bimodal")
+        assert tailed.faults.read_latency_model == "bimodal"
+        assert tailed.faults.bimodal_slow_prob > 0
+        # Error probabilities from the original profile survive.
+        assert tailed.faults.crc_error_prob == config.faults.crc_error_prob
+
+    def test_with_tail_model_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            with_tail_model(MachineConfig(), "pareto")
+
+
+class TestInjector:
+    def flaky(self, **overrides) -> FaultInjector:
+        config = dataclasses.replace(FAULT_PROFILES["flaky_dma"], **overrides)
+        return FaultInjector(config)
+
+    def test_outcome_frequencies(self):
+        injector = self.flaky(
+            crc_error_prob=0.2, timeout_prob=0.1, drop_completion_prob=0.1
+        )
+        n = 20_000
+        outcomes = [injector.next_read_outcome() for _ in range(n)]
+        freq = {
+            IOOutcome.CRC_ERROR: 0.2,
+            IOOutcome.TIMEOUT: 0.1,
+            IOOutcome.DROPPED_COMPLETION: 0.1,
+            IOOutcome.OK: 0.6,
+        }
+        for outcome, expected in freq.items():
+            observed = sum(1 for o in outcomes if o is outcome) / n
+            assert observed == pytest.approx(expected, abs=0.02)
+        assert injector.stats.errors == n - sum(
+            1 for o in outcomes if o is IOOutcome.OK
+        )
+
+    def test_zero_error_prob_never_draws(self):
+        injector = FaultInjector(FAULT_PROFILES["tail_bimodal"])
+        stream_before = DeterministicRNG(injector.config.seed).random()
+        assert injector.next_read_outcome() is IOOutcome.OK
+        # The draw stream was untouched (frequencies come out of one
+        # uniform per read *only when errors are configured*).
+        assert injector.rng.random() == stream_before
+
+    def test_backoff_schedule(self):
+        injector = self.flaky(retry_backoff_ns=1000, backoff_multiplier=3.0)
+        assert [injector.backoff_ns(a) for a in (1, 2, 3, 4)] == [
+            1000,
+            3000,
+            9000,
+            27000,
+        ]
+        with pytest.raises(ValueError):
+            injector.backoff_ns(0)
+
+    def test_detection_delays(self):
+        injector = self.flaky(timeout_ns=40_000)
+        submit, done = 1000, 5000
+        assert injector.detection_delay_ns(IOOutcome.CRC_ERROR, submit, done) == done
+        assert (
+            injector.detection_delay_ns(IOOutcome.TIMEOUT, submit, done)
+            == submit + 40_000
+        )
+        assert (
+            injector.detection_delay_ns(IOOutcome.DROPPED_COMPLETION, submit, done)
+            == submit + 40_000
+        )
+
+    def test_jitter_bounds(self):
+        injector = self.flaky(pcie_jitter_ns=100)
+        samples = [injector.sample_link_jitter_ns() for _ in range(500)]
+        assert all(0 <= s <= 100 for s in samples)
+        assert max(samples) > 0
+        quiet = self.flaky(pcie_jitter_ns=0)
+        assert quiet.sample_link_jitter_ns() == 0
+
+    def test_latency_sampling_counts_tail(self):
+        injector = FaultInjector(FAULT_PROFILES["tail_bimodal"])
+        n = 2000
+        samples = [injector.sample_read_latency_ns(BASE_NS) for _ in range(n)]
+        assert injector.stats.latency_samples == n
+        assert injector.stats.tail_samples == sum(1 for s in samples if s > BASE_NS)
+        assert injector.stats.tail_samples > 0
+
+    def test_same_config_same_stream(self):
+        a = FaultInjector(FAULT_PROFILES["worst_case"])
+        b = FaultInjector(FAULT_PROFILES["worst_case"])
+        seq_a = [
+            (a.sample_read_latency_ns(BASE_NS), a.next_read_outcome())
+            for _ in range(300)
+        ]
+        seq_b = [
+            (b.sample_read_latency_ns(BASE_NS), b.next_read_outcome())
+            for _ in range(300)
+        ]
+        assert seq_a == seq_b
+
+
+class TestCacheKeyContract:
+    def cell(self, config: MachineConfig) -> SweepCell:
+        return SweepCell(
+            config=config, batch="1_Data_Intensive", policy="Sync", seed=1, scale=0.5
+        )
+
+    def test_default_config_omits_faults(self):
+        assert "faults" not in MachineConfig().to_dict()
+
+    def test_none_profile_keeps_historical_key(self):
+        default_key = cache_key(self.cell(MachineConfig()))
+        none_key = cache_key(self.cell(with_fault_profile(MachineConfig(), "none")))
+        assert default_key == none_key
+
+    def test_profiles_hash_distinctly(self):
+        keys = {
+            name: cache_key(self.cell(with_fault_profile(MachineConfig(), name)))
+            for name in FAULT_PROFILES
+        }
+        assert len(set(keys.values())) == len(keys)
+
+    def test_seed_participates_in_key(self):
+        base = with_fault_profile(MachineConfig(), "tail_bimodal")
+        reseeded = dataclasses.replace(
+            base, faults=dataclasses.replace(base.faults, seed=1)
+        )
+        assert cache_key(self.cell(base)) != cache_key(self.cell(reseeded))
