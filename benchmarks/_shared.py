@@ -31,7 +31,7 @@ from typing import Sequence
 
 from repro import MachineConfig
 from repro.analysis.experiments import (
-    POLICY_FACTORIES,
+    PAPER_POLICIES,
     run_batch_policy,
 )
 from repro.analysis.results import FigureSeries, MetricKind, average_results
@@ -81,9 +81,9 @@ def _traced_grid(config, seeds: Sequence[int], scale: float):
     """Serial, uncached grid for ``--trace-out`` (per-cell telemetry)."""
     grid = {}
     for batch in batch_names():
-        grid[batch] = {policy: [] for policy in POLICY_FACTORIES}
+        grid[batch] = {policy: [] for policy in PAPER_POLICIES}
         for seed in seeds:
-            for policy in POLICY_FACTORIES:
+            for policy in PAPER_POLICIES:
                 grid[batch][policy].append(
                     _run_cell_traced(config, batch, policy, seed, scale)
                 )
@@ -105,7 +105,7 @@ def _engine_grid(config, seeds: Sequence[int], scale: float):
     grid = run_grid(
         config,
         batches=batch_names(),
-        policies=list(POLICY_FACTORIES),
+        policies=list(PAPER_POLICIES),
         seeds=seeds,
         scale=scale,
         workers=WORKERS,
@@ -138,7 +138,7 @@ def figure_grid(seeds: Sequence[int] = SEEDS, scale: float = SCALE):
 
 def series_from_grid(grid, metric: MetricKind, title: str) -> FigureSeries:
     """Collapse the cached grid into one figure's series."""
-    policies = list(POLICY_FACTORIES)
+    policies = list(PAPER_POLICIES)
     series = {policy: [] for policy in policies}
     for batch in grid:
         averages = average_results(grid[batch], metric)

@@ -20,7 +20,9 @@ Quickstart::
     print(result.total_idle_ns, result.major_faults)
 """
 
+from repro.adaptive import AdaptiveController, AdaptivePolicy
 from repro.common import (
+    AdaptiveConfig,
     CacheConfig,
     ConfigError,
     DeviceConfig,
@@ -35,6 +37,7 @@ from repro.common import (
     SimulationError,
     TLBConfig,
     TraceError,
+    with_adaptive,
 )
 from repro.faults import (
     FAULT_PROFILES,
@@ -80,6 +83,8 @@ __all__ = [
     "SchedulerConfig",
     "ITSConfig",
     "FaultConfig",
+    "AdaptiveConfig",
+    "with_adaptive",
     # faults
     "FAULT_PROFILES",
     "FaultInjector",
@@ -97,6 +102,8 @@ __all__ = [
     "SyncRunaheadPolicy",
     "SyncPrefetchPolicy",
     "ITSPolicy",
+    "AdaptivePolicy",
+    "AdaptiveController",
     # simulation
     "Machine",
     "Simulation",

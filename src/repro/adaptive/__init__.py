@@ -1,0 +1,30 @@
+"""Adaptive I/O-mode controller (docs/ADAPTIVE.md).
+
+Online latency estimation from observed read completions, a per-fault
+cost model over sync-spin / ITS-steal / async-demote, and the
+:class:`AdaptivePolicy` that wires both into the simulator as a fourth
+I/O policy next to Sync, Async and ITS.
+"""
+
+from repro.adaptive.controller import AdaptiveController, DecisionStats
+from repro.adaptive.cost import Mode, ModeCosts, estimate_costs
+from repro.adaptive.estimators import (
+    EwmaEstimator,
+    LatencyEstimator,
+    P2QuantileEstimator,
+    SlidingWindowHistogram,
+)
+from repro.adaptive.policy import AdaptivePolicy
+
+__all__ = [
+    "AdaptiveController",
+    "AdaptivePolicy",
+    "DecisionStats",
+    "EwmaEstimator",
+    "LatencyEstimator",
+    "Mode",
+    "ModeCosts",
+    "P2QuantileEstimator",
+    "SlidingWindowHistogram",
+    "estimate_costs",
+]

@@ -1,0 +1,199 @@
+"""The adaptive I/O-mode controller.
+
+Per major fault, :meth:`AdaptiveController.decide` picks a servicing
+mode (sync-spin / ITS-steal / async-demote) for the faulting process
+from the cost model, filtered through two stabilisers:
+
+* a **confidence gate** — until ``warmup_faults`` read completions have
+  been observed, the estimates are noise, so a cold controller falls
+  back to plain ITS (STEAL), the paper's always-reasonable default;
+* **hysteresis** — a process must dwell ``min_dwell_faults`` faults in
+  its current mode before switching, and the challenger must beat the
+  incumbent's estimated cost by ``switch_margin`` relatively.  Together
+  they stop mode flapping when two costs run close.
+
+The controller learns from :class:`~repro.kernel.fault.FaultContext`
+observations delivered by the fault handler's observer hook — realised
+completion times only, never the injector's distribution — and from the
+machine's own prefetch-hit statistics (the steal-payoff estimate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.adaptive.cost import Mode, ModeCosts, estimate_costs
+from repro.adaptive.estimators import EwmaEstimator, LatencyEstimator
+from repro.common.config import AdaptiveConfig
+
+
+@dataclass
+class _ProcessState:
+    """Mode history of one process (hysteresis bookkeeping)."""
+
+    mode: Mode = Mode.STEAL
+    dwell: int = 0
+
+
+@dataclass
+class DecisionStats:
+    """Python-side tallies mirrored into the adaptive.* counters."""
+
+    by_mode: dict = field(default_factory=lambda: {m: 0 for m in Mode})
+    cold: int = 0
+    switches: int = 0
+    held_by_dwell: int = 0
+    held_by_margin: int = 0
+
+    @property
+    def total(self) -> int:
+        """All decisions taken (cold ones included)."""
+        return sum(self.by_mode.values())
+
+
+class AdaptiveController:
+    """Online estimation + cost model + hysteresis, per process."""
+
+    def __init__(
+        self,
+        config: AdaptiveConfig,
+        *,
+        kernel_entry_ns: int,
+        context_switch_ns: int,
+        fault_handler_ns: int,
+        telemetry=None,
+    ) -> None:
+        self.config = config
+        self.kernel_entry_ns = kernel_entry_ns
+        self.context_switch_ns = context_switch_ns
+        self.fault_handler_ns = fault_handler_ns
+        self.telemetry = telemetry
+        self.estimator = LatencyEstimator(
+            alpha=config.ewma_alpha, window=config.quantile_window
+        )
+        self.error_ewma = EwmaEstimator(config.ewma_alpha)
+        self.stats = DecisionStats()
+        self.steal_value_ns = 0.0
+        self._states: dict[int, _ProcessState] = {}
+        self._last_costs: Optional[ModeCosts] = None
+
+    # -- learning ------------------------------------------------------------
+
+    def observe(self, context) -> None:
+        """Fold one realised fault window into the estimators.
+
+        Registered as a fault-handler observer; *context* is the
+        :class:`~repro.kernel.fault.FaultContext`.  The window used is
+        handler-exit to I/O completion — the same busy-wait span a sync
+        policy would have idled for, with injected retries folded in.
+        """
+        window_ns = context.io_done_ns - context.handler_done_ns
+        prediction = self.estimator.expected_wait(self.config.tail_weight)
+        if prediction is not None:
+            # One-step-ahead absolute error: how far the blended-wait
+            # estimate was from the window it was about to predict.
+            self.error_ewma.observe(abs(prediction - window_ns))
+        self.estimator.observe(window_ns)
+        if self.telemetry is not None:
+            self.telemetry.counter("adaptive.estimate.observations").inc()
+            self._publish_estimates()
+
+    def note_payoff(self, prefetch_hits: int, stolen_windows: int) -> None:
+        """Refresh the steal-payoff estimate from machine statistics.
+
+        ``prefetch_hits / stolen_windows`` is the observed number of
+        future faults an ITS window averts; each averted fault saves
+        roughly one expected wait plus the handler overhead.
+        """
+        if stolen_windows <= 0:
+            return
+        wait = self.estimator.expected_wait(self.config.tail_weight)
+        if wait is None:
+            return
+        hits_per_window = prefetch_hits / stolen_windows
+        self.steal_value_ns = hits_per_window * (wait + self.fault_handler_ns)
+
+    # -- deciding ------------------------------------------------------------
+
+    @property
+    def confident(self) -> bool:
+        """Whether enough completions were observed to trust the model."""
+        return self.estimator.count >= self.config.warmup_faults
+
+    def decide(self, pid: int, ready_count: int) -> Mode:
+        """Choose the servicing mode for *pid*'s current fault."""
+        state = self._states.setdefault(pid, _ProcessState())
+        if not self.confident:
+            mode = Mode.STEAL  # cold: plain ITS, the safe default
+            self.stats.cold += 1
+            self._count_decision(mode, cold=True)
+            state.mode = mode
+            state.dwell += 1
+            return mode
+
+        costs = estimate_costs(
+            expected_wait_ns=self.estimator.expected_wait(self.config.tail_weight),
+            steal_value_ns=self.steal_value_ns,
+            kernel_entry_ns=self.kernel_entry_ns,
+            context_switch_ns=self.context_switch_ns,
+            demotion_penalty_ns=self.config.demotion_penalty_ns,
+            ready_count=ready_count,
+        )
+        self._last_costs = costs
+        mode = self._apply_hysteresis(state, costs)
+        self._count_decision(mode, cold=False)
+        return mode
+
+    def _apply_hysteresis(self, state: _ProcessState, costs: ModeCosts) -> Mode:
+        best = costs.best(state.mode)
+        if best is state.mode:
+            state.dwell += 1
+            return state.mode
+        if state.dwell < self.config.min_dwell_faults:
+            self.stats.held_by_dwell += 1
+            state.dwell += 1
+            return state.mode
+        incumbent_cost = costs.of(state.mode)
+        if costs.of(best) >= incumbent_cost * (1.0 - self.config.switch_margin):
+            self.stats.held_by_margin += 1
+            state.dwell += 1
+            return state.mode
+        self.stats.switches += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("adaptive.decision.switch").inc()
+        state.mode = best
+        state.dwell = 1
+        return best
+
+    def _count_decision(self, mode: Mode, *, cold: bool) -> None:
+        self.stats.by_mode[mode] += 1
+        if self.telemetry is not None:
+            self.telemetry.counter(f"adaptive.decision.{mode.value}").inc()
+            if cold:
+                self.telemetry.counter("adaptive.decision.cold").inc()
+
+    def mode_of(self, pid: int) -> Mode:
+        """Current mode of *pid* (STEAL before its first decision)."""
+        state = self._states.get(pid)
+        return state.mode if state is not None else Mode.STEAL
+
+    @property
+    def last_costs(self) -> Optional[ModeCosts]:
+        """The cost vector behind the most recent warm decision."""
+        return self._last_costs
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _publish_estimates(self) -> None:
+        telemetry = self.telemetry
+        mean = self.estimator.mean()
+        if mean is not None:
+            telemetry.gauge("adaptive.estimate.mean_ns").set(mean)
+        for q, name in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+            value = self.estimator.quantile(q)
+            if value is not None:
+                telemetry.gauge(f"adaptive.estimate.{name}_ns").set(value)
+        if self.error_ewma.value is not None:
+            telemetry.gauge("adaptive.estimate.error_ns").set(self.error_ewma.value)
+        telemetry.gauge("adaptive.steal_value_ns").set(self.steal_value_ns)

@@ -1,0 +1,89 @@
+"""Per-fault cost model: sync-spin vs ITS-steal vs async-demote.
+
+Every cost is an *estimated CPU-time loss* (nanoseconds of the faulting
+core's time that produce no forward progress for the workload), built
+only from online estimates and machine constants — never from the fault
+injector's ground truth:
+
+* **SYNC** — busy-wait the whole window: loses the full expected wait
+  ``Ŵ`` (the paper's Figure 1a idle time).
+* **STEAL** — enter the ITS kernel thread (``kernel_entry_ns``), then
+  recoup idle time with prefetch/pre-execution.  The recouped value is
+  the observed steal payoff (prefetch hits per stolen window times the
+  work each hit avoids), capped by the stealable budget ``Ŵ -
+  kernel_entry``.
+* **ASYNC** — context switch away and back (two switches), pay the
+  demotion penalty (cache/TLB pollution, interleaving), and — if the
+  ready queue is empty — still idle for the window, because there is
+  nobody to switch to.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Mode(enum.Enum):
+    """The three servicing modes the controller chooses between."""
+
+    SYNC = "sync"
+    STEAL = "steal"
+    ASYNC = "async"
+
+
+@dataclass(frozen=True)
+class ModeCosts:
+    """Estimated CPU-time loss (ns) of servicing one fault in each mode."""
+
+    sync_ns: float
+    steal_ns: float
+    async_ns: float
+
+    def of(self, mode: Mode) -> float:
+        """Cost of *mode*."""
+        if mode is Mode.SYNC:
+            return self.sync_ns
+        if mode is Mode.STEAL:
+            return self.steal_ns
+        return self.async_ns
+
+    def best(self, incumbent: Mode) -> Mode:
+        """Cheapest mode, ties broken toward *incumbent*, then STEAL.
+
+        Deterministic: equal costs never depend on dict ordering, and the
+        incumbent wins ties so hysteresis has nothing to fight.
+        """
+        preference = {Mode.STEAL: 1, Mode.SYNC: 2, Mode.ASYNC: 3}
+        preference[incumbent] = 0
+        return min(Mode, key=lambda m: (self.of(m), preference[m]))
+
+
+def estimate_costs(
+    *,
+    expected_wait_ns: float,
+    steal_value_ns: float,
+    kernel_entry_ns: int,
+    context_switch_ns: int,
+    demotion_penalty_ns: int,
+    ready_count: int,
+) -> ModeCosts:
+    """Cost out the three modes for one anticipated fault window.
+
+    ``steal_value_ns`` is the controller's running estimate of CPU time
+    an ITS thread recoups per stolen window; it is capped here by the
+    stealable budget, so an optimistic payoff estimate cannot make STEAL
+    look better than a zero-cost fault.
+    """
+    sync_ns = expected_wait_ns
+
+    budget_ns = max(0.0, expected_wait_ns - kernel_entry_ns)
+    recouped_ns = min(budget_ns, max(0.0, steal_value_ns))
+    steal_ns = kernel_entry_ns + (expected_wait_ns - recouped_ns)
+
+    async_ns = 2.0 * context_switch_ns + demotion_penalty_ns
+    if ready_count == 0:
+        # Nobody to switch to: the core idles for the window anyway.
+        async_ns += expected_wait_ns
+
+    return ModeCosts(sync_ns=sync_ns, steal_ns=steal_ns, async_ns=async_ns)

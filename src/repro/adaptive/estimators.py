@@ -1,0 +1,226 @@
+"""Online read-latency estimators for the adaptive I/O-mode controller.
+
+Three estimator families, all fed exclusively from *observed* demand-read
+completions (the :class:`~repro.kernel.fault.FaultContext` window between
+handler exit and I/O completion) — never from the fault injector's
+ground-truth distribution:
+
+* :class:`EwmaEstimator` — exponentially weighted moving average of the
+  window, the cheap central-tendency estimate.
+* :class:`P2QuantileEstimator` — the Jain & Chlamtac P² streaming
+  quantile algorithm: tracks one quantile in O(1) space without storing
+  samples, used for p50/p95/p99.
+* :class:`SlidingWindowHistogram` — the last *N* observations per
+  device; supplies exact small-sample quantiles while the P² markers
+  are still warming up, and tail-exceedance probabilities afterwards.
+
+:class:`LatencyEstimator` composes the three behind one ``observe`` /
+``mean`` / ``quantile`` / ``expected_wait`` surface.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Optional, Sequence
+
+
+class EwmaEstimator:
+    """Exponentially weighted moving average: ``v ← (1-a)·v + a·x``."""
+
+    def __init__(self, alpha: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("EWMA alpha must lie in (0, 1]")
+        self.alpha = alpha
+        self.count = 0
+        self._value: Optional[float] = None
+
+    def observe(self, x: float) -> None:
+        """Fold one observation into the average."""
+        self.count += 1
+        if self._value is None:
+            self._value = float(x)
+        else:
+            self._value += self.alpha * (x - self._value)
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current estimate, or ``None`` before the first observation."""
+        return self._value
+
+
+class P2QuantileEstimator:
+    """Streaming quantile via the P² algorithm (Jain & Chlamtac, 1985).
+
+    Five markers track (min, q/2, q, (1+q)/2, max); marker heights are
+    adjusted with a piecewise-parabolic fit as observations arrive.  The
+    estimate is exact until five observations exist (sorted-buffer
+    interpolation) and O(1) per update afterwards.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must lie in (0, 1)")
+        self.q = q
+        self.count = 0
+        self._heights: list[float] = []
+        self._positions = [1, 2, 3, 4, 5]
+        self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+        self._increments = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+
+    def observe(self, x: float) -> None:
+        """Fold one observation into the marker state."""
+        self.count += 1
+        x = float(x)
+        if len(self._heights) < 5:
+            self._heights.append(x)
+            self._heights.sort()
+            return
+        h = self._heights
+        if x < h[0]:
+            h[0] = x
+            cell = 0
+        elif x >= h[4]:
+            h[4] = x
+            cell = 3
+        else:
+            cell = next(i for i in range(4) if h[i] <= x < h[i + 1])
+        for i in range(cell + 1, 5):
+            self._positions[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        for i in (1, 2, 3):
+            d = self._desired[i] - self._positions[i]
+            n, n_prev, n_next = (
+                self._positions[i],
+                self._positions[i - 1],
+                self._positions[i + 1],
+            )
+            if (d >= 1 and n_next - n > 1) or (d <= -1 and n_prev - n < -1):
+                step = int(math.copysign(1, d))
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:  # parabolic fit left the bracket: fall back to linear
+                    h[i] += step * (h[i + step] - h[i]) / (
+                        self._positions[i + step] - n
+                    )
+                self._positions[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step)
+            * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current quantile estimate, or ``None`` with no observations."""
+        if not self._heights:
+            return None
+        if len(self._heights) < 5 or self.count <= 5:
+            rank = max(0, math.ceil(self.q * len(self._heights)) - 1)
+            return sorted(self._heights)[rank]
+        return self._heights[2]
+
+
+class SlidingWindowHistogram:
+    """The last *capacity* observations of one device's read windows."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("window capacity must be positive")
+        self.capacity = capacity
+        self.total = 0
+        self._window: deque[float] = deque(maxlen=capacity)
+
+    def observe(self, x: float) -> None:
+        """Append one observation, evicting the oldest beyond capacity."""
+        self.total += 1
+        self._window.append(float(x))
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def mean(self) -> Optional[float]:
+        """Mean over the current window, or ``None`` when empty."""
+        if not self._window:
+            return None
+        return sum(self._window) / len(self._window)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile over the current window."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must lie in (0, 1]")
+        if not self._window:
+            return None
+        ordered = sorted(self._window)
+        rank = max(0, math.ceil(q * len(ordered)) - 1)
+        return ordered[rank]
+
+    def exceedance(self, threshold: float) -> float:
+        """Fraction of windowed observations strictly above *threshold*."""
+        if not self._window:
+            return 0.0
+        return sum(1 for x in self._window if x > threshold) / len(self._window)
+
+
+class LatencyEstimator:
+    """EWMA + P² quantiles + sliding window, behind one surface.
+
+    ``quantile(q)`` answers from the matching P² tracker once it has
+    real marker state (> 5 observations) and from the exact sliding
+    window before that, so early estimates are never extrapolations.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float,
+        window: int,
+        quantiles: Sequence[float] = (0.5, 0.95, 0.99),
+    ) -> None:
+        self.ewma = EwmaEstimator(alpha)
+        self.histogram = SlidingWindowHistogram(window)
+        self.trackers = {q: P2QuantileEstimator(q) for q in quantiles}
+        self.count = 0
+
+    def observe(self, window_ns: int) -> None:
+        """Feed one observed read window (ns) to every estimator."""
+        self.count += 1
+        self.ewma.observe(window_ns)
+        self.histogram.observe(window_ns)
+        for tracker in self.trackers.values():
+            tracker.observe(window_ns)
+
+    def mean(self) -> Optional[float]:
+        """EWMA mean of the observed windows."""
+        return self.ewma.value
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated quantile *q* of the window distribution."""
+        tracker = self.trackers.get(q)
+        if tracker is not None and tracker.count > 5:
+            return tracker.value
+        return self.histogram.quantile(q)
+
+    def exceedance(self, threshold_ns: float) -> float:
+        """Observed fraction of windows above *threshold_ns*."""
+        return self.histogram.exceedance(threshold_ns)
+
+    def expected_wait(self, tail_weight: float) -> Optional[float]:
+        """Risk-blended wait estimate: ``(1-w)·p50 + w·p95``.
+
+        Falls back to the EWMA mean while quantiles are unavailable;
+        ``None`` with no observations at all.
+        """
+        p50 = self.quantile(0.5)
+        p95 = self.quantile(0.95)
+        if p50 is None or p95 is None:
+            return self.mean()
+        return (1.0 - tail_weight) * p50 + tail_weight * p95

@@ -1,0 +1,83 @@
+"""``AdaptivePolicy``: per-fault mode selection on top of ITS.
+
+Subclasses :class:`~repro.core.its.ITSPolicy` so the full ITS machinery
+(self-improving and self-sacrificing threads, prefetcher, pre-execute
+cache carve-out, graceful demotion under fault injection) is available,
+then routes each major fault by the controller's decision:
+
+* **SYNC** — plain busy-wait (:func:`~repro.baselines.sync_io
+  .busy_wait_fault`), when the estimated window is too short for the
+  kernel-thread entry to pay off.
+* **STEAL** — the normal ITS path: the priority comparison picks the
+  self-improving or self-sacrificing thread as usual.
+* **ASYNC** — demote: a LOW hint is pinned on the selection policy for
+  this one fault, forcing the self-sacrificing thread, whose mechanics
+  are exactly the asynchronous baseline (switch away, prefetch from the
+  idle window, switch back on completion).
+
+The controller never reads injector ground truth: its estimators are
+fed by the fault handler's observer hook (realised completion times),
+and the steal-payoff estimate comes from the machine's own swap-cache
+hit statistics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.adaptive.controller import AdaptiveController
+from repro.adaptive.cost import Mode
+from repro.baselines.sync_io import busy_wait_fault
+from repro.core.its import ITSPolicy
+from repro.core.selection import PriorityClass
+from repro.kernel.process import Process
+
+if TYPE_CHECKING:
+    from repro.sim.simulator import Simulation
+
+
+class AdaptivePolicy(ITSPolicy):
+    """Adaptive I/O-mode selection: sync / steal / async per fault."""
+
+    name = "Adaptive"
+
+    def attach(self, sim: "Simulation") -> None:
+        super().attach(sim)
+        config = sim.config
+        self.controller = AdaptiveController(
+            config.adaptive,
+            kernel_entry_ns=config.its.kernel_entry_ns,
+            context_switch_ns=config.scheduler.context_switch_ns,
+            fault_handler_ns=config.fault_handler_ns,
+            telemetry=sim.telemetry,
+        )
+        sim.machine.add_fault_observer(self.controller.observe)
+        self._pending_mode: Optional[Mode] = None
+        self.selection.hint = self._mode_hint
+
+    def _mode_hint(self, process: Process) -> Optional[PriorityClass]:
+        """Selection-policy hint: ASYNC forces the sacrificing thread."""
+        if self._pending_mode is Mode.ASYNC:
+            return PriorityClass.LOW
+        return None  # STEAL: defer to the normal priority comparison
+
+    def on_major_fault(self, sim: "Simulation", process: Process, vpn: int) -> None:
+        machine = sim.machine
+        self.controller.note_payoff(
+            machine.memory.swap_cache.hits,
+            self.improving.windows_stolen + self.sacrificing.sacrifices,
+        )
+        mode = self.controller.decide(process.pid, sim.scheduler.ready_count())
+        if sim.telemetry is not None:
+            sim.telemetry.instant(
+                "fault.adaptive.mode", machine.now_ns,
+                track="its", pid=process.pid, args={"mode": mode.value},
+            )
+        if mode is Mode.SYNC:
+            busy_wait_fault(sim, process, vpn)
+            return
+        self._pending_mode = mode
+        try:
+            super().on_major_fault(sim, process, vpn)
+        finally:
+            self._pending_mode = None

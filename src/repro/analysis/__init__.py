@@ -66,12 +66,17 @@ from repro.analysis.validate import (
     validate_observation,
 )
 from repro.analysis.experiments import (
+    DEFAULT_ADAPTIVE_PROFILES,
+    DEFAULT_STATIC_POLICIES,
     DEFAULT_TAIL_PROFILES,
+    PAPER_POLICIES,
     POLICY_FACTORIES,
+    AdaptiveComparisonRow,
     Figure4Data,
     Figure5Data,
     ObservationData,
     TailSensitivityRow,
+    run_adaptive_comparison,
     run_batch_policy,
     run_figure4,
     run_figure5,
@@ -134,7 +139,12 @@ __all__ = [
     "run_figure4",
     "run_figure5",
     "run_observation",
+    "PAPER_POLICIES",
     "DEFAULT_TAIL_PROFILES",
     "TailSensitivityRow",
     "run_tail_sensitivity",
+    "DEFAULT_ADAPTIVE_PROFILES",
+    "DEFAULT_STATIC_POLICIES",
+    "AdaptiveComparisonRow",
+    "run_adaptive_comparison",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence
 
+from repro.adaptive import AdaptivePolicy
 from repro.analysis.results import (
     FigureSeries,
     MetricKind,
@@ -37,8 +38,15 @@ POLICY_FACTORIES: dict[str, Callable[[], IOPolicy]] = {
     "Sync_Runahead": SyncRunaheadPolicy,
     "Sync_Prefetch": SyncPrefetchPolicy,
     "ITS": ITSPolicy,
+    "Adaptive": AdaptivePolicy,
 }
-"""The five evaluated designs, in the paper's legend order."""
+"""Every runnable policy: the paper's five designs in legend order, plus
+the adaptive I/O-mode controller (:mod:`repro.adaptive`)."""
+
+PAPER_POLICIES = ("Async", "Sync", "Sync_Runahead", "Sync_Prefetch", "ITS")
+"""The five designs the paper evaluates, in legend order.  The figure
+runners default to these so regenerated figures match the paper; pass
+``policies=tuple(POLICY_FACTORIES)`` to overlay Adaptive as well."""
 
 DEFAULT_SEEDS = (1, 2, 3)
 """Priority-assignment seeds averaged by default."""
@@ -172,7 +180,7 @@ def run_figure4(
     *,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     scale: float = 1.0,
-    policies: Sequence[str] = tuple(POLICY_FACTORIES),
+    policies: Sequence[str] = PAPER_POLICIES,
     batches: Optional[Sequence[str]] = None,
     workers: int = 1,
     cache=None,
@@ -209,7 +217,7 @@ def run_figure5(
     *,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     scale: float = 1.0,
-    policies: Sequence[str] = tuple(POLICY_FACTORIES),
+    policies: Sequence[str] = PAPER_POLICIES,
     batches: Optional[Sequence[str]] = None,
     workers: int = 1,
     cache=None,
@@ -329,6 +337,117 @@ def run_tail_sensitivity(
                 points=points,
             )
         )
+    return rows
+
+
+@dataclass(frozen=True)
+class AdaptiveComparisonRow:
+    """One (fault profile, device latency) point of the adaptive study.
+
+    ``makespan_ns`` / ``mean_finish_ns`` map every compared policy
+    (statics plus ``"Adaptive"``) to its batch makespan and mean
+    process-finish time; ``best_static`` names the static policy with
+    the smallest makespan at this point, and ``adaptive_gap`` is the
+    adaptive makespan's relative distance from it (negative when
+    adaptive beats every static policy).
+    """
+
+    profile: str
+    latency_us: float
+    makespan_ns: Mapping[str, int]
+    mean_finish_ns: Mapping[str, float]
+    best_static: str
+    adaptive_gap: float
+
+
+DEFAULT_ADAPTIVE_PROFILES = ("none", "tail_lognormal", "tail_bimodal")
+"""Fault profiles swept by :func:`run_adaptive_comparison`."""
+
+DEFAULT_STATIC_POLICIES = ("Sync", "Async", "ITS")
+"""Fixed-mode policies the adaptive controller is measured against."""
+
+
+def _mean_finish_ns(result: SimulationResult) -> float:
+    """Mean finish time across all processes of one run."""
+    records = result.processes
+    return sum(r.finish_time_ns for r in records) / len(records)
+
+
+def run_adaptive_comparison(
+    config: Optional[MachineConfig] = None,
+    *,
+    profiles: Sequence[str] = DEFAULT_ADAPTIVE_PROFILES,
+    latencies_us: Sequence[float] = (1, 3, 7, 15, 30, 60, 100),
+    static_policies: Sequence[str] = DEFAULT_STATIC_POLICIES,
+    batch: str = "1_Data_Intensive",
+    seed: int = 1,
+    scale: float = 0.5,
+    workers: int = 1,
+    cache=None,
+    telemetry=None,
+    progress=None,
+) -> list[AdaptiveComparisonRow]:
+    """Adaptive mode selection vs every static policy, across tails.
+
+    For each fault profile, sweeps the nominal device latency and runs
+    the static policies plus ``Adaptive`` at every point.  The question
+    the grid answers: does online estimation recover (close to) the best
+    static choice without being told the device's latency distribution?
+    Under the idealised ``none`` profile the adaptive controller should
+    track the best static policy within a few percent at every latency;
+    under heavy tails it should beat at least the statics caught on the
+    wrong side of the sync/async trade.
+
+    The machine config is *not* modified for the adaptive cells beyond
+    the fault profile — :class:`~repro.adaptive.AdaptivePolicy` reads
+    ``config.adaptive`` whether or not the block is enabled, so the
+    static cells keep their historical cache keys.
+    """
+    from repro.analysis.sweeps import sweep_device_latency
+    from repro.faults.profiles import with_fault_profile
+
+    if "Adaptive" in static_policies:
+        raise ConfigError("static_policies must not include 'Adaptive'")
+    if not static_policies:
+        raise ConfigError("adaptive comparison needs at least one static policy")
+    config = config or MachineConfig()
+    policies = tuple(static_policies) + ("Adaptive",)
+    rows: list[AdaptiveComparisonRow] = []
+    for profile in profiles:
+        base = with_fault_profile(config, profile)
+        points = sweep_device_latency(
+            latencies_us,
+            policies=policies,
+            batch=batch,
+            seed=seed,
+            scale=scale,
+            base=base,
+            workers=workers,
+            cache=cache,
+            telemetry=telemetry,
+            progress=progress,
+        )
+        for point in points:
+            makespans = {
+                name: point.results[name].makespan_ns for name in policies
+            }
+            best_static = min(static_policies, key=makespans.__getitem__)
+            gap = (
+                makespans["Adaptive"] - makespans[best_static]
+            ) / makespans[best_static]
+            rows.append(
+                AdaptiveComparisonRow(
+                    profile=profile,
+                    latency_us=point.value,
+                    makespan_ns=makespans,
+                    mean_finish_ns={
+                        name: _mean_finish_ns(point.results[name])
+                        for name in policies
+                    },
+                    best_static=best_static,
+                    adaptive_gap=gap,
+                )
+            )
     return rows
 
 

@@ -9,9 +9,13 @@ Subcommands::
     repro observation  the Section 2.2 motivation experiment
     repro crossover    sync-vs-async sweep over device latency
     repro tails        crossover shift under fault/tail-latency profiles
+    repro adaptive     adaptive mode selection vs static policies
     repro workloads    list workloads and batches
     repro compare      diff two saved result files
     repro cache        result-cache statistics / clearing
+
+``--policy`` accepts names case-insensitively (``--policy adaptive``
+selects the ``Adaptive`` controller).
 
 Grid-shaped commands (``figures``, ``crossover``, ``report``) accept
 ``--workers N`` (process-pool fan-out), ``--cache-dir`` and
@@ -29,8 +33,11 @@ from typing import Optional, Sequence
 from repro import __version__
 from repro.analysis.charts import render_bar_chart
 from repro.analysis.experiments import (
+    DEFAULT_ADAPTIVE_PROFILES,
+    DEFAULT_STATIC_POLICIES,
     DEFAULT_TAIL_PROFILES,
     POLICY_FACTORIES,
+    run_adaptive_comparison,
     run_batch_policy,
     run_figure4,
     run_figure5,
@@ -71,6 +78,14 @@ def _parse_seeds(text: str) -> tuple[int, ...]:
         return tuple(int(s) for s in text.split(","))
     except ValueError as exc:
         raise argparse.ArgumentTypeError(f"bad seed list {text!r}") from exc
+
+
+_POLICY_BY_LOWER = {name.lower(): name for name in POLICY_FACTORIES}
+
+
+def _policy_name(text: str) -> str:
+    """Case-insensitive ``--policy`` converter (``adaptive`` -> ``Adaptive``)."""
+    return _POLICY_BY_LOWER.get(text.lower(), text)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -353,6 +368,45 @@ def cmd_tails(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_adaptive(args: argparse.Namespace) -> int:
+    """``repro adaptive``: adaptive controller vs static policies."""
+    config = _machine_config(args)
+    cache, telemetry, progress = _make_exec(args)
+    rows = run_adaptive_comparison(
+        config,
+        profiles=tuple(args.profiles),
+        latencies_us=args.latencies,
+        static_policies=tuple(args.static_policies),
+        batch=args.batch,
+        seed=args.seed,
+        scale=args.scale,
+        workers=args.workers,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
+    )
+    _print_exec_summary(args, cache, telemetry)
+    policies = tuple(args.static_policies) + ("Adaptive",)
+    print("adaptive I/O-mode selection vs static policies (makespan)")
+    header = f"{'profile':>16s} {'lat(us)':>8s}"
+    for name in policies:
+        header += f"  {name:>10s}"
+    header += "  best-static  gap"
+    print(header)
+    for row in rows:
+        line = f"{row.profile:>16s} {row.latency_us:>8g}"
+        for name in policies:
+            line += f"  {format_time_ns(row.makespan_ns[name]):>10s}"
+        line += f"  {row.best_static:>11s}  {row.adaptive_gap:+.1%}"
+        print(line)
+    worst = max(rows, key=lambda r: r.adaptive_gap)
+    print(
+        f"worst adaptive gap: {worst.adaptive_gap:+.1%} vs {worst.best_static} "
+        f"({worst.profile} @ {worst.latency_us:g} us)"
+    )
+    return 0
+
+
 def cmd_workloads(args: argparse.Namespace) -> int:
     """``repro workloads``: list workloads, batches and policies."""
     print("workloads:")
@@ -469,7 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one simulation")
     run_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
-    run_p.add_argument("--policy", choices=list(POLICY_FACTORIES), default="ITS")
+    run_p.add_argument("--policy", type=_policy_name, choices=list(POLICY_FACTORIES), default="ITS")
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--save", help="write the result to a JSON file")
     run_p.add_argument("--events", help="write a CSV event log of the run")
@@ -481,7 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_p = sub.add_parser("trace", help="run instrumented and export a trace")
     trace_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
-    trace_p.add_argument("--policy", choices=list(POLICY_FACTORIES), default="ITS")
+    trace_p.add_argument("--policy", type=_policy_name, choices=list(POLICY_FACTORIES), default="ITS")
     trace_p.add_argument("--seed", type=int, default=1)
     trace_p.add_argument("--out", default="repro.trace.json", help="trace output path")
     trace_p.add_argument(
@@ -497,7 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="run instrumented and print the telemetry report"
     )
     stats_p2.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
-    stats_p2.add_argument("--policy", choices=list(POLICY_FACTORIES), default="ITS")
+    stats_p2.add_argument("--policy", type=_policy_name, choices=list(POLICY_FACTORIES), default="ITS")
     stats_p2.add_argument("--seed", type=int, default=1)
     _add_common(stats_p2)
     stats_p2.set_defaults(func=cmd_stats)
@@ -547,6 +601,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(tails_p)
     _add_exec(tails_p)
     tails_p.set_defaults(func=cmd_tails)
+
+    adapt_p = sub.add_parser(
+        "adaptive", help="adaptive mode selection vs static policies"
+    )
+    adapt_p.add_argument(
+        "--latencies", type=float, nargs="+", default=[1, 3, 7, 15, 30, 60, 100],
+        help="device latencies in microseconds",
+    )
+    adapt_p.add_argument(
+        "--profiles", nargs="+", choices=sorted(FAULT_PROFILES),
+        default=list(DEFAULT_ADAPTIVE_PROFILES),
+        help="fault profiles to sweep under",
+    )
+    adapt_p.add_argument(
+        "--static-policies", nargs="+", type=_policy_name,
+        choices=[p for p in POLICY_FACTORIES if p != "Adaptive"],
+        default=list(DEFAULT_STATIC_POLICIES),
+        help="fixed-mode policies the controller is measured against",
+    )
+    adapt_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
+    adapt_p.add_argument("--seed", type=int, default=1)
+    _add_common(adapt_p)
+    _add_exec(adapt_p)
+    adapt_p.set_defaults(func=cmd_adaptive)
 
     wl_p = sub.add_parser("workloads", help="list workloads, batches, policies")
     wl_p.set_defaults(func=cmd_workloads)

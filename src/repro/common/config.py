@@ -387,6 +387,85 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class AdaptiveConfig:
+    """Tunables of the adaptive I/O-mode controller (docs/ADAPTIVE.md).
+
+    The default instance (``enabled=False``) deliberately serialises to
+    *nothing* in :meth:`MachineConfig.to_dict`: configurations that never
+    touch the adaptive layer keep their historical sweep-cache keys and
+    bit-identical results, exactly like :class:`FaultConfig`.
+
+    The controller itself is installed by choosing the ``Adaptive`` I/O
+    policy; this block only carries its parameters.  ``enabled=True``
+    marks a deliberately configured block (and makes it serialise), but
+    the :class:`~repro.adaptive.AdaptivePolicy` reads the parameters
+    either way, so ``--policy adaptive`` works on a stock config.
+    """
+
+    enabled: bool = False
+
+    # -- online latency estimation ------------------------------------------
+    ewma_alpha: float = 0.2
+    """Weight of the newest observation in the EWMA mean estimator."""
+    quantile_window: int = 128
+    """Observations kept by the sliding-window histogram (per device)."""
+    warmup_faults: int = 16
+    """Confidence gate: observed read completions required before the
+    cost model is trusted; a cold controller falls back to plain ITS."""
+    tail_weight: float = 0.3
+    """Risk blend of the expected-wait estimate: ``(1 - w) * p50 +
+    w * p95``.  0 trusts the median, 1 plans for the tail."""
+
+    # -- hysteresis ---------------------------------------------------------
+    min_dwell_faults: int = 8
+    """Faults a process must spend in its current mode before the
+    controller may switch it again (mode flapping guard)."""
+    switch_margin: float = 0.1
+    """Relative cost advantage a challenger mode needs over the
+    incumbent before a switch is worth the transient."""
+
+    # -- cost model ---------------------------------------------------------
+    demotion_penalty_ns: int = 10_000
+    """Cost of demoting a fault to the asynchronous path beyond the two
+    context switches themselves: cache/TLB pollution on return and the
+    fine-grained interleaving it invites (Figure 4's thrash)."""
+
+    def __post_init__(self) -> None:
+        _require(0.0 < self.ewma_alpha <= 1.0, "EWMA alpha must lie in (0, 1]")
+        _require(self.quantile_window >= 8, "quantile window must hold at least 8 samples")
+        _require(self.warmup_faults >= 0, "warmup fault count must be non-negative")
+        _require(0.0 <= self.tail_weight <= 1.0, "tail weight must lie in [0, 1]")
+        _require(self.min_dwell_faults >= 0, "minimum dwell must be non-negative")
+        _require(0.0 <= self.switch_margin < 1.0, "switch margin must lie in [0, 1)")
+        _require(self.demotion_penalty_ns >= 0, "demotion penalty must be non-negative")
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> "AdaptiveConfig":
+        """Reconstruct from :meth:`MachineConfig.to_dict` output.
+
+        ``None`` (the key was omitted, i.e. a legacy or non-adaptive
+        config) yields the disabled default.
+        """
+        if data is None:
+            return cls()
+        try:
+            return cls(**data)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed AdaptiveConfig dict: {exc}") from exc
+
+
+def with_adaptive(config: "MachineConfig", **overrides: Any) -> "MachineConfig":
+    """Return *config* with an explicitly configured adaptive block.
+
+    ``enabled`` is forced on (so the block serialises and the sweep cache
+    distinguishes the configuration); keyword overrides set individual
+    :class:`AdaptiveConfig` fields.
+    """
+    overrides.setdefault("enabled", True)
+    return dataclasses.replace(config, adaptive=AdaptiveConfig(**overrides))
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """Complete description of the simulated platform.
 
@@ -418,6 +497,10 @@ class MachineConfig:
     """Device variability / failure injection; disabled by default (the
     idealised device).  Serialised only when it differs from the
     default, so fault-free cache keys are stable across versions."""
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
+    """Adaptive I/O-mode controller parameters; disabled by default.
+    Serialised only when it differs from the default, so non-adaptive
+    cache keys are stable across versions."""
 
     compute_ns_per_instr: int = 1
     """CPU cost of one non-memory instruction."""
@@ -472,6 +555,8 @@ class MachineConfig:
         data = dataclasses.asdict(self)
         if self.faults == FaultConfig():
             del data["faults"]
+        if self.adaptive == AdaptiveConfig():
+            del data["adaptive"]
         return data
 
     @classmethod
@@ -488,6 +573,7 @@ class MachineConfig:
                 scheduler=SchedulerConfig(**data["scheduler"]),
                 its=ITSConfig(**data["its"]),
                 faults=FaultConfig.from_dict(data.get("faults")),
+                adaptive=AdaptiveConfig.from_dict(data.get("adaptive")),
                 compute_ns_per_instr=data["compute_ns_per_instr"],
                 fault_handler_ns=data["fault_handler_ns"],
             )

@@ -135,25 +135,21 @@ class ITSPolicy(IOPolicy):
 
     def on_major_fault(self, sim: "Simulation", process: Process, vpn: int) -> None:
         telemetry = sim.telemetry
-        if (
-            self.self_sacrifice_enabled
-            and self.selection.classify(process, sim.scheduler) is PriorityClass.LOW
-        ):
-            if telemetry is not None:
-                # Selection is free in the cost model (one priority
-                # compare inside the handler); the instant marks which
-                # way it went.
-                telemetry.instant(
-                    "fault.its.selection", sim.machine.now_ns,
-                    track="its", pid=process.pid, args={"class": "low"},
-                )
-                telemetry.counter("its.selection.low").inc()
+        selected = PriorityClass.HIGH
+        if self.self_sacrifice_enabled:
+            # classify() tallies its Python fields and mirrors them into
+            # the its.selection.high/low counters, so the two stay equal.
+            selected = self.selection.classify(
+                process, sim.scheduler, telemetry=telemetry
+            )
+        if telemetry is not None:
+            # Selection is free in the cost model (one priority compare
+            # inside the handler); the instant marks which way it went.
+            telemetry.instant(
+                "fault.its.selection", sim.machine.now_ns,
+                track="its", pid=process.pid, args={"class": selected.value},
+            )
+        if selected is PriorityClass.LOW:
             self.sacrificing.handle_fault(sim, process, vpn)
         else:
-            if telemetry is not None:
-                telemetry.instant(
-                    "fault.its.selection", sim.machine.now_ns,
-                    track="its", pid=process.pid, args={"class": "high"},
-                )
-                telemetry.counter("its.selection.high").inc()
             self.improving.handle_fault(sim, process, vpn)

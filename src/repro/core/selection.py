@@ -5,12 +5,24 @@ compared against the next-to-be-run process's: lower means the current
 process is *low-priority* (run the self-sacrificing thread), otherwise
 it is *high-priority* (run the self-improving thread).  The policy never
 changes priorities or the scheduler's ordering.
+
+Two integrations hang off the classifier:
+
+* With a telemetry handle passed to :meth:`classify`, every outcome is
+  exported as the ``its.selection.high`` / ``its.selection.low``
+  counters, so the Python-field tallies are visible in ``repro stats``
+  and traces.
+* An optional *mode hint* lets the adaptive I/O-mode controller
+  (:mod:`repro.adaptive`) override the priority comparison for one
+  fault: a hinted class is returned (and counted) verbatim.  Without a
+  hint installed the classifier behaves exactly as the paper describes.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.kernel.process import Process
 from repro.kernel.scheduler import RoundRobinScheduler
@@ -29,8 +41,18 @@ class PrioritySelectionPolicy:
 
     high_selections: int = 0
     low_selections: int = 0
+    hint: Optional[Callable[[Process], Optional["PriorityClass"]]] = None
+    """Mode-hint provider consulted before the priority comparison.
+    Returning ``None`` defers to the normal comparison; returning a
+    class forces it for this fault (the adaptive controller's lever)."""
 
-    def classify(self, process: Process, scheduler: RoundRobinScheduler) -> PriorityClass:
+    def classify(
+        self,
+        process: Process,
+        scheduler: RoundRobinScheduler,
+        *,
+        telemetry=None,
+    ) -> PriorityClass:
         """Classify *process* at fault time.
 
         With an empty ready queue there is nobody to give way to, so the
@@ -38,9 +60,19 @@ class PrioritySelectionPolicy:
         Ties also count as high-priority ("and vice versa"): only a
         strictly more important waiter forces self-sacrifice.
         """
-        next_process = scheduler.peek_next()
-        if next_process is not None and process.priority < next_process.priority:
+        outcome: Optional[PriorityClass] = None
+        if self.hint is not None:
+            outcome = self.hint(process)
+        if outcome is None:
+            next_process = scheduler.peek_next()
+            if next_process is not None and process.priority < next_process.priority:
+                outcome = PriorityClass.LOW
+            else:
+                outcome = PriorityClass.HIGH
+        if outcome is PriorityClass.LOW:
             self.low_selections += 1
-            return PriorityClass.LOW
-        self.high_selections += 1
-        return PriorityClass.HIGH
+        else:
+            self.high_selections += 1
+        if telemetry is not None:
+            telemetry.counter(f"its.selection.{outcome.value}").inc()
+        return outcome

@@ -57,6 +57,18 @@ class PageFaultHandler:
         self.telemetry = telemetry
         self.major_faults = 0
         self.handler_time_ns = 0
+        self._observers: list[Callable[[FaultContext], None]] = []
+
+    def add_observer(self, observer: Callable[[FaultContext], None]) -> None:
+        """Register a callback invoked with every major fault's context.
+
+        Observers see the :class:`FaultContext` as soon as the DMA read
+        is issued — the same realised completion time the servicing
+        policy sees, never the injector's ground-truth distribution.
+        The adaptive I/O-mode controller feeds its online latency
+        estimators from this hook.
+        """
+        self._observers.append(observer)
 
     def begin_major_fault(
         self,
@@ -91,7 +103,7 @@ class PageFaultHandler:
                 io_done - handler_done
             )
             self.telemetry.counter("fault.major").inc()
-        return FaultContext(
+        context = FaultContext(
             pid=pid,
             vpn=vpn,
             now_ns=now_ns,
@@ -99,3 +111,6 @@ class PageFaultHandler:
             io_done_ns=io_done,
             retried=retried,
         )
+        for observer in self._observers:
+            observer(context)
+        return context

@@ -109,6 +109,15 @@ class Machine:
 
     # -- wiring --------------------------------------------------------------
 
+    def add_fault_observer(self, observer) -> None:
+        """Watch every major fault's :class:`~repro.kernel.fault.FaultContext`.
+
+        Convenience delegate to
+        :meth:`~repro.kernel.fault.PageFaultHandler.add_observer`; the
+        adaptive I/O-mode controller feeds its latency estimators here.
+        """
+        self.fault_handler.add_observer(observer)
+
     def _on_page_evicted(self, pid: int, vpn: int, frame: int) -> None:
         """Eviction side effects: TLB shootdown, LLC invalidation, and
         dirty write-back over DMA (occupying link + device bandwidth)."""

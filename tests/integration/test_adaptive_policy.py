@@ -1,0 +1,169 @@
+"""Integration tests for the adaptive I/O-mode controller.
+
+The acceptance criteria of the adaptive subsystem, asserted end to end:
+
+* under the idealised ``none`` profile the adaptive policy lands within
+  5% of the best static policy's makespan at every swept nominal device
+  latency;
+* under ``tail_bimodal`` it strictly beats at least one static policy's
+  mean batch finish time at every point;
+* with the ``AdaptiveConfig`` block left at its disabled default, sweep
+  cache keys are bit-identical to what the repo produced before the
+  adaptive layer existed (pinned digests), so no historical cached
+  result is orphaned.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.adaptive import AdaptivePolicy, Mode
+from repro.analysis.experiments import run_adaptive_comparison
+from repro.analysis.runner import SweepCell, cache_key
+from repro.common.config import AdaptiveConfig, MachineConfig, with_adaptive
+from repro.common.units import US
+from repro.core.selection import PriorityClass
+from repro.sim.simulator import Simulation, WorkloadInstance
+
+from tests.conftest import make_linear_trace
+
+LATENCIES_US = (1, 3, 7, 15, 30)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """One shared sweep: none + tail_bimodal across the latency axis."""
+    return run_adaptive_comparison(
+        profiles=("none", "tail_bimodal"),
+        latencies_us=LATENCIES_US,
+        scale=0.2,
+    )
+
+
+class TestAcceptance:
+    def test_within_5pct_of_best_static_under_none(self, comparison):
+        for row in comparison:
+            if row.profile != "none":
+                continue
+            assert row.adaptive_gap <= 0.05, (
+                f"adaptive {row.adaptive_gap:+.1%} off {row.best_static} "
+                f"at {row.latency_us} us"
+            )
+
+    def test_beats_a_static_policy_under_tail_bimodal(self, comparison):
+        for row in comparison:
+            if row.profile != "tail_bimodal":
+                continue
+            adaptive = row.mean_finish_ns["Adaptive"]
+            statics = [
+                v for k, v in row.mean_finish_ns.items() if k != "Adaptive"
+            ]
+            assert adaptive < max(statics), (
+                f"adaptive mean finish {adaptive} beat no static policy "
+                f"at {row.latency_us} us"
+            )
+
+    def test_every_point_has_all_policies(self, comparison):
+        assert len(comparison) == 2 * len(LATENCIES_US)
+        for row in comparison:
+            assert set(row.makespan_ns) == {"Sync", "Async", "ITS", "Adaptive"}
+
+
+class TestCacheKeyContract:
+    """Disabled-adaptive configs must keep their historical cache keys."""
+
+    # Digests recorded before the adaptive layer existed (default
+    # MachineConfig, 1_Data_Intensive, seed 1, scale 0.2).  If one of
+    # these moves, every previously cached result is orphaned.
+    SEED_DIGESTS = {
+        "ITS": "6a50da2424f49f20b1ec536a29c882339af854b9ace480f71c119cbbd4010966",
+        "Sync": "91e1e4ff33f2da8dd5b059e2563f0739cfb65ec63ca06ef83630c7a5b5a0ddd8",
+    }
+
+    def make_cell(self, policy, config=None):
+        return SweepCell(
+            config=config or MachineConfig(),
+            batch="1_Data_Intensive",
+            policy=policy,
+            seed=1,
+            scale=0.2,
+        )
+
+    def test_disabled_adaptive_keys_bit_identical_to_seed(self):
+        for policy, digest in self.SEED_DIGESTS.items():
+            assert cache_key(self.make_cell(policy)) == digest
+
+    def test_explicit_default_block_also_hashes_identically(self):
+        config = dataclasses.replace(MachineConfig(), adaptive=AdaptiveConfig())
+        assert (
+            cache_key(self.make_cell("ITS", config))
+            == self.SEED_DIGESTS["ITS"]
+        )
+
+    def test_enabled_adaptive_changes_the_key(self):
+        config = with_adaptive(MachineConfig())
+        assert (
+            cache_key(self.make_cell("ITS", config))
+            != self.SEED_DIGESTS["ITS"]
+        )
+
+    def test_adaptive_policy_cells_share_static_config_hash(self):
+        # run_adaptive_comparison runs Adaptive on the *same* config as
+        # the statics: only the policy name separates the cells.
+        its = self.make_cell("ITS")
+        adaptive = self.make_cell("Adaptive")
+        assert its.key_payload()["config"] == adaptive.key_payload()["config"]
+        assert cache_key(its) != cache_key(adaptive)
+
+
+class TestModeDispatch:
+    """The controller's decisions steer the actual fault paths."""
+
+    def run_adaptive(self, config, traces=2, **adaptive_kw):
+        config = with_adaptive(config, **adaptive_kw)
+        workloads = [
+            WorkloadInstance(
+                name=f"w{i}",
+                trace=make_linear_trace(6, base_va=0x10_0000 + i * 0x50_0000),
+                priority=5 + 15 * i,
+            )
+            for i in range(traces)
+        ]
+        policy = AdaptivePolicy(prefetch=False)
+        result = Simulation(config, workloads, policy, batch_name="unit").run()
+        return policy, result
+
+    def test_slow_device_no_payoff_demotes_to_async(self, small_config):
+        # 200 us reads, no prefetcher to recoup anything: once warm, the
+        # controller should abandon stealing and demote to the async
+        # path via the self-sacrificing thread.
+        config = dataclasses.replace(
+            small_config,
+            device=dataclasses.replace(
+                small_config.device, access_latency_ns=200 * US
+            ),
+        )
+        policy, result = self.run_adaptive(
+            config, warmup_faults=4, min_dwell_faults=0
+        )
+        assert policy.controller.stats.by_mode[Mode.ASYNC] > 0
+        assert policy.sacrificing.sacrifices > 0
+        assert result.context_switches > 0
+
+    def test_fast_device_stays_in_steal(self, small_config):
+        policy, _ = self.run_adaptive(
+            small_config, warmup_faults=4, min_dwell_faults=0
+        )
+        stats = policy.controller.stats
+        assert stats.by_mode[Mode.ASYNC] == 0
+        assert stats.by_mode[Mode.STEAL] > 0
+
+    def test_hint_only_active_during_async_faults(self, small_config):
+        policy, _ = self.run_adaptive(small_config, warmup_faults=4)
+        # Outside a fault the pending mode is cleared: no standing bias
+        # on the selection policy.
+        assert policy._pending_mode is None
+        assert policy.selection.hint is not None
+        assert policy._mode_hint(None) is None
+        policy._pending_mode = Mode.ASYNC
+        assert policy._mode_hint(None) is PriorityClass.LOW

@@ -74,14 +74,14 @@ class TestAccountingInvariants:
 
     def test_prefetching_policies_issue_prefetches(self, results):
         for (batch, policy), result in results.items():
-            if policy in ("Sync_Prefetch", "ITS"):
+            if policy in ("Sync_Prefetch", "ITS", "Adaptive"):
                 assert result.prefetch_issued > 0
             if policy in ("Async", "Sync"):
                 assert result.prefetch_issued == 0
 
     def test_preexec_only_where_expected(self, results):
         for (batch, policy), result in results.items():
-            if policy in ("Sync_Runahead", "ITS"):
+            if policy in ("Sync_Runahead", "ITS", "Adaptive"):
                 assert result.preexec_instructions > 0
             else:
                 assert result.preexec_instructions == 0

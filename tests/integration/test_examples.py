@@ -52,3 +52,10 @@ class TestExamples:
         assert "tail_bimodal" in out
         assert "async takes over" in out
         assert "steal windows demoted to the async path" in out
+
+    def test_adaptive_modes(self, tmp_path):
+        out = run_example("adaptive_modes.py", str(tmp_path / "cache"))
+        assert "adaptive tracked the best static policy" in out
+        assert "adaptive decisions under tail_bimodal:" in out
+        assert "controller's view of the read-wait distribution" in out
+        assert "p95" in out

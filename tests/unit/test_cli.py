@@ -75,6 +75,23 @@ class TestParser:
         assert "none" in args.profiles and "tail_bimodal" in args.profiles
         assert args.workers == 1
 
+    def test_adaptive_defaults(self):
+        args = build_parser().parse_args(["adaptive"])
+        assert list(args.latencies) == [1, 3, 7, 15, 30, 60, 100]
+        assert "tail_bimodal" in args.profiles
+        assert list(args.static_policies) == ["Sync", "Async", "ITS"]
+        assert args.batch == "1_Data_Intensive"
+
+    def test_adaptive_rejects_adaptive_as_static(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adaptive", "--static-policies", "Adaptive"])
+
+    def test_policy_names_case_insensitive(self):
+        args = build_parser().parse_args(["run", "--policy", "adaptive"])
+        assert args.policy == "Adaptive"
+        args = build_parser().parse_args(["run", "--policy", "sync_prefetch"])
+        assert args.policy == "Sync_Prefetch"
+
 
 class TestCommands:
     def test_workloads_lists_everything(self, capsys):
@@ -236,6 +253,29 @@ class TestTelemetryCommands:
         out = capsys.readouterr().out
         assert "profile" in out and "crossover" in out
         assert "tail_bimodal" in out
+
+    def test_adaptive_prints_gap_table(self, capsys, tmp_path):
+        code = main(
+            [
+                "adaptive", "--latencies", "3", "15", "--scale", "0.2",
+                "--profiles", "none",
+                "--static-policies", "Sync", "ITS",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile" in out and "best-static" in out
+        assert "Adaptive" in out
+        assert "worst adaptive gap" in out
+
+    def test_run_adaptive_policy(self, capsys):
+        code = main(
+            ["run", "--policy", "adaptive", "--batch", "No_Data_Intensive",
+             "--scale", "0.2"]
+        )
+        assert code == 0
+        assert "policy=Adaptive" in capsys.readouterr().out
 
     def test_run_trace_out(self, capsys, tmp_path):
         out = tmp_path / "t.json"

@@ -89,3 +89,60 @@ class TestCrossover:
         rows = sweep_device_latency([1], policies=("Sync",), **FAST)
         with pytest.raises(ConfigError):
             find_crossover(rows, "Sync", "Async")
+
+
+class _Span:
+    def __init__(self, makespan_ns):
+        self.makespan_ns = makespan_ns
+
+
+def synthetic_rows(points):
+    """Rows from ``(value, a_makespan, b_makespan)`` triples."""
+    return [
+        SweepRow(value=v, results={"A": _Span(a), "B": _Span(b)})
+        for v, a, b in points
+    ]
+
+
+class TestCrossoverEdgeCases:
+    def test_b_always_winning_is_not_a_crossover(self):
+        # A never wins, so there is no A-to-B flip to report.
+        rows = synthetic_rows([(1, 20, 10), (2, 30, 10), (3, 40, 10)])
+        assert find_crossover(rows, "A", "B") is None
+
+    def test_a_always_winning_returns_none(self):
+        rows = synthetic_rows([(1, 10, 20), (2, 10, 30)])
+        assert find_crossover(rows, "A", "B") is None
+
+    def test_exact_touch_at_grid_point_is_the_crossover(self):
+        # Equal makespans mean A no longer *strictly* wins, so the flip
+        # is reported exactly at the touching grid point — deterministic,
+        # not dependent on float noise beyond the tie itself.
+        rows = synthetic_rows([(1, 10, 20), (5, 15, 15), (9, 20, 10)])
+        assert find_crossover(rows, "A", "B") == 5
+        assert find_crossover(list(rows), "A", "B") == 5  # stable on re-run
+
+    def test_tie_on_first_row_never_counts_as_a_win(self):
+        # A tie at the start means A never strictly won before B's lead.
+        rows = synthetic_rows([(1, 15, 15), (2, 20, 10)])
+        assert find_crossover(rows, "A", "B") is None
+
+    def test_direction_sensitive(self):
+        # B-to-A flips are the reverse question: ask with arguments
+        # swapped instead of getting a spurious answer.
+        rows = synthetic_rows([(1, 20, 10), (2, 10, 20)])
+        assert find_crossover(rows, "A", "B") is None
+        assert find_crossover(rows, "B", "A") == 2
+
+    def test_single_row_has_no_crossover(self):
+        rows = synthetic_rows([(1, 10, 20)])
+        assert find_crossover(rows, "A", "B") is None
+
+    def test_empty_rows_have_no_crossover(self):
+        assert find_crossover([], "A", "B") is None
+
+    def test_recrossing_reports_first_flip_only(self):
+        rows = synthetic_rows(
+            [(1, 10, 20), (2, 20, 10), (3, 10, 20), (4, 20, 10)]
+        )
+        assert find_crossover(rows, "A", "B") == 2
