@@ -25,6 +25,7 @@ from repro.common import (
     AdaptiveConfig,
     CacheConfig,
     ConfigError,
+    CoreConfig,
     DeviceConfig,
     DeterministicRNG,
     FaultConfig,
@@ -38,6 +39,7 @@ from repro.common import (
     TLBConfig,
     TraceError,
     with_adaptive,
+    with_cores,
 )
 from repro.faults import (
     FAULT_PROFILES,
@@ -85,6 +87,8 @@ __all__ = [
     "FaultConfig",
     "AdaptiveConfig",
     "with_adaptive",
+    "CoreConfig",
+    "with_cores",
     # faults
     "FAULT_PROFILES",
     "FaultInjector",

@@ -59,6 +59,7 @@ def run_batch_policy(
     *,
     seed: int = 1,
     scale: float = 1.0,
+    cores: Optional[int] = None,
     event_log=None,
     telemetry=None,
 ) -> SimulationResult:
@@ -66,12 +67,19 @@ def run_batch_policy(
 
     Pass a :class:`~repro.telemetry.Telemetry` handle as *telemetry* to
     collect spans and metrics from the run (its embedded event log is
-    used when *event_log* is not given).
+    used when *event_log* is not given).  ``cores`` overrides the
+    config's SMP core count.
     """
+    import dataclasses
+
     factory = POLICY_FACTORIES.get(policy_name)
     if factory is None:
         raise ConfigError(
             f"unknown policy {policy_name!r}; known: {', '.join(POLICY_FACTORIES)}"
+        )
+    if cores is not None:
+        config = dataclasses.replace(
+            config, cores=dataclasses.replace(config.cores, count=cores)
         )
     workloads = build_batch(batch_name, seed=seed, scale=scale, config=config)
     return Simulation(
@@ -448,6 +456,93 @@ def run_adaptive_comparison(
                     adaptive_gap=gap,
                 )
             )
+    return rows
+
+
+@dataclass(frozen=True)
+class CoreScalingRow:
+    """One core count of the SMP scaling study.
+
+    ``makespan_ns`` maps every policy to its batch makespan at this core
+    count; ``speedup`` maps it to ``makespan(cores=1) / makespan(here)``
+    (1.0 for the single-core row by construction).
+    """
+
+    cores: int
+    makespan_ns: Mapping[str, int]
+    mean_finish_ns: Mapping[str, float]
+    speedup: Mapping[str, float]
+
+
+DEFAULT_CORE_COUNTS = (1, 2, 4)
+"""Core counts swept by :func:`run_core_scaling`."""
+
+
+def run_core_scaling(
+    config: Optional[MachineConfig] = None,
+    *,
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+    policies: Sequence[str] = ("Sync", "Async", "ITS"),
+    batch: str = "1_Data_Intensive",
+    profile: Optional[str] = None,
+    seed: int = 1,
+    scale: float = 0.5,
+    workers: int = 1,
+    cache=None,
+    telemetry=None,
+    progress=None,
+) -> list[CoreScalingRow]:
+    """How does each I/O policy scale with cores on one batch?
+
+    Sweeps the SMP core count and reports per-policy makespans plus the
+    speedup over the single-core run (docs/SMP.md).  ``profile``
+    optionally applies a fault profile first — fault-heavy batches are
+    where cross-core pickup of sacrificed processes pays off.  Requires
+    ``1 in core_counts`` (the speedup baseline).
+    """
+    from repro.analysis.sweeps import sweep_cores
+    from repro.faults.profiles import with_fault_profile
+
+    if 1 not in core_counts:
+        raise ConfigError("core scaling needs the cores=1 baseline in core_counts")
+    if sorted(set(core_counts)) != sorted(core_counts):
+        raise ConfigError("core_counts must be distinct")
+    config = config or MachineConfig()
+    if profile is not None:
+        config = with_fault_profile(config, profile)
+    points = sweep_cores(
+        tuple(core_counts),
+        policies=tuple(policies),
+        batch=batch,
+        seed=seed,
+        scale=scale,
+        base=config,
+        workers=workers,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
+    )
+    baseline = {
+        name: result.makespan_ns
+        for point in points
+        if point.value == 1
+        for name, result in point.results.items()
+    }
+    rows: list[CoreScalingRow] = []
+    for point in points:
+        makespans = {name: r.makespan_ns for name, r in point.results.items()}
+        rows.append(
+            CoreScalingRow(
+                cores=int(point.value),
+                makespan_ns=makespans,
+                mean_finish_ns={
+                    name: _mean_finish_ns(r) for name, r in point.results.items()
+                },
+                speedup={
+                    name: baseline[name] / makespans[name] for name in makespans
+                },
+            )
+        )
     return rows
 
 

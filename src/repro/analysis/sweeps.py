@@ -143,9 +143,27 @@ def sweep_page_size(pages_kib: Sequence[float], **kwargs) -> list[SweepRow]:
     return sweep(_with_page_size, pages_kib, **kwargs)
 
 
+def _with_core_count(config: MachineConfig, count: float) -> MachineConfig:
+    from repro.common.config import with_cores
+
+    return with_cores(config, int(count))
+
+
 def sweep_dram_frames(frames: Sequence[int], **kwargs) -> list[SweepRow]:
     """Sweep the DRAM frame count (memory pressure axis)."""
     return sweep(_with_dram_frames, frames, **kwargs)
+
+
+def sweep_cores(counts: Sequence[int], **kwargs) -> list[SweepRow]:
+    """Sweep the SMP core count.
+
+    Note ``counts=[1]`` produces a config whose explicit default
+    ``cores`` block hashes identically to no block at all
+    (:meth:`~repro.common.config.MachineConfig.to_dict` omits it), so a
+    core-scaling sweep shares its single-core cells with every
+    historical sweep in the cache.
+    """
+    return sweep(_with_core_count, counts, **kwargs)
 
 
 def find_crossover(rows: Sequence[SweepRow], a: str, b: str) -> Optional[float]:

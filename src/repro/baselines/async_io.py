@@ -29,10 +29,10 @@ def block_on_fault(
     machine = sim.machine
     start_ns = machine.now_ns
 
-    def complete(request: DMARequest, __time_ns: int) -> None:
+    def complete(request: DMARequest, time_ns: int) -> None:
         if not machine.memory.is_resident_or_cached(request.pid, request.vpn):
             machine.memory.install_page(request.pid, request.vpn)
-        sim.scheduler.unblock(process, resume=resume)
+        sim.scheduler.unblock(process, resume=resume, ready_ns=time_ns)
 
     fault = machine.fault_handler.begin_major_fault(
         process.pid, vpn, machine.now_ns, on_complete=complete

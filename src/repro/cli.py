@@ -10,6 +10,7 @@ Subcommands::
     repro crossover    sync-vs-async sweep over device latency
     repro tails        crossover shift under fault/tail-latency profiles
     repro adaptive     adaptive mode selection vs static policies
+    repro cores        SMP core-count scaling per policy
     repro workloads    list workloads and batches
     repro compare      diff two saved result files
     repro cache        result-cache statistics / clearing
@@ -34,11 +35,13 @@ from repro import __version__
 from repro.analysis.charts import render_bar_chart
 from repro.analysis.experiments import (
     DEFAULT_ADAPTIVE_PROFILES,
+    DEFAULT_CORE_COUNTS,
     DEFAULT_STATIC_POLICIES,
     DEFAULT_TAIL_PROFILES,
     POLICY_FACTORIES,
     run_adaptive_comparison,
     run_batch_policy,
+    run_core_scaling,
     run_figure4,
     run_figure5,
     run_observation,
@@ -48,7 +51,7 @@ from repro.analysis.store import load_results, save_results
 from repro.analysis.report import write_report
 from repro.analysis.sweeps import find_crossover, sweep_device_latency
 from repro.analysis.tables import render_result_summary, render_series_table
-from repro.common.config import MachineConfig
+from repro.common.config import MachineConfig, with_cores
 from repro.common.errors import ReproError
 from repro.common.units import format_time_ns
 from repro.faults.profiles import (
@@ -70,7 +73,23 @@ def _machine_config(args: argparse.Namespace) -> MachineConfig:
     tail_model = getattr(args, "tail_model", None)
     if tail_model:
         config = with_tail_model(config, tail_model)
+    cores = getattr(args, "cores", None)
+    if cores is not None:
+        config = with_cores(config, cores)
     return config
+
+
+def _core_count(text: str) -> int:
+    """``--cores`` converter: a positive integer, rejected cleanly."""
+    try:
+        count = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid core count {text!r}")
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"a machine needs at least one core, got {count}"
+        )
+    return count
 
 
 def _parse_seeds(text: str) -> tuple[int, ...]:
@@ -108,6 +127,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         choices=list(TAIL_MODELS),
         default=None,
         help="override the active fault profile's read-latency tail model",
+    )
+    parser.add_argument(
+        "--cores",
+        type=_core_count,
+        default=None,
+        help="simulate an SMP machine with this many cores (see docs/SMP.md)",
     )
 
 
@@ -407,6 +432,49 @@ def cmd_adaptive(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cores(args: argparse.Namespace) -> int:
+    """``repro cores``: SMP core-count scaling per policy."""
+    config = _machine_config(args)
+    cache, telemetry, progress = _make_exec(args)
+    rows = run_core_scaling(
+        config,
+        core_counts=tuple(args.counts),
+        policies=tuple(args.policies),
+        batch=args.batch,
+        profile=None,  # _machine_config already applied --fault-profile
+        seed=args.seed,
+        scale=args.scale,
+        workers=args.workers,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
+    )
+    _print_exec_summary(args, cache, telemetry)
+    policies = tuple(args.policies)
+    print("SMP core scaling (makespan, speedup vs 1 core)")
+    header = f"{'cores':>5s}"
+    for name in policies:
+        header += f"  {name:>10s} {'speedup':>8s}"
+    print(header)
+    for row in rows:
+        line = f"{row.cores:>5d}"
+        for name in policies:
+            line += (
+                f"  {format_time_ns(row.makespan_ns[name]):>10s}"
+                f" {row.speedup[name]:>7.2f}x"
+            )
+        print(line)
+    multi = [r for r in rows if r.cores > 1]
+    if multi:
+        best_row = max(multi, key=lambda r: max(r.speedup.values()))
+        best_policy = max(best_row.speedup, key=best_row.speedup.__getitem__)
+        print(
+            f"best speedup: {best_row.speedup[best_policy]:.2f}x "
+            f"({best_policy} @ {best_row.cores} cores)"
+        )
+    return 0
+
+
 def cmd_workloads(args: argparse.Namespace) -> int:
     """``repro workloads``: list workloads, batches and policies."""
     print("workloads:")
@@ -625,6 +693,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(adapt_p)
     _add_exec(adapt_p)
     adapt_p.set_defaults(func=cmd_adaptive)
+
+    cores_p = sub.add_parser("cores", help="SMP core-count scaling per policy")
+    cores_p.add_argument(
+        "--counts", type=_core_count, nargs="+", default=list(DEFAULT_CORE_COUNTS),
+        help="core counts to sweep (must include 1, the speedup baseline)",
+    )
+    cores_p.add_argument(
+        "--policies", nargs="+", type=_policy_name,
+        choices=list(POLICY_FACTORIES),
+        default=["Sync", "Async", "ITS"],
+        help="policies to scale across cores",
+    )
+    cores_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
+    cores_p.add_argument("--seed", type=int, default=1)
+    _add_common(cores_p)
+    _add_exec(cores_p)
+    cores_p.set_defaults(func=cmd_cores)
 
     wl_p = sub.add_parser("workloads", help="list workloads, batches, policies")
     wl_p.set_defaults(func=cmd_workloads)

@@ -454,6 +454,78 @@ class AdaptiveConfig:
             raise ConfigError(f"malformed AdaptiveConfig dict: {exc}") from exc
 
 
+_PLACEMENTS = ("round_robin", "least_loaded")
+"""Placement policies understood by the SMP scheduler: ``round_robin``
+spreads admitted processes across cores by pid, ``least_loaded`` puts
+each new process on the core with the shortest ready queue."""
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Multi-core topology and cross-core cost model (docs/SMP.md).
+
+    The default instance (``count=1``) is the single-core machine the
+    paper simulates and deliberately serialises to *nothing* in
+    :meth:`MachineConfig.to_dict`: configurations that never go SMP keep
+    their historical sweep-cache keys and bit-identical results, exactly
+    like :class:`FaultConfig` and :class:`AdaptiveConfig`.
+    """
+
+    count: int = 1
+    """Number of cores.  Each core owns a private TLB, run queue and
+    context-switch model; LLC, DRAM, swap and the DMA path are shared."""
+
+    work_steal: bool = True
+    """Idle cores steal ready processes from the tail of the most
+    loaded core's run queue."""
+
+    migration_cost_ns: int = 2 * US
+    """Cost of migrating a stolen process onto the thief core (cold
+    private-TLB refill, run-queue locking, inter-processor signalling)."""
+
+    tlb_shootdown_ns: int = 1 * US
+    """Cost of one cross-core TLB shootdown IPI, charged to the evicting
+    core per *remote* core that held the translation."""
+
+    placement: str = "round_robin"
+    """Initial placement policy; one of ``round_robin`` / ``least_loaded``.
+    The SMP scheduler also exposes a programmatic affinity hook that
+    overrides this (see :meth:`repro.kernel.smp.SMPScheduler.set_placement`)."""
+
+    def __post_init__(self) -> None:
+        _require(self.count >= 1, "a machine needs at least one core")
+        _require(self.migration_cost_ns >= 0, "migration cost must be non-negative")
+        _require(self.tlb_shootdown_ns >= 0, "TLB shootdown cost must be non-negative")
+        _require(
+            self.placement in _PLACEMENTS,
+            f"unknown placement {self.placement!r}; known: {', '.join(_PLACEMENTS)}",
+        )
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> "CoreConfig":
+        """Reconstruct from :meth:`MachineConfig.to_dict` output.
+
+        ``None`` (the key was omitted, i.e. a legacy or single-core
+        config) yields the single-core default.
+        """
+        if data is None:
+            return cls()
+        try:
+            return cls(**data)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed CoreConfig dict: {exc}") from exc
+
+
+def with_cores(config: "MachineConfig", count: int, **overrides: Any) -> "MachineConfig":
+    """Return *config* with an SMP ``cores`` block of *count* cores.
+
+    Keyword overrides set individual :class:`CoreConfig` fields;
+    ``with_cores(config, 1)`` restores the default block (which
+    serialises to nothing, preserving single-core cache keys).
+    """
+    return dataclasses.replace(config, cores=CoreConfig(count=count, **overrides))
+
+
 def with_adaptive(config: "MachineConfig", **overrides: Any) -> "MachineConfig":
     """Return *config* with an explicitly configured adaptive block.
 
@@ -501,6 +573,10 @@ class MachineConfig:
     """Adaptive I/O-mode controller parameters; disabled by default.
     Serialised only when it differs from the default, so non-adaptive
     cache keys are stable across versions."""
+    cores: CoreConfig = field(default_factory=CoreConfig)
+    """SMP topology; a single core by default.  Serialised only when it
+    differs from the default, so single-core cache keys are stable
+    across versions."""
 
     compute_ns_per_instr: int = 1
     """CPU cost of one non-memory instruction."""
@@ -557,6 +633,8 @@ class MachineConfig:
             del data["faults"]
         if self.adaptive == AdaptiveConfig():
             del data["adaptive"]
+        if self.cores == CoreConfig():
+            del data["cores"]
         return data
 
     @classmethod
@@ -574,6 +652,7 @@ class MachineConfig:
                 its=ITSConfig(**data["its"]),
                 faults=FaultConfig.from_dict(data.get("faults")),
                 adaptive=AdaptiveConfig.from_dict(data.get("adaptive")),
+                cores=CoreConfig.from_dict(data.get("cores")),
                 compute_ns_per_instr=data["compute_ns_per_instr"],
                 fault_handler_ns=data["fault_handler_ns"],
             )

@@ -200,7 +200,7 @@ class SelfImprovingThread:
         def complete(__event) -> None:
             if not machine.memory.is_resident_or_cached(process.pid, vpn):
                 machine.memory.install_page(process.pid, vpn)
-            sim.scheduler.unblock(process, resume=True)
+            sim.scheduler.unblock(process, resume=True, ready_ns=resume_at)
 
         machine.events.schedule_at(
             resume_at, tag=f"demote:{process.pid}:{vpn:#x}", callback=complete

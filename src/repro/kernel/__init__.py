@@ -3,6 +3,7 @@ page-fault handling, kernel threads."""
 
 from repro.kernel.process import Process, ProcessState, ProcessStats
 from repro.kernel.scheduler import RoundRobinScheduler, SchedulerStats
+from repro.kernel.smp import SMPScheduler, StealStats
 from repro.kernel.context import ContextSwitchModel
 from repro.kernel.fault import FaultContext, PageFaultHandler
 from repro.kernel.kthread import KernelThread
@@ -13,6 +14,8 @@ __all__ = [
     "ProcessStats",
     "RoundRobinScheduler",
     "SchedulerStats",
+    "SMPScheduler",
+    "StealStats",
     "ContextSwitchModel",
     "FaultContext",
     "PageFaultHandler",

@@ -60,6 +60,11 @@ class Process:
     pc: int = 0
     slice_remaining_ns: int = 0
     resume_pending: bool = False
+    ready_since_ns: int = 0
+    """Simulated time at which the process last became READY.  Under SMP
+    each core runs its own clock, so a core dispatching this process must
+    first catch its clock up to this point (the process cannot run before
+    the event that readied it)."""
     registers: RegisterFile = field(default_factory=RegisterFile)
     stats: ProcessStats = field(default_factory=ProcessStats)
 

@@ -125,7 +125,13 @@ class RoundRobinScheduler:
         self.stats.blocks += 1
         return process
 
-    def unblock(self, process: Process, *, resume: bool = False) -> None:
+    def unblock(
+        self,
+        process: Process,
+        *,
+        resume: bool = False,
+        ready_ns: Optional[int] = None,
+    ) -> None:
         """I/O completed: move a BLOCKED process back to the ready queue.
 
         ``resume=True`` is the self-sacrificing resume path: the kernel
@@ -135,11 +141,18 @@ class RoundRobinScheduler:
         sacrifice must not inflate low-priority finish times).  The
         default (``resume=False``) is the ordinary asynchronous path:
         tail of the queue, fresh slice on dispatch.
+
+        ``ready_ns``, when given, records the exact simulated time the
+        completion fired.  Under SMP a core other than the one that took
+        the fault may dispatch the process, and its clock must not run
+        the process before this point.
         """
         if process.pid not in self._blocked:
             raise SimulationError(f"unblocking pid {process.pid} which is not blocked")
         self._blocked.discard(process.pid)
         process.state = ProcessState.READY
+        if ready_ns is not None:
+            process.ready_since_ns = ready_ns
         if resume:
             process.resume_pending = True
             self._ready.appendleft(process)
@@ -190,6 +203,26 @@ class RoundRobinScheduler:
         process.stats.finish_time_ns = now_ns
         return process
 
+    def steal_tail(self) -> Optional[Process]:
+        """Pop and return the *tail* of the ready queue, or ``None``.
+
+        Work stealing takes from the cold end: the tail process waited
+        through the whole queue already and would wait longest again, so
+        migrating it disturbs the victim's round-robin order least.
+        Resume-pending processes are never stolen — their head position
+        encodes the self-sacrificing contract — so callers must check
+        :attr:`Process.resume_pending` before calling.
+        """
+        if not self._ready:
+            return None
+        process = self._ready.pop()
+        if process.resume_pending:
+            # Put it back: a resumer's queue position is part of the
+            # sacrifice contract and must not migrate.
+            self._ready.append(process)
+            return None
+        return process
+
     def _take_current(self) -> Process:
         if self._current is None:
             raise SimulationError("no process holds the CPU")
@@ -197,14 +230,19 @@ class RoundRobinScheduler:
         self._current = None
         return process
 
-    def publish_telemetry(self, registry) -> None:
-        """Publish the scheduling counters as ``sched.*`` gauges.
+    def publish_telemetry(self, registry, prefix: str = "sched.") -> None:
+        """Publish the scheduling counters as ``{prefix}*`` gauges.
 
         Called once at the end of a run; the dispatch/preempt hot paths
-        themselves stay uninstrumented.
+        themselves stay uninstrumented.  Registration is idempotent:
+        gauges are get-or-create and ``set`` overwrites, so a scheduler
+        rebuilt inside one :class:`~repro.telemetry.Telemetry` handle
+        (the sweep resume path) republishes under the same names without
+        raising — the latest scheduler's counters win.  SMP publishes
+        each core's queue under its own ``sched.core{i}.`` prefix.
         """
-        registry.gauge("sched.dispatches").set(self.stats.dispatches)
-        registry.gauge("sched.preemptions").set(self.stats.preemptions)
-        registry.gauge("sched.voluntary_switches").set(self.stats.voluntary_switches)
-        registry.gauge("sched.blocks").set(self.stats.blocks)
-        registry.gauge("sched.unblocks").set(self.stats.unblocks)
+        registry.gauge(f"{prefix}dispatches").set(self.stats.dispatches)
+        registry.gauge(f"{prefix}preemptions").set(self.stats.preemptions)
+        registry.gauge(f"{prefix}voluntary_switches").set(self.stats.voluntary_switches)
+        registry.gauge(f"{prefix}blocks").set(self.stats.blocks)
+        registry.gauge(f"{prefix}unblocks").set(self.stats.unblocks)

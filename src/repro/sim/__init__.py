@@ -1,7 +1,7 @@
 """The trace-driven multi-programmed simulator."""
 
 from repro.sim.metrics import IdleBreakdown, MetricsCollector, ProcessRecord, SimulationResult
-from repro.sim.machine import Machine
+from repro.sim.machine import CoreState, Machine, SMPMachine
 from repro.sim.simulator import Simulation, WorkloadInstance
 from repro.sim.batch import PAPER_BATCHES, BatchSpec, build_batch, batch_names
 from repro.sim.eventlog import EventLog, SimEvent
@@ -11,7 +11,9 @@ __all__ = [
     "MetricsCollector",
     "ProcessRecord",
     "SimulationResult",
+    "CoreState",
     "Machine",
+    "SMPMachine",
     "Simulation",
     "WorkloadInstance",
     "PAPER_BATCHES",

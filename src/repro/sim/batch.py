@@ -91,6 +91,7 @@ def run_batch_instrumented(
     seed: int = 42,
     scale: float = 1.0,
     config: MachineConfig | None = None,
+    cores: int | None = None,
     telemetry=None,
 ):
     """Build a paper batch, run it fully instrumented, return
@@ -103,11 +104,20 @@ def run_batch_instrumented(
     shortest path from batch name to a Perfetto-loadable trace.
     *policy* is an :class:`~repro.baselines.base.IOPolicy` instance (not
     a name — name lookup lives in :mod:`repro.analysis.experiments`).
+    ``cores``, when given, overrides the config's SMP core count
+    (serialisation equality means ``cores=1`` over a default block still
+    hashes and runs bit-identically to a config with no block at all).
     """
+    import dataclasses
+
     from repro.sim.simulator import Simulation
     from repro.telemetry import Telemetry
 
     config = config or MachineConfig()
+    if cores is not None:
+        config = dataclasses.replace(
+            config, cores=dataclasses.replace(config.cores, count=cores)
+        )
     if telemetry is None:
         telemetry = Telemetry()
     workloads = build_batch(name, seed=seed, scale=scale, config=config)

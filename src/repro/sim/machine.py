@@ -13,6 +13,7 @@ progress at the right instants.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.config import MachineConfig
@@ -107,6 +108,26 @@ class Machine:
             raise SimulationError(f"clock would move backwards ({t_ns} < {self.now_ns})")
         self.advance(t_ns - self.now_ns)
 
+    def advance_ctx(self, dt_ns: int) -> None:
+        """Advance the clock across a context switch.
+
+        On a single core this is plain :meth:`advance`; the SMP machine
+        overrides it to charge the time to the per-core context-switch
+        bucket instead of the busy bucket, keeping each core's time
+        conservation law exact.
+        """
+        self.advance(dt_ns)
+
+    # -- aggregate counters --------------------------------------------------
+
+    def total_instructions_committed(self) -> int:
+        """Instructions committed machine-wide (summed over cores)."""
+        return self.cpu.instructions_committed
+
+    def total_context_switches(self) -> int:
+        """Context switches performed machine-wide (summed over cores)."""
+        return self.context_switch.switches
+
     # -- wiring --------------------------------------------------------------
 
     def add_fault_observer(self, observer) -> None:
@@ -122,6 +143,11 @@ class Machine:
         """Eviction side effects: TLB shootdown, LLC invalidation, and
         dirty write-back over DMA (occupying link + device bandwidth)."""
         self.tlb.shootdown(pid, vpn)
+        self._invalidate_evicted_frame(pid, vpn, frame)
+
+    def _invalidate_evicted_frame(self, pid: int, vpn: int, frame: int) -> None:
+        """The TLB-independent half of an eviction: LLC invalidation and
+        dirty write-back (shared by the single-core and SMP paths)."""
         base = self.memory.frames.frame_base_address(frame)
         self.hierarchy.invalidate_frame(base, self.memory.frames.page_size)
         if not self.config.memory.writeback_dirty:
@@ -133,3 +159,174 @@ class Machine:
                 self.now_ns,
                 DMARequest(pid=pid, vpn=vpn, page_bytes=self.memory.frames.page_size),
             )
+
+
+@dataclass
+class CoreState:
+    """One core's private components and time-accounting buckets.
+
+    Each core owns the state that is per-CPU on a real SMP platform — a
+    TLB, an execution engine, a context-switch model — and a private
+    clock.  The five buckets partition the core's wall clock exactly:
+    ``busy + idle + steal + ctx + shootdown == makespan`` after
+    :meth:`SMPMachine.finalize` (the per-core conservation law the SMP
+    integration suite asserts).
+    """
+
+    index: int
+    tlb: TLB
+    cpu: SimCPU
+    context_switch: ContextSwitchModel
+    now_ns: int = 0
+    busy_ns: int = 0
+    idle_ns: int = 0
+    ctx_ns: int = 0
+    steal_ns: int = 0
+    shootdown_ns: int = 0
+    pending_shootdown_ns: int = 0
+    last_pid: Optional[int] = None
+
+
+class SMPMachine(Machine):
+    """N cores over one shared memory and storage subsystem.
+
+    Core 0 adopts the components the base :class:`Machine` built; cores
+    1..N-1 get their own TLB, :class:`SimCPU` and context-switch model,
+    all sharing the LLC/DRAM hierarchy, memory manager, event queue and
+    DMA path.  The simulator calls :meth:`activate` before operating on
+    a core; the familiar ``machine.cpu`` / ``machine.tlb`` /
+    ``machine.now_ns`` attributes always alias the active core's, so the
+    single-core execution step runs unchanged on whichever core is live.
+
+    Timekeeping is per-core: each core's clock advances only while the
+    core is active, and the simulator interleaves cores lowest-clock
+    first (docs/SMP.md documents the resulting bounded causality skew).
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        replacement: ReplacementPolicy,
+        *,
+        with_preexec_cache: bool = False,
+        telemetry=None,
+    ) -> None:
+        super().__init__(
+            config,
+            replacement,
+            with_preexec_cache=with_preexec_cache,
+            telemetry=telemetry,
+        )
+        self.cores = [CoreState(0, self.tlb, self.cpu, self.context_switch)]
+        for index in range(1, config.cores.count):
+            tlb = TLB(config.tlb)
+            self.cores.append(
+                CoreState(
+                    index,
+                    tlb,
+                    SimCPU(config, self.hierarchy, tlb, self.memory),
+                    ContextSwitchModel(config.scheduler, tlb, self.hierarchy),
+                )
+            )
+        self.active = 0
+        self.shootdown_ipis = 0
+
+    # -- core selection ------------------------------------------------------
+
+    def activate(self, index: int) -> None:
+        """Make core *index* the one the ``cpu``/``tlb``/``now_ns``
+        aliases point at."""
+        core = self.cores[index]
+        self.active = index
+        self.tlb = core.tlb
+        self.cpu = core.cpu
+        self.context_switch = core.context_switch
+        self.now_ns = core.now_ns
+
+    def _sync_active(self, dt_ns: int, bucket: str) -> None:
+        core = self.cores[self.active]
+        core.now_ns = self.now_ns
+        setattr(core, bucket, getattr(core, bucket) + dt_ns)
+
+    # -- per-core clocks -----------------------------------------------------
+
+    def advance(self, dt_ns: int) -> None:
+        """Advance the active core's clock, charging the busy bucket."""
+        super().advance(dt_ns)
+        self._sync_active(dt_ns, "busy_ns")
+
+    def advance_ctx(self, dt_ns: int) -> None:
+        """Advance the active core's clock across a context switch."""
+        Machine.advance(self, dt_ns)
+        self._sync_active(dt_ns, "ctx_ns")
+
+    def advance_idle_to(self, t_ns: int) -> None:
+        """Catch the active core's clock up to *t_ns*, charging the gap
+        to its idle bucket (the core had nothing runnable before then)."""
+        if t_ns <= self.now_ns:
+            return
+        gap = t_ns - self.now_ns
+        Machine.advance(self, gap)
+        self._sync_active(gap, "idle_ns")
+
+    def charge_steal(self, dt_ns: int) -> None:
+        """Charge migration overhead on the active (thief) core."""
+        Machine.advance(self, dt_ns)
+        self._sync_active(dt_ns, "steal_ns")
+
+    def drain_pending_shootdowns(self) -> None:
+        """Pay IPI costs queued against the active core before it runs."""
+        core = self.cores[self.active]
+        if core.pending_shootdown_ns <= 0:
+            return
+        cost = core.pending_shootdown_ns
+        core.pending_shootdown_ns = 0
+        Machine.advance(self, cost)
+        self._sync_active(cost, "shootdown_ns")
+
+    def fire_next_event(self) -> None:
+        """No core has runnable work: fire the earliest pending event
+        batch without moving any core's clock (the processes it readies
+        carry their own ``ready_since_ns``; dispatch clamps to it)."""
+        t_ns = self.events.peek_time()
+        if t_ns is None:
+            raise SimulationError(
+                "all cores idle with no pending events: simulation deadlocked"
+            )
+        self.events.run_due(t_ns)
+
+    def finalize(self) -> int:
+        """Drag every core's clock to the makespan (idle time) and return
+        it.  Called once after the last process finishes."""
+        makespan = max(core.now_ns for core in self.cores)
+        for core in self.cores:
+            core.idle_ns += makespan - core.now_ns
+            core.now_ns = makespan
+        self.now_ns = makespan
+        return makespan
+
+    # -- aggregate counters --------------------------------------------------
+
+    def total_instructions_committed(self) -> int:
+        return sum(core.cpu.instructions_committed for core in self.cores)
+
+    def total_context_switches(self) -> int:
+        return sum(core.context_switch.switches for core in self.cores)
+
+    # -- eviction hook -------------------------------------------------------
+
+    def _on_page_evicted(self, pid: int, vpn: int, frame: int) -> None:
+        """SMP eviction: shoot the translation down on *every* core.
+
+        Each remote core that actually held the entry costs one IPI
+        round-trip (``cores.tlb_shootdown_ns``), queued against the core
+        performing the eviction and paid before its next step — event
+        callbacks must not move clocks directly.
+        """
+        evictor = self.cores[self.active]
+        for core in self.cores:
+            dropped = core.tlb.shootdown(pid, vpn)
+            if dropped and core.index != self.active:
+                evictor.pending_shootdown_ns += self.config.cores.tlb_shootdown_ns
+                self.shootdown_ipis += 1
+        self._invalidate_evicted_frame(pid, vpn, frame)

@@ -17,7 +17,8 @@ from repro.common.errors import SimulationError
 from repro.cpu.core import StepOutcome
 from repro.kernel.process import Process
 from repro.kernel.scheduler import RoundRobinScheduler
-from repro.sim.machine import Machine
+from repro.kernel.smp import SMPScheduler
+from repro.sim.machine import Machine, SMPMachine
 from repro.sim.metrics import MetricsCollector, ProcessRecord, SimulationResult
 from repro.storage.dma import DMARequest
 from repro.trace.record import footprint_vpns
@@ -106,7 +107,9 @@ class Simulation:
             for index, w in enumerate(workloads)
         ]
         replacement = policy.create_replacement(self.processes)
-        self.machine = Machine(
+        self._smp = config.cores.count > 1
+        machine_cls = SMPMachine if self._smp else Machine
+        self.machine = machine_cls(
             config,
             replacement,
             with_preexec_cache=policy.uses_preexec_cache,
@@ -130,7 +133,12 @@ class Simulation:
                 raise SimulationError(f"workload {process.name!r} touches no memory")
             self.machine.memory.register_process(process.pid, sorted(vpns))
 
-        self.scheduler = RoundRobinScheduler(config.scheduler)
+        if self._smp:
+            self.scheduler = SMPScheduler(
+                config.scheduler, config.cores, lambda: self.machine.now_ns
+            )
+        else:
+            self.scheduler = RoundRobinScheduler(config.scheduler)
         for process in self.processes:
             self.scheduler.add(process)
 
@@ -149,6 +157,8 @@ class Simulation:
         ``(now_ns, instructions_committed, processes_finished)`` — useful
         feedback on paper-scale runs.
         """
+        if self._smp:
+            return self._run_smp()
         steps = 0
         while self.scheduler.has_work():
             steps += 1
@@ -158,13 +168,87 @@ class Simulation:
                 finished = sum(1 for p in self.processes if p.finished)
                 self.progress(
                     self.machine.now_ns,
-                    self.machine.cpu.instructions_committed,
+                    self.machine.total_instructions_committed(),
                     finished,
                 )
             if self.scheduler.current is None:
                 if not self._dispatch_or_idle():
                     continue
             self._step_current()
+        return self._build_result()
+
+    def _run_smp(self) -> SimulationResult:
+        """The SMP driving loop: interleave cores lowest-clock first.
+
+        Each core runs its own clock, advanced only while the core is
+        active.  One iteration: (a) if no core has runnable work, fire
+        the earliest pending event batch without moving any clock;
+        (b) let idle cores steal from loaded ones; (c) activate the
+        runnable core with the smallest clock (ties to the lowest id),
+        pay any pending TLB-shootdown IPIs, clamp its clock to the
+        dispatchee's ready time, and run one single-core step on it
+        unchanged.  Lowest-clock-first selection bounds cross-core
+        causality skew to one execution step (docs/SMP.md).
+        """
+        machine = self.machine
+        scheduler = self.scheduler
+        cores = machine.cores
+        indices = range(len(cores))
+        migration_ns = self.config.cores.migration_cost_ns
+        steps = 0
+        while scheduler.has_work():
+            steps += 1
+            if steps > self.MAX_STEPS:
+                raise SimulationError("simulation exceeded MAX_STEPS; diverged?")
+            if self.progress is not None and steps % self.progress_interval == 0:
+                finished = sum(1 for p in self.processes if p.finished)
+                self.progress(
+                    max(core.now_ns for core in cores),
+                    machine.total_instructions_committed(),
+                    finished,
+                )
+
+            runnable = [i for i in indices if scheduler.core_runnable(i)]
+            if not runnable:
+                # Everything is blocked on I/O: deliver the earliest
+                # completions; they unblock onto their owning cores.
+                machine.fire_next_event()
+                continue
+
+            for thief in indices:
+                if scheduler.core_runnable(thief):
+                    continue
+                stolen = scheduler.try_steal(thief)
+                if stolen is None:
+                    continue
+                machine.activate(thief)
+                scheduler.active = thief
+                machine.advance_idle_to(stolen.ready_since_ns)
+                machine.charge_steal(migration_ns)
+                scheduler.steal_stats.migration_ns += migration_ns
+                stolen.ready_since_ns = machine.now_ns
+                runnable.append(thief)
+                self.log_event("steal", stolen.pid)
+
+            index = min(runnable, key=lambda i: (cores[i].now_ns, i))
+            machine.activate(index)
+            scheduler.active = index
+            machine.drain_pending_shootdowns()
+            self._last_pid = cores[index].last_pid
+            if scheduler.current is None:
+                head = scheduler.peek_next()
+                if head is not None:
+                    # The core idled until the event that readied the
+                    # process it is about to run.
+                    machine.advance_idle_to(head.ready_since_ns)
+                if not self._dispatch_or_idle():
+                    cores[index].last_pid = self._last_pid
+                    continue
+            self._step_current()
+            cores[index].last_pid = self._last_pid
+
+        machine.finalize()
+        self.metrics.add_async_idle(sum(core.idle_ns for core in cores))
         return self._build_result()
 
     def _dispatch_or_idle(self) -> bool:
@@ -176,7 +260,7 @@ class Simulation:
         if self._last_pid is not None and self._last_pid != process.pid:
             switch_start = self.machine.now_ns
             cost = self.machine.context_switch.perform(self._last_pid)
-            self.machine.advance(cost)
+            self.machine.advance_ctx(cost)
             self.metrics.add_ctx_overhead(cost)
             process.stats.context_switches += 1
             self.log_event("ctx_switch", process.pid)
@@ -243,7 +327,7 @@ class Simulation:
             displaced = self.scheduler.preempt_for_resume()
             switch_start = self.machine.now_ns
             cost = self.machine.context_switch.perform(displaced.pid)
-            self.machine.advance(cost)
+            self.machine.advance_ctx(cost)
             self.metrics.add_ctx_overhead(cost)
             resumed = self.scheduler.current
             if resumed is not None:
@@ -354,9 +438,32 @@ class Simulation:
         registry.gauge("idle.total_ns").set(idle.total_idle_ns)
         registry.gauge("overhead.handler_ns").set(idle.handler_overhead_ns)
         registry.gauge("cpu.instructions_committed").set(
-            machine.cpu.instructions_committed
+            machine.total_instructions_committed()
         )
         registry.gauge("sim.makespan_ns").set(machine.now_ns)
+        if self._smp:
+            self._publish_smp_telemetry(registry)
+
+    def _publish_smp_telemetry(self, registry) -> None:
+        """Per-core ``cpu.core{i}.*`` buckets, per-core TLBs, and the
+        cross-core shootdown totals (SMP runs only, so single-core
+        telemetry output is byte-identical to before the SMP layer)."""
+        machine = self.machine
+        for core in machine.cores:
+            prefix = f"cpu.core{core.index}."
+            registry.gauge(f"{prefix}busy_ns").set(core.busy_ns)
+            registry.gauge(f"{prefix}idle_ns").set(core.idle_ns)
+            registry.gauge(f"{prefix}steal_ns").set(core.steal_ns)
+            registry.gauge(f"{prefix}ctx_ns").set(core.ctx_ns)
+            registry.gauge(f"{prefix}shootdown_ns").set(core.shootdown_ns)
+            registry.gauge(f"{prefix}instructions").set(
+                core.cpu.instructions_committed
+            )
+            core.tlb.publish_telemetry(registry, f"tlb.core{core.index}")
+        registry.gauge("tlb.shootdown.count").set(machine.shootdown_ipis)
+        registry.gauge("tlb.shootdown.cost_ns").set(
+            sum(core.shootdown_ns for core in machine.cores)
+        )
 
     def _build_result(self) -> SimulationResult:
         records = []
@@ -396,10 +503,10 @@ class Simulation:
             demand_cache_accesses=llc.demand_accesses,
             major_faults=majors,
             minor_faults=minors,
-            context_switches=self.machine.context_switch.switches,
+            context_switches=self.machine.total_context_switches(),
             prefetch_issued=self.machine.dma.prefetches_issued,
             prefetch_hits=self.machine.memory.swap_cache.hits,
             preexec_instructions=engine.stats.instructions if engine else 0,
             preexec_lines_warmed=engine.stats.lines_warmed if engine else 0,
-            instructions_committed=self.machine.cpu.instructions_committed,
+            instructions_committed=self.machine.total_instructions_committed(),
         )

@@ -1,12 +1,13 @@
-"""Property-based tests for the SCHED_RR scheduler."""
+"""Property-based tests for the SCHED_RR scheduler and its SMP facade."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.config import SchedulerConfig
+from repro.common.config import CoreConfig, SchedulerConfig
 from repro.cpu.isa import Compute
 from repro.kernel.process import Process, ProcessState
 from repro.kernel.scheduler import RoundRobinScheduler
+from repro.kernel.smp import SMPScheduler
 
 CONFIG = SchedulerConfig(max_time_slice_ns=800, min_time_slice_ns=5)
 
@@ -97,3 +98,183 @@ def test_round_robin_is_fair_cycle(prios):
         second_cycle.append(sched.dispatch().pid)
         sched.preempt_current()
     assert first_cycle == second_cycle
+
+
+# -- SMP invariants ----------------------------------------------------------
+
+smp_actions = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "dispatch",
+                "preempt",
+                "yield",
+                "block",
+                "unblock",
+                "unblock_resume",
+                "finish",
+                "steal",
+            ]
+        ),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=60,
+)
+
+
+def smp_membership(sched):
+    """Map each pid to the list of (queue, role) slots holding it."""
+    seen: dict[int, list[tuple[int, str]]] = {}
+    for index, q in enumerate(sched.queues):
+        if q.current is not None:
+            seen.setdefault(q.current.pid, []).append((index, "current"))
+        for p in q._ready:
+            seen.setdefault(p.pid, []).append((index, "ready"))
+        for pid in q._blocked:
+            seen.setdefault(pid, []).append((index, "blocked"))
+    return seen
+
+
+def drive_smp(sched, cores, processes, ops, on_step=None):
+    """Replay a random op sequence against the SMP facade."""
+    blocked: list[Process] = []
+    finished: set[int] = set()
+    for action, r in ops:
+        sched.active = r % cores
+        if action == "dispatch" and sched.current is None:
+            sched.dispatch()
+        elif action == "preempt" and sched.current is not None:
+            sched.preempt_current()
+        elif action == "yield" and sched.current is not None:
+            sched.yield_current()
+        elif action == "block" and sched.current is not None:
+            blocked.append(sched.block_current())
+        elif action == "unblock" and blocked:
+            sched.unblock(blocked.pop(r % len(blocked)))
+        elif action == "unblock_resume" and blocked:
+            sched.unblock(blocked.pop(r % len(blocked)), resume=True)
+        elif action == "finish" and sched.current is not None:
+            finished.add(sched.finish_current(0).pid)
+        elif action == "steal":
+            sched.try_steal(r % cores)
+        if on_step is not None:
+            on_step(finished)
+    return finished
+
+
+@given(st.lists(priorities, min_size=1, max_size=8), st.integers(2, 4), smp_actions)
+@settings(max_examples=100, deadline=None)
+def test_smp_every_process_on_exactly_one_core(prios, cores, ops):
+    """Across any op interleaving — including steals — every live
+    process occupies exactly one slot on exactly one core, and
+    ``core_of`` agrees with the queue that actually holds it."""
+    processes = make_processes(prios)
+    clock = [0]
+    sched = SMPScheduler(CONFIG, CoreConfig(count=cores), lambda: clock[0])
+    for p in processes:
+        sched.add(p)
+
+    def check(finished):
+        clock[0] += 1
+        seen = smp_membership(sched)
+        for p in processes:
+            if p.pid in finished:
+                assert p.pid not in seen
+                assert p.pid not in sched.core_of
+            else:
+                assert len(seen[p.pid]) == 1
+                core, _role = seen[p.pid][0]
+                assert sched.core_of[p.pid] == core
+
+    drive_smp(sched, cores, processes, ops, on_step=check)
+
+
+@given(st.lists(priorities, min_size=2, max_size=8), st.integers(2, 4), smp_actions)
+@settings(max_examples=100, deadline=None)
+def test_smp_conservation_counts(prios, cores, ops):
+    """current + ready + blocked + finished always equals the number of
+    admitted processes; stealing moves work, never creates or drops it."""
+    processes = make_processes(prios)
+    sched = SMPScheduler(CONFIG, CoreConfig(count=cores), lambda: 0)
+    for p in processes:
+        sched.add(p)
+
+    def check(finished):
+        in_system = sum(
+            (1 if q.current is not None else 0)
+            + q.ready_count()
+            + q.blocked_count()
+            for q in sched.queues
+        ) + len(finished)
+        assert in_system == len(processes)
+
+    drive_smp(sched, cores, processes, ops, on_step=check)
+
+
+@given(st.lists(priorities, min_size=1, max_size=8), st.integers(2, 4), smp_actions)
+@settings(max_examples=100, deadline=None)
+def test_smp_stats_nonnegative_and_monotone(prios, cores, ops):
+    """Aggregate scheduler stats and steal counters only ever grow."""
+    processes = make_processes(prios)
+    sched = SMPScheduler(CONFIG, CoreConfig(count=cores), lambda: 0)
+    for p in processes:
+        sched.add(p)
+    previous = [None]
+
+    def snapshot():
+        stats = sched.stats
+        steal = sched.steal_stats
+        return (
+            stats.dispatches,
+            stats.preemptions,
+            stats.voluntary_switches,
+            stats.blocks,
+            stats.unblocks,
+            steal.attempts,
+            steal.steals,
+        )
+
+    def check(finished):
+        current = snapshot()
+        assert all(value >= 0 for value in current)
+        if previous[0] is not None:
+            assert all(now >= before for now, before in zip(current, previous[0]))
+        assert sched.steal_stats.steals <= sched.steal_stats.attempts
+        previous[0] = current
+
+    drive_smp(sched, cores, processes, ops, on_step=check)
+
+
+@given(st.lists(priorities, min_size=1, max_size=8), smp_actions)
+@settings(max_examples=100, deadline=None)
+def test_smp_single_core_matches_round_robin(prios, ops):
+    """With one core the facade is behaviourally identical to the plain
+    round-robin scheduler for any op sequence (steals are no-ops)."""
+    smp = SMPScheduler(CONFIG, CoreConfig(count=1), lambda: 0)
+    plain = RoundRobinScheduler(CONFIG)
+    for p in make_processes(prios):
+        smp.add(p)
+    for p in make_processes(prios):
+        plain.add(p)
+
+    blocked_smp: list[Process] = []
+    blocked_plain: list[Process] = []
+    for action, r in ops:
+        for sched, blocked in ((smp, blocked_smp), (plain, blocked_plain)):
+            if action == "dispatch" and sched.current is None:
+                sched.dispatch()
+            elif action == "preempt" and sched.current is not None:
+                sched.preempt_current()
+            elif action == "block" and sched.current is not None:
+                blocked.append(sched.block_current())
+            elif action == "unblock" and blocked:
+                sched.unblock(blocked.pop(r % len(blocked)))
+            elif action == "finish" and sched.current is not None:
+                sched.finish_current(0)
+            elif action == "steal" and isinstance(sched, SMPScheduler):
+                assert sched.try_steal(0) is None
+        assert (smp.current is None) == (plain.current is None)
+        if smp.current is not None:
+            assert smp.current.pid == plain.current.pid
+        assert smp.ready_count() == plain.ready_count()
+        assert smp.blocked_count() == plain.blocked_count()

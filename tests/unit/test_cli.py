@@ -92,6 +92,26 @@ class TestParser:
         args = build_parser().parse_args(["run", "--policy", "sync_prefetch"])
         assert args.policy == "Sync_Prefetch"
 
+    def test_cores_flag(self):
+        args = build_parser().parse_args(["run", "--cores", "4"])
+        assert args.cores == 4
+        args = build_parser().parse_args(["run"])
+        assert args.cores is None
+
+    @pytest.mark.parametrize("value", ["0", "-2", "two"])
+    def test_rejects_bad_core_counts(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "--cores", value])
+        # A clean usage error (exit 2, no traceback), not a crash.
+        assert excinfo.value.code == 2
+        assert "--cores" in capsys.readouterr().err
+
+    def test_cores_verb_defaults(self):
+        args = build_parser().parse_args(["cores"])
+        assert list(args.counts) == [1, 2, 4]
+        assert list(args.policies) == ["Sync", "Async", "ITS"]
+        assert args.batch == "1_Data_Intensive"
+
 
 class TestCommands:
     def test_workloads_lists_everything(self, capsys):
@@ -276,6 +296,26 @@ class TestTelemetryCommands:
         )
         assert code == 0
         assert "policy=Adaptive" in capsys.readouterr().out
+
+    def test_run_with_cores(self, capsys):
+        code = main(
+            ["run", "--policy", "Async", "--scale", "0.1", "--cores", "2"]
+        )
+        assert code == 0
+        assert "policy=Async" in capsys.readouterr().out
+
+    def test_cores_prints_scaling_table(self, capsys, tmp_path):
+        code = main(
+            [
+                "cores", "--counts", "1", "2", "--policies", "Async",
+                "--scale", "0.1", "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "best speedup" in out
+        assert "Async" in out
 
     def test_run_trace_out(self, capsys, tmp_path):
         out = tmp_path / "t.json"

@@ -4,6 +4,7 @@ import pytest
 
 from repro.common.config import (
     CacheConfig,
+    CoreConfig,
     DeviceConfig,
     ITSConfig,
     MachineConfig,
@@ -11,6 +12,7 @@ from repro.common.config import (
     PCIeConfig,
     SchedulerConfig,
     TLBConfig,
+    with_cores,
 )
 from repro.common.errors import ConfigError
 from repro.common.units import KIB, MIB, MS, US
@@ -139,6 +141,51 @@ class TestITSConfig:
     def test_rejects_zero_instr_cost(self):
         with pytest.raises(ConfigError):
             ITSConfig(preexec_instr_ns=0)
+
+
+class TestCoreConfig:
+    def test_default_is_single_core(self):
+        config = CoreConfig()
+        assert config.count == 1
+        assert config.work_steal is True
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(count=0)
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(migration_cost_ns=-1)
+        with pytest.raises(ConfigError):
+            CoreConfig(tlb_shootdown_ns=-1)
+
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(placement="hash_ring")
+
+    def test_with_cores_sets_count_and_overrides(self):
+        config = with_cores(MachineConfig(), 4, work_steal=False)
+        assert config.cores.count == 4
+        assert config.cores.work_steal is False
+
+    def test_default_block_serialises_to_nothing(self):
+        # Single-core configs must keep their historical cache keys.
+        assert "cores" not in MachineConfig().to_dict()
+        assert "cores" not in with_cores(MachineConfig(), 1).to_dict()
+
+    def test_smp_block_roundtrips(self):
+        config = with_cores(MachineConfig(), 2, migration_cost_ns=500)
+        data = config.to_dict()
+        assert data["cores"]["count"] == 2
+        rebuilt = MachineConfig.from_dict(data)
+        assert rebuilt == config
+
+    def test_from_dict_without_block_yields_default(self):
+        assert CoreConfig.from_dict(None) == CoreConfig()
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(ConfigError):
+            CoreConfig.from_dict({"count": 2, "bogus": 1})
 
 
 class TestMachineConfig:

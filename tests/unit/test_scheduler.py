@@ -208,3 +208,89 @@ class TestFinish:
         sched.dispatch()
         sched.block_current()
         assert sched.has_work()
+
+
+class TestStealTail:
+    def test_pops_queue_tail(self, sched):
+        a, b, c = make_process(1), make_process(2), make_process(3)
+        for p in (a, b, c):
+            sched.add(p)
+        assert sched.steal_tail() is c
+        assert sched.ready_count() == 2
+        assert sched.peek_next() is a
+
+    def test_empty_queue_returns_none(self, sched):
+        assert sched.steal_tail() is None
+
+    def test_refuses_resume_pending_tail(self, sched):
+        a, b = make_process(1), make_process(2)
+        sched.add(a)
+        sched.add(b)
+        b.resume_pending = True
+        assert sched.steal_tail() is None
+        # The process was put back where it was, not dropped.
+        assert sched.ready_count() == 2
+        sched.dispatch()
+        assert sched.peek_next() is b
+
+
+class TestUnblockReadyStamp:
+    def test_ready_ns_sets_ready_since(self, sched):
+        a = make_process(1)
+        sched.add(a)
+        sched.dispatch()
+        sched.block_current()
+        sched.unblock(a, ready_ns=4242)
+        assert a.ready_since_ns == 4242
+
+    def test_omitted_ready_ns_leaves_stamp(self, sched):
+        a = make_process(1)
+        a.ready_since_ns = 99
+        sched.add(a)
+        sched.dispatch()
+        sched.block_current()
+        sched.unblock(a)
+        assert a.ready_since_ns == 99
+
+
+class TestPublishTelemetry:
+    def test_gauges_carry_counters(self, sched):
+        from repro.telemetry import Telemetry
+
+        sched.add(make_process(1))
+        sched.dispatch()
+        sched.preempt_current()
+        registry = Telemetry(events=False).registry
+        sched.publish_telemetry(registry)
+        assert registry.gauge("sched.dispatches").value == 1
+        assert registry.gauge("sched.preemptions").value == 1
+
+    def test_republish_is_idempotent(self, sched):
+        """A scheduler rebuilt inside one telemetry handle (the sweep
+        resume path) republishes under the same gauge names without
+        raising; the latest counters win."""
+        from repro.common.config import SchedulerConfig
+        from repro.telemetry import Telemetry
+
+        registry = Telemetry(events=False).registry
+        sched.add(make_process(1))
+        sched.dispatch()
+        sched.publish_telemetry(registry)
+        assert registry.gauge("sched.dispatches").value == 1
+
+        rebuilt = RoundRobinScheduler(
+            SchedulerConfig(max_time_slice_ns=800, min_time_slice_ns=5)
+        )
+        for pid in (1, 2):
+            rebuilt.add(make_process(pid))
+            rebuilt.dispatch()
+            rebuilt.finish_current(0)
+        rebuilt.publish_telemetry(registry)
+        assert registry.gauge("sched.dispatches").value == 2
+
+    def test_prefix_scopes_names(self, sched):
+        from repro.telemetry import Telemetry
+
+        registry = Telemetry(events=False).registry
+        sched.publish_telemetry(registry, prefix="sched.core0.")
+        assert registry.gauge("sched.core0.dispatches").value == 0
