@@ -73,6 +73,12 @@ class AdaptivePolicy(ITSPolicy):
                 "fault.adaptive.mode", machine.now_ns,
                 track="its", pid=process.pid, args={"mode": mode.value},
             )
+            if sim.telemetry.causal is not None:
+                decision_id = sim.telemetry.causal.add(
+                    "decision", machine.now_ns,
+                    pid=process.pid, mode=mode.value,
+                )
+                sim.telemetry.causal.note_decision(process.pid, decision_id)
         if mode is Mode.SYNC:
             busy_wait_fault(sim, process, vpn)
             return

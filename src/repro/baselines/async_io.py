@@ -28,11 +28,21 @@ def block_on_fault(
     re-enters at the queue head with its residual slice)."""
     machine = sim.machine
     start_ns = machine.now_ns
+    causal = sim.telemetry.causal if sim.telemetry is not None else None
 
     def complete(request: DMARequest, time_ns: int) -> None:
         if not machine.memory.is_resident_or_cached(request.pid, request.vpn):
             machine.memory.install_page(request.pid, request.vpn)
         sim.scheduler.unblock(process, resume=resume, ready_ns=time_ns)
+        if causal is not None:
+            # The process cannot fault while blocked, so fault_of still
+            # names the fault this completion unblocks.
+            unblock_id = causal.add(
+                "unblock", time_ns,
+                pid=request.pid, vpn=request.vpn,
+                parent=causal.fault_of(request.pid),
+            )
+            causal.note_unblock(request.pid, unblock_id)
 
     fault = machine.fault_handler.begin_major_fault(
         process.pid, vpn, machine.now_ns, on_complete=complete

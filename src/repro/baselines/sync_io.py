@@ -29,12 +29,23 @@ def busy_wait_fault(sim: "Simulation", process: Process, vpn: int) -> int:
     fault = machine.fault_handler.begin_major_fault(process.pid, vpn, machine.now_ns)
     sim.metrics.add_handler_overhead(machine.config.fault_handler_ns)
     wait_ns = fault.io_done_ns - fault.handler_done_ns
-    sim.consume_time(process, fault.io_done_ns - machine.now_ns)
+    # Ledger split: handler software time is run, the busy-wait is spin.
+    sim.consume_time(process, fault.io_done_ns - machine.now_ns, category=None)
+    sim.charge_time(process.pid, "run", machine.config.fault_handler_ns)
+    sim.charge_time(process.pid, "spin_wait", wait_ns)
     sim.metrics.add_sync_storage_wait(wait_ns)
     process.stats.storage_wait_ns += wait_ns
     process.stats.sync_faults += 1
     machine.memory.install_page(process.pid, vpn)
     telemetry = sim.telemetry
+    if telemetry is not None and telemetry.causal is not None:
+        # Synchronous servicing: the process resumes in place at I/O
+        # completion, closing the fault's lifecycle.
+        telemetry.causal.add(
+            "resume", fault.io_done_ns,
+            pid=process.pid, vpn=vpn,
+            parent=telemetry.causal.fault_of(process.pid),
+        )
     if telemetry is not None:
         telemetry.record_span(
             "fault.sync", start_ns, fault.io_done_ns,

@@ -5,6 +5,9 @@ Subcommands::
     repro run          one simulation (batch x policy x seed)
     repro trace        run instrumented; export a Perfetto-loadable trace
     repro stats        run instrumented; print the telemetry stats report
+    repro ledger       run one cell; print the time-attribution ledger
+    repro path         run one cell; print the causal critical-path report
+    repro bench        wall-clock perf suite with baseline regression check
     repro figures      regenerate the paper's Figure 4 / Figure 5 series
     repro observation  the Section 2.2 motivation experiment
     repro crossover    sync-vs-async sweep over device latency
@@ -28,6 +31,7 @@ Also usable as ``python -m repro``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -244,6 +248,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     dropped = telemetry.tracer.dropped
     note = f", {dropped} dropped" if dropped else ""
     print(f"trace ({len(telemetry.tracer)} spans{note}) written to {args.out}")
+    if telemetry.event_log is not None and telemetry.event_log.dropped:
+        print(
+            f"event log overflowed: {telemetry.event_log.dropped} events dropped "
+            "(oldest first; raise event_capacity to keep them)"
+        )
     if args.format == "chrome":
         print("open in ui.perfetto.dev or chrome://tracing")
     return 0
@@ -265,6 +274,120 @@ def cmd_stats(args: argparse.Namespace) -> int:
     )
     title = f"{args.policy} on {args.batch} (seed {args.seed}, scale {args.scale})"
     print(render_stats_report(telemetry, title=title))
+    return 0
+
+
+def cmd_ledger(args: argparse.Namespace) -> int:
+    """``repro ledger``: run one cell and print the time-attribution
+    ledger (docs/OBSERVABILITY.md)."""
+    from repro.telemetry import Telemetry
+
+    config = _machine_config(args)
+    telemetry = Telemetry(events=False, ledger=True)
+    result = run_batch_policy(
+        config,
+        args.batch,
+        args.policy,
+        seed=args.seed,
+        scale=args.scale,
+        telemetry=telemetry,
+    )
+    ledger = telemetry.ledger
+    assert ledger is not None
+    cores = config.cores.count
+    title = f"{args.policy} on {args.batch} (seed {args.seed}, scale {args.scale})"
+    print(f"time-attribution ledger: {title}")
+    print(ledger.render(result.makespan_ns, cores))
+    print(
+        f"conservation: {ledger.total_ns():,} ns attributed == "
+        f"{result.makespan_ns:,} ns makespan x {cores} core(s)"
+    )
+    return 0
+
+
+def cmd_path(args: argparse.Namespace) -> int:
+    """``repro path``: run one cell with causal tracing and print the
+    per-process critical-path report."""
+    from repro.telemetry import Telemetry, render_path_report
+
+    config = _machine_config(args)
+    telemetry = Telemetry(events=False, causal=True)
+    result = run_batch_policy(
+        config,
+        args.batch,
+        args.policy,
+        seed=args.seed,
+        scale=args.scale,
+        telemetry=telemetry,
+    )
+    graph = telemetry.causal
+    assert graph is not None
+    title = f"{args.policy} on {args.batch} (seed {args.seed}, scale {args.scale})"
+    print(f"causal critical-path report: {title}")
+    print(render_path_report(graph, result))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: wall-clock perf suite with baseline regression
+    check (docs/OBSERVABILITY.md)."""
+    import datetime
+    from pathlib import Path
+
+    from repro.analysis.perf import (
+        BASELINE_PATH,
+        compare_bench,
+        load_baseline,
+        render_bench_report,
+        run_bench,
+        write_bench_json,
+    )
+
+    report = run_bench(
+        repeats=args.repeats,
+        scale=args.scale,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    baseline_path = Path(args.baseline) if args.baseline else BASELINE_PATH
+
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(render_bench_report(report, None))
+        print(f"baseline updated: {baseline_path}")
+        return 0
+
+    comparison = None
+    if baseline_path.exists() or args.check:
+        baseline = load_baseline(baseline_path)
+        comparison = compare_bench(
+            report,
+            baseline,
+            warn_threshold=args.threshold,
+            hard_threshold=args.hard_threshold,
+        )
+
+    stamp = datetime.datetime.now().strftime("%Y%m%d_%H%M%S")
+    out_dir = Path(args.out) if args.out else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = write_bench_json(report, out_dir, stamp=stamp)
+    print(render_bench_report(report, comparison))
+    print(f"bench report written to {written}")
+    if comparison is not None and args.check:
+        if comparison.failed:
+            print(
+                f"bench check FAILED: worst slowdown "
+                f"{comparison.worst_ratio:.2f}x >= {args.hard_threshold:.1f}x",
+                file=sys.stderr,
+            )
+            return 1
+        if comparison.warned:
+            print(
+                f"bench check: warnings only (worst {comparison.worst_ratio:.2f}x; "
+                f"hard-fail at {args.hard_threshold:.1f}x)"
+            )
     return 0
 
 
@@ -623,6 +746,65 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p2.add_argument("--seed", type=int, default=1)
     _add_common(stats_p2)
     stats_p2.set_defaults(func=cmd_stats)
+
+    ledger_p = sub.add_parser(
+        "ledger", help="run one cell and print the time-attribution ledger"
+    )
+    ledger_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
+    ledger_p.add_argument("--policy", type=_policy_name, choices=list(POLICY_FACTORIES), default="ITS")
+    ledger_p.add_argument("--seed", type=int, default=1)
+    _add_common(ledger_p)
+    ledger_p.set_defaults(func=cmd_ledger)
+
+    path_p = sub.add_parser(
+        "path", help="run one cell and print the causal critical-path report"
+    )
+    path_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
+    path_p.add_argument("--policy", type=_policy_name, choices=list(POLICY_FACTORIES), default="ITS")
+    path_p.add_argument("--seed", type=int, default=1)
+    _add_common(path_p)
+    path_p.set_defaults(func=cmd_path)
+
+    bench_p = sub.add_parser(
+        "bench", help="wall-clock perf suite with baseline regression check"
+    )
+    bench_p.add_argument(
+        "--repeats", type=int, default=3, help="timings per case (min is kept)"
+    )
+    bench_p.add_argument(
+        "--scale", type=float, default=0.1, help="trace length multiplier"
+    )
+    bench_p.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON to compare against (default: benchmarks/baseline_bench.json)",
+    )
+    bench_p.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="warn when a case is this many times slower than baseline",
+    )
+    bench_p.add_argument(
+        "--hard-threshold",
+        type=float,
+        default=2.0,
+        help="with --check, exit non-zero at this slowdown",
+    )
+    bench_p.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the baseline and fail on a hard regression",
+    )
+    bench_p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the committed baseline from this run",
+    )
+    bench_p.add_argument(
+        "--out", default=None, help="directory for BENCH_<stamp>.json (default: .)"
+    )
+    bench_p.set_defaults(func=cmd_bench)
 
     fig_p = sub.add_parser("figures", help="regenerate paper figures")
     fig_p.add_argument(

@@ -70,6 +70,16 @@ class SelfImprovingThread:
         ):
             self._demote(sim, process, vpn, fault, fault_start, window_ns)
             return
+        causal = telemetry.causal if telemetry is not None else None
+        if causal is not None:
+            # The steal window scopes everything the kernel thread does
+            # (entry, prefetch issues, pre-execution) under one node.
+            steal_id = causal.add(
+                "steal", fault.handler_done_ns,
+                pid=process.pid, vpn=vpn,
+                parent=causal.fault_of(process.pid), window_ns=window_ns,
+            )
+            causal.push(steal_id)
         work_start, budget_ns = self.kthread.activate(fault.handler_done_ns, window_ns)
         # For tracing, the entry/checkpoint phase cannot outlast the
         # window itself (a too-small window means the thread never ran).
@@ -114,12 +124,30 @@ class SelfImprovingThread:
 
             recovery_latency = self.recovery.restore(process.registers)
 
+        if causal is not None:
+            causal.pop()
+            causal.add(
+                "resume", fault.io_done_ns + recovery_latency,
+                pid=process.pid, vpn=vpn,
+                parent=causal.fault_of(process.pid),
+            )
         # The window itself is still CPU idle time — committed progress
         # is stalled on storage throughout (the stolen work pays off as
         # *fewer future* faults and misses, which is what Section 4.2.1
-        # attributes the idle-time reduction to).
+        # attributes the idle-time reduction to).  Ledger split: handler
+        # run, kernel-thread phases (entry/walk/runahead/restore) stolen
+        # run, residual busy-wait spin.
         sim.consume_time(
-            process, fault.io_done_ns - machine.now_ns + recovery_latency
+            process, fault.io_done_ns - machine.now_ns + recovery_latency,
+            category=None,
+        )
+        sim.charge_time(process.pid, "run", machine.config.fault_handler_ns)
+        sim.charge_time(
+            process.pid, "stolen_run",
+            (preexec_end_ns - fault.handler_done_ns) + recovery_latency,
+        )
+        sim.charge_time(
+            process.pid, "spin_wait", fault.io_done_ns - preexec_end_ns
         )
         sim.metrics.add_sync_storage_wait(window_ns)
         process.stats.storage_wait_ns += window_ns
@@ -164,15 +192,25 @@ class SelfImprovingThread:
         """
         machine = sim.machine
         telemetry = sim.telemetry
+        causal = telemetry.causal if telemetry is not None else None
         deadline_ns = machine.config.faults.demote_after_ns
         deadline_abs = fault.handler_done_ns + deadline_ns
         self.demotions += 1
         self.demoted_wait_ns += window_ns - deadline_ns
         sim.log_event("demote", process.pid, vpn)
 
+        if causal is not None:
+            demote_id = causal.add(
+                "demote", fault.handler_done_ns,
+                pid=process.pid, vpn=vpn,
+                parent=causal.fault_of(process.pid),
+                window_ns=window_ns, deadline_ns=deadline_ns,
+            )
+            causal.push(demote_id)
         work_start, budget_ns = self.kthread.activate(
             fault.handler_done_ns, deadline_ns
         )
+        stole = budget_ns > 0 and not process.finished
         recovery_latency = 0
         if budget_ns > 0 and not process.finished:
             self.windows_stolen += 1
@@ -187,20 +225,46 @@ class SelfImprovingThread:
                 self.preexec.run(process, budget_ns)
             recovery_latency = self.recovery.restore(process.registers)
 
+        if causal is not None:
+            causal.pop()
         # The CPU is occupied from the fault through the deadline and the
         # register restore; only that truncated slice of the window stays
         # synchronous idle — the abandoned remainder is async wait.
-        sim.consume_time(process, deadline_abs - machine.now_ns + recovery_latency)
+        # Ledger: the occupied slice is stolen run when the kernel thread
+        # got a budget, residual spin otherwise; the abandoned remainder
+        # books as demoted_wait from the idle loop while this fault is
+        # pending.
+        sim.consume_time(
+            process, deadline_abs - machine.now_ns + recovery_latency,
+            category=None,
+        )
+        sim.charge_time(process.pid, "run", machine.config.fault_handler_ns)
+        occupied_ns = deadline_abs - fault.handler_done_ns
+        if stole:
+            sim.charge_time(
+                process.pid, "stolen_run", occupied_ns + recovery_latency
+            )
+        else:
+            sim.charge_time(process.pid, "spin_wait", occupied_ns)
         sim.metrics.add_sync_storage_wait(deadline_ns)
         process.stats.storage_wait_ns += deadline_ns
         process.stats.async_faults += 1
         blocked_from = machine.now_ns
         resume_at = max(fault.io_done_ns, blocked_from)
+        sim.note_demote_blocked(+1)
 
         def complete(__event) -> None:
             if not machine.memory.is_resident_or_cached(process.pid, vpn):
                 machine.memory.install_page(process.pid, vpn)
             sim.scheduler.unblock(process, resume=True, ready_ns=resume_at)
+            sim.note_demote_blocked(-1)
+            if causal is not None:
+                unblock_id = causal.add(
+                    "unblock", resume_at,
+                    pid=process.pid, vpn=vpn,
+                    parent=causal.fault_of(process.pid),
+                )
+                causal.note_unblock(process.pid, unblock_id)
 
         machine.events.schedule_at(
             resume_at, tag=f"demote:{process.pid}:{vpn:#x}", callback=complete

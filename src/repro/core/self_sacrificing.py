@@ -44,17 +44,30 @@ class SelfSacrificingThread:
     def handle_fault(self, sim: "Simulation", process: Process, vpn: int) -> None:
         """Switch the fault to asynchronous mode and yield the CPU."""
         telemetry = sim.telemetry
+        causal = telemetry.causal if telemetry is not None else None
         start_ns = sim.machine.now_ns
         self.sacrifices += 1
         sim.log_event("sacrifice", process.pid, vpn)
+        if causal is not None:
+            # The sacrifice decision precedes the fault record (the
+            # fault is registered when the async servicing begins), so
+            # it opens a scope the fault will attach under.
+            sacrifice_id = causal.add(
+                "sacrifice", start_ns, pid=process.pid, vpn=vpn,
+                parent=causal.parent,
+            )
+            causal.push(sacrifice_id)
         self.kthread.activate(sim.machine.now_ns, self.kthread.entry_cost_ns)
         # The mode-switch decision itself runs in kernel space for a few
-        # hundred nanoseconds on the faulting process's time.
-        sim.consume_time(process, self.kthread.entry_cost_ns)
+        # hundred nanoseconds on the faulting process's time (ledger:
+        # stolen run — it is ITS thread work, not process progress).
+        sim.consume_time(
+            process, self.kthread.entry_cost_ns, category="stolen_run"
+        )
         entry_done_ns = sim.machine.now_ns
         if self.prefetcher is not None:
             candidates, walk_cost_ns = self.prefetcher.collect(process.pid, vpn)
-            sim.consume_time(process, walk_cost_ns)
+            sim.consume_time(process, walk_cost_ns, category="stolen_run")
             for candidate in candidates:
                 sim.issue_prefetch(process.pid, candidate)
             if telemetry is not None:
@@ -76,4 +89,8 @@ class SelfSacrificingThread:
                 "fault.sacrifice", start_ns, sim.machine.now_ns,
                 track="its", pid=process.pid, args={"vpn": vpn},
             )
-        block_on_fault(sim, process, vpn, resume=True)
+        try:
+            block_on_fault(sim, process, vpn, resume=True)
+        finally:
+            if causal is not None:
+                causal.pop()

@@ -90,7 +90,16 @@ class PageFaultHandler:
         request = DMARequest(
             pid=pid, vpn=vpn, page_bytes=self.memory.frames.page_size, prefetch=False
         )
-        io_done = self.dma.read_page(handler_done, request, on_complete)
+        causal = self.telemetry.causal if self.telemetry is not None else None
+        if causal is not None:
+            # The fault root; the DMA controller's issue/retry/complete
+            # nodes attach underneath via the open scope.
+            causal.open_fault(pid, vpn, now_ns)
+        try:
+            io_done = self.dma.read_page(handler_done, request, on_complete)
+        finally:
+            if causal is not None:
+                causal.pop()
         retried = self.dma.last_read_attempts > 1
         if retried and self.telemetry is not None:
             self.telemetry.counter("fault.retried").inc()

@@ -46,4 +46,10 @@ class KernelThread:
         if self.telemetry is not None:
             self.telemetry.counter(f"kthread.{self.name}.activations").inc()
             self.telemetry.histogram(f"kthread.{self.name}.budget_ns").observe(budget)
+            causal = getattr(self.telemetry, "causal", None)
+            if causal is not None and causal.parent is not None:
+                causal.add(
+                    "kthread_entry", now_ns, parent=causal.parent,
+                    thread=self.name, budget_ns=budget,
+                )
         return start, budget

@@ -59,6 +59,8 @@ class SMPScheduler:
         config: SchedulerConfig,
         cores: CoreConfig,
         clock: Callable[[], int],
+        *,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.cores = cores
@@ -67,6 +69,7 @@ class SMPScheduler:
         self.active = 0
         self.steal_stats = StealStats()
         self._clock = clock
+        self._causal = getattr(telemetry, "causal", None)
         self._placement: Optional[PlacementHook] = None
 
     # -- facade over the active core's queue ----------------------------------
@@ -231,6 +234,17 @@ class SMPScheduler:
         self.core_of[process.pid] = thief
         self.queues[thief].add(process)
         self.steal_stats.steals += 1
+        if self._causal is not None:
+            # Link the migration to whatever last touched the process:
+            # the unblock that readied it, or its latest fault.
+            parent = self._causal.peek_unblock(process.pid)
+            if parent is None:
+                parent = self._causal.fault_of(process.pid)
+            self._causal.add(
+                "migrate", self._clock(),
+                pid=process.pid, parent=parent,
+                src=victim, dst=thief,
+            )
         return process
 
     # -- reporting -------------------------------------------------------------

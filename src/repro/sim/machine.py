@@ -49,6 +49,7 @@ class Machine:
     ) -> None:
         self.config = config
         self.telemetry = telemetry
+        self._ledger = getattr(telemetry, "ledger", None)
         self.now_ns = 0
         self.events = EventQueue()
 
@@ -268,11 +269,20 @@ class SMPMachine(Machine):
         gap = t_ns - self.now_ns
         Machine.advance(self, gap)
         self._sync_active(gap, "idle_ns")
+        # SMP idle gaps stay plain ``idle`` in the ledger: by the time a
+        # core catches up to a process's ready time, the completion that
+        # readied it has already fired, so the single-core dma-wait /
+        # demoted-wait refinement is not observable here.
+        self._charge_ledger(None, "idle", gap)
 
     def charge_steal(self, dt_ns: int) -> None:
         """Charge migration overhead on the active (thief) core."""
         Machine.advance(self, dt_ns)
         self._sync_active(dt_ns, "steal_ns")
+        # Migration is scheduling overhead; the ledger folds it into
+        # ``ctx_switch`` (the per-core ``steal_ns`` bucket keeps the
+        # finer split).
+        self._charge_ledger(None, "ctx_switch", dt_ns)
 
     def drain_pending_shootdowns(self) -> None:
         """Pay IPI costs queued against the active core before it runs."""
@@ -283,6 +293,11 @@ class SMPMachine(Machine):
         core.pending_shootdown_ns = 0
         Machine.advance(self, cost)
         self._sync_active(cost, "shootdown_ns")
+        self._charge_ledger(None, "tlb_shootdown", cost)
+
+    def _charge_ledger(self, pid, category: str, ns: int) -> None:
+        if self._ledger is not None and ns > 0:
+            self._ledger.charge(self.active, pid, category, ns)
 
     def fire_next_event(self) -> None:
         """No core has runnable work: fire the earliest pending event
@@ -300,6 +315,10 @@ class SMPMachine(Machine):
         it.  Called once after the last process finishes."""
         makespan = max(core.now_ns for core in self.cores)
         for core in self.cores:
+            if self._ledger is not None and makespan > core.now_ns:
+                self._ledger.charge(
+                    core.index, None, "idle", makespan - core.now_ns
+                )
             core.idle_ns += makespan - core.now_ns
             core.now_ns = makespan
         self.now_ns = makespan

@@ -117,6 +117,14 @@ class Simulation:
         )
         if telemetry is not None:
             telemetry.bind_clock(lambda: self.machine.now_ns)
+            if self._smp:
+                telemetry.bind_core(lambda: self.machine.active)
+        # Ledger and causal graph are opt-in riders on the telemetry
+        # handle; both stay None (and cost one comparison per site) on
+        # ordinary runs.
+        self._ledger = telemetry.ledger if telemetry is not None else None
+        self._causal = telemetry.causal if telemetry is not None else None
+        self._demoted_pending = 0
         page_size = config.memory.page_size
         for process, workload in zip(self.processes, workloads):
             vpns = set(footprint_vpns(process.trace, page_size))
@@ -135,7 +143,10 @@ class Simulation:
 
         if self._smp:
             self.scheduler = SMPScheduler(
-                config.scheduler, config.cores, lambda: self.machine.now_ns
+                config.scheduler,
+                config.cores,
+                lambda: self.machine.now_ns,
+                telemetry=telemetry,
             )
         else:
             self.scheduler = RoundRobinScheduler(config.scheduler)
@@ -262,6 +273,7 @@ class Simulation:
             cost = self.machine.context_switch.perform(self._last_pid)
             self.machine.advance_ctx(cost)
             self.metrics.add_ctx_overhead(cost)
+            self.charge_time(process.pid, "ctx_switch", cost)
             process.stats.context_switches += 1
             self.log_event("ctx_switch", process.pid)
             if self.telemetry is not None:
@@ -271,6 +283,13 @@ class Simulation:
                 )
         self._last_pid = process.pid
         self.log_event("dispatch", process.pid)
+        if self._causal is not None:
+            unblock_id = self._causal.take_unblock(process.pid)
+            if unblock_id is not None:
+                self._causal.add(
+                    "resume", self.machine.now_ns,
+                    pid=process.pid, parent=unblock_id,
+                )
         return True
 
     def _idle_until_next_event(self) -> None:
@@ -281,6 +300,18 @@ class Simulation:
             )
         gap = max(0, next_time - self.machine.now_ns)
         idle_start = self.machine.now_ns
+        if self._ledger is not None and gap > 0:
+            # Refine the idle reason while it is still observable: DMA
+            # in flight means the core sleeps on storage; a pending
+            # demoted fault means it waits out a demoted tail; anything
+            # else is plain idle.
+            if self.machine.dma.inflight > 0:
+                category = "dma_wait"
+            elif self._demoted_pending > 0:
+                category = "demoted_wait"
+            else:
+                category = "idle"
+            self._ledger.charge(self._core_index(), None, category, gap)
         self.machine.advance_to(max(next_time, self.machine.now_ns))
         self.metrics.add_async_idle(gap)
         if self.telemetry is not None and gap > 0:
@@ -330,9 +361,20 @@ class Simulation:
             self.machine.advance_ctx(cost)
             self.metrics.add_ctx_overhead(cost)
             resumed = self.scheduler.current
+            self.charge_time(
+                resumed.pid if resumed is not None else None,
+                "ctx_switch", cost,
+            )
             if resumed is not None:
                 resumed.stats.context_switches += 1
                 self._last_pid = resumed.pid
+                if self._causal is not None:
+                    unblock_id = self._causal.take_unblock(resumed.pid)
+                    if unblock_id is not None:
+                        self._causal.add(
+                            "resume", self.machine.now_ns,
+                            pid=resumed.pid, parent=unblock_id,
+                        )
             if self.telemetry is not None:
                 self.telemetry.record_span(
                     "sched.ctx_switch", switch_start, switch_start + cost,
@@ -356,12 +398,36 @@ class Simulation:
         if self.telemetry is not None:
             self.telemetry.on_event(self.machine.now_ns, kind, pid, vpn)
 
-    def consume_time(self, process: Process, dt_ns: int) -> None:
+    def consume_time(
+        self, process: Process, dt_ns: int, *, category: Optional[str] = "run"
+    ) -> None:
         """Charge *dt_ns* of CPU occupancy to *process* and advance the
-        clock (firing any device events that come due)."""
+        clock (firing any device events that come due).
+
+        *category* is the time-ledger attribution (default ``run``);
+        a policy that splits one consumed interval into several ledger
+        segments passes ``category=None`` and calls :meth:`charge_time`
+        itself for each segment.
+        """
+        if self._ledger is not None and category is not None:
+            self.charge_time(process.pid, category, dt_ns)
         self.machine.advance(dt_ns)
         process.slice_remaining_ns -= dt_ns
         process.stats.cpu_time_ns += dt_ns
+
+    def charge_time(self, pid: Optional[int], category: str, ns: int) -> None:
+        """Attribute *ns* on the active core to (*pid*, *category*) in
+        the time ledger (no-op when no ledger is attached)."""
+        if self._ledger is not None and ns > 0:
+            self._ledger.charge(self._core_index(), pid, category, ns)
+
+    def _core_index(self) -> int:
+        return self.machine.active if self._smp else 0
+
+    def note_demote_blocked(self, delta: int) -> None:
+        """Track how many demoted faults are waiting out their tail
+        (lets the idle loop label the gap ``demoted_wait``)."""
+        self._demoted_pending += delta
 
     def process_by_pid(self, pid: int) -> Process:
         """Look up a process by pid."""
@@ -389,18 +455,39 @@ class Simulation:
             pid=pid, vpn=vpn, page_bytes=self.machine.memory.frames.page_size, prefetch=True
         )
         submit_ns = max(self.machine.now_ns, at_ns if at_ns is not None else 0)
-        self.machine.dma.read_page(submit_ns, request, self._prefetch_complete)
+        if self._causal is not None:
+            issue_id = self._causal.add(
+                "prefetch_issue", submit_ns,
+                pid=pid, vpn=vpn, parent=self._causal.parent,
+            )
+            self._causal.note_prefetch(pid, vpn, issue_id)
+            with self._causal.under(issue_id):
+                self.machine.dma.read_page(
+                    submit_ns, request, self._prefetch_complete
+                )
+        else:
+            self.machine.dma.read_page(submit_ns, request, self._prefetch_complete)
         self.log_event("prefetch_issue", pid, vpn)
         return True
 
-    def _prefetch_complete(self, request: DMARequest, __time_ns: int) -> None:
+    def _prefetch_complete(self, request: DMARequest, time_ns: int) -> None:
         self._prefetch_inflight.discard((request.pid, request.vpn))
         process = self.process_by_pid(request.pid)
-        if process.finished:
-            return
-        if not self.machine.memory.is_resident_or_cached(request.pid, request.vpn):
+        installed = False
+        if not process.finished and not self.machine.memory.is_resident_or_cached(
+            request.pid, request.vpn
+        ):
             self.machine.memory.install_page(request.pid, request.vpn, prefetched=True)
             self.log_event("prefetch_done", request.pid, request.vpn)
+            installed = True
+        if self._causal is not None:
+            issue_id = self._causal.take_prefetch(request.pid, request.vpn)
+            if issue_id is not None:
+                self._causal.add(
+                    "prefetch_done", time_ns,
+                    pid=request.pid, vpn=request.vpn,
+                    parent=issue_id, installed=installed,
+                )
 
     def _release_process_memory(self, pid: int) -> None:
         """Free a finished process's frames and swap slots (process exit)."""
@@ -441,6 +528,9 @@ class Simulation:
             machine.total_instructions_committed()
         )
         registry.gauge("sim.makespan_ns").set(machine.now_ns)
+        if self._ledger is not None:
+            for category, ns in self._ledger.by_category().items():
+                registry.gauge(f"ledger.{category}_ns").set(ns)
         if self._smp:
             self._publish_smp_telemetry(registry)
 
@@ -466,6 +556,13 @@ class Simulation:
         )
 
     def _build_result(self) -> SimulationResult:
+        if self._ledger is not None:
+            # The conservation law is an always-on invariant of any
+            # ledger-attached run, not just a test-suite assertion: a
+            # charge-site bug fails the run loudly instead of skewing
+            # the breakdown silently.
+            cores = len(self.machine.cores) if self._smp else 1
+            self._ledger.audit(self.machine.now_ns, cores)
         records = []
         majors = minors = 0
         for process in self.processes:

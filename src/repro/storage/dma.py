@@ -98,6 +98,18 @@ class DMAController:
                 track="dma", pid=request.pid, args={"vpn": request.vpn},
             )
             self.telemetry.histogram("dma.read_latency_ns").observe(done - now_ns)
+            causal = self.telemetry.causal
+            if causal is not None:
+                issue_id = causal.add(
+                    "dma_issue", now_ns,
+                    pid=request.pid, vpn=request.vpn, parent=causal.parent,
+                    prefetch=request.prefetch,
+                    attempts=self.last_read_attempts,
+                )
+                causal.add(
+                    "io_complete", done,
+                    pid=request.pid, vpn=request.vpn, parent=issue_id,
+                )
 
         def _fire(event: Event) -> None:
             self.inflight -= 1
@@ -177,6 +189,17 @@ class DMAController:
                     track="dma", pid=request.pid,
                     args={"vpn": request.vpn, "attempt": attempt, "outcome": outcome.value},
                 )
+                if self.telemetry.causal is not None:
+                    # Retries precede the dma_issue record (it carries
+                    # the final completion), so they hang off the open
+                    # fault scope directly.
+                    self.telemetry.causal.add(
+                        "dma_retry", detected,
+                        pid=request.pid, vpn=request.vpn,
+                        parent=self.telemetry.causal.parent,
+                        attempt=attempt, outcome=outcome.value,
+                        backoff_ns=backoff,
+                    )
             submit = next_submit
             attempt += 1
 

@@ -11,6 +11,11 @@ Three layers:
 * :mod:`repro.telemetry.registry` — counters, gauges and histograms
   under hierarchical dotted names;
 * :mod:`repro.telemetry.spans` — the span tracer on the virtual clock;
+* :mod:`repro.telemetry.ledger` — the time-attribution ledger (every
+  nanosecond on every core in exactly one of eight categories, with a
+  conservation audit);
+* :mod:`repro.telemetry.causal` — the causal event graph (parent-linked
+  fault lifecycles, critical-path and steal-payoff analysis);
 * :mod:`repro.telemetry.exporters` — the output formats.
 
 :class:`Telemetry` bundles all three (plus the legacy
@@ -21,6 +26,7 @@ instrumented component.  See ``docs/TELEMETRY.md`` for the span naming
 convention and a Perfetto walkthrough.
 """
 
+from repro.telemetry.causal import CausalGraph, CausalNode, render_path_report
 from repro.telemetry.exporters import (
     chrome_trace_dict,
     export_chrome_trace,
@@ -30,6 +36,8 @@ from repro.telemetry.exporters import (
     span_latency_rows,
 )
 from repro.telemetry.handle import Telemetry
+from repro.telemetry.ledger import CATEGORIES as LEDGER_CATEGORIES
+from repro.telemetry.ledger import TimeLedger
 from repro.telemetry.registry import (
     DEFAULT_COUNT_BOUNDS,
     DEFAULT_LATENCY_BOUNDS_NS,
@@ -52,6 +60,11 @@ __all__ = [
     "PERCENT_BOUNDS",
     "Span",
     "SpanTracer",
+    "TimeLedger",
+    "LEDGER_CATEGORIES",
+    "CausalGraph",
+    "CausalNode",
+    "render_path_report",
     "chrome_trace_dict",
     "export_chrome_trace",
     "export_jsonl",

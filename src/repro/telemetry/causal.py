@@ -1,0 +1,386 @@
+"""Causal event graph: parent-linked fault lifecycles.
+
+Where the span tracer answers "how long did phase X take", the causal
+graph answers "*why* did this happen": every major fault becomes a tree
+
+    decision? -> fault -> dma_issue -> dma_retry* -> io_complete
+                      \\-> steal/demote/sacrifice -> kthread_entry,
+                          prefetch_issue -> prefetch_done
+                      \\-> unblock -> resume        (blocking paths)
+                      \\-> resume                   (synchronous paths)
+
+Node ids are allocated in creation order and a parent is always created
+before its children, so ``parent < id`` holds for every edge and the
+graph is **acyclic by construction** (the integration suite still
+asserts it).  The companion *completeness* invariant: every ``fault``
+node has a ``resume`` descendant by end of run — no fault is ever left
+half-serviced.
+
+Recording sites hold the graph behind the :class:`~repro.telemetry
+.handle.Telemetry` handle (``Telemetry(causal=True)``) and guard on
+``None``, so detached and ordinary-telemetry runs pay nothing.  The
+*scope stack* (:meth:`push`/:meth:`pop`/:attr:`parent`) lets a high
+-level site (the fault handler, a steal window) parent the nodes a
+lower-level component (the DMA controller, the kernel thread) records
+without threading ids through every call signature.
+
+Analysis lives here too: :meth:`fault_chain` extracts the per-process
+critical path (a process's faults are serial — each one stalls it — so
+the chain of fault-service intervals *is* the process's fault
+contribution to its finish time), and :meth:`steal_windows` classifies
+every stolen window as **paid off** (at least one prefetch it issued
+landed and the page never major-faulted again) or **wasted**.  Cache
+warming by pre-execution is real but not graph-visible, so the payoff
+test is deliberately prefetch-based; ``repro path`` renders both.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass
+class CausalNode:
+    """One lifecycle record.  ``parent`` is the id of the causing node
+    (``None`` for roots); ``args`` carries small payloads (mode, window
+    length, attempt counts)."""
+
+    id: int
+    kind: str
+    t_ns: int
+    pid: Optional[int] = None
+    vpn: Optional[int] = None
+    parent: Optional[int] = None
+    args: dict = field(default_factory=dict)
+
+
+class CausalGraph:
+    """Append-only causal record store with scoped parent linking."""
+
+    def __init__(self) -> None:
+        self.nodes: list[CausalNode] = []
+        self._scope: list[int] = []
+        self._last_fault: dict[int, int] = {}
+        self._pending_decision: dict[int, int] = {}
+        self._pending_unblock: dict[int, int] = {}
+        self._pending_prefetch: dict[tuple[int, int], int] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def add(
+        self,
+        kind: str,
+        t_ns: int,
+        *,
+        pid: Optional[int] = None,
+        vpn: Optional[int] = None,
+        parent: Optional[int] = None,
+        **args,
+    ) -> int:
+        """Append one node; returns its id."""
+        node_id = len(self.nodes)
+        if parent is not None and not 0 <= parent < node_id:
+            raise SimulationError(
+                f"causal node {node_id} given parent {parent} that does not "
+                f"precede it"
+            )
+        self.nodes.append(CausalNode(node_id, kind, t_ns, pid, vpn, parent, args))
+        return node_id
+
+    def push(self, node_id: int) -> None:
+        """Make *node_id* the default parent for nodes recorded by
+        lower layers until :meth:`pop`."""
+        self._scope.append(node_id)
+
+    def pop(self) -> None:
+        """Leave the innermost scope."""
+        self._scope.pop()
+
+    @contextmanager
+    def under(self, node_id: int):
+        """``with graph.under(id):`` — scoped :meth:`push`/:meth:`pop`."""
+        self.push(node_id)
+        try:
+            yield self
+        finally:
+            self.pop()
+
+    @property
+    def parent(self) -> Optional[int]:
+        """The innermost open scope's node id, or ``None``."""
+        return self._scope[-1] if self._scope else None
+
+    # -- cross-site handoffs -------------------------------------------------
+
+    def open_fault(self, pid: int, vpn: int, t_ns: int) -> int:
+        """Record a ``fault`` root and enter its scope.
+
+        An adaptive-mode decision noted for this pid becomes the fault's
+        parent; failing that, the current scope (a self-sacrificing
+        thread that initiated the async servicing) does.  The caller
+        must :meth:`pop` once the synchronous servicing section ends.
+        """
+        parent = self._pending_decision.pop(pid, None)
+        if parent is None:
+            parent = self.parent
+        fault_id = self.add("fault", t_ns, pid=pid, vpn=vpn, parent=parent)
+        self._last_fault[pid] = fault_id
+        self.push(fault_id)
+        return fault_id
+
+    def fault_of(self, pid: int) -> Optional[int]:
+        """The most recent ``fault`` node id for *pid*."""
+        return self._last_fault.get(pid)
+
+    def note_decision(self, pid: int, node_id: int) -> None:
+        """Register an adaptive-mode decision awaiting its fault."""
+        self._pending_decision[pid] = node_id
+
+    def note_unblock(self, pid: int, node_id: int) -> None:
+        """Register an ``unblock`` awaiting the pid's next dispatch."""
+        self._pending_unblock[pid] = node_id
+
+    def take_unblock(self, pid: int) -> Optional[int]:
+        """Pop the pending ``unblock`` for *pid* (dispatch consumed it)."""
+        return self._pending_unblock.pop(pid, None)
+
+    def peek_unblock(self, pid: int) -> Optional[int]:
+        """The pending ``unblock`` for *pid* without consuming it."""
+        return self._pending_unblock.get(pid)
+
+    def note_prefetch(self, pid: int, vpn: int, node_id: int) -> None:
+        """Register an in-flight prefetch's issue node."""
+        self._pending_prefetch[(pid, vpn)] = node_id
+
+    def take_prefetch(self, pid: int, vpn: int) -> Optional[int]:
+        """Pop the issue node of a completing prefetch."""
+        return self._pending_prefetch.pop((pid, vpn), None)
+
+    # -- structure queries ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[CausalNode]:
+        return iter(self.nodes)
+
+    def of_kind(self, kind: str) -> list[CausalNode]:
+        """All nodes of one kind, in creation order."""
+        return [n for n in self.nodes if n.kind == kind]
+
+    def children_map(self) -> dict[int, list[int]]:
+        """Parent id -> child ids (creation order)."""
+        out: dict[int, list[int]] = {}
+        for node in self.nodes:
+            if node.parent is not None:
+                out.setdefault(node.parent, []).append(node.id)
+        return out
+
+    def descendants(self, node_id: int) -> list[CausalNode]:
+        """Every node reachable from *node_id* (excluded), creation order."""
+        children = self.children_map()
+        stack = list(children.get(node_id, []))
+        seen: list[int] = []
+        while stack:
+            nid = stack.pop()
+            seen.append(nid)
+            stack.extend(children.get(nid, []))
+        return [self.nodes[i] for i in sorted(seen)]
+
+    def check_acyclic(self) -> None:
+        """Raise unless every edge satisfies ``parent < id`` (it must:
+        :meth:`add` enforces it — this re-verifies the stored graph)."""
+        for node in self.nodes:
+            if node.parent is not None and node.parent >= node.id:
+                raise SimulationError(
+                    f"causal node {node.id} has non-preceding parent "
+                    f"{node.parent}"
+                )
+
+    def unresolved_faults(self) -> list[CausalNode]:
+        """Fault nodes with no ``resume`` descendant (should be empty
+        after a completed run)."""
+        out = []
+        for fault in self.of_kind("fault"):
+            if not any(d.kind == "resume" for d in self.descendants(fault.id)):
+                out.append(fault)
+        return out
+
+    # -- analysis ------------------------------------------------------------
+
+    def fault_mode(self, fault: CausalNode) -> str:
+        """How the fault was serviced: sync / steal / demote / sacrifice
+        / async."""
+        kinds = {d.kind for d in self.descendants(fault.id)}
+        if "demote" in kinds:
+            return "demote"
+        if "steal" in kinds:
+            return "steal"
+        if fault.parent is not None and self.nodes[fault.parent].kind == "sacrifice":
+            return "sacrifice"
+        if "unblock" in kinds:
+            return "async"
+        return "sync"
+
+    def fault_chain(self, pid: int) -> list[dict]:
+        """The pid's ordered fault-service chain (its critical path
+        through storage): one row per fault with resume time, service
+        length and servicing mode."""
+        rows = []
+        for fault in self.of_kind("fault"):
+            if fault.pid != pid:
+                continue
+            resumes = [
+                d for d in self.descendants(fault.id) if d.kind == "resume"
+            ]
+            resume_ns = min(d.t_ns for d in resumes) if resumes else None
+            rows.append(
+                {
+                    "fault_id": fault.id,
+                    "t_ns": fault.t_ns,
+                    "vpn": fault.vpn,
+                    "mode": self.fault_mode(fault),
+                    "resume_ns": resume_ns,
+                    "service_ns": (
+                        resume_ns - fault.t_ns if resume_ns is not None else None
+                    ),
+                }
+            )
+        rows.sort(key=lambda r: r["t_ns"])
+        return rows
+
+    def steal_windows(self) -> list[dict]:
+        """Classify every steal/demote window: paid off or wasted.
+
+        A window *paid off* when at least one prefetch it issued was
+        installed and that page never major-faulted again for the pid —
+        i.e. the window removed a future stall from the process's fault
+        chain.  Everything else (no budget, no candidates, prefetches
+        that never installed or whose pages faulted again) is *wasted*:
+        the window closed without shortening the critical path.
+        """
+        children = self.children_map()
+        fault_times: dict[tuple[int, int], list[int]] = {}
+        for fault in self.of_kind("fault"):
+            fault_times.setdefault((fault.pid, fault.vpn), []).append(fault.t_ns)
+        rows = []
+        for window in self.nodes:
+            if window.kind not in ("steal", "demote"):
+                continue
+            issued = completed = useful = 0
+            for child_id in children.get(window.id, []):
+                child = self.nodes[child_id]
+                if child.kind != "prefetch_issue":
+                    continue
+                issued += 1
+                done = [
+                    self.nodes[i]
+                    for i in children.get(child_id, [])
+                    if self.nodes[i].kind == "prefetch_done"
+                ]
+                installed = [d for d in done if d.args.get("installed")]
+                if not installed:
+                    continue
+                completed += 1
+                done_ns = min(d.t_ns for d in installed)
+                later = fault_times.get((child.pid, child.vpn), [])
+                if not any(t > done_ns for t in later):
+                    useful += 1
+            rows.append(
+                {
+                    "node_id": window.id,
+                    "kind": window.kind,
+                    "pid": window.pid,
+                    "t_ns": window.t_ns,
+                    "window_ns": window.args.get("window_ns", 0),
+                    "prefetches_issued": issued,
+                    "prefetches_installed": completed,
+                    "prefetches_useful": useful,
+                    "paid_off": useful > 0,
+                }
+            )
+        return rows
+
+
+def render_path_report(graph: CausalGraph, result=None) -> str:
+    """The ``repro path`` report: per-process fault chains plus the
+    stolen-window payoff split.
+
+    With a :class:`~repro.sim.metrics.SimulationResult` attached, the
+    makespan-critical process (the last finisher — the run's critical
+    path runs through its fault chain) is marked and its longest fault
+    services listed.
+    """
+    faults = graph.of_kind("fault")
+    if not faults:
+        return "(no faults recorded; nothing on the causal graph)"
+    unresolved = graph.unresolved_faults()
+    windows = graph.steal_windows()
+    by_pid: dict[int, list[dict]] = {}
+    for fault in faults:
+        by_pid.setdefault(fault.pid, [])
+    for pid in by_pid:
+        by_pid[pid] = graph.fault_chain(pid)
+    win_by_pid: dict[int, list[dict]] = {}
+    for row in windows:
+        win_by_pid.setdefault(row["pid"], []).append(row)
+
+    lines = [
+        f"causal fault graph: {len(graph)} nodes, {len(faults)} faults, "
+        f"{len(unresolved)} unresolved, {len(windows)} stolen windows"
+    ]
+    lines.append("")
+    lines.append(
+        f"{'pid':>4} {'faults':>7} {'service_ns':>14} {'modes':<28} "
+        f"{'windows':>8} {'paid-off':>9} {'wasted':>7} {'stolen_ns':>12}"
+    )
+    critical_pid = None
+    if result is not None:
+        critical_pid = max(
+            result.processes, key=lambda p: p.finish_time_ns
+        ).pid
+    for pid in sorted(by_pid):
+        chain = by_pid[pid]
+        service = sum(r["service_ns"] or 0 for r in chain)
+        modes: dict[str, int] = {}
+        for row in chain:
+            modes[row["mode"]] = modes.get(row["mode"], 0) + 1
+        mode_text = " ".join(
+            f"{mode}={count}" for mode, count in sorted(modes.items())
+        )
+        wins = win_by_pid.get(pid, [])
+        paid = sum(1 for w in wins if w["paid_off"])
+        stolen_ns = sum(w["window_ns"] for w in wins)
+        mark = "*" if pid == critical_pid else " "
+        lines.append(
+            f"{pid:>3}{mark} {len(chain):>7} {service:>14,} {mode_text:<28} "
+            f"{len(wins):>8} {paid:>9} {len(wins) - paid:>7} {stolen_ns:>12,}"
+        )
+    if critical_pid is not None:
+        lines.append("")
+        lines.append(
+            f"critical process: pid {critical_pid} (last finisher; the "
+            f"makespan path runs through its fault chain)"
+        )
+        longest = sorted(
+            (r for r in by_pid.get(critical_pid, []) if r["service_ns"]),
+            key=lambda r: r["service_ns"],
+            reverse=True,
+        )[:5]
+        for row in longest:
+            lines.append(
+                f"  fault @ {row['t_ns']:>12,} ns  vpn {row['vpn']:#x}  "
+                f"mode {row['mode']:<9} service {row['service_ns']:>10,} ns"
+            )
+    if unresolved:
+        lines.append("")
+        lines.append("UNRESOLVED faults (no resume recorded):")
+        for fault in unresolved[:10]:
+            lines.append(
+                f"  fault @ {fault.t_ns:,} ns pid {fault.pid} vpn {fault.vpn:#x}"
+            )
+    return "\n".join(lines)

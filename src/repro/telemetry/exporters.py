@@ -226,7 +226,7 @@ def render_stats_report(telemetry: "Telemetry", *, title: str = "telemetry") -> 
     parts.append("span latency (virtual ns):")
     parts.append(render_span_table(telemetry.tracer))
     parts.append("")
-    parts.append(telemetry.registry.render_report())
+    parts.append(telemetry.registry.render_section_report())
     if telemetry.tracer.dropped:
         parts.append("")
         parts.append(

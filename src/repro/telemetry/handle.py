@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
+from repro.telemetry.causal import CausalGraph
+from repro.telemetry.ledger import TimeLedger
 from repro.telemetry.registry import (
     DEFAULT_LATENCY_BOUNDS_NS,
     Counter,
@@ -36,6 +38,10 @@ from repro.telemetry.spans import SpanTracer
 if TYPE_CHECKING:
     from repro.sim.eventlog import EventLog
 
+_CORE_TRACKS = frozenset({"cpu", "its"})
+"""Tracks that are core-local under SMP (``dma`` is a shared controller
+and ``events`` is the run-wide marker lane; both stay unsplit)."""
+
 
 class Telemetry:
     """Registry + span tracer + event log, under one optional handle.
@@ -43,6 +49,12 @@ class Telemetry:
     ``events=False`` drops the embedded event log (spans and metrics
     only); ``event_capacity``/``span_capacity`` bound memory use on long
     runs exactly like :class:`~repro.sim.eventlog.EventLog` does.
+    ``ledger=True`` attaches a :class:`~repro.telemetry.ledger
+    .TimeLedger` (every nanosecond attributed, conservation-audited at
+    end of run); ``causal=True`` attaches a :class:`~repro.telemetry
+    .causal.CausalGraph` (parent-linked fault lifecycles).  Both default
+    off so an ordinary telemetry run's output is unchanged and the
+    detached (``telemetry=None``) path stays zero-cost.
     """
 
     def __init__(
@@ -51,11 +63,16 @@ class Telemetry:
         registry: Optional[MetricRegistry] = None,
         tracer: Optional[SpanTracer] = None,
         events: bool = True,
+        ledger: bool = False,
+        causal: bool = False,
         event_capacity: int = 100_000,
         span_capacity: int = 1_000_000,
     ) -> None:
         self.registry = registry if registry is not None else MetricRegistry()
         self.tracer = tracer if tracer is not None else SpanTracer(span_capacity)
+        self.ledger: Optional[TimeLedger] = TimeLedger() if ledger else None
+        self.causal: Optional[CausalGraph] = CausalGraph() if causal else None
+        self._core_of: Optional[Callable[[], int]] = None
         self.event_log: Optional["EventLog"] = None
         if events:
             # Imported lazily: the telemetry package must stay importable
@@ -70,6 +87,21 @@ class Telemetry:
     def bind_clock(self, clock: Callable[[], int]) -> None:
         """Point the span tracer at the run's virtual clock."""
         self.tracer.bind_clock(clock)
+
+    def bind_core(self, core_of: Callable[[], int]) -> None:
+        """Attach the active-core reader (SMP runs only).
+
+        Once bound, spans on core-local tracks are recorded on
+        ``cpu.core{i}`` / ``its.core{i}`` so each core gets its own row
+        (and tid) in the exported Chrome/Perfetto trace instead of all
+        cores interleaving on one lane.
+        """
+        self._core_of = core_of
+
+    def _resolve_track(self, track: str) -> str:
+        if self._core_of is not None and track in _CORE_TRACKS:
+            return f"{track}.core{self._core_of()}"
+        return track
 
     # -- registry shortcuts --------------------------------------------------
 
@@ -100,7 +132,10 @@ class Telemetry:
         args: Optional[dict] = None,
     ) -> None:
         """Record a completed span (see :meth:`SpanTracer.record`)."""
-        self.tracer.record(name, start_ns, end_ns, track=track, pid=pid, args=args)
+        self.tracer.record(
+            name, start_ns, end_ns,
+            track=self._resolve_track(track), pid=pid, args=args,
+        )
 
     def instant(
         self,
@@ -112,7 +147,9 @@ class Telemetry:
         args: Optional[dict] = None,
     ) -> None:
         """Record a zero-width marker (see :meth:`SpanTracer.instant`)."""
-        self.tracer.instant(name, ts_ns, track=track, pid=pid, args=args)
+        self.tracer.instant(
+            name, ts_ns, track=self._resolve_track(track), pid=pid, args=args
+        )
 
     def span(
         self,
@@ -124,7 +161,9 @@ class Telemetry:
     ):
         """Nestable context manager on the virtual clock (see
         :meth:`SpanTracer.span`)."""
-        return self.tracer.span(name, track=track, pid=pid, args=args)
+        return self.tracer.span(
+            name, track=self._resolve_track(track), pid=pid, args=args
+        )
 
     # -- event-log adapter ---------------------------------------------------
 

@@ -1,0 +1,220 @@
+"""The time-attribution ledger: where every simulated nanosecond went.
+
+The paper's argument is an accounting claim — the busy-wait window of a
+synchronous page fault is CPU idle time that ITS can *steal* — so the
+simulator should be able to answer "where did every nanosecond go?"
+exactly, not just through coarse idle counters.  :class:`TimeLedger`
+attributes every nanosecond of every core's clock to exactly one of
+eight categories:
+
+========================  ====================================================
+category                  meaning
+========================  ====================================================
+``run``                   committed instruction execution (incl. DRAM stalls)
+                          and page-fault handler software time
+``idle``                  nothing runnable and no attributable wait reason
+``spin_wait``             synchronous busy-wait on a demand swap-in
+``stolen_run``            ITS kernel-thread work inside a stolen window
+                          (entry, checkpoint, prefetch walk, pre-execution,
+                          register restore)
+``ctx_switch``            context-switch and cross-core migration overhead
+``tlb_shootdown``         cross-core TLB-shootdown IPI servicing
+``dma_wait``              core idle with demand/prefetch DMA in flight
+``demoted_wait``          core idle while a demoted (blocked) fault waits
+                          out its tail latency
+========================  ====================================================
+
+Cells are keyed ``(core, pid, category)`` — ``pid=None`` marks time not
+attributable to a process (idle, IPIs) — so both the per-core and the
+per-process breakdown come from the same single-writer structure.  The
+**conservation law** is the whole point: after a run,
+
+    ``sum(every cell) == makespan_ns × cores``
+
+and per core, ``sum(core's cells) == makespan_ns``.  :meth:`audit`
+checks both and raises :class:`~repro.common.errors.SimulationError`
+on any leak; the simulator audits automatically at the end of every
+ledger-attached run, and the integration suite runs it across all five
+paper policies at 1, 2 and 4 cores.
+
+The ledger is opt-in (``Telemetry(ledger=True)``) and every charge site
+guards on ``None``, so detached runs and ordinary telemetry runs pay
+nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import SimulationError
+
+CATEGORIES: tuple[str, ...] = (
+    "run",
+    "idle",
+    "spin_wait",
+    "stolen_run",
+    "ctx_switch",
+    "tlb_shootdown",
+    "dma_wait",
+    "demoted_wait",
+)
+"""The eight mutually exclusive, collectively exhaustive time categories."""
+
+_CATEGORY_SET = frozenset(CATEGORIES)
+
+
+class TimeLedger:
+    """Per-(core, pid, category) nanosecond accounting with a
+    conservation audit."""
+
+    def __init__(self) -> None:
+        self._cells: dict[tuple[int, Optional[int], str], int] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def charge(
+        self, core: int, pid: Optional[int], category: str, ns: int
+    ) -> None:
+        """Attribute *ns* nanoseconds on *core* to (*pid*, *category*).
+
+        ``pid=None`` books time no process owns (idle gaps, IPI
+        servicing).  Zero-length charges are dropped; negative ones are
+        accounting bugs and raise.
+        """
+        if ns == 0:
+            return
+        if ns < 0:
+            raise SimulationError(
+                f"ledger charge of {ns} ns ({category!r}, core {core}, "
+                f"pid {pid}) is negative"
+            )
+        if category not in _CATEGORY_SET:
+            raise SimulationError(f"unknown ledger category {category!r}")
+        key = (core, pid, category)
+        self._cells[key] = self._cells.get(key, 0) + ns
+
+    # -- queries -------------------------------------------------------------
+
+    def total_ns(self) -> int:
+        """Every nanosecond the ledger has attributed, summed."""
+        return sum(self._cells.values())
+
+    def by_category(self) -> dict[str, int]:
+        """Category -> total ns across all cores and processes."""
+        out = {category: 0 for category in CATEGORIES}
+        for (_core, _pid, category), ns in self._cells.items():
+            out[category] += ns
+        return out
+
+    def by_core(self) -> dict[int, dict[str, int]]:
+        """Core -> {category -> ns} (every category present, sorted keys)."""
+        cores = sorted({core for core, _pid, _cat in self._cells})
+        out = {core: {category: 0 for category in CATEGORIES} for core in cores}
+        for (core, _pid, category), ns in self._cells.items():
+            out[core][category] += ns
+        return out
+
+    def by_process(self) -> dict[Optional[int], dict[str, int]]:
+        """Pid -> {category -> ns}; the ``None`` row is unattributed time."""
+        pids = sorted(
+            {pid for _core, pid, _cat in self._cells if pid is not None}
+        )
+        keys: list[Optional[int]] = list(pids)
+        if any(pid is None for _core, pid, _cat in self._cells):
+            keys.append(None)
+        out: dict[Optional[int], dict[str, int]] = {
+            pid: {category: 0 for category in CATEGORIES} for pid in keys
+        }
+        for (_core, pid, category), ns in self._cells.items():
+            out[pid][category] += ns
+        return out
+
+    def core_total_ns(self, core: int) -> int:
+        """Every nanosecond attributed on one core."""
+        return sum(
+            ns for (c, _pid, _cat), ns in self._cells.items() if c == core
+        )
+
+    # -- the conservation law ------------------------------------------------
+
+    def audit(self, makespan_ns: int, cores: int) -> None:
+        """Assert the conservation law; raise on any leaked or invented time.
+
+        Checks both the machine-wide identity
+        ``total == makespan × cores`` and the per-core identity
+        ``core total == makespan`` (the latter subsumes the former but
+        pinpoints the leaking core in the error message).
+        """
+        for core in range(cores):
+            core_total = self.core_total_ns(core)
+            if core_total != makespan_ns:
+                breakdown = ", ".join(
+                    f"{cat}={ns}"
+                    for cat, ns in sorted(self.by_core().get(core, {}).items())
+                    if ns
+                )
+                raise SimulationError(
+                    f"time-ledger conservation violated on core {core}: "
+                    f"attributed {core_total} ns != makespan {makespan_ns} ns "
+                    f"(delta {core_total - makespan_ns:+d} ns; {breakdown})"
+                )
+        total = self.total_ns()
+        if total != makespan_ns * cores:
+            raise SimulationError(
+                f"time-ledger conservation violated: attributed {total} ns "
+                f"!= makespan {makespan_ns} ns x {cores} cores"
+            )
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, makespan_ns: int, cores: int) -> str:
+        """The ``repro ledger`` breakdown table (the Fig. 4 implication:
+        one row per category, one column per core, plus the per-process
+        split)."""
+        per_core = self.by_core()
+        for core in range(cores):
+            per_core.setdefault(core, {cat: 0 for cat in CATEGORIES})
+        totals = self.by_category()
+        grand = makespan_ns * cores
+        name_w = max(len(c) for c in CATEGORIES)
+        core_w = max(12, len(f"{makespan_ns:,}") + 1)
+        lines = [
+            f"time ledger: {cores} core(s), makespan {makespan_ns:,} ns",
+            "",
+            (
+                f"{'category':<{name_w}}  "
+                + "".join(f"{f'core{i}':>{core_w}} " for i in range(cores))
+                + f"{'total':>{core_w}} {'share':>7}"
+            ),
+        ]
+        for category in CATEGORIES:
+            share = 100 * totals[category] / grand if grand else 0.0
+            lines.append(
+                f"{category:<{name_w}}  "
+                + "".join(
+                    f"{per_core[i][category]:>{core_w},} " for i in range(cores)
+                )
+                + f"{totals[category]:>{core_w},} {share:>6.1f}%"
+            )
+        lines.append(
+            f"{'total':<{name_w}}  "
+            + "".join(
+                f"{self.core_total_ns(i):>{core_w},} " for i in range(cores)
+            )
+            + f"{self.total_ns():>{core_w},} {100.0 if grand else 0.0:>6.1f}%"
+        )
+        per_process = self.by_process()
+        if per_process:
+            lines.append("")
+            lines.append("per-process (ns; pid '-' is unattributed time):")
+            lines.append(
+                f"{'pid':>4}  "
+                + "".join(f"{category:>{core_w}} " for category in CATEGORIES)
+            )
+            for pid, row in per_process.items():
+                label = "-" if pid is None else str(pid)
+                lines.append(
+                    f"{label:>4}  "
+                    + "".join(f"{row[cat]:>{core_w},} " for cat in CATEGORIES)
+                )
+        return "\n".join(lines)

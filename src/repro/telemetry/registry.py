@@ -225,16 +225,21 @@ class MetricRegistry:
                 out[instrument.name] = instrument.value
         return out
 
-    def render_report(self) -> str:
-        """Human-readable text report, grouped by dotted-name prefix."""
-        counters = [i for i in self if isinstance(i, Counter)]
-        gauges = [i for i in self if isinstance(i, Gauge)]
-        histograms = [i for i in self if isinstance(i, Histogram)]
+    @staticmethod
+    def _render_instruments(
+        instruments: Sequence["Counter | Gauge | Histogram"],
+    ) -> list[str]:
+        """Render a group of instruments: scalars block, then the
+        histogram table.  Sorted by name within each block."""
+        counters_gauges = [
+            i for i in instruments if isinstance(i, (Counter, Gauge))
+        ]
+        histograms = [i for i in instruments if isinstance(i, Histogram)]
         lines: list[str] = []
-        if counters or gauges:
+        if counters_gauges:
             lines.append("scalars:")
-            width = max(len(i.name) for i in (*counters, *gauges))
-            for inst in sorted((*counters, *gauges), key=lambda i: i.name):
+            width = max(len(i.name) for i in counters_gauges)
+            for inst in sorted(counters_gauges, key=lambda i: i.name):
                 value = inst.value
                 rendered = f"{value:g}" if isinstance(value, float) else str(value)
                 lines.append(f"  {inst.name:<{width}}  {rendered}")
@@ -248,10 +253,35 @@ class MetricRegistry:
                 f"{'p50':>12} {'p95':>12} {'p99':>12} {'max':>12}"
             )
             lines.append(header)
-            for hist in histograms:
+            for hist in sorted(histograms, key=lambda h: h.name):
                 lines.append(
                     f"  {hist.name:<{width}}  {hist.count:>8} {hist.mean:>12.1f} "
                     f"{hist.percentile(50):>12.1f} {hist.percentile(95):>12.1f} "
                     f"{hist.percentile(99):>12.1f} {(hist.max or 0):>12.1f}"
                 )
+        return lines
+
+    def render_report(self) -> str:
+        """Human-readable text report: all instruments, sorted by name."""
+        lines = self._render_instruments(list(self))
         return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def render_section_report(self) -> str:
+        """Like :meth:`render_report`, but grouped into sections by the
+        top-level dotted prefix (``fault.*``, ``its.*``, ``adaptive.*``,
+        ``cores.*``, ...), each section sorted internally.  The section
+        order and every line within it are deterministic, so reports
+        from identical runs diff clean."""
+        sections: dict[str, list[Counter | Gauge | Histogram]] = {}
+        for instrument in self:
+            prefix = instrument.name.split(".", 1)[0]
+            sections.setdefault(prefix, []).append(instrument)
+        if not sections:
+            return "(no metrics recorded)"
+        lines: list[str] = []
+        for prefix in sorted(sections):
+            if lines:
+                lines.append("")
+            lines.append(f"[{prefix}]")
+            lines.extend(self._render_instruments(sections[prefix]))
+        return "\n".join(lines)

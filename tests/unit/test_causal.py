@@ -1,0 +1,209 @@
+"""Unit tests for the causal event graph."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.telemetry import CausalGraph, render_path_report
+
+
+class TestRecording:
+    def test_ids_are_creation_order(self):
+        g = CausalGraph()
+        assert g.add("fault", 10, pid=1) == 0
+        assert g.add("dma_issue", 20, pid=1, parent=0) == 1
+        assert len(g) == 2
+
+    def test_forward_parent_rejected(self):
+        g = CausalGraph()
+        with pytest.raises(SimulationError, match="does not\\s+precede"):
+            g.add("fault", 0, parent=3)
+
+    def test_acyclic_by_construction(self):
+        g = CausalGraph()
+        a = g.add("fault", 0)
+        g.add("resume", 5, parent=a)
+        g.check_acyclic()  # no raise
+
+    def test_args_payload_stored(self):
+        g = CausalGraph()
+        nid = g.add("steal", 7, pid=2, window_ns=123)
+        assert g.nodes[nid].args == {"window_ns": 123}
+
+
+class TestScopes:
+    def test_push_pop_parent(self):
+        g = CausalGraph()
+        root = g.add("sacrifice", 0, pid=1)
+        assert g.parent is None
+        g.push(root)
+        assert g.parent == root
+        g.pop()
+        assert g.parent is None
+
+    def test_under_context_manager(self):
+        g = CausalGraph()
+        root = g.add("steal", 0)
+        with g.under(root):
+            child = g.add("prefetch_issue", 1, parent=g.parent)
+        assert g.nodes[child].parent == root
+        assert g.parent is None
+
+    def test_open_fault_nests_under_scope(self):
+        g = CausalGraph()
+        sacrifice = g.add("sacrifice", 0, pid=1)
+        g.push(sacrifice)
+        fault = g.open_fault(1, 0x10, 5)
+        assert g.nodes[fault].parent == sacrifice
+        assert g.parent == fault  # fault opened its own scope
+        g.pop()
+        g.pop()
+
+    def test_decision_beats_scope_as_fault_parent(self):
+        g = CausalGraph()
+        scope = g.add("sacrifice", 0, pid=1)
+        g.push(scope)
+        decision = g.add("decision", 1, pid=1, mode="steal")
+        g.note_decision(1, decision)
+        fault = g.open_fault(1, 0x10, 2)
+        assert g.nodes[fault].parent == decision
+        g.pop()
+        g.pop()
+
+
+class TestHandoffs:
+    def test_unblock_take_and_peek(self):
+        g = CausalGraph()
+        fault = g.open_fault(1, 0x10, 0)
+        g.pop()
+        unblock = g.add("unblock", 50, pid=1, parent=fault)
+        g.note_unblock(1, unblock)
+        assert g.peek_unblock(1) == unblock
+        assert g.take_unblock(1) == unblock
+        assert g.take_unblock(1) is None
+
+    def test_prefetch_handoff_is_keyed_by_pid_vpn(self):
+        g = CausalGraph()
+        issue = g.add("prefetch_issue", 0, pid=1, vpn=0x20)
+        g.note_prefetch(1, 0x20, issue)
+        assert g.take_prefetch(1, 0x21) is None
+        assert g.take_prefetch(1, 0x20) == issue
+
+    def test_fault_of_tracks_latest(self):
+        g = CausalGraph()
+        first = g.open_fault(1, 0x10, 0)
+        g.pop()
+        second = g.open_fault(1, 0x11, 5)
+        g.pop()
+        assert first != second
+        assert g.fault_of(1) == second
+        assert g.fault_of(9) is None
+
+
+class TestAnalysis:
+    def _sync_fault(self, g, pid, vpn, t, service):
+        fault = g.open_fault(pid, vpn, t)
+        g.add("dma_issue", t + 1, pid=pid, vpn=vpn, parent=g.parent)
+        g.pop()
+        g.add("resume", t + service, pid=pid, parent=fault)
+        return fault
+
+    def test_unresolved_faults(self):
+        g = CausalGraph()
+        self._sync_fault(g, 1, 0x10, 0, 100)
+        dangling = g.open_fault(1, 0x11, 200)
+        g.pop()
+        assert [n.id for n in g.unresolved_faults()] == [dangling]
+
+    def test_fault_chain_sorted_with_service(self):
+        g = CausalGraph()
+        self._sync_fault(g, 1, 0x11, 500, 80)
+        self._sync_fault(g, 1, 0x10, 100, 40)
+        chain = g.fault_chain(1)
+        assert [row["t_ns"] for row in chain] == [100, 500]
+        assert [row["service_ns"] for row in chain] == [40, 80]
+        assert all(row["mode"] == "sync" for row in chain)
+
+    def test_fault_mode_classification(self):
+        g = CausalGraph()
+        # steal
+        steal_fault = g.open_fault(1, 0x10, 0)
+        g.add("steal", 1, pid=1, parent=g.parent)
+        g.pop()
+        g.add("resume", 9, pid=1, parent=steal_fault)
+        # demote wins over steal
+        demote_fault = g.open_fault(1, 0x11, 10)
+        g.add("demote", 11, pid=1, parent=g.parent)
+        g.pop()
+        g.add("resume", 19, pid=1, parent=demote_fault)
+        # async: unblock then resume
+        async_fault = g.open_fault(2, 0x12, 20)
+        g.pop()
+        unblock = g.add("unblock", 25, pid=2, parent=async_fault)
+        g.add("resume", 26, pid=2, parent=unblock)
+        # sacrifice: the parent marks it
+        sacrifice = g.add("sacrifice", 30, pid=3)
+        g.push(sacrifice)
+        sac_fault = g.open_fault(3, 0x13, 31)
+        g.pop()
+        g.pop()
+        sac_unblock = g.add("unblock", 39, pid=3, parent=sac_fault)
+        g.add("resume", 40, pid=3, parent=sac_unblock)
+        modes = {
+            steal_fault: "steal",
+            demote_fault: "demote",
+            async_fault: "async",
+            sac_fault: "sacrifice",
+        }
+        for fault_id, expected in modes.items():
+            assert g.fault_mode(g.nodes[fault_id]) == expected
+
+    def test_steal_window_payoff(self):
+        g = CausalGraph()
+        fault = g.open_fault(1, 0x10, 0)
+        steal = g.add("steal", 1, pid=1, parent=g.parent, window_ns=100)
+        with g.under(steal):
+            # useful: installed, page never faults again
+            good = g.add("prefetch_issue", 2, pid=1, vpn=0x20, parent=g.parent)
+            # wasted: never installed
+            bad = g.add("prefetch_issue", 3, pid=1, vpn=0x21, parent=g.parent)
+        g.add("prefetch_done", 50, pid=1, vpn=0x20, parent=good, installed=True)
+        g.add("prefetch_done", 51, pid=1, vpn=0x21, parent=bad, installed=False)
+        g.pop()
+        g.add("resume", 60, pid=1, parent=fault)
+        (row,) = g.steal_windows()
+        assert row["prefetches_issued"] == 2
+        assert row["prefetches_installed"] == 1
+        assert row["prefetches_useful"] == 1
+        assert row["paid_off"] is True
+
+    def test_steal_window_wasted_when_page_faults_again(self):
+        g = CausalGraph()
+        fault = g.open_fault(1, 0x10, 0)
+        steal = g.add("steal", 1, pid=1, parent=g.parent, window_ns=100)
+        with g.under(steal):
+            issue = g.add("prefetch_issue", 2, pid=1, vpn=0x20, parent=g.parent)
+        g.add("prefetch_done", 50, pid=1, vpn=0x20, parent=issue, installed=True)
+        g.pop()
+        g.add("resume", 60, pid=1, parent=fault)
+        # The prefetched page major-faults again later: no payoff.
+        refault = g.open_fault(1, 0x20, 200)
+        g.pop()
+        g.add("resume", 300, pid=1, parent=refault)
+        rows = g.steal_windows()
+        assert rows[0]["paid_off"] is False
+
+
+class TestRenderPathReport:
+    def test_empty_graph(self):
+        assert "no faults" in render_path_report(CausalGraph())
+
+    def test_report_lists_pids_and_unresolved(self):
+        g = CausalGraph()
+        fault = g.open_fault(1, 0x10, 0)
+        g.pop()
+        g.add("resume", 40, pid=1, parent=fault)
+        g.open_fault(2, 0x11, 5)
+        g.pop()
+        text = render_path_report(g)
+        assert "2 faults" in text and "1 unresolved" in text
+        assert "UNRESOLVED" in text

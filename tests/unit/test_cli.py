@@ -379,3 +379,74 @@ class TestFiguresCSVExport:
         assert (out / "fig4a.csv").exists()
         text = (out / "fig4a.csv").read_text()
         assert "policy," in text and "ITS" in text
+
+
+class TestObservabilityVerbs:
+    def test_ledger_prints_conservation(self, capsys):
+        code = main(["ledger", "--policy", "ITS", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "time ledger" in out
+        assert "spin_wait" in out and "stolen_run" in out
+        assert "conservation:" in out
+
+    def test_ledger_smp_has_core_columns(self, capsys):
+        code = main(
+            ["ledger", "--policy", "Async", "--scale", "0.1", "--cores", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "core0" in out and "core1" in out
+
+    def test_path_prints_fault_chains(self, capsys):
+        code = main(["path", "--policy", "ITS", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "causal fault graph" in out
+        assert "0 unresolved" in out
+        assert "critical process" in out
+
+    def test_bench_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.repeats == 3
+        assert args.scale == 0.1
+        assert args.threshold == 1.5
+        assert args.hard_threshold == 2.0
+        assert not args.check and not args.update_baseline
+
+    def test_bench_writes_report(self, capsys, tmp_path, monkeypatch):
+        import repro.analysis.perf as perf
+
+        monkeypatch.setattr(
+            perf, "BENCH_CASES", (perf.BenchCase("single_core", "Sync"),)
+        )
+        code = main(
+            ["bench", "--repeats", "1", "--scale", "0.01",
+             "--out", str(tmp_path),
+             "--baseline", str(tmp_path / "missing.json")]
+        )
+        assert code == 0
+        written = list(tmp_path.glob("BENCH_*.json"))
+        assert len(written) == 1
+        assert "records/s" in capsys.readouterr().out
+
+    def test_bench_check_fails_on_hard_regression(self, capsys, tmp_path, monkeypatch):
+        import json as _json
+
+        import repro.analysis.perf as perf
+
+        monkeypatch.setattr(
+            perf, "BENCH_CASES", (perf.BenchCase("single_core", "Sync"),)
+        )
+        baseline = tmp_path / "base.json"
+        baseline.write_text(
+            _json.dumps(
+                {"cases": [{"name": "single_core", "wall_s": 1e-9}]}
+            )
+        )
+        code = main(
+            ["bench", "--check", "--repeats", "1", "--scale", "0.01",
+             "--out", str(tmp_path), "--baseline", str(baseline)]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
