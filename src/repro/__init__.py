@@ -35,11 +35,13 @@ from repro.common import (
     PCIeConfig,
     ReproError,
     SchedulerConfig,
+    ServingConfig,
     SimulationError,
     TLBConfig,
     TraceError,
     with_adaptive,
     with_cores,
+    with_serving,
 )
 from repro.faults import (
     FAULT_PROFILES,
@@ -67,6 +69,7 @@ from repro.sim import (
     batch_names,
     build_batch,
 )
+from repro.serving import Request, RequestRecord, ServingSummary, SLO
 from repro.telemetry import Telemetry
 from repro.trace import WORKLOADS, build_workload, workload_names
 from repro.vm import VMA, AddressSpace
@@ -89,6 +92,8 @@ __all__ = [
     "with_adaptive",
     "CoreConfig",
     "with_cores",
+    "ServingConfig",
+    "with_serving",
     # faults
     "FAULT_PROFILES",
     "FaultInjector",
@@ -119,6 +124,11 @@ __all__ = [
     "PAPER_BATCHES",
     "batch_names",
     "build_batch",
+    # serving
+    "Request",
+    "RequestRecord",
+    "ServingSummary",
+    "SLO",
     # telemetry
     "Telemetry",
     # traces

@@ -13,7 +13,17 @@ from repro.analysis.results import (
     average_results,
     normalize_series,
 )
-from repro.analysis.tables import render_series_table, render_result_summary
+from repro.analysis.tables import (
+    render_series_table,
+    render_serving_table,
+    render_result_summary,
+)
+from repro.analysis.serving import (
+    ServingRow,
+    row_from_result,
+    run_serving_sweep,
+    serving_headline,
+)
 from repro.analysis.charts import render_bar_chart, render_sparkline
 from repro.analysis.store import (
     load_results,
@@ -91,7 +101,12 @@ __all__ = [
     "average_results",
     "normalize_series",
     "render_series_table",
+    "render_serving_table",
     "render_result_summary",
+    "ServingRow",
+    "row_from_result",
+    "run_serving_sweep",
+    "serving_headline",
     "render_bar_chart",
     "render_sparkline",
     "save_results",

@@ -81,6 +81,23 @@ def run_batch_policy(
         config = dataclasses.replace(
             config, cores=dataclasses.replace(config.cores, count=cores)
         )
+    if config.serving.enabled:
+        # Open-loop serving cell: the batch is a workload *mix* that
+        # requests draw from, not a fixed six-process roster.
+        from repro.serving.schedule import build_request_load
+
+        workloads, requests = build_request_load(
+            config, batch_name, seed=seed, scale=scale
+        )
+        return Simulation(
+            config,
+            workloads,
+            factory(),
+            batch_name=batch_name,
+            event_log=event_log,
+            telemetry=telemetry,
+            requests=requests,
+        ).run()
     workloads = build_batch(batch_name, seed=seed, scale=scale, config=config)
     return Simulation(
         config,

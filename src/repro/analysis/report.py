@@ -105,6 +105,8 @@ def generate_report(
 
     write(_fault_latency_section(config, seed=seeds[0], scale=scale))
 
+    write(_serving_section(config, seed=seeds[0], workers=workers, cache=cache))
+
     write(
         "---\nSee EXPERIMENTS.md for paper-vs-measured discussion and the "
         "documented deviations.\n"
@@ -149,6 +151,63 @@ def _fault_latency_section(
             f"{snap['p95']:.0f} | {snap['p99']:.0f} | {snap['mean']:.0f} |\n"
         )
     out.write("\n")
+    return out.getvalue()
+
+
+def _serving_section(
+    config: MachineConfig,
+    *,
+    seed: int,
+    workers: int = 1,
+    cache=None,
+    rates: Sequence[float] = (500.0, 2000.0),
+    batch: str = "1_Data_Intensive",
+    serving_scale: float = 0.1,
+) -> str:
+    """Open-loop latency under Poisson load (the serving layer's view).
+
+    Unlike the figure sections this one runs at a fixed small trace
+    scale: the point is the *relative* latency/attainment shape across
+    policies and offered rates, and a fixed scale keeps report time
+    bounded.  ``repro serve`` exposes the full parameter space.
+    """
+    from repro.analysis.serving import run_serving_sweep
+    from repro.common.config import with_serving
+
+    serving = config.serving if config.serving.enabled else None
+    slo_ms = serving.slo_ms if serving else 2.0
+    base = config if serving else with_serving(config, slo_ms=slo_ms)
+
+    rows = run_serving_sweep(
+        base,
+        rates=rates,
+        batch=batch,
+        seed=seed,
+        scale=serving_scale,
+        workers=workers,
+        cache=cache,
+    )
+    out = io.StringIO()
+    out.write(f"## Open-loop serving latency ({batch}, seed {seed})\n\n")
+    out.write(
+        f"Poisson arrivals, trace scale {serving_scale}, SLO p99 <= "
+        f"{slo_ms:g} ms.  Request latency is arrival to finish "
+        "(queueing included); attainment counts drops against the SLO.\n\n"
+    )
+    for rate in sorted(rows):
+        out.write(f"### {rate:g} req/s\n\n")
+        out.write(
+            "| policy | arrivals | completed | p50 | p95 | p99 | attainment | SLO |\n"
+            "|---|---|---|---|---|---|---|---|\n"
+        )
+        for row in rows[rate]:
+            fmt = lambda v: format_time_ns(v) if v is not None else "-"
+            out.write(
+                f"| {row.policy} | {row.arrivals} | {row.completed} | "
+                f"{fmt(row.p50_ns)} | {fmt(row.p95_ns)} | {fmt(row.p99_ns)} | "
+                f"{row.attainment:.3f} | {'met' if row.slo_met else 'MISS'} |\n"
+            )
+        out.write("\n")
     return out.getvalue()
 
 

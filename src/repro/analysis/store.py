@@ -34,10 +34,37 @@ FORMAT_VERSION = 1
 
 
 def result_to_dict(result: SimulationResult) -> dict:
-    """Encode a result as a JSON-compatible dict."""
+    """Encode a result as a JSON-compatible dict.
+
+    The ``serving`` field is omitted while ``None`` (closed-loop runs),
+    so every payload written before the serving layer existed — and
+    every closed-loop payload written after — is byte-identical; old
+    readers never see the key and new readers default it.
+    """
     payload = dataclasses.asdict(result)
+    if payload.get("serving") is None:
+        del payload["serving"]
     payload["_format"] = FORMAT_VERSION
     return payload
+
+
+def _serving_from_dict(data: dict | None):
+    """Decode the optional serving summary (``None`` when absent)."""
+    if data is None:
+        return None
+    from repro.serving.request import RequestRecord, ServingSummary
+
+    try:
+        return ServingSummary(
+            arrival=data["arrival"],
+            rate_per_s=data["rate_per_s"],
+            duration_ns=data["duration_ns"],
+            slo_target_ns=data["slo_target_ns"],
+            slo_percentile=data["slo_percentile"],
+            requests=[RequestRecord(**r) for r in data["requests"]],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed serving payload: {exc}") from exc
 
 
 def result_from_dict(data: dict) -> SimulationResult:
@@ -64,6 +91,7 @@ def result_from_dict(data: dict) -> SimulationResult:
             preexec_instructions=data["preexec_instructions"],
             preexec_lines_warmed=data["preexec_lines_warmed"],
             instructions_committed=data["instructions_committed"],
+            serving=_serving_from_dict(data.get("serving")),
         )
     except (KeyError, TypeError) as exc:
         raise ConfigError(f"malformed result payload: {exc}") from exc

@@ -6,7 +6,10 @@ plot; these helpers keep that output consistent and readable.
 
 from __future__ import annotations
 
+from typing import Mapping, Sequence
+
 from repro.analysis.results import FigureSeries
+from repro.analysis.serving import ServingRow
 from repro.common.units import format_time_ns
 from repro.sim.metrics import SimulationResult
 
@@ -32,6 +35,51 @@ def render_series_table(series: FigureSeries, *, precision: int = 2) -> str:
     for row in rows:
         lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def render_serving_table(rows: Mapping[float, Sequence[ServingRow]]) -> str:
+    """Render a serving sweep (rate -> rows per policy) as text tables.
+
+    One aligned block per offered rate: latency percentiles, SLO
+    attainment, and shedding counts per policy.  Latencies print as
+    ``-`` when no request completed at that cell.
+    """
+    def fmt_ns(value) -> str:
+        return format_time_ns(value) if value is not None else "-"
+
+    blocks = []
+    for rate in sorted(rows):
+        headers = [
+            "policy", "arrivals", "done", "drop", "defer", "demote",
+            "p50", "p95", "p99", "attain", "slo",
+        ]
+        body = [
+            [
+                row.policy,
+                str(row.arrivals),
+                str(row.completed),
+                str(row.dropped),
+                str(row.deferrals),
+                str(row.demoted),
+                fmt_ns(row.p50_ns),
+                fmt_ns(row.p95_ns),
+                fmt_ns(row.p99_ns),
+                f"{row.attainment:.3f}",
+                "met" if row.slo_met else "MISS",
+            ]
+            for row in rows[rate]
+        ]
+        widths = [
+            max(len(headers[col]), *(len(r[col]) for r in body)) if body else len(headers[col])
+            for col in range(len(headers))
+        ]
+        lines = [f"offered load {rate:g} req/s"]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
 
 
 def render_result_summary(result: SimulationResult) -> str:

@@ -14,6 +14,7 @@ Subcommands::
     repro tails        crossover shift under fault/tail-latency profiles
     repro adaptive     adaptive mode selection vs static policies
     repro cores        SMP core-count scaling per policy
+    repro serve        open-loop serving: arrivals, latency SLOs, admission
     repro workloads    list workloads and batches
     repro compare      diff two saved result files
     repro cache        result-cache statistics / clearing
@@ -55,8 +56,14 @@ from repro.analysis.store import load_results, save_results
 from repro.analysis.report import write_report
 from repro.analysis.sweeps import find_crossover, sweep_device_latency
 from repro.analysis.tables import render_result_summary, render_series_table
-from repro.common.config import MachineConfig, with_cores
-from repro.common.errors import ReproError
+from repro.common.config import (
+    ADMISSION_POLICIES,
+    ARRIVAL_PROCESSES,
+    MachineConfig,
+    with_cores,
+    with_serving,
+)
+from repro.common.errors import ConfigError, ReproError
 from repro.common.units import format_time_ns
 from repro.faults.profiles import (
     FAULT_PROFILES,
@@ -96,6 +103,31 @@ def _core_count(text: str) -> int:
     return count
 
 
+def _positive_float(text: str) -> float:
+    """Converter for flags that only make sense strictly positive
+    (``--scale``, ``--rate``, ``--slo-ms``, ...): rejected with a clean
+    one-line usage error instead of a downstream traceback."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid number {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value:g}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Converter for strictly positive integer flags (``--workers``,
+    ``--repeats``, ``--queue-cap``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {value}")
+    return value
+
+
 def _parse_seeds(text: str) -> tuple[int, ...]:
     try:
         return tuple(int(s) for s in text.split(","))
@@ -113,7 +145,7 @@ def _policy_name(text: str) -> str:
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--scale", type=float, default=1.0, help="trace length multiplier"
+        "--scale", type=_positive_float, default=1.0, help="trace length multiplier"
     )
     parser.add_argument(
         "--paper",
@@ -140,11 +172,106 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_serving(parser: argparse.ArgumentParser, *, sweep: bool) -> None:
+    """Serving-layer flags (``repro serve``; ``repro path --serve``).
+
+    ``sweep=True`` makes ``--rate`` accept several offered loads (the
+    serve verb sweeps them); ``sweep=False`` keeps it a single value.
+    """
+    parser.add_argument(
+        "--arrival",
+        choices=list(ARRIVAL_PROCESSES),
+        default="poisson",
+        help="arrival process (see docs/SERVING.md)",
+    )
+    if sweep:
+        parser.add_argument(
+            "--rate", type=_positive_float, nargs="+", default=[500.0, 2000.0, 4000.0],
+            metavar="REQ_PER_S", help="offered load(s) in requests/second",
+        )
+    else:
+        parser.add_argument(
+            "--rate", type=_positive_float, default=2000.0,
+            metavar="REQ_PER_S", help="offered load in requests/second",
+        )
+    parser.add_argument(
+        "--slo-ms", type=_positive_float, default=2.0,
+        help="latency SLO target in milliseconds (arrival to finish)",
+    )
+    parser.add_argument(
+        "--slo-percentile", type=float, default=0.99,
+        help="fraction of requests that must meet the target (0..1)",
+    )
+    parser.add_argument(
+        "--duration", type=_positive_float, default=40.0,
+        help="open-loop window in milliseconds of simulated time",
+    )
+    parser.add_argument(
+        "--admission",
+        choices=list(ADMISSION_POLICIES),
+        default="admit_all",
+        help="load-shedding hook applied at admission",
+    )
+    parser.add_argument(
+        "--queue-cap", type=_positive_int, default=None,
+        help="in-system request cap for drop/defer/demote admission",
+    )
+    parser.add_argument(
+        "--arrival-trace", metavar="FILE", default=None,
+        help="timestamp file for --arrival trace (ns; JSON array or one per line)",
+    )
+
+
+def _load_arrival_trace(path: str) -> tuple[int, ...]:
+    """Read replayed arrival timestamps: a JSON array, or whitespace-
+    separated integers (ns since window start)."""
+    from pathlib import Path
+
+    try:
+        text = Path(path).read_text(encoding="utf-8").strip()
+    except OSError as exc:
+        raise ConfigError(f"cannot read arrival trace {path}: {exc}") from exc
+    if not text:
+        raise ConfigError(f"arrival trace {path} is empty")
+    try:
+        if text.startswith("["):
+            values = json.loads(text)
+        else:
+            values = text.split()
+        return tuple(int(v) for v in values)
+    except (ValueError, TypeError) as exc:
+        raise ConfigError(
+            f"arrival trace {path} must hold integer nanosecond timestamps: {exc}"
+        ) from exc
+
+
+def _serving_overrides(args: argparse.Namespace, *, rate: float) -> dict:
+    """Cross-validate the serving flags and build ``with_serving``
+    overrides (ConfigError -> one-line usage error via ``main``)."""
+    if args.arrival == "trace" and not args.arrival_trace:
+        raise ConfigError("--arrival trace requires --arrival-trace FILE")
+    if args.arrival != "trace" and args.arrival_trace:
+        raise ConfigError("--arrival-trace only applies with --arrival trace")
+    overrides = dict(
+        arrival=args.arrival,
+        rate_per_s=rate,
+        duration_ms=args.duration,
+        slo_ms=args.slo_ms,
+        slo_percentile=args.slo_percentile,
+        admission=args.admission,
+    )
+    if args.queue_cap is not None:
+        overrides["queue_cap"] = args.queue_cap
+    if args.arrival_trace:
+        overrides["arrivals_ns"] = _load_arrival_trace(args.arrival_trace)
+    return overrides
+
+
 def _add_exec(parser: argparse.ArgumentParser) -> None:
     """Execution-engine flags shared by the grid-shaped commands."""
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         help="simulate cells on a process pool of this size (1 = in-process)",
     )
@@ -311,6 +438,8 @@ def cmd_path(args: argparse.Namespace) -> int:
     from repro.telemetry import Telemetry, render_path_report
 
     config = _machine_config(args)
+    if args.serve:
+        config = with_serving(config, **_serving_overrides(args, rate=args.rate))
     telemetry = Telemetry(events=False, causal=True)
     result = run_batch_policy(
         config,
@@ -325,7 +454,49 @@ def cmd_path(args: argparse.Namespace) -> int:
     title = f"{args.policy} on {args.batch} (seed {args.seed}, scale {args.scale})"
     print(f"causal critical-path report: {title}")
     print(render_path_report(graph, result))
+    if result.serving is not None:
+        print()
+        print(_render_deadline_misses(result.serving))
     return 0
+
+
+def _render_deadline_misses(summary) -> str:
+    """Classify each SLO deadline miss: shed at admission, queued (wait
+    for a CPU dominated), or service (execution dominated)."""
+    misses = [r for r in summary.requests if r.deadline_missed]
+    lines = [
+        f"deadline misses: {len(misses)} of {summary.arrivals} requests "
+        f"(SLO {format_time_ns(summary.slo_target_ns)})"
+    ]
+    if not misses:
+        return lines[0]
+
+    def classify(r) -> str:
+        if r.finish_ns is None:
+            return "shed"
+        return "queued" if (r.queue_wait_ns or 0) >= (r.service_ns or 0) else "service"
+
+    census: dict[str, int] = {}
+    for r in misses:
+        census[classify(r)] = census.get(classify(r), 0) + 1
+    lines.append(
+        "  by cause: "
+        + ", ".join(f"{k}={census[k]}" for k in ("shed", "queued", "service") if k in census)
+        + "  (queued: waiting for a CPU; service: execution incl. faults)"
+    )
+    completed = [r for r in misses if r.finish_ns is not None]
+    worst = sorted(completed, key=lambda r: r.latency_ns, reverse=True)[:10]
+    if worst:
+        lines.append("  worst completed misses (latency = queue wait + service):")
+        for r in worst:
+            lines.append(
+                f"    rid={r.rid:<4d} {r.workload:<12s} [{classify(r):7s}] "
+                f"latency={format_time_ns(r.latency_ns)} = "
+                f"wait {format_time_ns(r.queue_wait_ns)} + "
+                f"service {format_time_ns(r.service_ns)}"
+                + (f"  ({r.deferrals} deferrals)" if r.deferrals else "")
+            )
+    return "\n".join(lines)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -598,6 +769,62 @@ def cmd_cores(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: open-loop serving sweep — latency percentiles
+    and SLO attainment per (policy, offered rate)."""
+    from repro.analysis.serving import run_serving_sweep, serving_headline
+    from repro.analysis.tables import render_serving_table
+
+    config = _machine_config(args)
+    rates = tuple(dict.fromkeys(args.rate))
+    overrides = _serving_overrides(args, rate=rates[0])
+    if args.arrival == "trace" and len(rates) > 1:
+        print(
+            "note: --arrival trace replays fixed timestamps; "
+            "sweeping --rate has no effect, using one point",
+            file=sys.stderr,
+        )
+        rates = rates[:1]
+    base = with_serving(config, **overrides)
+    cache, telemetry, progress = _make_exec(args)
+    rows = run_serving_sweep(
+        base,
+        rates=rates,
+        policies=tuple(args.policies),
+        batch=args.batch,
+        seed=args.seed,
+        scale=args.scale,
+        workers=args.workers,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
+    )
+    _print_exec_summary(args, cache, telemetry)
+    print(
+        f"open-loop serving: {args.arrival} arrivals, "
+        f"SLO p{args.slo_percentile * 100:g} <= {args.slo_ms:g} ms, "
+        f"window {args.duration:g} ms "
+        f"({args.batch}, seed {args.seed}, scale {args.scale:g}, "
+        f"admission {args.admission})"
+    )
+    print()
+    print(render_serving_table(rows))
+    head = serving_headline(rows)
+    if head is not None:
+        heaviest = max(rows)
+        if head.slo_met:
+            print(
+                f"\nheadline: {head.policy} holds the SLO at {heaviest:g} req/s "
+                f"(p99 {format_time_ns(head.p99_ns)})"
+            )
+        else:
+            print(
+                f"\nheadline: no policy meets the SLO at {heaviest:g} req/s; "
+                f"{head.policy} attains most ({head.attainment:.1%})"
+            )
+    return 0
+
+
 def cmd_workloads(args: argparse.Namespace) -> int:
     """``repro workloads``: list workloads, batches and policies."""
     print("workloads:")
@@ -762,6 +989,12 @@ def build_parser() -> argparse.ArgumentParser:
     path_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
     path_p.add_argument("--policy", type=_policy_name, choices=list(POLICY_FACTORIES), default="ITS")
     path_p.add_argument("--seed", type=int, default=1)
+    path_p.add_argument(
+        "--serve",
+        action="store_true",
+        help="run open-loop and classify SLO deadline misses (queued vs service)",
+    )
+    _add_serving(path_p, sweep=False)
     _add_common(path_p)
     path_p.set_defaults(func=cmd_path)
 
@@ -769,10 +1002,10 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="wall-clock perf suite with baseline regression check"
     )
     bench_p.add_argument(
-        "--repeats", type=int, default=3, help="timings per case (min is kept)"
+        "--repeats", type=_positive_int, default=3, help="timings per case (min is kept)"
     )
     bench_p.add_argument(
-        "--scale", type=float, default=0.1, help="trace length multiplier"
+        "--scale", type=_positive_float, default=0.1, help="trace length multiplier"
     )
     bench_p.add_argument(
         "--baseline",
@@ -825,7 +1058,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     cross_p = sub.add_parser("crossover", help="sync-vs-async latency sweep")
     cross_p.add_argument(
-        "--latencies", type=float, nargs="+", default=[1, 3, 7, 15, 30, 60, 100],
+        "--latencies", type=_positive_float, nargs="+", default=[1, 3, 7, 15, 30, 60, 100],
         help="device latencies in microseconds",
     )
     cross_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
@@ -838,7 +1071,7 @@ def build_parser() -> argparse.ArgumentParser:
         "tails", help="crossover shift under fault/tail-latency profiles"
     )
     tails_p.add_argument(
-        "--latencies", type=float, nargs="+", default=[1, 3, 7, 15, 30, 60, 100],
+        "--latencies", type=_positive_float, nargs="+", default=[1, 3, 7, 15, 30, 60, 100],
         help="device latencies in microseconds",
     )
     tails_p.add_argument(
@@ -856,7 +1089,7 @@ def build_parser() -> argparse.ArgumentParser:
         "adaptive", help="adaptive mode selection vs static policies"
     )
     adapt_p.add_argument(
-        "--latencies", type=float, nargs="+", default=[1, 3, 7, 15, 30, 60, 100],
+        "--latencies", type=_positive_float, nargs="+", default=[1, 3, 7, 15, 30, 60, 100],
         help="device latencies in microseconds",
     )
     adapt_p.add_argument(
@@ -892,6 +1125,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(cores_p)
     _add_exec(cores_p)
     cores_p.set_defaults(func=cmd_cores)
+
+    serve_p = sub.add_parser(
+        "serve", help="open-loop serving: arrivals, latency SLOs, admission"
+    )
+    serve_p.add_argument("--batch", choices=batch_names(), default="1_Data_Intensive")
+    serve_p.add_argument(
+        "--policies", nargs="+", type=_policy_name,
+        choices=list(POLICY_FACTORIES),
+        default=list(POLICY_FACTORIES),
+        help="policies to serve under (default: all, incl. Adaptive)",
+    )
+    serve_p.add_argument("--seed", type=int, default=1)
+    _add_serving(serve_p, sweep=True)
+    _add_common(serve_p)
+    _add_exec(serve_p)
+    serve_p.set_defaults(func=cmd_serve, scale=0.1)
 
     wl_p = sub.add_parser("workloads", help="list workloads, batches, policies")
     wl_p.set_defaults(func=cmd_workloads)

@@ -454,6 +454,178 @@ class AdaptiveConfig:
             raise ConfigError(f"malformed AdaptiveConfig dict: {exc}") from exc
 
 
+ARRIVAL_PROCESSES = ("poisson", "mmpp", "diurnal", "trace")
+"""Arrival-process families understood by :mod:`repro.serving`."""
+
+ADMISSION_POLICIES = ("admit_all", "drop", "defer", "demote")
+"""Admission/load-shedding policies understood by :mod:`repro.serving`."""
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Open-loop serving workload: request arrivals, SLOs, admission
+    (docs/SERVING.md).
+
+    The default instance (``enabled=False``) is the closed-loop legacy
+    mode — the whole batch is admitted at t=0 and runs to completion.
+    It deliberately serialises to *nothing* in
+    :meth:`MachineConfig.to_dict`, so configurations that never enable
+    serving keep their historical sweep-cache keys and bit-identical
+    results, exactly like :class:`FaultConfig`, :class:`AdaptiveConfig`
+    and :class:`CoreConfig`.
+
+    All stochastic draws (arrival times, per-request workload mix and
+    priorities) flow from ``seed`` mixed with the cell seed through
+    :class:`~repro.common.rng.DeterministicRNG`, so a request schedule
+    is reproducible from the config alone.
+    """
+
+    enabled: bool = False
+
+    # -- arrival process ------------------------------------------------------
+    arrival: str = "poisson"
+    """One of ``poisson`` / ``mmpp`` / ``diurnal`` / ``trace``."""
+    rate_per_s: float = 400.0
+    """Offered load: mean request arrival rate (requests per second of
+    virtual time).  For ``diurnal`` this is the mid-line of the cycle;
+    for ``mmpp`` the quiet-state rate."""
+    duration_ms: float = 40.0
+    """Length of the arrival window; requests arrive in
+    ``[0, duration)`` and the run ends when the last admitted request
+    completes."""
+    seed: int = 0x5E12
+    """Seed of the serving layer's private RNG stream (mixed with the
+    cell seed, so sweeps over seeds re-draw the schedule)."""
+
+    # -- SLO ------------------------------------------------------------------
+    slo_ms: float = 20.0
+    """Per-request latency target (arrival to finish)."""
+    slo_percentile: float = 0.99
+    """The SLO is met when this fraction of requests land within the
+    target (dropped requests always count against it)."""
+
+    # -- admission / load shedding -------------------------------------------
+    admission: str = "admit_all"
+    """One of ``admit_all`` / ``drop`` / ``defer`` / ``demote``; the
+    shedding policies act when in-system requests reach ``queue_cap``."""
+    queue_cap: int = 0
+    """In-system request bound consulted by the shedding policies
+    (required >= 1 for ``drop`` / ``defer`` / ``demote``)."""
+    defer_ns: int = 200_000
+    """Retry delay of a deferred arrival (the request re-attempts
+    admission this much later, keeping its original arrival stamp)."""
+
+    # -- mmpp (2-state Markov-modulated Poisson) ------------------------------
+    burst_multiplier: float = 4.0
+    """Burst-state rate as a multiple of ``rate_per_s``."""
+    mean_dwell_ms: float = 10.0
+    """Mean dwell time in the quiet state (exponential)."""
+    mean_burst_ms: float = 2.0
+    """Mean dwell time in the burst state (exponential)."""
+
+    # -- diurnal (sinusoidal rate schedule) -----------------------------------
+    amplitude: float = 0.8
+    """Peak rate modulation depth in [0, 1): rate swings between
+    ``rate * (1 - amplitude)`` and ``rate * (1 + amplitude)``."""
+    period_ms: float = 0.0
+    """Cycle length; 0 stretches one full cycle across the duration."""
+
+    # -- trace replay ---------------------------------------------------------
+    arrivals_ns: tuple = ()
+    """Explicit arrival timestamps (ns, ascending) replayed verbatim
+    when ``arrival == "trace"``; timestamps at or past the duration are
+    ignored.  Inlined (not a file path) so cache keys stay
+    content-addressed."""
+
+    def __post_init__(self) -> None:
+        _require(
+            self.arrival in ARRIVAL_PROCESSES,
+            f"unknown arrival process {self.arrival!r}; "
+            f"known: {', '.join(ARRIVAL_PROCESSES)}",
+        )
+        _require(self.rate_per_s > 0, "arrival rate must be positive")
+        _require(self.duration_ms > 0, "serving duration must be positive")
+        _require(self.slo_ms > 0, "SLO latency target must be positive")
+        _require(
+            0.0 < self.slo_percentile <= 1.0,
+            "SLO percentile must lie in (0, 1]",
+        )
+        _require(
+            self.admission in ADMISSION_POLICIES,
+            f"unknown admission policy {self.admission!r}; "
+            f"known: {', '.join(ADMISSION_POLICIES)}",
+        )
+        _require(self.queue_cap >= 0, "queue cap must be non-negative")
+        if self.admission != "admit_all":
+            _require(
+                self.queue_cap >= 1,
+                f"admission policy {self.admission!r} needs --queue-cap >= 1",
+            )
+        _require(self.defer_ns > 0, "defer delay must be positive")
+        _require(self.burst_multiplier >= 1.0, "burst multiplier must be >= 1")
+        _require(self.mean_dwell_ms > 0, "mean dwell time must be positive")
+        _require(self.mean_burst_ms > 0, "mean burst time must be positive")
+        _require(0.0 <= self.amplitude < 1.0, "amplitude must lie in [0, 1)")
+        _require(self.period_ms >= 0, "period must be non-negative")
+        if self.arrival == "trace":
+            _require(
+                bool(self.arrivals_ns),
+                "trace arrivals need a non-empty timestamp list "
+                "(--arrival trace requires --arrival-trace FILE)",
+            )
+            last = -1
+            for t in self.arrivals_ns:
+                _require(
+                    isinstance(t, int) and t >= 0,
+                    "trace arrival timestamps must be non-negative integers",
+                )
+                _require(t >= last, "trace arrival timestamps must ascend")
+                last = t
+
+    @property
+    def duration_ns(self) -> int:
+        """The arrival window in nanoseconds."""
+        return round(self.duration_ms * 1e6)
+
+    @property
+    def slo_target_ns(self) -> int:
+        """The latency target in nanoseconds."""
+        return round(self.slo_ms * 1e6)
+
+    @property
+    def period_ns(self) -> int:
+        """The diurnal cycle in nanoseconds (defaults to the duration)."""
+        return round(self.period_ms * 1e6) if self.period_ms > 0 else self.duration_ns
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> "ServingConfig":
+        """Reconstruct from :meth:`MachineConfig.to_dict` output.
+
+        ``None`` (the key was omitted, i.e. a legacy or closed-loop
+        config) yields the disabled default.  JSON round-trips turn the
+        arrival-timestamp tuple into a list; it is normalised back.
+        """
+        if data is None:
+            return cls()
+        try:
+            data = dict(data)
+            data["arrivals_ns"] = tuple(int(t) for t in data.get("arrivals_ns", ()))
+            return cls(**data)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed ServingConfig dict: {exc}") from exc
+
+
+def with_serving(config: "MachineConfig", **overrides: Any) -> "MachineConfig":
+    """Return *config* with an explicitly configured serving block.
+
+    ``enabled`` is forced on (so the block serialises and the sweep
+    cache distinguishes the configuration); keyword overrides set
+    individual :class:`ServingConfig` fields.
+    """
+    overrides.setdefault("enabled", True)
+    return dataclasses.replace(config, serving=ServingConfig(**overrides))
+
+
 _PLACEMENTS = ("round_robin", "least_loaded")
 """Placement policies understood by the SMP scheduler: ``round_robin``
 spreads admitted processes across cores by pid, ``least_loaded`` puts
@@ -577,6 +749,10 @@ class MachineConfig:
     """SMP topology; a single core by default.  Serialised only when it
     differs from the default, so single-core cache keys are stable
     across versions."""
+    serving: ServingConfig = field(default_factory=ServingConfig)
+    """Open-loop serving workload; disabled (closed-loop) by default.
+    Serialised only when it differs from the default, so closed-loop
+    cache keys are stable across versions."""
 
     compute_ns_per_instr: int = 1
     """CPU cost of one non-memory instruction."""
@@ -635,6 +811,8 @@ class MachineConfig:
             del data["adaptive"]
         if self.cores == CoreConfig():
             del data["cores"]
+        if self.serving == ServingConfig():
+            del data["serving"]
         return data
 
     @classmethod
@@ -653,6 +831,7 @@ class MachineConfig:
                 faults=FaultConfig.from_dict(data.get("faults")),
                 adaptive=AdaptiveConfig.from_dict(data.get("adaptive")),
                 cores=CoreConfig.from_dict(data.get("cores")),
+                serving=ServingConfig.from_dict(data.get("serving")),
                 compute_ns_per_instr=data["compute_ns_per_instr"],
                 fault_handler_ns=data["fault_handler_ns"],
             )

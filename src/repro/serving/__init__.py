@@ -1,0 +1,35 @@
+"""Open-loop serving layer: arrivals, request lifecycle, SLOs, admission.
+
+See docs/SERVING.md for the full story.  The subpackage is deliberately
+dependency-light: only :mod:`repro.serving.schedule` touches the
+simulator (lazily), so the simulator itself can import the request and
+admission types without a cycle.
+"""
+
+from repro.serving.admission import (
+    ADMISSION_POLICIES,
+    AdmissionPolicy,
+    AdmissionView,
+    Decision,
+    build_admission,
+)
+from repro.serving.arrivals import build_arrivals
+from repro.serving.request import Request, RequestRecord, ServingSummary
+from repro.serving.schedule import build_request_load
+from repro.serving.slo import SLO, latency_percentiles, nearest_rank
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionPolicy",
+    "AdmissionView",
+    "Decision",
+    "build_admission",
+    "build_arrivals",
+    "Request",
+    "RequestRecord",
+    "ServingSummary",
+    "build_request_load",
+    "SLO",
+    "latency_percentiles",
+    "nearest_rank",
+]

@@ -1,0 +1,151 @@
+"""Deterministic arrival processes for the open-loop serving layer.
+
+Every generator turns a :class:`~repro.common.config.ServingConfig` and a
+:class:`~repro.common.rng.DeterministicRNG` into a sorted list of arrival
+timestamps (integer nanoseconds) inside ``[0, duration_ns)``.  The draws
+are pure functions of the RNG stream, so the same config and seed always
+replay the same schedule — the property every sweep-cache key and pinned
+digest in this repo leans on.
+
+Catalogue (docs/SERVING.md):
+
+* ``poisson``  — homogeneous Poisson process: i.i.d. exponential
+  inter-arrival gaps at ``rate_per_s``.
+* ``mmpp``     — 2-state Markov-modulated Poisson process: a quiet state
+  at the base rate and a burst state at ``burst_multiplier`` times it,
+  with exponential dwell times.  Exponential memorylessness makes
+  restarting the gap draw at each state switch exact, not an
+  approximation.
+* ``diurnal``  — sinusoidal rate schedule, sampled by thinning a
+  homogeneous process at the peak rate.
+* ``trace``    — verbatim replay of explicit timestamps.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.config import ServingConfig
+from repro.common.rng import DeterministicRNG
+
+__all__ = ["build_arrivals", "poisson_arrivals", "mmpp_arrivals", "diurnal_arrivals", "trace_arrivals"]
+
+
+def _exp_gap_ns(rng: DeterministicRNG, rate_per_ns: float) -> float:
+    """One exponential inter-arrival gap via inverse-CDF sampling.
+
+    ``DeterministicRNG`` deliberately exposes no ``expovariate``; deriving
+    the draw from ``random()`` keeps the stream layout explicit.  With a
+    fixed seed the uniform sequence is rate-independent, so scaling the
+    rate scales every gap exactly — offered-load sweeps reuse the same
+    schedule shape, compressed.
+    """
+    u = rng.random()
+    return -math.log(1.0 - u) / rate_per_ns
+
+
+def poisson_arrivals(
+    rng: DeterministicRNG, rate_per_s: float, duration_ns: int
+) -> list[int]:
+    """Homogeneous Poisson arrivals at *rate_per_s* over the window."""
+    rate_per_ns = rate_per_s / 1e9
+    out: list[int] = []
+    t = 0.0
+    while True:
+        t += _exp_gap_ns(rng, rate_per_ns)
+        if t >= duration_ns:
+            return out
+        out.append(int(t))
+
+
+def mmpp_arrivals(
+    rng: DeterministicRNG,
+    rate_per_s: float,
+    burst_multiplier: float,
+    mean_dwell_ns: float,
+    mean_burst_ns: float,
+    duration_ns: int,
+) -> list[int]:
+    """2-state MMPP: quiet at the base rate, bursts at a multiple of it."""
+    quiet_rate = rate_per_s / 1e9
+    burst_rate = quiet_rate * burst_multiplier
+    out: list[int] = []
+    t = 0.0
+    in_burst = False
+    switch_at = t + _exp_gap_ns(rng, 1.0 / mean_dwell_ns)
+    while t < duration_ns:
+        rate = burst_rate if in_burst else quiet_rate
+        gap = _exp_gap_ns(rng, rate)
+        if t + gap >= switch_at:
+            # The state flips before the next arrival would land; thanks
+            # to memorylessness the pending gap is simply re-drawn at the
+            # new state's rate from the switch instant.
+            t = switch_at
+            in_burst = not in_burst
+            mean = mean_burst_ns if in_burst else mean_dwell_ns
+            switch_at = t + _exp_gap_ns(rng, 1.0 / mean)
+            continue
+        t += gap
+        if t >= duration_ns:
+            break
+        out.append(int(t))
+    return out
+
+
+def diurnal_arrivals(
+    rng: DeterministicRNG,
+    rate_per_s: float,
+    amplitude: float,
+    period_ns: int,
+    duration_ns: int,
+) -> list[int]:
+    """Sinusoidal rate schedule sampled by thinning.
+
+    The instantaneous rate is ``rate * (1 + amplitude * sin(2*pi*t/T))``
+    — above the mid-line for the first half-cycle, below it for the
+    second, like daily traffic around a datacentre's peak.  Candidates
+    are generated at the peak rate and accepted with probability
+    ``lambda(t) / peak`` (Lewis-Shedler thinning), which preserves both
+    determinism and the exact inhomogeneous-Poisson law.
+    """
+    peak_per_ns = rate_per_s * (1.0 + amplitude) / 1e9
+    out: list[int] = []
+    t = 0.0
+    while True:
+        t += _exp_gap_ns(rng, peak_per_ns)
+        if t >= duration_ns:
+            return out
+        lam = rate_per_s * (1.0 + amplitude * math.sin(2.0 * math.pi * t / period_ns))
+        if rng.random() < lam / (rate_per_s * (1.0 + amplitude)):
+            out.append(int(t))
+
+
+def trace_arrivals(arrivals_ns: tuple, duration_ns: int) -> list[int]:
+    """Replay explicit timestamps, clipped to the arrival window."""
+    return [int(t) for t in arrivals_ns if 0 <= t < duration_ns]
+
+
+def build_arrivals(serving: ServingConfig, rng: DeterministicRNG) -> list[int]:
+    """Dispatch on ``serving.arrival`` and return the full schedule."""
+    duration_ns = serving.duration_ns
+    if serving.arrival == "poisson":
+        return poisson_arrivals(rng, serving.rate_per_s, duration_ns)
+    if serving.arrival == "mmpp":
+        return mmpp_arrivals(
+            rng,
+            serving.rate_per_s,
+            serving.burst_multiplier,
+            serving.mean_dwell_ms * 1e6,
+            serving.mean_burst_ms * 1e6,
+            duration_ns,
+        )
+    if serving.arrival == "diurnal":
+        return diurnal_arrivals(
+            rng,
+            serving.rate_per_s,
+            serving.amplitude,
+            serving.period_ns,
+            duration_ns,
+        )
+    # ServingConfig validation restricts the field to the four names.
+    return trace_arrivals(serving.arrivals_ns, duration_ns)

@@ -1,0 +1,244 @@
+"""The request lifecycle and the per-run serving summary.
+
+A :class:`Request` is the open-loop unit of work: one trace-driven
+process spawned into the simulation at its arrival time, carrying a
+deadline and a priority.  Its lifecycle (docs/SERVING.md)::
+
+    pending --admit--> admitted --finish--> completed
+       |  ^
+       |  +--defer (re-attempts admission defer_ns later)
+       +--drop----> dropped          (shed; never enters the run queue)
+       +--demote--> admitted         (enters at the floor priority)
+
+Timestamps recorded along the way:
+
+* ``arrival_ns``  — the request entered the system (schedule time);
+* ``enqueue_ns``  — admission succeeded and the process joined the run
+  queue (later than arrival after deferrals);
+* ``start_ns``    — first dispatch onto a CPU;
+* ``finish_ns``   — last instruction committed.
+
+Latency is always ``finish - arrival``: queueing caused by deferral or
+load is the user-visible part of the story, not an excusable offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.config import ServingConfig
+from repro.serving.slo import SLO, nearest_rank
+
+OUTCOME_PENDING = "pending"
+OUTCOME_ADMITTED = "admitted"
+OUTCOME_COMPLETED = "completed"
+OUTCOME_DROPPED = "dropped"
+
+
+@dataclass
+class Request:
+    """One in-flight request (mutable; the simulator stamps it)."""
+
+    rid: int
+    """Request id; equals the pid of the process it spawns."""
+    workload: str
+    """Workload template drawn for this request (batch-mix member)."""
+    priority: int
+    """Scheduler priority drawn for this request."""
+    arrival_ns: int
+    deadline_ns: int
+    """``arrival_ns + slo_target_ns``; misses are classified in
+    ``repro path``."""
+
+    enqueue_ns: Optional[int] = None
+    start_ns: Optional[int] = None
+    finish_ns: Optional[int] = None
+    outcome: str = OUTCOME_PENDING
+    deferrals: int = 0
+    demoted: bool = False
+
+    @property
+    def latency_ns(self) -> Optional[int]:
+        """Arrival-to-finish latency (``None`` until completed)."""
+        if self.finish_ns is None:
+            return None
+        return self.finish_ns - self.arrival_ns
+
+    @property
+    def deadline_missed(self) -> bool:
+        """Dropped, or completed after the deadline."""
+        if self.outcome == OUTCOME_DROPPED:
+            return True
+        return self.finish_ns is not None and self.finish_ns > self.deadline_ns
+
+    def to_record(self) -> "RequestRecord":
+        """Freeze into the result-encoding form."""
+        return RequestRecord(
+            rid=self.rid,
+            workload=self.workload,
+            priority=self.priority,
+            arrival_ns=self.arrival_ns,
+            deadline_ns=self.deadline_ns,
+            enqueue_ns=self.enqueue_ns,
+            start_ns=self.start_ns,
+            finish_ns=self.finish_ns,
+            outcome=self.outcome,
+            deferrals=self.deferrals,
+            demoted=self.demoted,
+        )
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Immutable per-request outcome, serialised with the result."""
+
+    rid: int
+    workload: str
+    priority: int
+    arrival_ns: int
+    deadline_ns: int
+    enqueue_ns: Optional[int]
+    start_ns: Optional[int]
+    finish_ns: Optional[int]
+    outcome: str
+    deferrals: int
+    demoted: bool
+
+    @property
+    def latency_ns(self) -> Optional[int]:
+        if self.finish_ns is None:
+            return None
+        return self.finish_ns - self.arrival_ns
+
+    @property
+    def queue_wait_ns(self) -> Optional[int]:
+        """Arrival to first dispatch (load-induced waiting)."""
+        if self.start_ns is None:
+            return None
+        return self.start_ns - self.arrival_ns
+
+    @property
+    def service_ns(self) -> Optional[int]:
+        """First dispatch to finish (execution incl. faults/preemption)."""
+        if self.start_ns is None or self.finish_ns is None:
+            return None
+        return self.finish_ns - self.start_ns
+
+    @property
+    def deadline_missed(self) -> bool:
+        if self.outcome == OUTCOME_DROPPED:
+            return True
+        return self.finish_ns is not None and self.finish_ns > self.deadline_ns
+
+
+@dataclass
+class ServingSummary:
+    """Everything one open-loop run produced, request-side.
+
+    Attached to :class:`~repro.sim.metrics.SimulationResult` as the
+    ``serving`` field (``None`` on closed-loop runs so the stored
+    encoding of legacy results stays byte-identical).
+    """
+
+    arrival: str
+    rate_per_s: float
+    duration_ns: int
+    slo_target_ns: int
+    slo_percentile: float
+    requests: list[RequestRecord] = field(default_factory=list)
+
+    @classmethod
+    def from_config(
+        cls, serving: ServingConfig, requests: list[RequestRecord]
+    ) -> "ServingSummary":
+        return cls(
+            arrival=serving.arrival,
+            rate_per_s=serving.rate_per_s,
+            duration_ns=serving.duration_ns,
+            slo_target_ns=serving.slo_target_ns,
+            slo_percentile=serving.slo_percentile,
+            requests=requests,
+        )
+
+    # -- request census -------------------------------------------------------
+
+    @property
+    def arrivals(self) -> int:
+        return len(self.requests)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.requests if r.outcome == OUTCOME_COMPLETED)
+
+    @property
+    def dropped(self) -> int:
+        return sum(1 for r in self.requests if r.outcome == OUTCOME_DROPPED)
+
+    @property
+    def demoted(self) -> int:
+        return sum(1 for r in self.requests if r.demoted)
+
+    @property
+    def deferrals(self) -> int:
+        """Total defer events (one request may defer repeatedly)."""
+        return sum(r.deferrals for r in self.requests)
+
+    # -- latency --------------------------------------------------------------
+
+    def latencies_ns(self) -> list[int]:
+        """Sorted arrival-to-finish latencies of completed requests."""
+        return sorted(
+            r.latency_ns for r in self.requests if r.latency_ns is not None
+        )
+
+    def percentile_ns(self, percentile: float) -> Optional[int]:
+        """Nearest-rank latency percentile (``None`` with no completions)."""
+        ordered = self.latencies_ns()
+        if not ordered:
+            return None
+        return nearest_rank(ordered, percentile)
+
+    @property
+    def p50_ns(self) -> Optional[int]:
+        return self.percentile_ns(0.50)
+
+    @property
+    def p95_ns(self) -> Optional[int]:
+        return self.percentile_ns(0.95)
+
+    @property
+    def p99_ns(self) -> Optional[int]:
+        return self.percentile_ns(0.99)
+
+    @property
+    def mean_latency_ns(self) -> Optional[float]:
+        ordered = self.latencies_ns()
+        if not ordered:
+            return None
+        return sum(ordered) / len(ordered)
+
+    # -- SLO ------------------------------------------------------------------
+
+    @property
+    def slo(self) -> SLO:
+        return SLO(target_ns=self.slo_target_ns, percentile=self.slo_percentile)
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of all arrivals finished within the target (drops
+        count against)."""
+        return self.slo.attainment(self.latencies_ns(), shed=self.dropped)
+
+    @property
+    def slo_met(self) -> bool:
+        return self.slo.met(self.latencies_ns(), shed=self.dropped)
+
+    @property
+    def slo_violations(self) -> int:
+        return self.slo.violations(self.latencies_ns(), shed=self.dropped)
+
+    @property
+    def deadline_misses(self) -> int:
+        """Same census as :attr:`slo_violations`, via per-request flags."""
+        return sum(1 for r in self.requests if r.deadline_missed)

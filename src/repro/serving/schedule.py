@@ -1,0 +1,112 @@
+"""Turn a serving config into a concrete request schedule.
+
+The builder is the serving analogue of :func:`repro.sim.batch.build_batch`:
+policy-independent (so policy comparisons are paired on identical
+arrivals, workloads and priorities) and deterministic in
+``(ServingConfig, batch, seed, scale)``.
+
+Stream layout: the serving seed is mixed with the cell seed into one
+base RNG, which is forked per concern —
+
+* fork 1: arrival timestamps;
+* fork 2: per-request workload mix (uniform over the batch members);
+* fork 3: per-request priority;
+* fork 10+i: the trace build of the batch's i-th workload template.
+
+Per-request draws are consumed in arrival order, so raising the offered
+rate only *appends* requests — request *i* keeps its workload, priority
+and trace at every rate, which is what makes latency-vs-load curves
+comparisons of the same traffic at different compression, not different
+traffic.
+
+Each request reuses its template's trace and mapped footprint (requests
+of one type are identical jobs, as in a real serving fleet); variation
+across requests comes from the mix, priorities and arrival spacing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.config import MachineConfig
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRNG
+from repro.serving.arrivals import build_arrivals
+from repro.serving.request import Request
+
+if TYPE_CHECKING:
+    from repro.sim.simulator import WorkloadInstance
+
+
+def build_request_load(
+    config: MachineConfig,
+    batch_name: str,
+    *,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> tuple[list["WorkloadInstance"], list[Request]]:
+    """Build the paired (workloads, requests) lists for an open-loop run.
+
+    ``workloads[i]`` is the process request ``i`` spawns (pid == rid ==
+    index, the invariant the simulator's arrival events rely on).
+    Raises :class:`ConfigError` when the schedule is empty — an open-loop
+    run with no arrivals has no latency story to tell (lower the rate
+    floor or lengthen the duration instead).
+    """
+    # Imported here: this module is reachable from the simulator via the
+    # serving package, so a top-level import would be circular.
+    from repro.sim.batch import PAPER_BATCHES
+    from repro.sim.simulator import WorkloadInstance
+    from repro.trace.workloads import WORKLOADS, build_workload
+
+    serving = config.serving
+    if not serving.enabled:
+        raise ConfigError("build_request_load needs an enabled serving block")
+    spec = PAPER_BATCHES.get(batch_name)
+    if spec is None:
+        raise ConfigError(
+            f"unknown batch {batch_name!r}; known: {', '.join(PAPER_BATCHES)}"
+        )
+
+    base = DeterministicRNG(serving.seed).fork(seed)
+    arrivals = build_arrivals(serving, base.fork(1))
+    if not arrivals:
+        raise ConfigError(
+            f"arrival schedule is empty ({serving.arrival} at "
+            f"{serving.rate_per_s:g} req/s over {serving.duration_ms:g} ms); "
+            "raise --rate or --duration"
+        )
+    mix_rng = base.fork(2)
+    prio_rng = base.fork(3)
+    builds = {
+        name: build_workload(name, base.fork(10 + index), scale)
+        for index, name in enumerate(spec.workloads)
+    }
+    levels = config.scheduler.priority_levels
+    slo_target_ns = serving.slo_target_ns
+
+    workloads: list[WorkloadInstance] = []
+    requests: list[Request] = []
+    for rid, arrival_ns in enumerate(arrivals):
+        name = mix_rng.choice(spec.workloads)
+        priority = prio_rng.randint(0, levels - 1)
+        build = builds[name]
+        workloads.append(
+            WorkloadInstance(
+                name=f"{name}#{rid}",
+                trace=build.trace,
+                priority=priority,
+                data_intensive=WORKLOADS[name].data_intensive,
+                mapped_vpns=build.mapped_vpns,
+            )
+        )
+        requests.append(
+            Request(
+                rid=rid,
+                workload=name,
+                priority=priority,
+                arrival_ns=arrival_ns,
+                deadline_ns=arrival_ns + slo_target_ns,
+            )
+        )
+    return workloads, requests

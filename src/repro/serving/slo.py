@@ -1,0 +1,84 @@
+"""Latency-percentile and SLO-attainment arithmetic.
+
+All percentile math is nearest-rank over integer-nanosecond latencies:
+deterministic, interpolation-free, and therefore safe to compare
+bit-for-bit across reruns, worker counts and platforms (the same
+discipline the sweep cache applies to simulation output).
+
+SLO semantics (docs/SERVING.md): an SLO is a latency *target* plus a
+*percentile*.  Attainment is the fraction of all arrived requests whose
+arrival-to-finish latency is at or under the target; a request that was
+shed (dropped) never finished and always counts against attainment.
+The SLO is met when attainment reaches the percentile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.common.errors import ConfigError
+
+
+def nearest_rank(sorted_values: Sequence[int], percentile: float) -> int:
+    """The nearest-rank percentile of an ascending, non-empty sequence.
+
+    ``percentile`` lies in (0, 1]; rank ``ceil(p * n)`` (1-based), so
+    ``nearest_rank(v, 1.0)`` is the maximum and every returned value is
+    an actually observed sample.
+    """
+    if not sorted_values:
+        raise ConfigError("percentile of an empty sample")
+    if not 0.0 < percentile <= 1.0:
+        raise ConfigError(f"percentile {percentile} outside (0, 1]")
+    n = len(sorted_values)
+    rank = min(n, max(1, math.ceil(percentile * n)))
+    return sorted_values[rank - 1]
+
+
+def latency_percentiles(latencies_ns: Sequence[int]) -> dict[str, Optional[int]]:
+    """The headline p50/p95/p99 triple (``None`` on an empty sample)."""
+    ordered = sorted(latencies_ns)
+    if not ordered:
+        return {"p50": None, "p95": None, "p99": None}
+    return {
+        "p50": nearest_rank(ordered, 0.50),
+        "p95": nearest_rank(ordered, 0.95),
+        "p99": nearest_rank(ordered, 0.99),
+    }
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A latency target paired with the percentile that must meet it."""
+
+    target_ns: int
+    percentile: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.target_ns <= 0:
+            raise ConfigError("SLO target must be positive")
+        if not 0.0 < self.percentile <= 1.0:
+            raise ConfigError("SLO percentile must lie in (0, 1]")
+
+    def attainment(self, latencies_ns: Sequence[int], shed: int = 0) -> float:
+        """Fraction of requests within the target.
+
+        *latencies_ns* are the completed requests' latencies; *shed*
+        counts requests that never completed (dropped by admission) and
+        therefore missed by definition.  An empty load attains trivially.
+        """
+        total = len(latencies_ns) + shed
+        if total == 0:
+            return 1.0
+        within = sum(1 for lat in latencies_ns if lat <= self.target_ns)
+        return within / total
+
+    def met(self, latencies_ns: Sequence[int], shed: int = 0) -> bool:
+        """Whether attainment reaches the percentile."""
+        return self.attainment(latencies_ns, shed) >= self.percentile
+
+    def violations(self, latencies_ns: Sequence[int], shed: int = 0) -> int:
+        """Requests over the target plus every shed request."""
+        return sum(1 for lat in latencies_ns if lat > self.target_ns) + shed

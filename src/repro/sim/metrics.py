@@ -22,6 +22,11 @@ work and is kept as overhead, outside the idle metric.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.serving.request import ServingSummary
+
 
 @dataclass
 class IdleBreakdown:
@@ -86,6 +91,10 @@ class SimulationResult:
     preexec_instructions: int
     preexec_lines_warmed: int
     instructions_committed: int
+    serving: Optional["ServingSummary"] = None
+    """Per-request serving summary of an open-loop run; ``None`` on
+    closed-loop runs (and omitted from the stored encoding, so legacy
+    payloads stay byte-identical — see :mod:`repro.analysis.store`)."""
 
     @property
     def total_idle_ns(self) -> int:

@@ -18,6 +18,14 @@ from repro.cpu.core import StepOutcome
 from repro.kernel.process import Process
 from repro.kernel.scheduler import RoundRobinScheduler
 from repro.kernel.smp import SMPScheduler
+from repro.serving.admission import AdmissionView, Decision, build_admission
+from repro.serving.request import (
+    OUTCOME_ADMITTED,
+    OUTCOME_COMPLETED,
+    OUTCOME_DROPPED,
+    Request,
+    ServingSummary,
+)
 from repro.sim.machine import Machine, SMPMachine
 from repro.sim.metrics import MetricsCollector, ProcessRecord, SimulationResult
 from repro.storage.dma import DMARequest
@@ -79,9 +87,14 @@ class Simulation:
         telemetry: Optional["Telemetry"] = None,
         progress=None,
         progress_interval: int = 50_000,
+        requests: Optional[Sequence[Request]] = None,
     ) -> None:
         if not workloads:
             raise SimulationError("a simulation needs at least one workload")
+        if requests is not None and len(requests) != len(workloads):
+            raise SimulationError(
+                "open-loop runs need exactly one request per workload"
+            )
         if progress_interval <= 0:
             raise SimulationError("progress interval must be positive")
         self.config = config
@@ -150,8 +163,29 @@ class Simulation:
             )
         else:
             self.scheduler = RoundRobinScheduler(config.scheduler)
-        for process in self.processes:
-            self.scheduler.add(process)
+
+        # Open-loop serving mode: processes are *not* admitted at t=0;
+        # each arrives through the event queue at its request's arrival
+        # time and passes admission first (docs/SERVING.md).  Closed-loop
+        # runs take the legacy everything-at-zero path, bit-identically.
+        self._serving = requests is not None
+        self._requests: list[Request] = list(requests) if requests else []
+        self._arrivals_outstanding = 0
+        self._admission = build_admission(config.serving) if self._serving else None
+        if self._serving:
+            for process, request in zip(self.processes, self._requests):
+                if request.rid != process.pid:
+                    raise SimulationError(
+                        f"request {request.rid} paired with pid {process.pid}"
+                    )
+                self._arrivals_outstanding += 1
+                self.machine.events.schedule_at(
+                    request.arrival_ns, "arrival", self._on_arrival,
+                    payload=process.pid,
+                )
+        else:
+            for process in self.processes:
+                self.scheduler.add(process)
 
         self.metrics = MetricsCollector()
         self._last_pid: Optional[int] = None
@@ -171,7 +205,7 @@ class Simulation:
         if self._smp:
             return self._run_smp()
         steps = 0
-        while self.scheduler.has_work():
+        while self.scheduler.has_work() or self._arrivals_outstanding > 0:
             steps += 1
             if steps > self.MAX_STEPS:
                 raise SimulationError("simulation exceeded MAX_STEPS; diverged?")
@@ -207,7 +241,7 @@ class Simulation:
         indices = range(len(cores))
         migration_ns = self.config.cores.migration_cost_ns
         steps = 0
-        while scheduler.has_work():
+        while scheduler.has_work() or self._arrivals_outstanding > 0:
             steps += 1
             if steps > self.MAX_STEPS:
                 raise SimulationError("simulation exceeded MAX_STEPS; diverged?")
@@ -282,6 +316,10 @@ class Simulation:
                     track="cpu", pid=process.pid,
                 )
         self._last_pid = process.pid
+        if self._serving:
+            request = self._requests[process.pid]
+            if request.start_ns is None:
+                request.start_ns = self.machine.now_ns
         self.log_event("dispatch", process.pid)
         if self._causal is not None:
             unblock_id = self._causal.take_unblock(process.pid)
@@ -350,6 +388,8 @@ class Simulation:
             self.scheduler.finish_current(self.machine.now_ns)
             self._release_process_memory(process.pid)
             self.log_event("finish", process.pid)
+            if self._serving:
+                self._finish_request(process.pid)
         elif process.slice_remaining_ns <= 0:
             self.scheduler.preempt_current()
         elif self.scheduler.resume_preempts_current():
@@ -381,6 +421,104 @@ class Simulation:
                     track="cpu",
                     pid=resumed.pid if resumed is not None else None,
                 )
+
+    # -- open-loop serving ---------------------------------------------------
+
+    def _serving_load(self) -> int:
+        """Admitted-but-unfinished requests (the admission queue depth)."""
+        return sum(1 for r in self._requests if r.outcome == OUTCOME_ADMITTED)
+
+    def _on_arrival(self, event) -> None:
+        """An arrival (or deferred re-arrival) event: run admission.
+
+        The event time, not the possibly-ahead machine clock, is the
+        arrival stamp: the request became ready at its scheduled instant
+        even if the CPU only notices while committing an instruction.
+        """
+        pid = event.payload
+        request = self._requests[pid]
+        process = self.processes[pid]
+        now = event.time_ns
+        first_attempt = request.deferrals == 0 and request.enqueue_ns is None
+        if first_attempt:
+            self.log_event("request_arrival", pid)
+            if self.telemetry is not None:
+                self.telemetry.counter("serving.arrivals").inc()
+
+        assert self._admission is not None
+        view = AdmissionView(now_ns=now, in_system=self._serving_load())
+        decision = self._admission.decide(request, view)
+
+        if decision is Decision.DEFER:
+            request.deferrals += 1
+            self.machine.events.schedule_at(
+                now + self.config.serving.defer_ns, "arrival",
+                self._on_arrival, payload=pid,
+            )
+            self.log_event("request_defer", pid)
+            if self.telemetry is not None:
+                self.telemetry.counter("serving.deferred").inc()
+            return
+
+        self._arrivals_outstanding -= 1
+        if decision is Decision.DROP:
+            request.outcome = OUTCOME_DROPPED
+            self.log_event("request_drop", pid)
+            if self.telemetry is not None:
+                self.telemetry.counter("serving.dropped").inc()
+            return
+
+        if decision is Decision.DEMOTE:
+            request.demoted = True
+            process.priority = 0
+            self.log_event("request_demote", pid)
+            if self.telemetry is not None:
+                self.telemetry.counter("serving.demoted").inc()
+
+        request.outcome = OUTCOME_ADMITTED
+        request.enqueue_ns = now
+        self.scheduler.add(process)
+        # The SMP scheduler stamps ready_since_ns with the admitting
+        # core's clock; the request was ready at its arrival instant.
+        process.ready_since_ns = now
+        self.log_event("request_admit", pid)
+        if self.telemetry is not None:
+            self.telemetry.counter("serving.admitted").inc()
+        if self._causal is not None:
+            node = self._causal.add("request_arrival", now, pid=pid)
+            self._causal.note_unblock(pid, node)
+
+    def _finish_request(self, pid: int) -> None:
+        """Stamp completion and publish the request's latency."""
+        request = self._requests[pid]
+        now = self.machine.now_ns
+        request.finish_ns = now
+        request.outcome = OUTCOME_COMPLETED
+        self.log_event("request_done", pid)
+        missed = now > request.deadline_ns
+        if missed:
+            self.log_event("deadline_miss", pid)
+        if self.telemetry is not None:
+            self.telemetry.counter("serving.completed").inc()
+            latency = request.latency_ns
+            assert latency is not None
+            self.telemetry.histogram("serving.latency_ns").observe(latency)
+            if missed:
+                self.telemetry.counter("serving.deadline_miss").inc()
+            self.telemetry.record_span(
+                "serving.request", request.arrival_ns, now,
+                track="serving", pid=pid,
+            )
+
+    def _build_serving_summary(self) -> ServingSummary:
+        unresolved = [r.rid for r in self._requests if r.outcome == OUTCOME_ADMITTED]
+        if unresolved or self._arrivals_outstanding:
+            raise SimulationError(
+                f"serving run ended with unresolved requests: {unresolved}"
+            )
+        return ServingSummary.from_config(
+            self.config.serving, [r.to_record() for r in self._requests]
+        )
 
     # -- services used by policies ------------------------------------------
 
@@ -569,6 +707,14 @@ class Simulation:
             mm = self.machine.memory.mm_of(process.pid)
             majors += mm.major_faults
             minors += mm.minor_faults
+            if (
+                self._serving
+                and self._requests[process.pid].outcome == OUTCOME_DROPPED
+            ):
+                # Shed by admission: the process never entered the run
+                # queue, so it has no finish time and no record; its
+                # absence is accounted on the request side.
+                continue
             if process.stats.finish_time_ns is None:
                 raise SimulationError(f"process {process.pid} never finished")
             records.append(
@@ -606,4 +752,5 @@ class Simulation:
             preexec_instructions=engine.stats.instructions if engine else 0,
             preexec_lines_warmed=engine.stats.lines_warmed if engine else 0,
             instructions_committed=self.machine.total_instructions_committed(),
+            serving=self._build_serving_summary() if self._serving else None,
         )

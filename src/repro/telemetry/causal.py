@@ -63,6 +63,7 @@ class CausalGraph:
 
     def __init__(self) -> None:
         self.nodes: list[CausalNode] = []
+        self._children: dict[int, list[int]] = {}
         self._scope: list[int] = []
         self._last_fault: dict[int, int] = {}
         self._pending_decision: dict[int, int] = {}
@@ -89,6 +90,8 @@ class CausalGraph:
                 f"precede it"
             )
         self.nodes.append(CausalNode(node_id, kind, t_ns, pid, vpn, parent, args))
+        if parent is not None:
+            self._children.setdefault(parent, []).append(node_id)
         return node_id
 
     def push(self, node_id: int) -> None:
@@ -173,16 +176,18 @@ class CausalGraph:
         return [n for n in self.nodes if n.kind == kind]
 
     def children_map(self) -> dict[int, list[int]]:
-        """Parent id -> child ids (creation order)."""
-        out: dict[int, list[int]] = {}
-        for node in self.nodes:
-            if node.parent is not None:
-                out.setdefault(node.parent, []).append(node.id)
-        return out
+        """Parent id -> child ids (creation order).
+
+        A live index maintained by :meth:`add` — O(1) to obtain, and
+        callers must not mutate it.  (It used to be rebuilt from every
+        node per call, which made ``descendants``-heavy analysis
+        quadratic on open-loop runs with thousands of faults.)
+        """
+        return self._children
 
     def descendants(self, node_id: int) -> list[CausalNode]:
         """Every node reachable from *node_id* (excluded), creation order."""
-        children = self.children_map()
+        children = self._children
         stack = list(children.get(node_id, []))
         seen: list[int] = []
         while stack:

@@ -112,6 +112,55 @@ class TestParser:
         assert list(args.policies) == ["Sync", "Async", "ITS"]
         assert args.batch == "1_Data_Intensive"
 
+    def test_serve_verb_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert list(args.rate) == [500.0, 2000.0, 4000.0]
+        assert list(args.policies) == [
+            "Async", "Sync", "Sync_Runahead", "Sync_Prefetch", "ITS", "Adaptive",
+        ]
+        assert args.arrival == "poisson"
+        assert args.slo_ms == 2.0
+        assert args.slo_percentile == 0.99
+        assert args.admission == "admit_all"
+        assert args.scale == 0.1  # serve sweeps many cells; small default
+        assert args.workers == 1
+
+    def test_path_serve_flag(self):
+        args = build_parser().parse_args(["path", "--serve"])
+        assert args.serve is True
+        assert args.rate == 2000.0  # single rate, not a sweep
+        args = build_parser().parse_args(["path"])
+        assert args.serve is False
+
+    @pytest.mark.parametrize("value", ["0", "-5", "x"])
+    def test_rejects_bad_rates(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve", "--rate", value])
+        # A clean usage error (exit 2, no traceback), not a crash.
+        assert excinfo.value.code == 2
+        assert "--rate" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv,flag",
+        [
+            (["serve", "--workers", "0"], "--workers"),
+            (["run", "--scale", "-1"], "--scale"),
+            (["bench", "--repeats", "0"], "--repeats"),
+            (["serve", "--queue-cap", "0"], "--queue-cap"),
+        ],
+    )
+    def test_rejects_non_positive_knobs(self, argv, flag, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        assert flag in capsys.readouterr().err
+
+    def test_rejects_unknown_arrival_and_admission(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--arrival", "uniform"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--admission", "lottery"])
+
 
 class TestCommands:
     def test_workloads_lists_everything(self, capsys):
@@ -429,6 +478,67 @@ class TestObservabilityVerbs:
         written = list(tmp_path.glob("BENCH_*.json"))
         assert len(written) == 1
         assert "records/s" in capsys.readouterr().out
+
+    def test_serve_reports_slo_table(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve", "--rate", "500", "--policies", "Sync", "ITS",
+                "--slo-ms", "2", "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open-loop serving: poisson arrivals" in out
+        assert "p99" in out and "attain" in out
+        assert "Sync" in out and "ITS" in out
+        assert "headline:" in out
+
+    def test_serve_is_deterministic_across_reruns(self, capsys, tmp_path):
+        argv = [
+            "serve", "--rate", "500", "--policies", "Sync",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_serve_trace_arrival_needs_a_file(self, capsys):
+        assert main(["serve", "--arrival", "trace"]) == 1
+        assert "--arrival-trace" in capsys.readouterr().err
+
+    def test_serve_trace_file_only_with_trace_arrival(self, capsys, tmp_path):
+        trace = tmp_path / "arrivals.txt"
+        trace.write_text("100 200 300\n")
+        assert main(["serve", "--arrival-trace", str(trace)]) == 1
+        assert "--arrival trace" in capsys.readouterr().err
+
+    def test_serve_replays_arrival_trace(self, capsys, tmp_path):
+        trace = tmp_path / "arrivals.txt"
+        # A handful of early-window timestamps: tiny, fast run.
+        trace.write_text(" ".join(str(i * 200_000) for i in range(8)))
+        code = main(
+            [
+                "serve", "--arrival", "trace", "--arrival-trace", str(trace),
+                "--policies", "Sync", "--no-cache",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace arrivals" in out
+        assert "8" in out  # all replayed timestamps arrive
+
+    def test_path_serve_classifies_deadline_misses(self, capsys):
+        code = main(
+            [
+                "path", "--policy", "Sync", "--serve", "--rate", "2000",
+                "--slo-ms", "2", "--scale", "0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "causal fault graph" in out
+        assert "deadline misses:" in out
 
     def test_bench_check_fails_on_hard_regression(self, capsys, tmp_path, monkeypatch):
         import json as _json
