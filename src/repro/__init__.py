@@ -22,6 +22,7 @@ Quickstart::
 
 from repro.adaptive import AdaptiveController, AdaptivePolicy
 from repro.common import (
+    ENGINE_NAMES,
     AdaptiveConfig,
     CacheConfig,
     ConfigError,
@@ -41,8 +42,10 @@ from repro.common import (
     TraceError,
     with_adaptive,
     with_cores,
+    with_engine,
     with_serving,
 )
+from repro.engine import Engine, FastSimulation, build_simulation
 from repro.faults import (
     FAULT_PROFILES,
     FaultInjector,
@@ -94,6 +97,12 @@ __all__ = [
     "with_cores",
     "ServingConfig",
     "with_serving",
+    "ENGINE_NAMES",
+    "with_engine",
+    # execution engines
+    "Engine",
+    "FastSimulation",
+    "build_simulation",
     # faults
     "FAULT_PROFILES",
     "FaultInjector",

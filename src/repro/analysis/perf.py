@@ -3,7 +3,7 @@
 The simulator's *simulated* results are pinned by the determinism tests;
 this module pins its *cost*: how fast the simulator itself runs on the
 host, in committed instructions per wall-clock second, plus the process
-peak RSS.  Four canonical cases cover the code paths whose inner loops
+peak RSS.  The canonical cases cover the code paths whose inner loops
 dominate real usage:
 
 * ``single_core`` — ITS on one core: the paper's default fast path.
@@ -13,6 +13,10 @@ dominate real usage:
   the retry/fallback machinery and tail sampling.
 * ``adaptive`` — the adaptive controller: per-fault estimation and
   mode dispatch.
+* ``hot_loop`` / ``hot_loop_fast`` — the vectorized engine
+  (docs/ENGINES.md) against its reference pair on the fault-light shape
+  it accelerates; ``hot_loop_fast`` carries ``speedup_vs_reference``,
+  so the engine's win is a tracked number rather than a claim.
 
 Each case is timed ``repeats`` times and the *minimum* wall time is
 kept (minimum, not mean: the lower envelope is the least noisy
@@ -45,7 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional
 
-from repro.common.config import MachineConfig
+from repro.common.config import MachineConfig, with_engine
 from repro.common.errors import ReproError
 from repro.faults.profiles import with_fault_profile
 
@@ -61,7 +65,16 @@ HARD_THRESHOLD = 2.0
 
 @dataclass(frozen=True)
 class BenchCase:
-    """One pinned benchmark configuration."""
+    """One pinned benchmark configuration.
+
+    ``engine`` selects the execution engine (docs/ENGINES.md);
+    ``speedup_vs`` names the reference-engine case this one is paired
+    with, so the report records ``speedup_vs_reference`` (the records/s
+    ratio) as a tracked number.  ``scale``, when set, pins the trace
+    scale regardless of the suite-wide ``--scale`` (the hot-loop pair
+    needs enough records for the ratio to be stable).  ``dram_frames``
+    overrides the DRAM pool so fault-light shapes can be pinned.
+    """
 
     name: str
     policy: str
@@ -69,12 +82,27 @@ class BenchCase:
     seed: int = 3
     cores: Optional[int] = None
     fault_profile: Optional[str] = None
+    engine: str = "reference"
+    dram_frames: Optional[int] = None
+    scale: Optional[float] = None
+    speedup_vs: Optional[str] = None
 
     def config(self) -> MachineConfig:
         """The machine configuration this case pins."""
+        import dataclasses
+
         config = MachineConfig()
         if self.fault_profile is not None:
             config = with_fault_profile(config, self.fault_profile)
+        if self.dram_frames is not None:
+            config = dataclasses.replace(
+                config,
+                memory=dataclasses.replace(
+                    config.memory, dram_frames=self.dram_frames
+                ),
+            )
+        if self.engine != "reference":
+            config = with_engine(config, self.engine)
         return config
 
 
@@ -83,6 +111,28 @@ BENCH_CASES: tuple[BenchCase, ...] = (
     BenchCase("smp_4core", "ITS", cores=4),
     BenchCase("tail_bimodal", "ITS", fault_profile="tail_bimodal"),
     BenchCase("adaptive", "Adaptive"),
+    # The fast-engine pair: identical shape, only the engine differs,
+    # so speedup_vs_reference isolates the engine's contribution.  The
+    # shape is the fault-light hot loop (DRAM sized to the footprint),
+    # where the step loop rather than the fault machinery dominates —
+    # exactly what the fast engine exists for; fault-dominated shapes
+    # run it at parity (docs/ENGINES.md).
+    BenchCase(
+        "hot_loop",
+        "Sync",
+        batch="No_Data_Intensive",
+        dram_frames=8192,
+        scale=3.0,
+    ),
+    BenchCase(
+        "hot_loop_fast",
+        "Sync",
+        batch="No_Data_Intensive",
+        dram_frames=8192,
+        scale=3.0,
+        engine="fast",
+        speedup_vs="hot_loop",
+    ),
 )
 
 
@@ -94,46 +144,113 @@ def _peak_rss_bytes() -> int:
     return peak * 1024
 
 
+class _TimedCase:
+    """One case's untimed inputs plus its best-of-N timing state.
+
+    The timed region is the simulator — construction plus the full run.
+    Workload synthesis happens once, outside the timer: traces are an
+    *input* to the simulator, their generation cost is identical for
+    every engine and policy, and folding it in would dilute exactly the
+    ratios this harness exists to track.
+    """
+
+    def __init__(self, case: BenchCase, scale: float) -> None:
+        from repro.analysis.experiments import POLICY_FACTORIES
+        from repro.common.config import with_cores
+        from repro.sim.batch import build_batch
+
+        config = case.config()
+        if case.cores is not None:
+            config = with_cores(config, case.cores)
+        if case.scale is not None:
+            scale = case.scale
+        factory = POLICY_FACTORIES.get(case.policy)
+        if factory is None:
+            raise ReproError(
+                f"unknown bench policy {case.policy!r}; "
+                f"known: {', '.join(POLICY_FACTORIES)}"
+            )
+        self.case = case
+        self.scale = scale
+        self.config = config
+        self.factory = factory
+        self.workloads = build_batch(
+            case.batch, seed=case.seed, scale=scale, config=config
+        )
+        self.best_s: Optional[float] = None
+        self.instructions = 0
+        self.makespan_ns = 0
+
+    def time_once(self) -> None:
+        """Run the simulator once and fold the wall time into the best."""
+        from repro.engine import build_simulation
+
+        start = time.perf_counter()
+        result = build_simulation(
+            self.config,
+            self.workloads,
+            self.factory(),
+            batch_name=self.case.batch,
+        ).run()
+        elapsed = time.perf_counter() - start
+        if self.best_s is None or elapsed < self.best_s:
+            self.best_s = elapsed
+        self.instructions = result.instructions_committed
+        self.makespan_ns = result.makespan_ns
+
+    def record(self) -> dict:
+        best_s = self.best_s
+        assert best_s is not None
+        case = self.case
+        return {
+            "name": case.name,
+            "policy": case.policy,
+            "batch": case.batch,
+            "seed": case.seed,
+            "scale": self.scale,
+            "cores": case.cores,
+            "fault_profile": case.fault_profile,
+            "engine": case.engine,
+            "dram_frames": case.dram_frames,
+            "wall_s": round(best_s, 6),
+            "instructions_committed": self.instructions,
+            "records_per_s": round(self.instructions / best_s)
+            if best_s > 0
+            else 0,
+            "makespan_ns": self.makespan_ns,
+            "sim_ns_per_wall_s": round(self.makespan_ns / best_s)
+            if best_s > 0
+            else 0,
+        }
+
+
 def run_case(
     case: BenchCase, *, repeats: int = 3, scale: float = 0.1
 ) -> dict:
     """Time one case and return its record (best-of-*repeats*)."""
-    from repro.analysis.experiments import run_batch_policy
-
-    config = case.config()
-    best_s: Optional[float] = None
-    instructions = 0
-    makespan_ns = 0
+    timed = _TimedCase(case, scale)
     for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        result = run_batch_policy(
-            config,
-            case.batch,
-            case.policy,
-            seed=case.seed,
-            scale=scale,
-            cores=case.cores,
-        )
-        elapsed = time.perf_counter() - start
-        if best_s is None or elapsed < best_s:
-            best_s = elapsed
-        instructions = result.instructions_committed
-        makespan_ns = result.makespan_ns
-    assert best_s is not None
-    return {
-        "name": case.name,
-        "policy": case.policy,
-        "batch": case.batch,
-        "seed": case.seed,
-        "scale": scale,
-        "cores": case.cores,
-        "fault_profile": case.fault_profile,
-        "wall_s": round(best_s, 6),
-        "instructions_committed": instructions,
-        "records_per_s": round(instructions / best_s) if best_s > 0 else 0,
-        "makespan_ns": makespan_ns,
-        "sim_ns_per_wall_s": round(makespan_ns / best_s) if best_s > 0 else 0,
-    }
+        timed.time_once()
+    return timed.record()
+
+
+def _run_pair(
+    reference: BenchCase, fast: BenchCase, *, repeats: int, scale: float
+) -> list[dict]:
+    """Time a speedup pair with *interleaved* repeats.
+
+    Host load drifts on second timescales; timing all of one case's
+    repeats before the other's lets a busy window inflate one side of
+    the ratio and not the other.  Alternating the two cases' repeats
+    makes both sample the same windows, so the best-of walls — and the
+    recorded ``speedup_vs_reference`` — come from comparable conditions.
+    """
+    ref_timed = _TimedCase(reference, scale)
+    fast_timed = _TimedCase(fast, scale)
+    for _ in range(max(1, repeats)):
+        ref_timed.time_once()
+        fast_timed.time_once()
+    return [ref_timed.record(), fast_timed.record()]
 
 
 def run_bench(
@@ -146,11 +263,45 @@ def run_bench(
     """Run the full suite and return the report dict."""
     if cases is None:
         cases = BENCH_CASES  # resolved at call time (tests patch it)
+    case_by_name = {c.name: c for c in cases}
+    # Speedup pairs are timed together with interleaved repeats (see
+    # _run_pair); the fast side is pulled forward to run alongside its
+    # reference, keeping the record order of the case tuple.
+    fast_for = {
+        c.speedup_vs: c
+        for c in cases
+        if c.speedup_vs is not None and c.speedup_vs in case_by_name
+    }
     records = []
+    done = set()
     for case in cases:
-        if progress is not None:
-            progress(f"bench {case.name}: {case.policy} x{repeats} ...")
-        records.append(run_case(case, repeats=repeats, scale=scale))
+        if case.name in done:
+            continue
+        fast = fast_for.get(case.name)
+        if fast is not None:
+            if progress is not None:
+                progress(
+                    f"bench {case.name} + {fast.name}: {case.policy} "
+                    f"x{repeats} interleaved ..."
+                )
+            records.extend(_run_pair(case, fast, repeats=repeats, scale=scale))
+            done.add(fast.name)
+        else:
+            if progress is not None:
+                progress(f"bench {case.name}: {case.policy} x{repeats} ...")
+            records.append(run_case(case, repeats=repeats, scale=scale))
+        done.add(case.name)
+    by_name = {r["name"]: r for r in records}
+    for case in cases:
+        if case.speedup_vs is None:
+            continue
+        record = by_name.get(case.name)
+        reference = by_name.get(case.speedup_vs)
+        if record and reference and reference["records_per_s"]:
+            record["speedup_vs"] = case.speedup_vs
+            record["speedup_vs_reference"] = round(
+                record["records_per_s"] / reference["records_per_s"], 2
+            )
     return {
         "schema": 1,
         "repeats": repeats,
@@ -190,7 +341,7 @@ class CaseComparison:
     """Current-vs-baseline verdict for one case."""
 
     name: str
-    status: str  # "ok" | "warn" | "fail" | "new"
+    status: str  # "ok" | "warn" | "fail" | "new" | "missing"
     ratio: Optional[float] = None  # current wall / baseline wall
     current_wall_s: float = 0.0
     baseline_wall_s: Optional[float] = None
@@ -199,7 +350,14 @@ class CaseComparison:
 
 @dataclass
 class BenchComparison:
-    """The full regression verdict."""
+    """The full regression verdict.
+
+    The comparison is keyed per case, in both directions: a current
+    case with no baseline entry (``new``) and a baseline entry with no
+    current case (``missing``) both fail a ``--check`` run — otherwise
+    adding or dropping suite cases would silently pass until someone
+    remembered to refresh the baseline.
+    """
 
     cases: list[CaseComparison] = field(default_factory=list)
 
@@ -210,11 +368,16 @@ class BenchComparison:
 
     @property
     def failed(self) -> bool:
-        return any(c.status == "fail" for c in self.cases)
+        return any(c.status in ("fail", "new", "missing") for c in self.cases)
 
     @property
     def warned(self) -> bool:
         return any(c.status == "warn" for c in self.cases)
+
+    @property
+    def failed_names(self) -> list[str]:
+        """Names of the cases that make :attr:`failed` true."""
+        return [c.name for c in self.cases if c.status in ("fail", "new", "missing")]
 
 
 def compare_bench(
@@ -231,7 +394,9 @@ def compare_bench(
     """
     by_name = {c["name"]: c for c in baseline.get("cases", ())}
     comparison = BenchComparison()
+    current_names = set()
     for record in current["cases"]:
+        current_names.add(record["name"])
         base = by_name.get(record["name"])
         if base is None:
             comparison.cases.append(
@@ -239,7 +404,7 @@ def compare_bench(
                     name=record["name"],
                     status="new",
                     current_wall_s=record["wall_s"],
-                    detail="no baseline entry",
+                    detail="no baseline entry; refresh with --update-baseline",
                 )
             )
             continue
@@ -265,6 +430,17 @@ def compare_bench(
                 detail=detail,
             )
         )
+    for name, base in by_name.items():
+        if name not in current_names:
+            comparison.cases.append(
+                CaseComparison(
+                    name=name,
+                    status="missing",
+                    baseline_wall_s=base["wall_s"],
+                    detail="baseline case absent from this run; "
+                    "refresh with --update-baseline",
+                )
+            )
     return comparison
 
 
@@ -276,7 +452,7 @@ def render_bench_report(report: dict, comparison: Optional[BenchComparison]) -> 
     lines = [
         f"bench: repeats={report['repeats']} scale={report['scale']} "
         f"peak_rss={report['peak_rss_bytes'] / (1 << 20):.1f} MiB",
-        f"{'case':<14} {'wall_s':>9} {'records/s':>12} "
+        f"{'case':<16} {'wall_s':>9} {'records/s':>12} "
         f"{'sim ns/wall s':>14}  verdict",
     ]
     for record in report["cases"]:
@@ -286,12 +462,22 @@ def render_bench_report(report: dict, comparison: Optional[BenchComparison]) -> 
         elif verdict.status == "ok":
             note = f"ok ({verdict.ratio:.2f}x)"
         elif verdict.status == "new":
-            note = "new (no baseline)"
+            note = f"NEW: {verdict.detail}"
         else:
             note = f"{verdict.status.upper()} ({verdict.ratio:.2f}x): {verdict.detail}"
+        speedup = record.get("speedup_vs_reference")
+        if speedup is not None:
+            note += f"  [{speedup:.2f}x vs {record['speedup_vs']}]"
         lines.append(
-            f"{record['name']:<14} {record['wall_s']:>9.3f} "
+            f"{record['name']:<16} {record['wall_s']:>9.3f} "
             f"{record['records_per_s']:>12,} "
             f"{record['sim_ns_per_wall_s']:>14,}  {note}"
         )
+    if comparison is not None:
+        for case in comparison.cases:
+            if case.status == "missing":
+                lines.append(
+                    f"{case.name:<16} {'-':>9} {'-':>12} {'-':>14}  "
+                    f"MISSING: {case.detail}"
+                )
     return "\n".join(lines)

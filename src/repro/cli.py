@@ -59,8 +59,10 @@ from repro.analysis.tables import render_result_summary, render_series_table
 from repro.common.config import (
     ADMISSION_POLICIES,
     ARRIVAL_PROCESSES,
+    ENGINE_NAMES,
     MachineConfig,
     with_cores,
+    with_engine,
     with_serving,
 )
 from repro.common.errors import ConfigError, ReproError
@@ -87,6 +89,9 @@ def _machine_config(args: argparse.Namespace) -> MachineConfig:
     cores = getattr(args, "cores", None)
     if cores is not None:
         config = with_cores(config, cores)
+    engine = getattr(args, "engine", None)
+    if engine is not None and engine != "reference":
+        config = with_engine(config, engine)
     return config
 
 
@@ -169,6 +174,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         type=_core_count,
         default=None,
         help="simulate an SMP machine with this many cores (see docs/SMP.md)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=list(ENGINE_NAMES),
+        default=None,
+        help="execution engine: the reference step loop (default) or the "
+        "bit-identical vectorized fast path (see docs/ENGINES.md)",
     )
 
 
@@ -549,8 +561,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if comparison is not None and args.check:
         if comparison.failed:
             print(
-                f"bench check FAILED: worst slowdown "
-                f"{comparison.worst_ratio:.2f}x >= {args.hard_threshold:.1f}x",
+                f"bench check FAILED ({', '.join(comparison.failed_names)}): "
+                f"worst slowdown {comparison.worst_ratio:.2f}x "
+                f"(hard-fail at {args.hard_threshold:.1f}x; new/missing "
+                "cases also fail — refresh with --update-baseline)",
                 file=sys.stderr,
             )
             return 1

@@ -1,0 +1,75 @@
+"""Execution engines: the reference step loop and the vectorized fast path.
+
+Two engines can drive a run (docs/ENGINES.md):
+
+* ``reference`` — :class:`repro.sim.simulator.Simulation`, the exact
+  per-record step loop every result in this repository was produced by.
+* ``fast`` — :class:`repro.engine.fast.FastSimulation`, which commits
+  fault-free stretches of the trace in batches (columnar trace arrays,
+  run-length fast-forward of the virtual clock) and drops back to the
+  reference code paths for every fault-adjacent decision.
+
+Both implement the :class:`Engine` protocol and are bit-identical: same
+:class:`~repro.sim.metrics.SimulationResult`, same telemetry-off digests
+(enforced against the pinned seed digests in CI).  The engine is chosen
+on :class:`~repro.common.config.MachineConfig` (``engine="fast"`` /
+``--engine fast``); the default serialises to nothing, so sweep-cache
+keys are unchanged and a cached result computed by either engine
+answers for both.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.common.config import ENGINE_NAMES, MachineConfig
+from repro.engine.fast import FastSimulation
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import Simulation, WorkloadInstance
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What a simulation engine exposes to the analysis layer.
+
+    Both :class:`~repro.sim.simulator.Simulation` (the reference step
+    loop) and :class:`~repro.engine.fast.FastSimulation` (the vectorized
+    batch engine) satisfy this protocol; policies additionally rely on
+    the service surface of :class:`Simulation` (``consume_time``,
+    ``issue_prefetch``, ...), which ``FastSimulation`` inherits.
+    """
+
+    config: MachineConfig
+
+    def run(self) -> SimulationResult:
+        """Execute until every process finishes; returns the result."""
+        ...
+
+
+def build_simulation(
+    config: MachineConfig,
+    workloads: Sequence[WorkloadInstance],
+    policy,
+    **kwargs,
+) -> Simulation:
+    """Construct the simulation for ``config.engine``.
+
+    The factory is the single switch point: every run constructed here
+    honours ``MachineConfig.engine`` (and therefore ``--engine``), and
+    the fast engine transparently falls back to the reference loop for
+    shapes it does not accelerate (SMP, telemetry/event-log observers,
+    progress callbacks, unknown instruction hooks) — selecting it is
+    always safe, never wrong, sometimes just not faster.
+    """
+    if config.engine == "fast":
+        return FastSimulation(config, workloads, policy, **kwargs)
+    return Simulation(config, workloads, policy, **kwargs)
+
+
+__all__ = [
+    "ENGINE_NAMES",
+    "Engine",
+    "FastSimulation",
+    "Simulation",
+    "build_simulation",
+]

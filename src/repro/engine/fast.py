@@ -1,0 +1,553 @@
+"""The vectorized fast-path engine (docs/ENGINES.md).
+
+The paper's own observation — most trace records are fault-free, and
+only the windows around page faults need exact, cycle-level treatment —
+applies to the simulator itself: the reference step loop pays ~20 Python
+calls per record even when the record is a TLB-hit load or a pure ALU
+op.  This engine removes that overhead where nothing can happen:
+
+* Traces are preprocessed once into columnar arrays (op kind, vpn, page
+  offset, cumulative compute cost, next-memory-op index) — numpy when
+  available, pure Python otherwise.
+* Runs of compute/branch records are committed as a single batch: the
+  virtual clock fast-forwards by a cumulative-sum difference, cut
+  exactly at the first record that exhausts the time slice or reaches
+  the next pending device event (found by binary search), so event
+  callbacks observe the identical ``machine.now_ns`` / ``process.pc``
+  they would under the reference loop.
+* Memory ops run through an inlined TLB-probe + page-table-hit path
+  that performs the same state mutations (TLB LRU order and counters,
+  PTE accessed/dirty bits, replacement LRU touch, LLC sets and
+  counters, DRAM traffic counters) in the same order.
+
+Everything fault-adjacent drops back to the proven code: a miss in the
+inlined hit-classifier defers to :meth:`MemoryManager.classify_touch`,
+and a MAJOR fault exits the batch window entirely so the I/O policy
+(ITS steal, adaptive mode selection, DMA retry, demotion) runs the
+exact reference fault path.  Shapes the engine does not accelerate —
+SMP, telemetry/event-log observers, progress callbacks, policies with
+unknown instruction hooks — fall back to the inherited reference
+``run()`` wholesale.
+
+Bit-identity contract: same ``SimulationResult``, same downstream
+component state.  The one tolerated divergence is the *unpublished*
+``PageTable.stats.walks`` counter (the engine caches PTE references, so
+repeat touches skip the simulated table walk); see docs/ENGINES.md.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro.baselines.base import IOPolicy
+from repro.baselines.sync_runahead import SyncRunaheadPolicy
+from repro.common.errors import SimulationError
+from repro.cpu.core import StepOutcome, StepResult
+from repro.cpu.isa import Branch, Compute, Load, Store
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import Simulation
+from repro.vm.mm import FaultKind
+from repro.vm.replacement import (
+    GlobalLRUPolicy,
+    PriorityAwareLRUPolicy,
+    ResidentPage,
+)
+
+try:  # numpy accelerates trace preprocessing; the engine runs without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the test image ships numpy
+    _np = None
+
+_COMPUTE = 0
+_LOAD = 1
+_STORE = 2
+_UNKNOWN = 3
+
+
+@dataclass(frozen=True)
+class TraceColumns:
+    """Columnar view of one trace (plain lists for tight-loop indexing).
+
+    ``cum`` has ``len(trace) + 1`` entries: ``cum[j] - cum[i]`` is the
+    compute cost of records ``[i, j)`` (memory ops contribute zero — an
+    inter-fault compute run fast-forwards the clock by one subtraction).
+    ``next_mem[i]`` is the first index ``>= i`` holding a non-compute
+    record, or ``len(trace)``.
+    """
+
+    kind: list
+    cum: list
+    vpn: list
+    off: list
+    next_mem: list
+
+
+def build_columns(trace, page_shift: int, page_mask: int, compute_ns: int) -> TraceColumns:
+    """Preprocess *trace* into :class:`TraceColumns` (one pass + numpy)."""
+    n = len(trace)
+    kind = [_COMPUTE] * n
+    cost = [0] * n
+    vpn = [0] * n
+    off = [0] * n
+    for i, instr in enumerate(trace):
+        # Exact-type dispatch first (the only types real traces hold);
+        # the isinstance chain below keeps subclass semantics identical
+        # to the reference core's dispatch.
+        t = instr.__class__
+        if t is Compute:
+            cost[i] = instr.cycles * compute_ns
+        elif t is Load:
+            kind[i] = _LOAD
+            vpn[i] = instr.vaddr >> page_shift
+            off[i] = instr.vaddr & page_mask
+        elif t is Store:
+            kind[i] = _STORE
+            vpn[i] = instr.vaddr >> page_shift
+            off[i] = instr.vaddr & page_mask
+        elif t is Branch:
+            cost[i] = compute_ns
+        elif isinstance(instr, Compute):
+            cost[i] = instr.cycles * compute_ns
+        elif isinstance(instr, Branch):
+            cost[i] = compute_ns
+        elif isinstance(instr, Load):
+            kind[i] = _LOAD
+            vpn[i] = instr.vaddr >> page_shift
+            off[i] = instr.vaddr & page_mask
+        elif isinstance(instr, Store):
+            kind[i] = _STORE
+            vpn[i] = instr.vaddr >> page_shift
+            off[i] = instr.vaddr & page_mask
+        else:
+            # Surfaced as the reference TypeError if execution reaches it.
+            kind[i] = _UNKNOWN
+    if _np is not None:
+        cum = _np.concatenate(
+            ([0], _np.cumsum(_np.asarray(cost, dtype=_np.int64)))
+        ).tolist()
+        stops = _np.where(
+            _np.asarray(kind, dtype=_np.int64) != _COMPUTE,
+            _np.arange(n, dtype=_np.int64),
+            n,
+        )
+        next_mem = _np.minimum.accumulate(stops[::-1])[::-1].tolist()
+        next_mem.append(n)
+    else:
+        cum = [0] * (n + 1)
+        for i in range(n):
+            cum[i + 1] = cum[i] + cost[i]
+        next_mem = [n] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            next_mem[i] = i if kind[i] != _COMPUTE else next_mem[i + 1]
+    return TraceColumns(kind=kind, cum=cum, vpn=vpn, off=off, next_mem=next_mem)
+
+
+class FastSimulation(Simulation):
+    """Batched execution with exact fallback inside fault windows."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._columns: dict[int, TraceColumns] = {}
+        # (pid, vpn) -> (PageTableEntry, ResidentPage): one lookup serves
+        # both the walk-skip and the replacement-touch on the hit path.
+        self._page_cache: dict = {}
+        hook = type(self.policy).on_instruction_complete
+        if hook is IOPolicy.on_instruction_complete:
+            self._hook = None
+            hook_supported = True
+        else:
+            self._hook = self.policy.on_instruction_complete
+            # The runahead hook is a no-op unless the record stalled, so
+            # the engine only materialises a StepResult on stalls; any
+            # *other* override could observe every record, which batching
+            # cannot honour — run those on the reference loop.
+            hook_supported = hook is SyncRunaheadPolicy.on_instruction_complete
+        self._force_reference = (
+            self._smp
+            or self.telemetry is not None
+            or self.event_log is not None
+            or self.progress is not None
+            or not hook_supported
+        )
+
+    def _columns_for(self, trace) -> TraceColumns:
+        columns = self._columns.get(id(trace))
+        if columns is None:
+            page_size = self.config.memory.page_size
+            columns = build_columns(
+                trace,
+                page_size.bit_length() - 1,
+                page_size - 1,
+                self.config.compute_ns_per_instr,
+            )
+            self._columns[id(trace)] = columns
+        return columns
+
+    # -- driving the run ----------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        if self._force_reference:
+            return super().run()
+        steps = 0
+        while self.scheduler.has_work() or self._arrivals_outstanding > 0:
+            steps += 1
+            if steps > self.MAX_STEPS:
+                raise SimulationError("simulation exceeded MAX_STEPS; diverged?")
+            if self.scheduler.current is None:
+                if not self._dispatch_or_idle():
+                    continue
+            self._run_window()
+        return self._build_result()
+
+    def _run_window(self) -> None:
+        """Run the current process until it faults, finishes, is
+        preempted, or yields to a resuming sacrificer.
+
+        Local mirrors of the hot state (clock, pc, slice, stat counters)
+        are flushed back at every externally observable point — event
+        firing, policy hooks, fault paths, window exit — so any code
+        outside this method sees exactly the state the reference loop
+        would have produced at the same virtual instant.
+        """
+        process = self.scheduler.current
+        if process is None:  # the fault handler may have blocked it
+            return
+        pid = process.pid
+        trace = process.trace
+        columns = self._columns_for(trace)
+        kind = columns.kind
+        cum = columns.cum
+        vpns = columns.vpn
+        offs = columns.off
+        next_mem = columns.next_mem
+        n = len(trace)
+
+        machine = self.machine
+        scheduler = self.scheduler
+        events = machine.events
+        run_due = events.run_due
+        peek_time = events.peek_time
+        resume_preempts = scheduler.resume_preempts_current
+        memory = machine.memory
+        mm = memory.mm_of(pid)
+        pte_for = mm.pte_for
+        classify = memory.classify_touch
+        replacement = memory.replacement
+        on_touch = replacement.on_touch
+        # Both LRU-family policies implement on_touch as "move to MRU if
+        # tracked"; inline that as a single OrderedDict op.  Other (or
+        # subclassed) policies keep the virtual call.
+        lru_move = (
+            replacement._lru.move_to_end
+            if type(replacement) in (GlobalLRUPolicy, PriorityAwareLRUPolicy)
+            else None
+        )
+        frames_info_get = memory.frames._info.get
+        tlb = machine.tlb
+        entries = tlb._entries
+        entries_get = entries.get
+        move_to_end = entries.move_to_end
+        tlb_insert = tlb.insert
+        tlb_hit_ns = tlb.config.hit_latency_ns
+        tlb_miss_ns = tlb.config.miss_walk_latency_ns
+        hierarchy = machine.hierarchy
+        full_hierarchy = hierarchy.l1 is not None
+        hier_access = hierarchy.access
+        llc = hierarchy.llc
+        llc_access = llc.access
+        llc_sets = llc._sets
+        llc_line_bits = llc._line_bits
+        llc_set_mask = llc._set_mask
+        llc_tag_shift = llc_set_mask.bit_length()
+        llc_stats = llc.stats
+        llc_hit_ns = llc.config.hit_latency_ns
+        line_size = llc.config.line_size
+        dram_read = hierarchy.dram.read_latency_ns
+        dram_write = hierarchy.dram.write_latency_ns
+        page_size = memory.frames.page_size
+        fault_handler_ns = self.config.fault_handler_ns
+        cpu = machine.cpu
+        stats = process.stats
+        registers = process.registers
+        idle = self.metrics.idle
+        tlb_stats = tlb.stats
+        page_cache = self._page_cache
+        page_cache_get = page_cache.get
+        hook = self._hook
+        policy = self.policy
+
+        now = machine.now_ns
+        pc = process.pc
+        slice_left = process.slice_remaining_ns
+
+        # Same-page streak state: while consecutive memory ops touch one
+        # vpn and nothing external runs in between, the TLB entry, the
+        # replacement-LRU position, the PTE accessed bit and the frame's
+        # prefetched flag are all provably already in their post-touch
+        # state, so the repeat probe reduces to a hit count + latency.
+        # Reset (-1) at every external call: events, hooks, fault paths.
+        last_v = -1
+        last_pte = None
+        last_frame = 0
+
+        d_committed = 0
+        d_cpu = 0
+        d_stall = 0
+        d_minor = 0
+        d_hits = 0
+        d_misses = 0
+        d_llc_hits = 0
+
+        def flush() -> None:
+            nonlocal d_committed, d_cpu, d_stall, d_minor, d_hits, d_misses
+            nonlocal d_llc_hits
+            machine.now_ns = now
+            process.pc = pc
+            registers.pc = pc
+            process.slice_remaining_ns = slice_left
+            if d_committed:
+                cpu.instructions_committed += d_committed
+                d_committed = 0
+            if d_cpu:
+                stats.cpu_time_ns += d_cpu
+                d_cpu = 0
+            if d_stall:
+                stats.memory_stall_ns += d_stall
+                idle.memory_stall_ns += d_stall
+                d_stall = 0
+            if d_minor:
+                stats.minor_faults += d_minor
+                idle.handler_overhead_ns += d_minor * fault_handler_ns
+                d_minor = 0
+            if d_hits:
+                tlb_stats.hits += d_hits
+                d_hits = 0
+            if d_misses:
+                tlb_stats.misses += d_misses
+                d_misses = 0
+            if d_llc_hits:
+                llc_stats.demand_hits += d_llc_hits
+                d_llc_hits = 0
+
+        next_event = peek_time()
+        resume_pending = resume_preempts()
+
+        while True:
+            k = kind[pc]
+            if k == _COMPUTE:
+                # Fast-forward a fault-free compute/branch run [pc, stop).
+                base = cum[pc]
+                stop = next_mem[pc]
+                if cum[stop] - base >= slice_left:
+                    stop = bisect_left(cum, base + slice_left, pc + 1, stop)
+                if next_event is not None and cum[stop] - base >= next_event - now:
+                    stop = bisect_left(cum, base + (next_event - now), pc + 1, stop)
+                if resume_pending and stop > pc + 1:
+                    # A higher-priority resume is already pending: the
+                    # reference loop would yield after one record.
+                    stop = pc + 1
+                dt = cum[stop] - base
+                d_committed += stop - pc
+                d_cpu += dt
+                now += dt
+                slice_left -= dt
+                # The record "in flight" at the batch cut, for any event
+                # callback that observes process.pc (reference loop
+                # timing: events fire before the pc advances).
+                pc = stop - 1
+                stall = 0
+                minor = False
+            elif k == _UNKNOWN:
+                flush()
+                instr = trace[pc]
+                raise TypeError(f"unknown instruction {instr!r}")
+            else:
+                v = vpns[pc]
+                if v == last_v:
+                    # Same-page streak: the previous op left (pid, v) at
+                    # TLB MRU and replacement MRU, accessed set and
+                    # prefetched cleared — the repeat probe is a pure
+                    # hit, every LRU move a no-op.
+                    d_hits += 1
+                    time_ns = tlb_hit_ns
+                    pte = last_pte
+                    frame2 = last_frame
+                    minor = False
+                else:
+                    key = (pid, v)
+                    frame = entries_get(key)
+                    tlb_hit = frame is not None
+                    if tlb_hit:
+                        move_to_end(key)
+                        d_hits += 1
+                        time_ns = tlb_hit_ns
+                    else:
+                        d_misses += 1
+                        time_ns = tlb_miss_ns
+                    ent = page_cache_get(key)
+                    if ent is not None:
+                        pte, rp = ent
+                    else:
+                        pte = pte_for(v)
+                        if pte is not None:
+                            rp = ResidentPage(pid, v)
+                            page_cache[key] = (pte, rp)
+                    if pte is not None and pte.present:
+                        # Inlined FaultKind.HIT classification: identical
+                        # mutations in identical order to classify_touch().
+                        pte.accessed = True
+                        if lru_move is not None:
+                            try:  # on_touch(): move to MRU if tracked
+                                lru_move(rp)
+                            except KeyError:
+                                pass
+                        else:
+                            on_touch(rp)
+                        info = frames_info_get(pte.frame)
+                        if info is not None:  # clear_prefetched()
+                            info.prefetched = False
+                        frame2 = pte.frame
+                        minor = False
+                    else:
+                        # Cold path (minor/major/unmapped): the proven
+                        # classifier takes every decision.
+                        flush()
+                        touch = classify(pid, v)
+                        if touch.kind is FaultKind.MAJOR:
+                            if tlb_hit:
+                                tlb.shootdown(pid, v)
+                            flush()
+                            stats.major_faults += 1
+                            policy.on_major_fault(self, process, v)
+                            if (
+                                scheduler.current is process
+                                and process.slice_remaining_ns <= 0
+                            ):
+                                scheduler.preempt_current()
+                            return
+                        pte = touch.pte
+                        frame2 = touch.frame
+                        minor = touch.kind is FaultKind.MINOR
+                        if minor:
+                            time_ns += fault_handler_ns
+                        resume_pending = resume_preempts()
+                        last_v = -1
+                    if tlb_hit:
+                        if frame != frame2:
+                            entries[key] = frame2
+                    else:
+                        tlb_insert(pid, v, frame2)
+                    if not minor:
+                        last_v = v
+                        last_pte = pte
+                        last_frame = frame2
+                is_write = k == _STORE
+                if is_write:
+                    pte.dirty = True
+                paddr = frame2 * page_size + offs[pc]
+                if full_hierarchy:
+                    access = hier_access(
+                        paddr, is_write=is_write, owner=pid, preexec=False
+                    )
+                    lat = access.latency_ns
+                    stall = access.stall_ns
+                else:
+                    # Inlined SetAssociativeCache.access() hit path; a
+                    # miss defers to the real method (fill + eviction).
+                    # Read hits need one OrderedDict op (the LRU move);
+                    # only writes fetch the line, to set its dirty bit.
+                    line_key = paddr >> llc_line_bits
+                    cache_set = llc_sets[line_key & llc_set_mask]
+                    tag = line_key >> llc_tag_shift
+                    if is_write:
+                        cache_line = cache_set.get(tag)
+                        if cache_line is not None:
+                            cache_set.move_to_end(tag)
+                            cache_line.dirty = True
+                            d_llc_hits += 1
+                            lat = llc_hit_ns
+                            stall = 0
+                        else:
+                            llc_access(paddr, is_write=True, owner=pid, preexec=False)
+                            stall = dram_write(line_size)
+                            lat = llc_hit_ns + stall
+                    else:
+                        try:
+                            cache_set.move_to_end(tag)
+                            d_llc_hits += 1
+                            lat = llc_hit_ns
+                            stall = 0
+                        except KeyError:
+                            llc_access(paddr, is_write=False, owner=pid, preexec=False)
+                            stall = dram_read(line_size)
+                            lat = llc_hit_ns + stall
+                time_ns += lat
+                d_committed += 1
+                d_cpu += time_ns
+                now += time_ns
+                slice_left -= time_ns
+
+            if next_event is not None and now >= next_event:
+                flush()
+                run_due(now)
+                next_event = peek_time()
+                now = machine.now_ns
+                pc = process.pc
+                slice_left = process.slice_remaining_ns
+                resume_pending = resume_preempts()
+                last_v = -1
+            if stall:
+                d_stall += stall
+            if minor:
+                d_minor += 1
+            if hook is not None and stall > 0:
+                flush()
+                hook(
+                    self,
+                    process,
+                    trace[pc],
+                    StepResult(
+                        outcome=StepOutcome.COMPLETED,
+                        time_ns=time_ns,
+                        stall_ns=stall,
+                        minor_fault=minor,
+                    ),
+                )
+                next_event = peek_time()
+                now = machine.now_ns
+                slice_left = process.slice_remaining_ns
+                resume_pending = resume_preempts()
+                last_v = -1
+
+            pc += 1
+            if pc >= n:
+                flush()
+                scheduler.finish_current(machine.now_ns)
+                self._release_process_memory(pid)
+                if self._serving:
+                    self._finish_request(pid)
+                return
+            if slice_left <= 0:
+                flush()
+                scheduler.preempt_current()
+                return
+            if resume_pending:
+                flush()
+                self._resume_preempt()
+                return
+
+    def _resume_preempt(self) -> None:
+        """The reference loop's resume-preemption path, verbatim (minus
+        the telemetry/causal branches, which force the reference engine)."""
+        displaced = self.scheduler.preempt_for_resume()
+        cost = self.machine.context_switch.perform(displaced.pid)
+        self.machine.advance_ctx(cost)
+        self.metrics.add_ctx_overhead(cost)
+        resumed = self.scheduler.current
+        self.charge_time(
+            resumed.pid if resumed is not None else None, "ctx_switch", cost
+        )
+        if resumed is not None:
+            resumed.stats.context_switches += 1
+            self._last_pid = resumed.pid

@@ -157,14 +157,18 @@ class SetAssociativeCache:
         """
         if length <= 0:
             return 0
+        if start < 0:
+            raise AddressError(f"negative address {start:#x}")
         dropped = 0
-        addr = self.line_address(start)
-        end = start + length
-        while addr < end:
-            index, tag = self._index_tag(addr)
-            if self._sets[index].pop(tag, None) is not None:
+        bits = self._line_bits
+        set_mask = self._set_mask
+        tag_shift = set_mask.bit_length()
+        sets = self._sets
+        # Iterate line numbers directly; a page-sized release walks 64
+        # lines, so the per-line arithmetic is kept free of method calls.
+        for line in range(start >> bits, ((start + length - 1) >> bits) + 1):
+            if sets[line & set_mask].pop(line >> tag_shift, None) is not None:
                 dropped += 1
-            addr += self.config.line_size
         self.stats.invalidations += dropped
         return dropped
 

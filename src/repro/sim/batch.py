@@ -110,7 +110,7 @@ def run_batch_instrumented(
     """
     import dataclasses
 
-    from repro.sim.simulator import Simulation
+    from repro.engine import build_simulation
     from repro.telemetry import Telemetry
 
     config = config or MachineConfig()
@@ -121,7 +121,7 @@ def run_batch_instrumented(
     if telemetry is None:
         telemetry = Telemetry()
     workloads = build_batch(name, seed=seed, scale=scale, config=config)
-    result = Simulation(
+    result = build_simulation(
         config, workloads, policy, batch_name=name, telemetry=telemetry
     ).run()
     return result, telemetry

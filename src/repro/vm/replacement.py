@@ -31,6 +31,15 @@ class ResidentPage:
     pid: int
     vpn: int
 
+    def __post_init__(self) -> None:
+        # Replacement structures hash a page on every touch; the generated
+        # frozen-dataclass hash recomputes hash((pid, vpn)) each time,
+        # which is measurable on the per-access hot path.  Cache it once.
+        object.__setattr__(self, "_hash", hash((self.pid, self.vpn)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
 
 class ReplacementPolicy(ABC):
     """Interface shared by all page replacement policies."""

@@ -1,0 +1,103 @@
+"""Property: the fast engine is bit-identical to the reference loop.
+
+Random tiny workload sets, every registered policy, a sample of fault
+profiles: ``FastSimulation`` must produce the same serialised
+``SimulationResult`` as ``Simulation`` — not just the same headline
+numbers, the whole payload (per-process stats, idle breakdown, cache
+counters).  This is the engine's one contract (docs/ENGINES.md);
+everything else about it is an implementation detail.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import POLICY_FACTORIES
+from repro.analysis.store import result_to_dict
+from repro.common.config import (
+    CacheConfig,
+    MachineConfig,
+    MemoryConfig,
+    SchedulerConfig,
+    TLBConfig,
+    with_engine,
+)
+from repro.common.units import KIB, US
+from repro.cpu.isa import Branch, Compute, Load, Store
+from repro.engine import build_simulation
+from repro.faults.profiles import with_fault_profile
+from repro.sim.simulator import WorkloadInstance
+
+
+def tiny_config(profile):
+    config = MachineConfig(
+        llc=CacheConfig(size_bytes=8 * KIB, ways=2),
+        tlb=TLBConfig(entries=4),
+        memory=MemoryConfig(dram_frames=12),
+        scheduler=SchedulerConfig(
+            max_time_slice_ns=200 * US, min_time_slice_ns=20 * US
+        ),
+    )
+    if profile != "none":
+        config = with_fault_profile(config, profile)
+    return config
+
+
+@st.composite
+def tiny_trace(draw):
+    n = draw(st.integers(4, 40))
+    base = 0x40_0000
+    instructions = []
+    for i in range(n):
+        kind = draw(st.sampled_from(["load", "store", "compute", "branch"]))
+        if kind == "compute":
+            instructions.append(
+                Compute(dst=i % 16, srcs=((i + 1) % 16,), cycles=draw(st.integers(1, 50)))
+            )
+            continue
+        if kind == "branch":
+            instructions.append(Branch(srcs=(i % 16,), taken=draw(st.booleans())))
+            continue
+        page = draw(st.integers(0, 19))
+        offset = draw(st.integers(0, 63)) * 64
+        vaddr = base + page * 4096 + offset
+        if kind == "load":
+            instructions.append(Load(dst=i % 16, vaddr=vaddr))
+        else:
+            instructions.append(Store(src=i % 16, vaddr=vaddr))
+    # Guarantee at least one memory touch.
+    instructions.append(Load(dst=0, vaddr=base))
+    return instructions
+
+
+@st.composite
+def workload_sets(draw):
+    count = draw(st.integers(1, 3))
+    priorities = draw(
+        st.lists(st.integers(0, 39), min_size=count, max_size=count, unique=True)
+    )
+    return [
+        WorkloadInstance(
+            name=f"w{i}", trace=draw(tiny_trace()), priority=priorities[i]
+        )
+        for i in range(count)
+    ]
+
+
+policy_names = st.sampled_from(list(POLICY_FACTORIES))
+# A fault-free profile, the paper's bimodal tail, and the DMA-error
+# profile: between them they reach the demotion, retry and jitter paths.
+profile_names = st.sampled_from(["none", "tail_bimodal", "flaky_dma"])
+
+
+@given(workload_sets(), policy_names, profile_names)
+@settings(max_examples=60, deadline=None)
+def test_fast_engine_bit_identical(workloads, policy_name, profile):
+    def run(engine):
+        return build_simulation(
+            with_engine(tiny_config(profile), engine),
+            workloads,
+            POLICY_FACTORIES[policy_name](),
+            batch_name="prop",
+        ).run()
+
+    assert result_to_dict(run("fast")) == result_to_dict(run("reference"))

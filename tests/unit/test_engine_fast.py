@@ -1,0 +1,325 @@
+"""Unit tests for the vectorized fast-path engine (docs/ENGINES.md).
+
+The contract under test is bit-identity: for every shape the engine
+accelerates, ``FastSimulation`` must produce the same
+``SimulationResult`` *and* leave the machine in the same state as the
+reference step loop.  The crafted traces here aim at the batch
+boundaries where the fast path hands control back to the reference
+code: faults on the first and last record of a window, back-to-back
+faults, zero-length fast-forwards at slice/event cuts.
+"""
+
+import pytest
+
+from repro.analysis.experiments import POLICY_FACTORIES
+from repro.analysis.runner import SweepCell, cache_key
+from repro.analysis.store import result_to_dict
+from repro.common.config import (
+    ENGINE_NAMES,
+    CacheConfig,
+    MachineConfig,
+    MemoryConfig,
+    SchedulerConfig,
+    TLBConfig,
+    with_cores,
+    with_engine,
+)
+from repro.common.errors import ConfigError
+from repro.common.units import KIB, US
+from repro.cpu.isa import Branch, Compute, Load, Store
+from repro.engine import Engine, FastSimulation, Simulation, build_simulation
+from repro.engine.fast import _COMPUTE, _LOAD, _STORE, build_columns
+from repro.sim.simulator import WorkloadInstance
+
+PAGE = 4096
+
+
+def tiny_config(**overrides) -> MachineConfig:
+    config = MachineConfig(
+        llc=CacheConfig(size_bytes=8 * KIB, ways=2),
+        tlb=TLBConfig(entries=4),
+        memory=MemoryConfig(dram_frames=12),
+        scheduler=SchedulerConfig(
+            max_time_slice_ns=200 * US, min_time_slice_ns=20 * US
+        ),
+    )
+    if overrides:
+        import dataclasses
+
+        config = dataclasses.replace(config, **overrides)
+    return config
+
+
+def load(page, offset=0):
+    return Load(dst=1, vaddr=0x40_0000 + page * PAGE + offset)
+
+
+def store(page, offset=0):
+    return Store(src=1, vaddr=0x40_0000 + page * PAGE + offset)
+
+
+def run_both(traces, policy="Sync", config=None, priorities=None):
+    """Run the same workloads under both engines; return both sims.
+
+    The caller asserts on the sims' results and machine state; the
+    deep-equality helper below does the common comparison.
+    """
+    if config is None:
+        config = tiny_config()
+    factory = POLICY_FACTORIES[policy]
+
+    def build(cfg):
+        workloads = [
+            WorkloadInstance(
+                name=f"w{i}",
+                trace=list(trace),
+                priority=(priorities[i] if priorities else i),
+            )
+            for i, trace in enumerate(traces)
+        ]
+        return build_simulation(cfg, workloads, factory(), batch_name="t")
+
+    reference = build(with_engine(config, "reference"))
+    fast = build(with_engine(config, "fast"))
+    assert isinstance(fast, FastSimulation)
+    return reference, fast
+
+
+def assert_bit_identical(reference, fast):
+    ref_result = reference.run()
+    fast_result = fast.run()
+    assert result_to_dict(fast_result) == result_to_dict(ref_result)
+    # Deep machine state, beyond the published result payload: TLB
+    # content *and* LRU order, TLB counters, LLC counters.
+    assert list(fast.machine.tlb._entries.items()) == list(
+        reference.machine.tlb._entries.items()
+    )
+    assert fast.machine.tlb.stats == reference.machine.tlb.stats
+    assert (
+        fast.machine.hierarchy.llc.stats == reference.machine.hierarchy.llc.stats
+    )
+    return ref_result
+
+
+class TestBuildColumns:
+    TRACE = [
+        Compute(dst=0, cycles=3),
+        Load(dst=1, vaddr=5 * PAGE + 64),
+        Branch(srcs=(1,), taken=True),
+        Store(src=2, vaddr=9 * PAGE + 128),
+        Compute(dst=0, cycles=2),
+    ]
+
+    def check(self, columns):
+        assert columns.kind == [_COMPUTE, _LOAD, _COMPUTE, _STORE, _COMPUTE]
+        # compute_ns=10: costs are 30, 0, 10, 0, 20 -> prefix sums.
+        assert columns.cum == [0, 30, 30, 40, 40, 60]
+        assert columns.vpn[1] == 5 and columns.off[1] == 64
+        assert columns.vpn[3] == 9 and columns.off[3] == 128
+        # next_mem[i]: first non-compute index >= i, else len(trace).
+        assert columns.next_mem == [1, 1, 3, 3, 5, 5]
+
+    def test_columns(self):
+        self.check(build_columns(self.TRACE, 12, PAGE - 1, 10))
+
+    def test_pure_python_fallback_matches_numpy(self, monkeypatch):
+        import repro.engine.fast as fast_mod
+
+        with_numpy = build_columns(self.TRACE, 12, PAGE - 1, 10)
+        monkeypatch.setattr(fast_mod, "_np", None)
+        without = fast_mod.build_columns(self.TRACE, 12, PAGE - 1, 10)
+        assert without == with_numpy
+        self.check(without)
+
+
+class TestEngineConfig:
+    def test_engine_names(self):
+        assert ENGINE_NAMES == ("reference", "fast")
+
+    def test_with_engine(self):
+        config = with_engine(MachineConfig(), "fast")
+        assert config.engine == "fast"
+        assert with_engine(config, "reference").engine == "reference"
+        assert MachineConfig().engine == "reference"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown engine"):
+            MachineConfig(engine="warp")
+
+    def test_default_engine_serialises_to_nothing(self):
+        # Sweep-cache keys are digests of to_dict(); the default engine
+        # must keep addressing results computed before it had a name.
+        assert "engine" not in MachineConfig().to_dict()
+        assert with_engine(MachineConfig(), "fast").to_dict()["engine"] == "fast"
+
+    def test_from_dict_round_trip(self):
+        fast = with_engine(MachineConfig(), "fast")
+        assert MachineConfig.from_dict(fast.to_dict()).engine == "fast"
+        assert MachineConfig.from_dict(MachineConfig().to_dict()).engine == (
+            "reference"
+        )
+
+    def test_cache_key_unchanged_by_default_engine(self):
+        def key(config):
+            return cache_key(
+                SweepCell(
+                    config=config,
+                    batch="1_Data_Intensive",
+                    policy="ITS",
+                    seed=1,
+                    scale=0.2,
+                )
+            )
+
+        assert key(MachineConfig()) == key(
+            with_engine(with_engine(MachineConfig(), "fast"), "reference")
+        )
+        assert key(with_engine(MachineConfig(), "fast")) != key(MachineConfig())
+
+
+class TestFactory:
+    def test_dispatch(self):
+        workloads = [WorkloadInstance(name="w", trace=[load(0)], priority=0)]
+        reference = build_simulation(
+            tiny_config(), workloads, POLICY_FACTORIES["Sync"](), batch_name="t"
+        )
+        assert type(reference) is Simulation
+        fast = build_simulation(
+            with_engine(tiny_config(), "fast"),
+            workloads,
+            POLICY_FACTORIES["Sync"](),
+            batch_name="t",
+        )
+        assert type(fast) is FastSimulation
+        assert isinstance(reference, Engine)
+        assert isinstance(fast, Engine)
+
+
+class TestForceReference:
+    """Shapes the fast engine does not accelerate must fall back wholesale."""
+
+    def workloads(self):
+        return [
+            WorkloadInstance(
+                name="w", trace=[load(p) for p in range(6)], priority=0
+            )
+        ]
+
+    def build(self, **kwargs):
+        return FastSimulation(
+            with_engine(tiny_config(), "fast"),
+            self.workloads(),
+            POLICY_FACTORIES["Sync"](),
+            batch_name="t",
+            **kwargs,
+        )
+
+    def test_single_core_defaults_use_fast_path(self):
+        assert not self.build()._force_reference
+
+    def test_smp_forces_reference(self):
+        sim = FastSimulation(
+            with_cores(with_engine(tiny_config(), "fast"), 2),
+            self.workloads(),
+            POLICY_FACTORIES["Sync"](),
+            batch_name="t",
+        )
+        assert sim._force_reference
+
+    def test_progress_forces_reference(self):
+        assert self.build(progress=lambda *a: None)._force_reference
+
+    def test_unknown_instruction_hook_forces_reference(self):
+        from repro.baselines.sync_io import SyncIOPolicy
+
+        class Watcher(SyncIOPolicy):
+            def on_instruction_complete(self, sim, process, instr, step):
+                pass
+
+        sim = FastSimulation(
+            with_engine(tiny_config(), "fast"),
+            self.workloads(),
+            Watcher(),
+            batch_name="t",
+        )
+        assert sim._force_reference
+
+    def test_forced_reference_still_bit_identical(self):
+        reference = Simulation(
+            tiny_config(), self.workloads(), POLICY_FACTORIES["Sync"](),
+            batch_name="t",
+        )
+        forced = self.build(progress=lambda *a: None)
+        assert result_to_dict(forced.run()) == result_to_dict(reference.run())
+
+
+class TestBatchBoundaries:
+    """Crafted traces hitting the fast path's window-cut edges."""
+
+    @pytest.mark.parametrize("policy", ["Sync", "ITS"])
+    def test_fault_on_first_record(self, policy):
+        # The very first record of the first window is a cold touch: the
+        # window must exit through the exact reference fault path before
+        # any batch state accumulates.
+        traces = [[load(0)] + [Compute(dst=0, cycles=2)] * 8 + [load(1)]]
+        assert_bit_identical(*run_both(traces, policy=policy))
+
+    @pytest.mark.parametrize("policy", ["Sync", "ITS"])
+    def test_fault_on_last_record(self, policy):
+        # The fault is the trace's final record: the finish path runs
+        # directly out of a fault window.
+        traces = [[Compute(dst=0, cycles=2)] * 8 + [load(0), load(1)]]
+        assert_bit_identical(*run_both(traces, policy=policy))
+
+    @pytest.mark.parametrize("policy", ["Sync", "ITS", "Adaptive"])
+    def test_back_to_back_faults(self, policy):
+        # Every record is a cold touch to a distinct page — more pages
+        # than DRAM frames, so the run faults *and* evicts continuously
+        # and the engine never leaves the fault window.
+        traces = [
+            [load(p) for p in range(20)],
+            [store(p) for p in range(20, 40)],
+        ]
+        result = assert_bit_identical(*run_both(traces, policy=policy))
+        # ITS/Adaptive prefetching converts some majors into minors, but
+        # the cold stream must still fault somewhere.
+        assert result.major_faults >= 10
+
+    def test_zero_length_fast_forward_at_slice_cut(self):
+        # A compute run long enough to exhaust the slice several times:
+        # the batch must cut exactly where the reference loop preempts,
+        # including the degenerate cut after zero records.
+        traces = [
+            [load(0)] + [Compute(dst=0, cycles=1000)] * 400,
+            [load(1)] + [Compute(dst=0, cycles=1000)] * 400,
+        ]
+        ref_result = assert_bit_identical(*run_both(traces))
+        assert all(p.context_switches > 0 for p in ref_result.processes)
+
+    def test_same_page_streak_with_interleaved_stores(self):
+        # Repeat loads/stores to one page exercise the streak shortcut;
+        # the page switch and the TLB-capacity page set exercise its
+        # reset.
+        trace = []
+        for p in (0, 0, 1, 1, 1, 0, 2, 3, 4, 5, 0, 2):
+            trace.append(load(p, offset=(p * 64) % PAGE))
+            trace.append(store(p, offset=(p * 128) % PAGE))
+        assert_bit_identical(*run_both([trace]))
+
+    @pytest.mark.parametrize("policy", list(POLICY_FACTORIES))
+    def test_mixed_workload_every_policy(self, policy):
+        # A blend of all record kinds across three processes, enough
+        # pages to spill the tiny DRAM, under every registered policy.
+        def mix(base):
+            trace = []
+            for i in range(30):
+                trace.append(load((base + i) % 16))
+                trace.append(Compute(dst=i % 8, cycles=1 + i % 5))
+                trace.append(Branch(srcs=(i % 8,), taken=i % 2 == 0))
+                trace.append(store((base + 2 * i) % 16, offset=64))
+            return trace
+
+        traces = [mix(0), mix(5), mix(11)]
+        assert_bit_identical(
+            *run_both(traces, policy=policy, priorities=[30, 10, 20])
+        )

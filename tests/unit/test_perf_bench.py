@@ -39,11 +39,38 @@ def _case(name, wall_s):
 class TestCases:
     def test_canonical_suite_shape(self):
         names = [c.name for c in BENCH_CASES]
-        assert names == ["single_core", "smp_4core", "tail_bimodal", "adaptive"]
+        assert names == [
+            "single_core",
+            "smp_4core",
+            "tail_bimodal",
+            "adaptive",
+            "hot_loop",
+            "hot_loop_fast",
+        ]
         by_name = {c.name: c for c in BENCH_CASES}
         assert by_name["smp_4core"].cores == 4
         assert by_name["tail_bimodal"].fault_profile == "tail_bimodal"
         assert by_name["adaptive"].policy == "Adaptive"
+
+    def test_fast_cases_pair_with_reference(self):
+        by_name = {c.name: c for c in BENCH_CASES}
+        for fast_name in ("hot_loop_fast",):
+            fast = by_name[fast_name]
+            assert fast.engine == "fast"
+            reference = by_name[fast.speedup_vs]
+            assert reference.engine == "reference"
+            # Identical shape apart from the engine, so the speedup
+            # ratio isolates the engine's contribution.
+            assert (reference.policy, reference.batch, reference.seed) == (
+                fast.policy,
+                fast.batch,
+                fast.seed,
+            )
+            assert reference.dram_frames == fast.dram_frames
+            assert reference.scale == fast.scale
+        assert by_name["hot_loop_fast"].config().engine == "fast"
+        assert by_name["hot_loop"].config().engine == "reference"
+        assert by_name["hot_loop"].config().memory.dram_frames == 8192
 
     def test_run_case_record(self):
         record = run_case(
@@ -66,6 +93,27 @@ class TestCompare:
         assert statuses == {"a": "ok", "b": "warn", "c": "fail", "d": "new"}
         assert comparison.failed and comparison.warned
         assert comparison.worst_ratio == pytest.approx(2.5)
+
+    def test_new_case_alone_fails(self):
+        # A case with no baseline entry must fail the check: otherwise
+        # adding suite cases silently passes until the baseline is
+        # refreshed.
+        baseline = _report([_case("a", 1.0)])
+        current = _report([_case("a", 1.0), _case("b", 1.0)])
+        comparison = compare_bench(current, baseline)
+        assert comparison.failed
+        assert comparison.failed_names == ["b"]
+
+    def test_missing_baseline_case_fails(self):
+        # The comparison is keyed in both directions: a baseline case
+        # absent from the current run also fails.
+        baseline = _report([_case("a", 1.0), _case("gone", 1.0)])
+        current = _report([_case("a", 1.0)])
+        comparison = compare_bench(current, baseline)
+        statuses = {c.name: c.status for c in comparison.cases}
+        assert statuses == {"a": "ok", "gone": "missing"}
+        assert comparison.failed
+        assert comparison.failed_names == ["gone"]
 
     def test_thresholds_configurable(self):
         baseline = _report([_case("a", 1.0)])
@@ -109,6 +157,20 @@ class TestIO:
         assert {c["name"] for c in baseline["cases"]} == {
             c.name for c in BENCH_CASES
         }
+
+    def test_committed_baseline_records_fast_engine_speedup(self):
+        from pathlib import Path
+
+        from repro.analysis.perf import BASELINE_PATH
+
+        repo_root = Path(__file__).resolve().parents[2]
+        baseline = load_baseline(repo_root / BASELINE_PATH)
+        by_name = {c["name"]: c for c in baseline["cases"]}
+        hot = by_name["hot_loop_fast"]
+        assert hot["speedup_vs"] == "hot_loop"
+        # The acceptance bar for the vectorized engine on its hot-loop
+        # shape (docs/ENGINES.md): at least 5x reference records/s.
+        assert hot["speedup_vs_reference"] >= 5.0
 
 
 class TestRender:
