@@ -38,12 +38,16 @@ from repro.common import (
     SchedulerConfig,
     ServingConfig,
     SimulationError,
+    TierConfig,
+    TierSpec,
+    TIER_PLACEMENTS,
     TLBConfig,
     TraceError,
     with_adaptive,
     with_cores,
     with_engine,
     with_serving,
+    with_tiers,
 )
 from repro.engine import Engine, FastSimulation, build_simulation
 from repro.faults import (
@@ -74,6 +78,7 @@ from repro.sim import (
 )
 from repro.serving import Request, RequestRecord, ServingSummary, SLO
 from repro.telemetry import Telemetry
+from repro.tiering import TIER_PRESETS, TierSummary, TierUsage, with_tier_presets
 from repro.trace import WORKLOADS, build_workload, workload_names
 from repro.vm import VMA, AddressSpace
 
@@ -97,6 +102,10 @@ __all__ = [
     "with_cores",
     "ServingConfig",
     "with_serving",
+    "TierConfig",
+    "TierSpec",
+    "TIER_PLACEMENTS",
+    "with_tiers",
     "ENGINE_NAMES",
     "with_engine",
     # execution engines
@@ -138,6 +147,11 @@ __all__ = [
     "RequestRecord",
     "ServingSummary",
     "SLO",
+    # tiering
+    "TIER_PRESETS",
+    "TierSummary",
+    "TierUsage",
+    "with_tier_presets",
     # telemetry
     "Telemetry",
     # traces

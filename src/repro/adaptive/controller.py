@@ -16,6 +16,15 @@ The controller learns from :class:`~repro.kernel.fault.FaultContext`
 observations delivered by the fault handler's observer hook — realised
 completion times only, never the injector's distribution — and from the
 machine's own prefetch-hit statistics (the steal-payoff estimate).
+
+On a tiered machine (:mod:`repro.tiering`) the controller keeps one
+latency estimator **per storage tier**: each fault's window trains the
+estimator of the tier that served it, and each decision is costed
+against the estimator of the tier backing the faulting page.  That is
+what turns mode selection into a function of *which device* the page
+lives on — sync-spin on the ULL tier, async demotion on a far-memory
+tier — while a single-device machine (everything on tier 0) behaves
+bit-identically to the pre-tiering controller.
 """
 
 from __future__ import annotations
@@ -30,7 +39,12 @@ from repro.common.config import AdaptiveConfig
 
 @dataclass
 class _ProcessState:
-    """Mode history of one process (hysteresis bookkeeping)."""
+    """Mode history of one (process, tier) pair (hysteresis bookkeeping).
+
+    Keyed per tier as well as per process: a process whose pages span
+    devices genuinely wants different modes on different devices, and
+    the dwell counter of one must not pin the other.
+    """
 
     mode: Mode = Mode.STEAL
     dwell: int = 0
@@ -41,6 +55,8 @@ class DecisionStats:
     """Python-side tallies mirrored into the adaptive.* counters."""
 
     by_mode: dict = field(default_factory=lambda: {m: 0 for m in Mode})
+    by_tier: dict = field(default_factory=dict)
+    """tier index -> {mode: count}; single-tier runs only populate 0."""
     cold: int = 0
     switches: int = 0
     held_by_dwell: int = 0
@@ -69,14 +85,41 @@ class AdaptiveController:
         self.context_switch_ns = context_switch_ns
         self.fault_handler_ns = fault_handler_ns
         self.telemetry = telemetry
-        self.estimator = LatencyEstimator(
-            alpha=config.ewma_alpha, window=config.quantile_window
-        )
-        self.error_ewma = EwmaEstimator(config.ewma_alpha)
+        self._estimators: dict[int, LatencyEstimator] = {0: self._new_estimator()}
+        self._error_ewmas: dict[int, EwmaEstimator] = {
+            0: EwmaEstimator(config.ewma_alpha)
+        }
         self.stats = DecisionStats()
         self.steal_value_ns = 0.0
-        self._states: dict[int, _ProcessState] = {}
+        self._hits_per_window: Optional[float] = None
+        self._states: dict[tuple[int, int], _ProcessState] = {}
         self._last_costs: Optional[ModeCosts] = None
+
+    def _new_estimator(self) -> LatencyEstimator:
+        return LatencyEstimator(
+            alpha=self.config.ewma_alpha, window=self.config.quantile_window
+        )
+
+    # -- per-tier estimator access --------------------------------------------
+
+    @property
+    def estimator(self) -> LatencyEstimator:
+        """Tier 0's latency estimator (the only one on a single-device
+        machine — the pre-tiering attribute)."""
+        return self._estimators[0]
+
+    @property
+    def error_ewma(self) -> EwmaEstimator:
+        """Tier 0's prediction-error EWMA."""
+        return self._error_ewmas[0]
+
+    def estimator_for(self, tier: int) -> LatencyEstimator:
+        """The latency estimator of *tier*, created on first use."""
+        estimator = self._estimators.get(tier)
+        if estimator is None:
+            estimator = self._estimators[tier] = self._new_estimator()
+            self._error_ewmas[tier] = EwmaEstimator(self.config.ewma_alpha)
+        return estimator
 
     # -- learning ------------------------------------------------------------
 
@@ -87,54 +130,83 @@ class AdaptiveController:
         :class:`~repro.kernel.fault.FaultContext`.  The window used is
         handler-exit to I/O completion — the same busy-wait span a sync
         policy would have idled for, with injected retries folded in.
+        Trains the estimator of the tier that served the fault.
         """
+        tier = getattr(context, "tier", 0)
+        estimator = self.estimator_for(tier)
         window_ns = context.io_done_ns - context.handler_done_ns
-        prediction = self.estimator.expected_wait(self.config.tail_weight)
+        prediction = estimator.expected_wait(self.config.tail_weight)
         if prediction is not None:
             # One-step-ahead absolute error: how far the blended-wait
             # estimate was from the window it was about to predict.
-            self.error_ewma.observe(abs(prediction - window_ns))
-        self.estimator.observe(window_ns)
+            self._error_ewmas[tier].observe(abs(prediction - window_ns))
+        estimator.observe(window_ns)
         if self.telemetry is not None:
             self.telemetry.counter("adaptive.estimate.observations").inc()
-            self._publish_estimates()
+            self._publish_estimates(tier)
 
     def note_payoff(self, prefetch_hits: int, stolen_windows: int) -> None:
         """Refresh the steal-payoff estimate from machine statistics.
 
         ``prefetch_hits / stolen_windows`` is the observed number of
         future faults an ITS window averts; each averted fault saves
-        roughly one expected wait plus the handler overhead.
+        roughly one expected wait plus the handler overhead.  The ratio
+        itself is device-independent; per-tier steal values scale it by
+        each tier's own expected wait (:meth:`steal_value_for`).
         """
         if stolen_windows <= 0:
             return
+        self._hits_per_window = prefetch_hits / stolen_windows
         wait = self.estimator.expected_wait(self.config.tail_weight)
         if wait is None:
             return
-        hits_per_window = prefetch_hits / stolen_windows
-        self.steal_value_ns = hits_per_window * (wait + self.fault_handler_ns)
+        self.steal_value_ns = self._hits_per_window * (wait + self.fault_handler_ns)
+
+    def steal_value_for(self, tier: int) -> float:
+        """Steal-payoff estimate against *tier*'s expected wait.
+
+        Tier 0 returns the running ``steal_value_ns`` verbatim (the
+        single-device code path, kept bit-identical); other tiers scale
+        the same hits-per-window ratio by their own wait estimate.
+        """
+        if tier == 0:
+            return self.steal_value_ns
+        if self._hits_per_window is None:
+            return 0.0
+        wait = self.estimator_for(tier).expected_wait(self.config.tail_weight)
+        if wait is None:
+            return 0.0
+        return self._hits_per_window * (wait + self.fault_handler_ns)
 
     # -- deciding ------------------------------------------------------------
 
     @property
     def confident(self) -> bool:
-        """Whether enough completions were observed to trust the model."""
-        return self.estimator.count >= self.config.warmup_faults
+        """Whether enough completions were observed to trust the model
+        (tier 0's gate — per-tier decisions use :meth:`confident_for`)."""
+        return self.confident_for(0)
 
-    def decide(self, pid: int, ready_count: int) -> Mode:
-        """Choose the servicing mode for *pid*'s current fault."""
-        state = self._states.setdefault(pid, _ProcessState())
-        if not self.confident:
+    def confident_for(self, tier: int) -> bool:
+        """Whether *tier*'s estimator has warmed up."""
+        return self.estimator_for(tier).count >= self.config.warmup_faults
+
+    def decide(self, pid: int, ready_count: int, tier: int = 0) -> Mode:
+        """Choose the servicing mode for *pid*'s current fault, costed
+        against the estimator of the tier backing the faulting page."""
+        state = self._states.setdefault((pid, tier), _ProcessState())
+        if not self.confident_for(tier):
             mode = Mode.STEAL  # cold: plain ITS, the safe default
             self.stats.cold += 1
-            self._count_decision(mode, cold=True)
+            self._count_decision(mode, tier, cold=True)
             state.mode = mode
             state.dwell += 1
             return mode
 
         costs = estimate_costs(
-            expected_wait_ns=self.estimator.expected_wait(self.config.tail_weight),
-            steal_value_ns=self.steal_value_ns,
+            expected_wait_ns=self.estimator_for(tier).expected_wait(
+                self.config.tail_weight
+            ),
+            steal_value_ns=self.steal_value_for(tier),
             kernel_entry_ns=self.kernel_entry_ns,
             context_switch_ns=self.context_switch_ns,
             demotion_penalty_ns=self.config.demotion_penalty_ns,
@@ -142,7 +214,7 @@ class AdaptiveController:
         )
         self._last_costs = costs
         mode = self._apply_hysteresis(state, costs)
-        self._count_decision(mode, cold=False)
+        self._count_decision(mode, tier, cold=False)
         return mode
 
     def _apply_hysteresis(self, state: _ProcessState, costs: ModeCosts) -> Mode:
@@ -166,16 +238,18 @@ class AdaptiveController:
         state.dwell = 1
         return best
 
-    def _count_decision(self, mode: Mode, *, cold: bool) -> None:
+    def _count_decision(self, mode: Mode, tier: int, *, cold: bool) -> None:
         self.stats.by_mode[mode] += 1
+        by_tier = self.stats.by_tier.setdefault(tier, {m: 0 for m in Mode})
+        by_tier[mode] += 1
         if self.telemetry is not None:
             self.telemetry.counter(f"adaptive.decision.{mode.value}").inc()
             if cold:
                 self.telemetry.counter("adaptive.decision.cold").inc()
 
-    def mode_of(self, pid: int) -> Mode:
-        """Current mode of *pid* (STEAL before its first decision)."""
-        state = self._states.get(pid)
+    def mode_of(self, pid: int, tier: int = 0) -> Mode:
+        """Current mode of *pid* on *tier* (STEAL before a decision)."""
+        state = self._states.get((pid, tier))
         return state.mode if state is not None else Mode.STEAL
 
     @property
@@ -185,15 +259,24 @@ class AdaptiveController:
 
     # -- telemetry -----------------------------------------------------------
 
-    def _publish_estimates(self) -> None:
+    def _publish_estimates(self, tier: int = 0) -> None:
+        """Publish the estimate gauges from *tier*'s estimators.
+
+        Gauge names are unsuffixed — on a tiered run they track the most
+        recently observed tier; the per-device traffic split lives in the
+        ``tier.<name>.*`` gauges instead.
+        """
         telemetry = self.telemetry
-        mean = self.estimator.mean()
+        estimator = self.estimator_for(tier)
+        mean = estimator.mean()
         if mean is not None:
             telemetry.gauge("adaptive.estimate.mean_ns").set(mean)
         for q, name in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
-            value = self.estimator.quantile(q)
+            value = estimator.quantile(q)
             if value is not None:
                 telemetry.gauge(f"adaptive.estimate.{name}_ns").set(value)
-        if self.error_ewma.value is not None:
-            telemetry.gauge("adaptive.estimate.error_ns").set(self.error_ewma.value)
+        if self._error_ewmas[tier].value is not None:
+            telemetry.gauge("adaptive.estimate.error_ns").set(
+                self._error_ewmas[tier].value
+            )
         telemetry.gauge("adaptive.steal_value_ns").set(self.steal_value_ns)

@@ -67,11 +67,22 @@ class AdaptivePolicy(ITSPolicy):
             machine.memory.swap_cache.hits,
             self.improving.windows_stolen + self.sacrificing.sacrifices,
         )
-        mode = self.controller.decide(process.pid, sim.scheduler.ready_count())
+        # On a tiered machine, cost the decision against the estimator of
+        # the device backing the faulting page.
+        tiers = getattr(machine, "tiers", None)
+        tier = tiers.tier_of(process.pid, vpn) if tiers is not None else 0
+        mode = self.controller.decide(
+            process.pid, sim.scheduler.ready_count(), tier=tier
+        )
+        if tiers is not None:
+            tiers.note_decision(tier, mode.value)
         if sim.telemetry is not None:
+            args = {"mode": mode.value}
+            if tiers is not None:
+                args["tier"] = tiers.name_of(tier)
             sim.telemetry.instant(
                 "fault.adaptive.mode", machine.now_ns,
-                track="its", pid=process.pid, args={"mode": mode.value},
+                track="its", pid=process.pid, args=args,
             )
             if sim.telemetry.causal is not None:
                 decision_id = sim.telemetry.causal.add(

@@ -39,11 +39,14 @@ def result_to_dict(result: SimulationResult) -> dict:
     The ``serving`` field is omitted while ``None`` (closed-loop runs),
     so every payload written before the serving layer existed — and
     every closed-loop payload written after — is byte-identical; old
-    readers never see the key and new readers default it.
+    readers never see the key and new readers default it.  The ``tiers``
+    field follows the same rule for single-device runs.
     """
     payload = dataclasses.asdict(result)
     if payload.get("serving") is None:
         del payload["serving"]
+    if payload.get("tiers") is None:
+        del payload["tiers"]
     payload["_format"] = FORMAT_VERSION
     return payload
 
@@ -65,6 +68,24 @@ def _serving_from_dict(data: dict | None):
         )
     except (KeyError, TypeError) as exc:
         raise ConfigError(f"malformed serving payload: {exc}") from exc
+
+
+def _tiers_from_dict(data: dict | None):
+    """Decode the optional tier summary (``None`` when absent)."""
+    if data is None:
+        return None
+    from repro.tiering.summary import TierSummary, TierUsage
+
+    try:
+        return TierSummary(
+            placement=data["placement"],
+            promotions=data["promotions"],
+            demotions=data["demotions"],
+            migration_ns=data["migration_ns"],
+            tiers=[TierUsage(**t) for t in data["tiers"]],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed tiers payload: {exc}") from exc
 
 
 def result_from_dict(data: dict) -> SimulationResult:
@@ -92,6 +113,7 @@ def result_from_dict(data: dict) -> SimulationResult:
             preexec_lines_warmed=data["preexec_lines_warmed"],
             instructions_committed=data["instructions_committed"],
             serving=_serving_from_dict(data.get("serving")),
+            tiers=_tiers_from_dict(data.get("tiers")),
         )
     except (KeyError, TypeError) as exc:
         raise ConfigError(f"malformed result payload: {exc}") from exc

@@ -15,12 +15,16 @@ Subcommands::
     repro adaptive     adaptive mode selection vs static policies
     repro cores        SMP core-count scaling per policy
     repro serve        open-loop serving: arrivals, latency SLOs, admission
+    repro tiers        heterogeneous storage: per-tier adaptive mode selection
     repro workloads    list workloads and batches
     repro compare      diff two saved result files
     repro cache        result-cache statistics / clearing
 
 ``--policy`` accepts names case-insensitively (``--policy adaptive``
-selects the ``Adaptive`` controller).
+selects the ``Adaptive`` controller), as does ``--tiers``
+(``--tiers ULL,NVMe`` works).  Every sim verb accepts
+``--tiers``/``--placement`` to put the simulated machine on
+heterogeneous storage (see docs/TIERING.md).
 
 Grid-shaped commands (``figures``, ``crossover``, ``report``) accept
 ``--workers N`` (process-pool fan-out), ``--cache-dir`` and
@@ -60,6 +64,7 @@ from repro.common.config import (
     ADMISSION_POLICIES,
     ARRIVAL_PROCESSES,
     ENGINE_NAMES,
+    TIER_PLACEMENTS,
     MachineConfig,
     with_cores,
     with_engine,
@@ -78,7 +83,9 @@ from repro.sim.eventlog import EventLog
 from repro.trace.workloads import EXTRA_WORKLOADS, WORKLOADS
 
 
-def _machine_config(args: argparse.Namespace) -> MachineConfig:
+def _machine_config(
+    args: argparse.Namespace, *, apply_tiers: bool = True
+) -> MachineConfig:
     config = MachineConfig.paper() if getattr(args, "paper", False) else MachineConfig()
     profile = getattr(args, "fault_profile", None)
     if profile:
@@ -92,6 +99,21 @@ def _machine_config(args: argparse.Namespace) -> MachineConfig:
     engine = getattr(args, "engine", None)
     if engine is not None and engine != "reference":
         config = with_engine(config, engine)
+    if apply_tiers:
+        tiers = getattr(args, "tiers", None)
+        placement = getattr(args, "placement", None)
+        if tiers:
+            from repro.tiering import with_tier_presets
+
+            # hot_cold needs migration to ever populate the fast tier;
+            # the sim verbs have no threshold flag, so default it on
+            # (the tiers verb exposes --promote-threshold properly).
+            overrides = {"promote_threshold": 4} if placement == "hot_cold" else {}
+            config = with_tier_presets(
+                config, tiers, placement=placement or "pid_hash", **overrides
+            )
+        elif placement:
+            raise ConfigError("--placement requires --tiers")
     return config
 
 
@@ -148,6 +170,38 @@ def _policy_name(text: str) -> str:
     return _POLICY_BY_LOWER.get(text.lower(), text)
 
 
+def _tier_list(text: str) -> tuple[str, ...]:
+    """``--tiers`` converter: a comma-separated, case-insensitive list of
+    tier preset names, canonicalised (``ULL,NVMe`` -> ``("ull", "nvme")``)
+    and rejected with a clean one-line usage error when unknown."""
+    from repro.tiering import get_tier_preset
+
+    names = [part.strip() for part in text.split(",") if part.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError(
+            "expected a comma-separated list of tier presets"
+        )
+    canonical = []
+    for name in names:
+        try:
+            canonical.append(get_tier_preset(name).name)
+        except ConfigError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from exc
+    return tuple(canonical)
+
+
+def _non_negative_int(text: str) -> int:
+    """Converter for integer flags where zero means "off"
+    (``--promote-threshold``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", type=_positive_float, default=1.0, help="trace length multiplier"
@@ -181,6 +235,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="execution engine: the reference step loop (default) or the "
         "bit-identical vectorized fast path (see docs/ENGINES.md)",
+    )
+    parser.add_argument(
+        "--tiers",
+        type=_tier_list,
+        default=None,
+        metavar="TIER[,TIER...]",
+        help="back the machine with heterogeneous storage tiers "
+        "(presets: ull, nvme, far_memory; see docs/TIERING.md)",
+    )
+    parser.add_argument(
+        "--placement",
+        choices=list(TIER_PLACEMENTS),
+        default=None,
+        help="page-placement policy across --tiers (default: pid_hash)",
     )
 
 
@@ -839,6 +907,59 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tiers(args: argparse.Namespace) -> int:
+    """``repro tiers``: heterogeneous-storage sweep — the adaptive
+    controller's per-device decision mix under each placement policy."""
+    from repro.analysis.tiering import (
+        DEFAULT_TIER_NAMES,
+        format_tier_table,
+        run_tier_sweep,
+    )
+
+    config = _machine_config(args, apply_tiers=False)
+    tiers = args.tiers or DEFAULT_TIER_NAMES
+    placements = (args.placement,) if args.placement else tuple(TIER_PLACEMENTS)
+    cache, telemetry, progress = _make_exec(args)
+    rows = run_tier_sweep(
+        config,
+        tiers=tiers,
+        placements=placements,
+        batch=args.batch,
+        seed=args.seed,
+        scale=args.scale,
+        promote_threshold=args.promote_threshold,
+        demote_watermark=args.demote_watermark,
+        workers=args.workers,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
+    )
+    _print_exec_summary(args, cache, telemetry)
+    print(
+        f"tiered storage: adaptive I/O-mode selection per backing device "
+        f"({args.batch}, seed {args.seed}, scale {args.scale:g}, "
+        f"tiers {','.join(tiers)})"
+    )
+    print()
+    table = format_tier_table(rows)
+    print(table)
+    lead = [row for row in rows if row.placement == placements[0]]
+    parts = []
+    for row in lead:
+        if row.sync_steal_fraction >= row.async_fraction:
+            parts.append(f"{row.tier} -> sync/steal ({row.sync_steal_fraction:.1%})")
+        else:
+            parts.append(f"{row.tier} -> async ({row.async_fraction:.1%})")
+    if parts:
+        print(f"\nheadline ({placements[0]}): " + ", ".join(parts))
+    if args.save:
+        from pathlib import Path
+
+        Path(args.save).write_text(table + "\n", encoding="utf-8")
+        print(f"table saved to {args.save}")
+    return 0
+
+
 def cmd_workloads(args: argparse.Namespace) -> int:
     """``repro workloads``: list workloads, batches and policies."""
     print("workloads:")
@@ -1155,6 +1276,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(serve_p)
     _add_exec(serve_p)
     serve_p.set_defaults(func=cmd_serve, scale=0.1)
+
+    tiers_p = sub.add_parser(
+        "tiers", help="heterogeneous storage: per-tier adaptive mode selection"
+    )
+    tiers_p.add_argument("--batch", choices=batch_names(), default="2_Data_Intensive")
+    tiers_p.add_argument("--seed", type=int, default=1)
+    tiers_p.add_argument(
+        "--promote-threshold", type=_non_negative_int, default=0,
+        help="promote a page after this many faults on a slower tier "
+        "(0 disables migration; hot_cold defaults to 4)",
+    )
+    tiers_p.add_argument(
+        "--demote-watermark", type=_positive_float, default=1.0,
+        help="occupancy fraction above which promotion demotes a cold victim",
+    )
+    tiers_p.add_argument(
+        "--save", metavar="FILE", default=None,
+        help="also write the table to FILE (CI artifact)",
+    )
+    _add_common(tiers_p)
+    _add_exec(tiers_p)
+    tiers_p.set_defaults(func=cmd_tiers, scale=0.2)
 
     wl_p = sub.add_parser("workloads", help="list workloads, batches, policies")
     wl_p.set_defaults(func=cmd_workloads)

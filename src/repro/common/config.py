@@ -707,6 +707,130 @@ class CoreConfig:
             raise ConfigError(f"malformed CoreConfig dict: {exc}") from exc
 
 
+TIER_PLACEMENTS = ("pid_hash", "round_robin", "hot_cold")
+"""Page-placement policies understood by :mod:`repro.tiering`:
+``pid_hash`` maps every page of a process to one tier by pid modulo,
+``round_robin`` stripes allocations across tiers, ``hot_cold`` starts
+every page on the slowest tier and relies on promotion to move hot
+pages toward tier 0."""
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One storage tier: a named device + link pair (docs/TIERING.md).
+
+    ``fault_profile`` names a :data:`repro.faults.FAULT_PROFILES` entry
+    applied to this tier's device and link only; the empty string
+    inherits the machine-level ``faults`` block, so a single profile
+    flag still covers every tier.
+    """
+
+    name: str
+    device: DeviceConfig = field(default_factory=DeviceConfig)
+    pcie: PCIeConfig = field(default_factory=PCIeConfig)
+    fault_profile: str = ""
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "a storage tier needs a name")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TierSpec":
+        """Reconstruct from :meth:`MachineConfig.to_dict` output."""
+        try:
+            return cls(
+                name=data["name"],
+                device=DeviceConfig(**data["device"]),
+                pcie=PCIeConfig(**data["pcie"]),
+                fault_profile=data.get("fault_profile", ""),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed TierSpec dict: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Heterogeneous storage tiers (docs/TIERING.md).
+
+    The default instance (``enabled=False``) is the single-device legacy
+    machine and deliberately serialises to *nothing* in
+    :meth:`MachineConfig.to_dict`: configurations that never enable
+    tiering keep their historical sweep-cache keys and bit-identical
+    results, exactly like :class:`FaultConfig`, :class:`AdaptiveConfig`,
+    :class:`CoreConfig` and :class:`ServingConfig`.
+
+    Tier order is the promotion ladder: ``tiers[0]`` is the fast tier
+    promotion moves pages toward, and demotion pushes victims one index
+    toward the tail.  Presets (``ull`` / ``nvme`` / ``far_memory``) live
+    in :mod:`repro.tiering.presets`.
+    """
+
+    enabled: bool = False
+    tiers: tuple = ()
+    """Ordered :class:`TierSpec` tuple (fastest / preferred tier first)."""
+    placement: str = "pid_hash"
+    """Static placement policy; one of :data:`TIER_PLACEMENTS`."""
+    promote_threshold: int = 0
+    """Major faults on one page before it is promoted one tier up
+    (migration charges a device-to-device copy).  0 disables migration."""
+    demote_watermark: float = 1.0
+    """Used-slot fraction of the promotion target above which the
+    coldest page is demoted to make room (1.0 = only when full)."""
+
+    def __post_init__(self) -> None:
+        _require(
+            self.placement in TIER_PLACEMENTS,
+            f"unknown tier placement {self.placement!r}; "
+            f"known: {', '.join(TIER_PLACEMENTS)}",
+        )
+        _require(self.promote_threshold >= 0, "promote threshold must be non-negative")
+        _require(
+            0.0 < self.demote_watermark <= 1.0,
+            "demote watermark must lie in (0, 1]",
+        )
+        if self.enabled:
+            _require(bool(self.tiers), "enabled tiering needs at least one tier")
+        names = [spec.name for spec in self.tiers]
+        _require(len(names) == len(set(names)), "tier names must be unique")
+        if self.placement == "hot_cold":
+            _require(
+                self.promote_threshold >= 1,
+                "hot_cold placement needs promote_threshold >= 1 "
+                "(pages only leave the cold tier via promotion)",
+            )
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> "TierConfig":
+        """Reconstruct from :meth:`MachineConfig.to_dict` output.
+
+        ``None`` (the key was omitted, i.e. a legacy or single-device
+        config) yields the disabled default.
+        """
+        if data is None:
+            return cls()
+        try:
+            data = dict(data)
+            data["tiers"] = tuple(
+                TierSpec.from_dict(dict(t)) for t in data.get("tiers", ())
+            )
+            return cls(**data)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed TierConfig dict: {exc}") from exc
+
+
+def with_tiers(config: "MachineConfig", tiers, **overrides: Any) -> "MachineConfig":
+    """Return *config* with an explicitly configured tier block.
+
+    *tiers* is an iterable of :class:`TierSpec`; ``enabled`` is forced
+    on (so the block serialises and the sweep cache distinguishes the
+    configuration).  Name-based preset resolution lives in
+    :func:`repro.tiering.presets.with_tier_presets`.
+    """
+    overrides.setdefault("enabled", True)
+    return dataclasses.replace(
+        config, tiers=TierConfig(tiers=tuple(tiers), **overrides)
+    )
+
+
 def with_cores(config: "MachineConfig", count: int, **overrides: Any) -> "MachineConfig":
     """Return *config* with an SMP ``cores`` block of *count* cores.
 
@@ -771,6 +895,10 @@ class MachineConfig:
     serving: ServingConfig = field(default_factory=ServingConfig)
     """Open-loop serving workload; disabled (closed-loop) by default.
     Serialised only when it differs from the default, so closed-loop
+    cache keys are stable across versions."""
+    tiers: TierConfig = field(default_factory=TierConfig)
+    """Heterogeneous storage tiers; disabled (single device) by default.
+    Serialised only when it differs from the default, so single-device
     cache keys are stable across versions."""
 
     compute_ns_per_instr: int = 1
@@ -843,6 +971,8 @@ class MachineConfig:
             del data["cores"]
         if self.serving == ServingConfig():
             del data["serving"]
+        if self.tiers == TierConfig():
+            del data["tiers"]
         if self.engine == "reference":
             # The engines are bit-identical, so the default engine must
             # keep addressing results computed before it had a name.
@@ -866,6 +996,7 @@ class MachineConfig:
                 adaptive=AdaptiveConfig.from_dict(data.get("adaptive")),
                 cores=CoreConfig.from_dict(data.get("cores")),
                 serving=ServingConfig.from_dict(data.get("serving")),
+                tiers=TierConfig.from_dict(data.get("tiers")),
                 compute_ns_per_instr=data["compute_ns_per_instr"],
                 fault_handler_ns=data["fault_handler_ns"],
                 engine=data.get("engine", "reference"),

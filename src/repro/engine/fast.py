@@ -169,6 +169,10 @@ class FastSimulation(Simulation):
             or self.event_log is not None
             or self.progress is not None
             or not hook_supported
+            # Tiered storage routes faults per page; the batched fast
+            # path models a single fault latency, so tiered configs run
+            # on the (bit-identical) reference loop.
+            or self.config.tiers.enabled
         )
 
     def _columns_for(self, trace) -> TraceColumns:

@@ -38,6 +38,9 @@ class FaultContext:
     handler_done_ns: int
     io_done_ns: int
     retried: bool = False
+    tier: int = 0
+    """Index of the storage tier that served the swap-in (always 0 on a
+    single-device machine)."""
 
 
 class PageFaultHandler:
@@ -90,6 +93,10 @@ class PageFaultHandler:
         request = DMARequest(
             pid=pid, vpn=vpn, page_bytes=self.memory.frames.page_size, prefetch=False
         )
+        # Resolve the backing tier before issuing: a promotion triggered
+        # by this very read may re-place the page, and the context must
+        # name the tier that actually served it.
+        tier = self.dma.tier_of(pid, vpn)
         causal = self.telemetry.causal if self.telemetry is not None else None
         if causal is not None:
             # The fault root; the DMA controller's issue/retry/complete
@@ -119,6 +126,7 @@ class PageFaultHandler:
             handler_done_ns=handler_done,
             io_done_ns=io_done,
             retried=retried,
+            tier=tier,
         )
         for observer in self._observers:
             observer(context)

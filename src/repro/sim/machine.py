@@ -58,23 +58,57 @@ class Machine:
         self.tlb = TLB(config.tlb)
 
         frames = FrameAllocator(config.memory.dram_frames, config.memory.page_size)
-        swap_slots = max(1, config.device.capacity_bytes // config.memory.page_size)
-        self.memory = MemoryManager(frames, SwapArea(swap_slots), replacement)
-        self.memory.on_evict(self._on_page_evicted)
-
-        # The injector exists only when faults are enabled; with it absent
-        # every storage component takes its deterministic fast path, so a
-        # fault-free machine is bit-identical to one built before the
-        # fault layer existed.
         self.injector: Optional[FaultInjector] = None
-        if config.faults.enabled:
-            self.injector = FaultInjector(config.faults, telemetry=telemetry)
-        self.device = ULLDevice(config.device, injector=self.injector)
-        self.link = PCIeLink(config.pcie, injector=self.injector)
-        self.dma = DMAController(
-            self.device, self.link, self.events,
-            telemetry=telemetry, injector=self.injector,
-        )
+        self.tiers = None  # TierRegistry on tiered machines
+        if config.tiers.enabled:
+            # Heterogeneous storage: swap capacity is the sum over tiers,
+            # the placement map rides the swap allocator's observers, and
+            # a routing facade stands in for the single DMA controller.
+            # Imported lazily so tier-disabled machines never touch the
+            # tiering package.
+            from repro.tiering import (
+                MigrationEngine,
+                PagePlacement,
+                TieredDMAController,
+                TierRegistry,
+            )
+
+            placement = PagePlacement(config.tiers, config.memory.page_size)
+            swap = SwapArea(placement.total_slots)
+            swap.on_allocate(placement.note_allocate)
+            swap.on_free(placement.note_free)
+            self.memory = MemoryManager(frames, swap, replacement)
+            self.memory.on_evict(self._on_page_evicted)
+            self.tiers = TierRegistry(
+                config, self.events, self.memory, placement, telemetry=telemetry
+            )
+            # ``device``/``link`` alias the fast tier's stack so code
+            # written against the single-device machine keeps working.
+            self.device = self.tiers.tiers[0].device
+            self.link = self.tiers.tiers[0].link
+            self.injector = self.tiers.tiers[0].injector
+            self.dma = TieredDMAController(self.tiers)
+            if config.tiers.promote_threshold > 0:
+                self.tiers.migration = MigrationEngine(
+                    self.tiers, self.memory, config.tiers, telemetry=telemetry
+                )
+        else:
+            swap_slots = max(1, config.device.capacity_bytes // config.memory.page_size)
+            self.memory = MemoryManager(frames, SwapArea(swap_slots), replacement)
+            self.memory.on_evict(self._on_page_evicted)
+
+            # The injector exists only when faults are enabled; with it
+            # absent every storage component takes its deterministic fast
+            # path, so a fault-free machine is bit-identical to one built
+            # before the fault layer existed.
+            if config.faults.enabled:
+                self.injector = FaultInjector(config.faults, telemetry=telemetry)
+            self.device = ULLDevice(config.device, injector=self.injector)
+            self.link = PCIeLink(config.pcie, injector=self.injector)
+            self.dma = DMAController(
+                self.device, self.link, self.events,
+                telemetry=telemetry, injector=self.injector,
+            )
 
         self.cpu = SimCPU(config, self.hierarchy, self.tlb, self.memory)
         self.fault_handler = PageFaultHandler(

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:
     from repro.serving.request import ServingSummary
+    from repro.tiering.summary import TierSummary
 
 
 @dataclass
@@ -95,6 +96,9 @@ class SimulationResult:
     """Per-request serving summary of an open-loop run; ``None`` on
     closed-loop runs (and omitted from the stored encoding, so legacy
     payloads stay byte-identical — see :mod:`repro.analysis.store`)."""
+    tiers: Optional["TierSummary"] = None
+    """Per-tier accounting of a tiered-storage run; ``None`` (and
+    omitted from the stored encoding) on single-device runs."""
 
     @property
     def total_idle_ns(self) -> int:

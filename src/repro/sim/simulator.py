@@ -666,6 +666,8 @@ class Simulation:
             machine.total_instructions_committed()
         )
         registry.gauge("sim.makespan_ns").set(machine.now_ns)
+        if machine.tiers is not None:
+            machine.tiers.publish_telemetry(registry)
         if self._ledger is not None:
             for category, ns in self._ledger.by_category().items():
                 registry.gauge(f"ledger.{category}_ns").set(ns)
@@ -753,4 +755,9 @@ class Simulation:
             preexec_lines_warmed=engine.stats.lines_warmed if engine else 0,
             instructions_committed=self.machine.total_instructions_committed(),
             serving=self._build_serving_summary() if self._serving else None,
+            tiers=(
+                self.machine.tiers.summary()
+                if self.machine.tiers is not None
+                else None
+            ),
         )

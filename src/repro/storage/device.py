@@ -29,17 +29,30 @@ from repro.common.config import DeviceConfig
 
 @dataclass
 class DeviceStats:
-    """Cumulative device-side counters."""
+    """Cumulative device-side counters.
+
+    ``retried_ns`` / ``retried_ops`` isolate device time spent on retry
+    re-submissions (attempts after the first, booked by the DMA
+    controller's recovery machinery) from first-attempt latency, so
+    per-tier tail tables do not conflate the two populations.
+    """
 
     reads: int = 0
     writes: int = 0
     queued_ns: int = 0
     busy_ns: int = 0
+    retried_ns: int = 0
+    retried_ops: int = 0
 
     @property
     def total_ops(self) -> int:
         """Reads plus writes."""
         return self.reads + self.writes
+
+    @property
+    def first_attempt_ns(self) -> int:
+        """Busy time spent on first-attempt ops only."""
+        return self.busy_ns - self.retried_ns
 
 
 class ULLDevice:
@@ -51,14 +64,16 @@ class ULLDevice:
         self._channel_free_at: list[int] = [0] * config.channels
         self._injector = injector
 
-    def submit_read(self, now_ns: int) -> tuple[int, int]:
+    def submit_read(self, now_ns: int, *, retry: bool = False) -> tuple[int, int]:
         """Submit one page read at *now_ns*.
 
         Returns ``(start_ns, done_ns)``: the read starts when the
         earliest-free channel is available and finishes one access
         latency later.  The caller layers the PCIe transfer on top.
+        ``retry=True`` marks a recovery re-submission, whose busy time
+        is additionally booked under ``DeviceStats.retried_ns``.
         """
-        return self._submit(now_ns, is_write=False)
+        return self._submit(now_ns, is_write=False, retry=retry)
 
     def submit_write(self, now_ns: int) -> tuple[int, int]:
         """Submit one page write (swap-out path)."""
@@ -74,7 +89,9 @@ class ULLDevice:
         latest = max(self._channel_free_at)
         return sum(1 for t in self._channel_free_at if t == latest and latest > 0)
 
-    def _submit(self, now_ns: int, *, is_write: bool) -> tuple[int, int]:
+    def _submit(
+        self, now_ns: int, *, is_write: bool, retry: bool = False
+    ) -> tuple[int, int]:
         index = min(range(len(self._channel_free_at)), key=self._channel_free_at.__getitem__)
         start = max(now_ns, self._channel_free_at[index])
         base = self.config.access_latency_ns
@@ -88,6 +105,9 @@ class ULLDevice:
         self._channel_free_at[index] = done
         self.stats.queued_ns += start - now_ns
         self.stats.busy_ns += done - start
+        if retry:
+            self.stats.retried_ns += done - start
+            self.stats.retried_ops += 1
         if is_write:
             self.stats.writes += 1
         else:

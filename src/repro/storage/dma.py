@@ -166,7 +166,7 @@ class DMAController:
         submit = now_ns
         attempt = 1
         while True:
-            __, flash_done = self.device.submit_read(submit)
+            __, flash_done = self.device.submit_read(submit, retry=attempt > 1)
             __, done = self.link.schedule_transfer(flash_done, request.page_bytes)
             outcome = injector.next_read_outcome()
             if outcome is IOOutcome.OK:
@@ -202,6 +202,13 @@ class DMAController:
                     )
             submit = next_submit
             attempt += 1
+
+    def tier_of(self, pid: int, vpn: int) -> int:
+        """Storage tier backing (pid, vpn): always 0 on the single-device
+        controller.  The tiered facade (:mod:`repro.tiering`) overrides
+        this with the page's placement, letting the fault handler and
+        policies stay tier-agnostic."""
+        return 0
 
     def estimate_read_latency(self, now_ns: int) -> int:
         """Completion latency a read submitted now would see, without

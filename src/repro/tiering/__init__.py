@@ -1,0 +1,33 @@
+"""Heterogeneous storage tiers.
+
+Wraps N single-device storage stacks (:mod:`repro.storage`) behind one
+DMA-controller surface, maps every swap slot to a tier through a
+placement policy, migrates pages between tiers on heat thresholds, and
+feeds the backing tier of each fault to the adaptive controller so
+I/O-mode selection becomes per-device.  See ``docs/TIERING.md``.
+"""
+
+from repro.tiering.migration import MigrationEngine
+from repro.tiering.placement import PagePlacement
+from repro.tiering.presets import (
+    TIER_PRESETS,
+    get_tier_preset,
+    resolve_tier_specs,
+    with_tier_presets,
+)
+from repro.tiering.registry import DeviceTier, TieredDMAController, TierRegistry
+from repro.tiering.summary import TierSummary, TierUsage
+
+__all__ = [
+    "DeviceTier",
+    "MigrationEngine",
+    "PagePlacement",
+    "TIER_PRESETS",
+    "TieredDMAController",
+    "TierRegistry",
+    "TierSummary",
+    "TierUsage",
+    "get_tier_preset",
+    "resolve_tier_specs",
+    "with_tier_presets",
+]

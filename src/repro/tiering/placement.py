@@ -1,0 +1,107 @@
+"""Page placement: which tier backs each swap slot.
+
+The placement policy decides a page's tier once, at the instant its
+swap slot is allocated (process registration or first eviction); the
+slot-to-tier map then stays stable until the slot is freed or the
+migration engine re-places the page.  Policies:
+
+* ``pid_hash`` — every page of a process lands on ``pid % n`` (whole
+  processes are tier-homogeneous, the cleanest setting for comparing
+  per-tier mode selection);
+* ``round_robin`` — allocations stripe across tiers, interleaving every
+  footprint over all devices;
+* ``hot_cold`` — every page starts on the slowest (last) tier and only
+  promotion moves it up, so the fast tier's population is exactly the
+  pages that proved hot.
+
+Per-tier capacity (``device.capacity_bytes`` in pages) is enforced with
+deterministic spill: if the chosen tier is full the page takes the next
+tier with space, scanning from the choice toward the slow end and then
+wrapping to the fast end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import TierConfig
+from repro.common.errors import SimulationError
+
+
+class PagePlacement:
+    """Slot-to-tier routing map plus the static placement policy."""
+
+    def __init__(self, config: TierConfig, page_size: int) -> None:
+        self.config = config
+        self.n_tiers = len(config.tiers)
+        self.capacity_slots = [
+            max(1, spec.device.capacity_bytes // page_size) for spec in config.tiers
+        ]
+        self.used = [0] * self.n_tiers
+        self._slot_tier: dict[int, int] = {}
+        self._pins: dict[tuple[int, int], int] = {}
+        self._rr_next = 0
+
+    @property
+    def total_slots(self) -> int:
+        """Combined swap capacity across all tiers, in slots."""
+        return sum(self.capacity_slots)
+
+    # -- routing -------------------------------------------------------------
+
+    def tier_of_slot(self, slot: int) -> int:
+        """Tier backing *slot* (it must be allocated)."""
+        tier = self._slot_tier.get(slot)
+        if tier is None:
+            raise SimulationError(f"swap slot {slot} is not mapped to a tier")
+        return tier
+
+    def slots_on(self, tier: int) -> list[int]:
+        """Allocated slots backed by *tier*, in deterministic order."""
+        return sorted(s for s, t in self._slot_tier.items() if t == tier)
+
+    def pin(self, pid: int, vpn: int, tier: int) -> None:
+        """Force (pid, vpn)'s next allocations onto *tier* (migration)."""
+        self._pins[(pid, vpn)] = tier
+
+    def pinned_tier(self, pid: int, vpn: int) -> Optional[int]:
+        """The migration pin of (pid, vpn), if any."""
+        return self._pins.get((pid, vpn))
+
+    # -- SwapArea observers ---------------------------------------------------
+
+    def note_allocate(self, slot: int, pid: int, vpn: int) -> None:
+        """SwapArea allocation hook: place the page and record the slot."""
+        tier = self._choose(pid, vpn)
+        self._slot_tier[slot] = tier
+        self.used[tier] += 1
+
+    def note_free(self, slot: int) -> None:
+        """SwapArea release hook: forget the slot's tier."""
+        tier = self._slot_tier.pop(slot, None)
+        if tier is not None:
+            self.used[tier] -= 1
+
+    # -- the policy -----------------------------------------------------------
+
+    def _choose(self, pid: int, vpn: int) -> int:
+        pinned = self._pins.get((pid, vpn))
+        if pinned is not None:
+            preferred = pinned
+        elif self.config.placement == "pid_hash":
+            preferred = pid % self.n_tiers
+        elif self.config.placement == "round_robin":
+            preferred = self._rr_next % self.n_tiers
+            self._rr_next += 1
+        else:  # hot_cold: start cold, rely on promotion
+            preferred = self.n_tiers - 1
+        return self._first_with_space(preferred)
+
+    def _first_with_space(self, preferred: int) -> int:
+        for offset in range(self.n_tiers):
+            tier = (preferred + offset) % self.n_tiers
+            if self.used[tier] < self.capacity_slots[tier]:
+                return tier
+        raise SimulationError(
+            "every storage tier is full; size the tier capacities to the footprint"
+        )

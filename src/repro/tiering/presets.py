@@ -1,0 +1,89 @@
+"""Named storage-tier presets.
+
+The three presets span the latency regimes the paper's argument turns
+on: a Z-NAND-class ULL device where sync-spin/ITS stealing pays off, a
+conventional NVMe SSD where it clearly does not ("Faster than Flash"
+measures roughly 3 us vs 80 us reads), and a remote far-memory swap
+target in between — slow enough that two context switches plus the
+demotion penalty beat spinning, which is exactly the regime boundary
+``repro tiers`` tabulates.
+
+Preset names are case-insensitive everywhere they are accepted
+(``--tiers ULL,NVMe`` works); the canonical names are the dict keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.common.config import (
+    DeviceConfig,
+    MachineConfig,
+    PCIeConfig,
+    TierSpec,
+    with_tiers,
+)
+from repro.common.errors import ConfigError
+from repro.common.units import GIB, US
+
+TIER_PRESETS: dict = {
+    "ull": TierSpec(
+        name="ull",
+        # The default single-device machine: Samsung Z-NAND-class reads
+        # over a PCIe 5.x x4 link.
+        device=DeviceConfig(access_latency_ns=3 * US, channels=8, capacity_bytes=4 * GIB),
+        pcie=PCIeConfig(lanes=4, bandwidth_per_lane_bytes_per_sec=3.983e9),
+    ),
+    "nvme": TierSpec(
+        name="nvme",
+        # Conventional TLC NVMe: ~80 us reads, more internal channels,
+        # a PCIe 4.0 x4 link.
+        device=DeviceConfig(access_latency_ns=80 * US, channels=32, capacity_bytes=16 * GIB),
+        pcie=PCIeConfig(lanes=4, bandwidth_per_lane_bytes_per_sec=1.969e9),
+    ),
+    "far_memory": TierSpec(
+        name="far_memory",
+        # Remote swap over a 100 Gb fabric, modelled as one fat lane:
+        # tens of microseconds end-to-end through the software stack.
+        device=DeviceConfig(access_latency_ns=40 * US, channels=4, capacity_bytes=32 * GIB),
+        pcie=PCIeConfig(lanes=1, bandwidth_per_lane_bytes_per_sec=12.5e9),
+    ),
+}
+"""Registry of named tier presets, keyed by their canonical CLI name."""
+
+_PRESET_BY_LOWER = {name.lower(): name for name in TIER_PRESETS}
+
+
+def get_tier_preset(name: str) -> TierSpec:
+    """Look up a preset case-insensitively, raising :class:`ConfigError`
+    with the known names if it does not exist."""
+    canonical = _PRESET_BY_LOWER.get(name.lower())
+    if canonical is None:
+        known = ", ".join(sorted(TIER_PRESETS))
+        raise ConfigError(f"unknown tier preset {name!r} (known: {known})")
+    return TIER_PRESETS[canonical]
+
+
+def resolve_tier_specs(tiers: Iterable) -> tuple:
+    """Normalise a mixed iterable of preset names and :class:`TierSpec`
+    instances into a TierSpec tuple (order preserved)."""
+    specs = []
+    for tier in tiers:
+        if isinstance(tier, TierSpec):
+            specs.append(tier)
+        else:
+            specs.append(get_tier_preset(tier))
+    return tuple(specs)
+
+
+def with_tier_presets(
+    config: MachineConfig, tiers: Iterable, **overrides: Any
+) -> MachineConfig:
+    """Return *config* with a tier block built from preset names.
+
+    *tiers* may mix case-insensitive preset names and explicit
+    :class:`TierSpec` instances; keyword overrides set the remaining
+    :class:`~repro.common.config.TierConfig` fields (``placement``,
+    ``promote_threshold``, ...).  ``enabled`` is forced on.
+    """
+    return with_tiers(config, resolve_tier_specs(tiers), **overrides)

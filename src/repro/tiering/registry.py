@@ -1,0 +1,264 @@
+"""The device-tier registry and the tier-routing DMA facade.
+
+:class:`TierRegistry` instantiates one full storage stack per
+configured tier — device (its own channel set), PCIe link, optional
+fault injector, and DMA controller — all sharing the machine's event
+queue.  :class:`TieredDMAController` presents the single-controller
+surface the rest of the simulator already speaks
+(:class:`~repro.storage.dma.DMAController`'s), routing each request by
+the faulting page's swap-slot tier and aggregating the per-tier
+counters, so the fault handler, prefetcher and eviction write-back path
+run unchanged on a heterogeneous machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.config import MachineConfig
+from repro.common.errors import SimulationError
+from repro.common.events import EventQueue
+from repro.faults.injector import FaultInjector
+from repro.faults.profiles import get_fault_profile
+from repro.storage.device import ULLDevice
+from repro.storage.dma import DMAController, DMARequest
+from repro.storage.pcie import PCIeLink
+from repro.tiering.placement import PagePlacement
+from repro.tiering.summary import TierSummary, TierUsage
+
+
+@dataclass
+class DeviceTier:
+    """One tier's hardware stack plus its run-time tallies."""
+
+    index: int
+    spec: object  # TierSpec
+    device: ULLDevice
+    link: PCIeLink
+    injector: Optional[FaultInjector]
+    dma: DMAController
+    demand_reads: int = 0
+    prefetch_reads: int = 0
+    writebacks: int = 0
+    read_wait_ns: int = 0
+    """Summed completion latency of reads routed to this tier — the
+    per-device decomposition of the ledger's ``dma_wait`` category."""
+    migrations_in: int = 0
+    migrations_out: int = 0
+    decisions: dict = field(
+        default_factory=lambda: {"sync": 0, "steal": 0, "async": 0}
+    )
+
+
+class TierRegistry:
+    """All configured tiers, their placement map, and per-tier tallies."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        events: EventQueue,
+        memory,
+        placement: PagePlacement,
+        *,
+        telemetry=None,
+    ) -> None:
+        self.config = config
+        self.memory = memory
+        self.placement = placement
+        self.telemetry = telemetry
+        self.migration = None  # installed by the machine when enabled
+        self.tiers: list[DeviceTier] = []
+        for index, spec in enumerate(config.tiers.tiers):
+            faults = (
+                get_fault_profile(spec.fault_profile)
+                if spec.fault_profile
+                else config.faults
+            )
+            injector = None
+            if faults.enabled:
+                # Distinct per-tier seeds: two tiers sharing a profile
+                # must not replay the same latency/outcome sequence.
+                injector = FaultInjector(
+                    dataclasses.replace(faults, seed=faults.seed + index),
+                    telemetry=telemetry,
+                )
+            device = ULLDevice(spec.device, injector=injector)
+            link = PCIeLink(spec.pcie, injector=injector)
+            dma = DMAController(
+                device, link, events, telemetry=telemetry, injector=injector
+            )
+            self.tiers.append(
+                DeviceTier(
+                    index=index,
+                    spec=spec,
+                    device=device,
+                    link=link,
+                    injector=injector,
+                    dma=dma,
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self.tiers)
+
+    def tier_of(self, pid: int, vpn: int) -> int:
+        """Tier backing (pid, vpn): the tier of its swap slot."""
+        pte = self.memory.mm_of(pid).pte_for(vpn)
+        if pte is None or pte.swap_slot is None:
+            raise SimulationError(
+                f"(pid={pid}, vpn={vpn:#x}) has no swap slot to route by"
+            )
+        return self.placement.tier_of_slot(pte.swap_slot)
+
+    def name_of(self, index: int) -> str:
+        """Canonical name of tier *index*."""
+        return self.tiers[index].spec.name
+
+    def note_decision(self, index: int, mode: str) -> None:
+        """Record an adaptive mode decision against the backing tier."""
+        self.tiers[index].decisions[mode] = self.tiers[index].decisions.get(mode, 0) + 1
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self) -> TierSummary:
+        """Freeze the per-tier tallies into a result-side record."""
+        migration = self.migration
+        return TierSummary(
+            placement=self.config.tiers.placement,
+            promotions=migration.promotions if migration else 0,
+            demotions=migration.demotions if migration else 0,
+            migration_ns=migration.migration_ns if migration else 0,
+            tiers=[
+                TierUsage(
+                    name=tier.spec.name,
+                    demand_reads=tier.demand_reads,
+                    prefetch_reads=tier.prefetch_reads,
+                    writebacks=tier.writebacks,
+                    retries=tier.dma.retries,
+                    retried_ns=tier.device.stats.retried_ns,
+                    migrations_in=tier.migrations_in,
+                    migrations_out=tier.migrations_out,
+                    decisions=dict(tier.decisions),
+                )
+                for tier in self.tiers
+            ],
+        )
+
+    def publish_telemetry(self, registry) -> None:
+        """End-of-run ``tier.<name>.*`` gauges: per-device traffic, the
+        ``dma_wait`` ledger category split by device, and the retried-op
+        latency bucket."""
+        for tier in self.tiers:
+            prefix = f"tier.{tier.spec.name}."
+            registry.gauge(f"{prefix}demand_reads").set(tier.demand_reads)
+            registry.gauge(f"{prefix}prefetch_reads").set(tier.prefetch_reads)
+            registry.gauge(f"{prefix}writebacks").set(tier.writebacks)
+            registry.gauge(f"{prefix}read_wait_ns").set(tier.read_wait_ns)
+            registry.gauge(f"{prefix}retries").set(tier.dma.retries)
+            registry.gauge(f"{prefix}retried_ns").set(tier.device.stats.retried_ns)
+            registry.gauge(f"{prefix}used_slots").set(
+                self.placement.used[tier.index]
+            )
+            for mode, count in tier.decisions.items():
+                registry.gauge(f"{prefix}decisions.{mode}").set(count)
+        if self.migration is not None:
+            registry.gauge("tier.promotions").set(self.migration.promotions)
+            registry.gauge("tier.demotions").set(self.migration.demotions)
+            registry.gauge("tier.migration_ns").set(self.migration.migration_ns)
+
+
+class TieredDMAController:
+    """Routes the :class:`~repro.storage.dma.DMAController` surface by
+    the requested page's tier.
+
+    Counter attributes (``inflight``, ``completed``, ...) aggregate over
+    the per-tier controllers, so simulator code that reads
+    ``machine.dma.inflight`` or publishes ``dma.*`` gauges is oblivious
+    to tiering.
+    """
+
+    def __init__(self, registry: TierRegistry) -> None:
+        self.registry = registry
+        self.last_read_attempts = 1
+
+    # -- routing -------------------------------------------------------------
+
+    def tier_of(self, pid: int, vpn: int) -> int:
+        """Tier backing (pid, vpn) (see :meth:`TierRegistry.tier_of`)."""
+        return self.registry.tier_of(pid, vpn)
+
+    def read_page(
+        self,
+        now_ns: int,
+        request: DMARequest,
+        on_complete: Optional[Callable[[DMARequest, int], None]] = None,
+    ) -> int:
+        """Issue the read on the backing tier's controller; demand reads
+        additionally feed the migration engine's per-page heat count."""
+        index = self.registry.tier_of(request.pid, request.vpn)
+        tier = self.registry.tiers[index]
+        done = tier.dma.read_page(now_ns, request, on_complete)
+        self.last_read_attempts = tier.dma.last_read_attempts
+        if request.prefetch:
+            tier.prefetch_reads += 1
+        else:
+            tier.demand_reads += 1
+        tier.read_wait_ns += done - now_ns
+        if not request.prefetch and self.registry.migration is not None:
+            self.registry.migration.on_demand_read(
+                request.pid, request.vpn, index, now_ns
+            )
+        return done
+
+    def write_page(
+        self,
+        now_ns: int,
+        request: DMARequest,
+        on_complete: Optional[Callable[[DMARequest, int], None]] = None,
+    ) -> int:
+        """Issue the write-back on the backing tier's controller."""
+        index = self.registry.tier_of(request.pid, request.vpn)
+        tier = self.registry.tiers[index]
+        done = tier.dma.write_page(now_ns, request, on_complete)
+        tier.writebacks += 1
+        return done
+
+    def estimate_read_latency(self, now_ns: int) -> int:
+        """Best-case read estimate across tiers (the fastest device a
+        policy could be planning against); tier-specific planning goes
+        through :meth:`estimate_tier_read_latency`."""
+        return min(
+            tier.dma.estimate_read_latency(now_ns) for tier in self.registry.tiers
+        )
+
+    def estimate_tier_read_latency(self, now_ns: int, index: int) -> int:
+        """Read estimate for a specific tier."""
+        return self.registry.tiers[index].dma.estimate_read_latency(now_ns)
+
+    # -- aggregated counters ---------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return sum(tier.dma.inflight for tier in self.registry.tiers)
+
+    @property
+    def completed(self) -> int:
+        return sum(tier.dma.completed for tier in self.registry.tiers)
+
+    @property
+    def prefetches_issued(self) -> int:
+        return sum(tier.dma.prefetches_issued for tier in self.registry.tiers)
+
+    @property
+    def writebacks_issued(self) -> int:
+        return sum(tier.dma.writebacks_issued for tier in self.registry.tiers)
+
+    @property
+    def retries(self) -> int:
+        return sum(tier.dma.retries for tier in self.registry.tiers)
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(tier.dma.fallbacks for tier in self.registry.tiers)

@@ -1,0 +1,66 @@
+"""Result-side tier records.
+
+:class:`TierSummary` rides on
+:class:`~repro.sim.metrics.SimulationResult` exactly like the serving
+summary does: ``None`` on tier-disabled runs and omitted from the
+stored encoding entirely, so legacy payloads and tier-disabled cache
+entries stay byte-identical (see :mod:`repro.analysis.store`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TierUsage:
+    """What one tier saw over a run."""
+
+    name: str
+    demand_reads: int = 0
+    prefetch_reads: int = 0
+    writebacks: int = 0
+    retries: int = 0
+    retried_ns: int = 0
+    """Device busy time booked on retry re-submissions (the
+    ``DeviceStats.retried_ns`` bucket), kept apart from first-attempt
+    latency so tail tables do not conflate the two."""
+    migrations_in: int = 0
+    migrations_out: int = 0
+    decisions: dict = field(
+        default_factory=lambda: {"sync": 0, "steal": 0, "async": 0}
+    )
+    """Adaptive mode decisions taken for faults this tier backed."""
+
+    @property
+    def total_decisions(self) -> int:
+        """All adaptive decisions on this tier's faults."""
+        return sum(self.decisions.values())
+
+    def decision_fraction(self, *modes: str) -> float:
+        """Fraction of this tier's decisions in the given modes
+        (0.0 when no decision was taken on this tier)."""
+        total = self.total_decisions
+        if total == 0:
+            return 0.0
+        return sum(self.decisions.get(m, 0) for m in modes) / total
+
+
+@dataclass(frozen=True)
+class TierSummary:
+    """Per-tier accounting of one tiered run."""
+
+    placement: str
+    promotions: int = 0
+    demotions: int = 0
+    migration_ns: int = 0
+    """Total device-to-device copy latency charged by migrations."""
+    tiers: list = field(default_factory=list)
+    """One :class:`TierUsage` per configured tier, in tier order."""
+
+    def usage_of(self, name: str) -> TierUsage:
+        """The :class:`TierUsage` of the named tier."""
+        for usage in self.tiers:
+            if usage.name == name:
+                return usage
+        raise KeyError(f"no tier named {name!r} in this summary")

@@ -10,13 +10,21 @@ zone for the paper's DMA prefetches; a fault on a swap-cached page is a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.common.errors import SimulationError
 
+SlotObserver = Callable[[int, int, int], None]
+"""Callback ``(slot, pid, vpn)`` fired when a slot is allocated."""
+
 
 class SwapArea:
-    """Slot allocator for the device-side swap space."""
+    """Slot allocator for the device-side swap space.
+
+    Observers registered via :meth:`on_allocate` / :meth:`on_free` see
+    every slot transition; the tiering layer uses them to maintain the
+    slot-to-tier routing map without the allocator knowing about tiers.
+    """
 
     def __init__(self, num_slots: int) -> None:
         if num_slots <= 0:
@@ -25,11 +33,21 @@ class SwapArea:
         self._next_fresh = 0
         self._recycled: list[int] = []
         self._used: dict[int, tuple[int, int]] = {}
+        self._on_allocate: list[SlotObserver] = []
+        self._on_free: list[Callable[[int], None]] = []
 
     @property
     def used_slots(self) -> int:
         """Slots currently holding a page."""
         return len(self._used)
+
+    def on_allocate(self, observer: SlotObserver) -> None:
+        """Register a callback fired after every slot allocation."""
+        self._on_allocate.append(observer)
+
+    def on_free(self, observer: Callable[[int], None]) -> None:
+        """Register a callback fired after every slot release."""
+        self._on_free.append(observer)
 
     def allocate(self, pid: int, vpn: int) -> int:
         """Reserve a slot for (pid, vpn)."""
@@ -41,6 +59,8 @@ class SwapArea:
         else:
             raise SimulationError("swap area exhausted; size the device to the footprint")
         self._used[slot] = (pid, vpn)
+        for observer in self._on_allocate:
+            observer(slot, pid, vpn)
         return slot
 
     def free(self, slot: int) -> None:
@@ -49,6 +69,8 @@ class SwapArea:
             raise SimulationError(f"freeing unallocated swap slot {slot}")
         del self._used[slot]
         self._recycled.append(slot)
+        for observer in self._on_free:
+            observer(slot)
 
     def owner_of(self, slot: int) -> Optional[tuple[int, int]]:
         """(pid, vpn) stored in *slot*, or ``None``."""

@@ -1,0 +1,162 @@
+"""Property-based tests for tiered placement and migration.
+
+Invariants:
+
+* every allocated swap slot maps to exactly one tier, per-tier used
+  counts stay consistent with the slot map, and no tier exceeds its
+  capacity — across arbitrary allocate/free interleavings under every
+  placement policy;
+* migration never loses a page: after any demand-fault sequence each
+  registered page still owns exactly one swap slot, the swap area's
+  owner record matches, and the routing map agrees with the placement
+  layer's used counts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import (
+    TIER_PLACEMENTS,
+    DeviceConfig,
+    MachineConfig,
+    PCIeConfig,
+    TierConfig,
+    TierSpec,
+    with_tiers,
+)
+from repro.common.errors import SimulationError
+from repro.common.events import EventQueue
+from repro.storage.dma import DMARequest
+from repro.tiering import MigrationEngine, PagePlacement, TieredDMAController, TierRegistry
+from repro.vm.frames import FrameAllocator
+from repro.vm.mm import MemoryManager
+from repro.vm.replacement import GlobalLRUPolicy
+from repro.vm.swap import SwapArea
+
+PAGE = 4096
+N_PAGES = 8
+
+
+def tier_spec(name: str, slots: int, latency_ns: int = 3000) -> TierSpec:
+    return TierSpec(
+        name=name,
+        device=DeviceConfig(
+            access_latency_ns=latency_ns, channels=2, capacity_bytes=slots * PAGE
+        ),
+        pcie=PCIeConfig(lanes=4),
+    )
+
+
+def check_placement_invariants(placement: PagePlacement, area: SwapArea) -> None:
+    mapped = {
+        slot for tier in range(placement.n_tiers) for slot in placement.slots_on(tier)
+    }
+    # Exactly the allocated slots are mapped, each to exactly one tier.
+    allocated = {
+        slot for slot in range(area.num_slots) if area.owner_of(slot) is not None
+    }
+    assert mapped == allocated
+    for tier in range(placement.n_tiers):
+        on_tier = placement.slots_on(tier)
+        assert placement.used[tier] == len(on_tier)
+        assert placement.used[tier] <= placement.capacity_slots[tier]
+    # slots_on partitions: no slot on two tiers.
+    assert sum(len(placement.slots_on(t)) for t in range(placement.n_tiers)) == len(
+        mapped
+    )
+
+
+alloc_free_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc", "free"]),
+        st.integers(min_value=1, max_value=5),  # pid
+        st.integers(min_value=0, max_value=N_PAGES - 1),  # vpn
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@given(
+    ops=alloc_free_ops,
+    policy=st.sampled_from(TIER_PLACEMENTS),
+    capacities=st.tuples(
+        st.integers(min_value=2, max_value=6), st.integers(min_value=8, max_value=16)
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_every_slot_maps_to_exactly_one_tier(ops, policy, capacities):
+    config = TierConfig(
+        enabled=True,
+        tiers=(tier_spec("fast", capacities[0]), tier_spec("slow", capacities[1])),
+        placement=policy,
+        promote_threshold=1 if policy == "hot_cold" else 0,
+    )
+    placement = PagePlacement(config, PAGE)
+    area = SwapArea(placement.total_slots)
+    area.on_allocate(placement.note_allocate)
+    area.on_free(placement.note_free)
+    held: dict[tuple[int, int], int] = {}
+    for op, pid, vpn in ops:
+        if op == "alloc" and (pid, vpn) not in held:
+            try:
+                held[(pid, vpn)] = area.allocate(pid, vpn)
+            except SimulationError:
+                # Footprint exceeded total capacity: also a valid outcome.
+                assert len(held) == placement.total_slots
+        elif op == "free" and (pid, vpn) in held:
+            area.free(held.pop((pid, vpn)))
+        check_placement_invariants(placement, area)
+
+
+fault_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),  # pid
+        st.integers(min_value=0, max_value=N_PAGES - 1),  # vpn
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(
+    faults=fault_ops,
+    threshold=st.integers(min_value=1, max_value=3),
+    watermark=st.sampled_from([0.5, 1.0]),
+)
+@settings(max_examples=60, deadline=None)
+def test_migration_preserves_page_ownership(faults, threshold, watermark):
+    config = with_tiers(
+        MachineConfig(),
+        (tier_spec("fast", 6), tier_spec("slow", 64, latency_ns=40000)),
+        placement="pid_hash",
+        promote_threshold=threshold,
+        demote_watermark=watermark,
+    )
+    placement = PagePlacement(config.tiers, PAGE)
+    area = SwapArea(placement.total_slots)
+    area.on_allocate(placement.note_allocate)
+    area.on_free(placement.note_free)
+    memory = MemoryManager(FrameAllocator(64, PAGE), area, GlobalLRUPolicy())
+    registry = TierRegistry(config, EventQueue(), memory, placement)
+    registry.migration = MigrationEngine(registry, memory, config.tiers)
+    dma = TieredDMAController(registry)
+    pids = sorted({pid for pid, _ in faults})
+    for pid in pids:
+        memory.register_process(pid, range(N_PAGES))
+    for pid, vpn in faults:
+        dma.read_page(0, DMARequest(pid=pid, vpn=vpn, page_bytes=PAGE))
+    # Every registered page still owns exactly one slot, the swap area
+    # agrees on the owner, and the routing map is internally consistent.
+    slots_seen = set()
+    for pid in pids:
+        for vpn in range(N_PAGES):
+            pte = memory.mm_of(pid).pte_for(vpn)
+            assert pte.swap_slot is not None
+            assert area.owner_of(pte.swap_slot) == (pid, vpn)
+            assert pte.swap_slot not in slots_seen
+            slots_seen.add(pte.swap_slot)
+            dma.tier_of(pid, vpn)  # must route without error
+    check_placement_invariants(placement, area)
+    migrations = sum(t.migrations_in for t in registry.tiers)
+    assert migrations == registry.migration.promotions + registry.migration.demotions

@@ -158,6 +158,49 @@ class TestParser:
     def test_rejects_unknown_arrival_and_admission(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--arrival", "uniform"])
+
+    def test_tiers_flag_case_insensitive(self):
+        args = build_parser().parse_args(["run", "--tiers", "ULL,NVMe"])
+        assert args.tiers == ("ull", "nvme")
+        args = build_parser().parse_args(["run"])
+        assert args.tiers is None and args.placement is None
+
+    def test_rejects_unknown_tier_preset(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "--tiers", "ull,optane"])
+        # A clean usage error (exit 2, no traceback), not a crash.
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--tiers" in err and "optane" in err
+
+    def test_rejects_empty_tier_list(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "--tiers", ","])
+        assert excinfo.value.code == 2
+        assert "--tiers" in capsys.readouterr().err
+
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--placement", "hottest"])
+
+    def test_placement_without_tiers_is_usage_error(self, capsys):
+        assert main(["run", "--placement", "hot_cold", "--scale", "0.01"]) == 1
+        assert "--placement requires --tiers" in capsys.readouterr().err
+
+    def test_tiers_verb_defaults(self):
+        args = build_parser().parse_args(["tiers"])
+        assert args.tiers is None  # cmd_tiers falls back to ull,far_memory
+        assert args.placement is None  # sweeps every placement
+        assert args.batch == "2_Data_Intensive"
+        assert args.scale == 0.2  # one run per placement; small default
+        assert args.promote_threshold == 0
+        assert args.demote_watermark == 1.0
+
+    def test_tiers_verb_rejects_negative_threshold(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["tiers", "--promote-threshold", "-1"])
+        assert excinfo.value.code == 2
+        assert "--promote-threshold" in capsys.readouterr().err
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--admission", "lottery"])
 

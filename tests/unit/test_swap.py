@@ -51,6 +51,57 @@ class TestSwapArea:
             SwapArea(0)
 
 
+class TestSwapAreaObservers:
+    """The allocation/free hooks the tiering placement map rides on."""
+
+    def test_allocate_observer_sees_slot_and_owner(self):
+        area = SwapArea(4)
+        seen = []
+        area.on_allocate(lambda slot, pid, vpn: seen.append((slot, pid, vpn)))
+        slot = area.allocate(7, 9)
+        assert seen == [(slot, 7, 9)]
+
+    def test_free_observer_sees_slot(self):
+        area = SwapArea(4)
+        freed = []
+        area.on_free(freed.append)
+        slot = area.allocate(1, 0)
+        area.free(slot)
+        assert freed == [slot]
+
+    def test_observers_fire_after_state_update(self):
+        area = SwapArea(4)
+        area.on_allocate(
+            lambda slot, pid, vpn: None
+            if area.owner_of(slot) == (pid, vpn)
+            else pytest.fail("allocate observer ran before the slot was recorded")
+        )
+        area.on_free(
+            lambda slot: None
+            if area.owner_of(slot) is None
+            else pytest.fail("free observer ran before the slot was released")
+        )
+        area.free(area.allocate(1, 0))
+
+    def test_reused_slot_notifies_both_transitions(self):
+        area = SwapArea(1)
+        log = []
+        area.on_allocate(lambda slot, pid, vpn: log.append(("alloc", slot, pid)))
+        area.on_free(lambda slot: log.append(("free", slot)))
+        slot = area.allocate(1, 0)
+        area.free(slot)
+        assert area.allocate(2, 5) == slot
+        assert log == [("alloc", slot, 1), ("free", slot), ("alloc", slot, 2)]
+
+    def test_multiple_observers_all_fire(self):
+        area = SwapArea(2)
+        a, b = [], []
+        area.on_allocate(lambda slot, pid, vpn: a.append(slot))
+        area.on_allocate(lambda slot, pid, vpn: b.append(slot))
+        area.allocate(1, 0)
+        assert a == b == [0]
+
+
 class TestSwapCache:
     def test_take_consumes(self):
         cache = SwapCache()
