@@ -53,7 +53,9 @@ from repro.analysis.sweeps import (
 )
 from repro.analysis.report import generate_report, write_report
 from repro.analysis.runner import (
+    EXECUTOR_NAMES,
     CacheStats,
+    CellExecutionError,
     ResultCache,
     SweepCell,
     cache_key,
@@ -61,6 +63,26 @@ from repro.analysis.runner import (
     run_cells,
     run_grid,
     stable_hash,
+)
+from repro.analysis.claims import (
+    DEFAULT_LEASE_S,
+    ClaimInfo,
+    ClaimStore,
+    default_worker_id,
+)
+from repro.analysis.manifest import (
+    FailureLog,
+    SweepManifest,
+    SweepProgress,
+    scan_progress,
+    write_progress,
+)
+from repro.analysis.worker import (
+    QueueOptions,
+    QueueWorker,
+    WorkerSummary,
+    run_manifest_worker,
+    run_queue,
 )
 from repro.analysis.timeline import (
     bucket_events,
@@ -129,7 +151,9 @@ __all__ = [
     "find_crossover",
     "generate_report",
     "write_report",
+    "EXECUTOR_NAMES",
     "CacheStats",
+    "CellExecutionError",
     "ResultCache",
     "SweepCell",
     "cache_key",
@@ -137,6 +161,20 @@ __all__ = [
     "run_cells",
     "run_grid",
     "stable_hash",
+    "DEFAULT_LEASE_S",
+    "ClaimInfo",
+    "ClaimStore",
+    "default_worker_id",
+    "FailureLog",
+    "SweepManifest",
+    "SweepProgress",
+    "scan_progress",
+    "write_progress",
+    "QueueOptions",
+    "QueueWorker",
+    "WorkerSummary",
+    "run_manifest_worker",
+    "run_queue",
     "bucket_events",
     "render_strip",
     "render_density",

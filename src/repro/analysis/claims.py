@@ -1,0 +1,227 @@
+"""Atomic cell claiming for distributed sweep workers.
+
+Many independent worker processes — possibly on several hosts sharing
+one cache directory over a network filesystem — coordinate *without a
+server* through claim files keyed by a cell's content-addressed cache
+key:
+
+* **Acquisition** is ``open(path, O_CREAT | O_EXCL)``: the filesystem
+  arbitrates, exactly one worker wins, everyone else sees ``EEXIST``.
+* **Liveness** is an mtime lease: the owner touches its claim file
+  (``os.utime``) at least every :attr:`ClaimStore.heartbeat_s` while it
+  works, and a claim whose mtime is older than
+  :attr:`ClaimStore.lease_s` is *stale* — its owner was killed (or its
+  host died) and the cell must be reclaimed, not lost.
+* **Stale takeover** is atomic: the stealer first ``rename``\\ s the
+  stale claim file to a uniquely-named tombstone — POSIX rename
+  guarantees exactly one of any number of concurrent stealers succeeds
+  — and only the rename winner re-creates the claim with ``O_EXCL``.
+  A heartbeat that lands *after* the rename touches the tombstone (or
+  fails), never resurrects the claim.
+
+The lease must comfortably exceed the heartbeat interval (the default
+ratio is 6x) so a healthy-but-slow worker is never robbed; see
+docs/RUNNING.md for the full protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.common.errors import ConfigError
+
+DEFAULT_LEASE_S = 30.0
+"""Seconds of heartbeat silence after which a claim is stale."""
+
+HEARTBEAT_RATIO = 6.0
+"""Default ``lease_s / heartbeat_s`` safety factor."""
+
+
+def default_worker_id() -> str:
+    """A globally unique worker identity: ``host-pid-nonce``."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+@dataclass(frozen=True)
+class ClaimInfo:
+    """Decoded contents of one claim file (diagnostics, ``sweep status``)."""
+
+    key: str
+    worker: str
+    pid: int
+    host: str
+    acquired_at: float
+    age_s: float
+    stale: bool
+
+
+class ClaimStore:
+    """Claim files for one shared cache directory.
+
+    ``root`` is the claims directory itself (conventionally
+    ``<cache>/claims``).  All methods are safe to call concurrently from
+    any number of processes on any number of hosts sharing ``root``.
+
+    ``clock`` is injectable for tests; claim mtimes are written from it
+    on acquire and heartbeat so simulated time and staleness agree.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        worker_id: Optional[str] = None,
+        lease_s: float = DEFAULT_LEASE_S,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if lease_s <= 0:
+            raise ConfigError(f"lease_s must be positive, got {lease_s}")
+        self.root = Path(root)
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_s = lease_s
+        self.heartbeat_s = lease_s / HEARTBEAT_RATIO
+        self._clock = clock
+        self._owned: set[str] = set()
+        self._steal_nonce = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """Claim-file path for a cell cache key."""
+        return self.root / f"{key}.claim"
+
+    # -- the protocol --------------------------------------------------------
+
+    def acquire(self, key: str) -> bool:
+        """Try to claim *key*; return ``True`` iff this worker now owns it.
+
+        A live foreign claim loses the race; a *stale* one is taken
+        over atomically (rename-to-tombstone, then a fresh ``O_EXCL``
+        create — so concurrent stealers still elect exactly one owner).
+        Returns ``"stale"``-aware ownership only; the caller decides
+        what owning the cell means.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        if self._try_create(key):
+            return True
+        path = self.path_for(key)
+        try:
+            age = self._clock() - path.stat().st_mtime
+        except OSError:
+            # Claim vanished between EEXIST and stat (owner released or
+            # a stealer won): contend again from scratch.
+            return self._try_create(key)
+        if age <= self.lease_s:
+            return False
+        # Stale: rename wins for exactly one stealer.
+        self._steal_nonce += 1
+        tombstone = path.with_name(
+            f"{path.name}.stale.{os.getpid()}.{self._steal_nonce}"
+        )
+        try:
+            path.rename(tombstone)
+        except OSError:
+            return False  # another stealer got there first
+        tombstone.unlink(missing_ok=True)
+        return self._try_create(key)
+
+    def _try_create(self, key: str) -> bool:
+        path = self.path_for(key)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        now = self._clock()
+        payload = {
+            "key": key,
+            "worker": self.worker_id,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "acquired_at": now,
+        }
+        try:
+            os.write(fd, json.dumps(payload).encode("utf-8"))
+        finally:
+            os.close(fd)
+        os.utime(path, times=(now, now))
+        self._owned.add(key)
+        return True
+
+    def heartbeat(self, key: str) -> None:
+        """Refresh the lease on a claim this worker owns.
+
+        A heartbeat on a claim that was stolen (the worker stalled past
+        its lease) is a no-op — it must not resurrect the claim — so
+        ownership is re-checked by content first.
+        """
+        if key not in self._owned:
+            return
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if data.get("worker") != self.worker_id:
+                self._owned.discard(key)
+                return
+            now = self._clock()
+            os.utime(path, times=(now, now))
+        except (OSError, ValueError):
+            self._owned.discard(key)
+
+    def release(self, key: str) -> None:
+        """Drop this worker's claim on *key* (idempotent)."""
+        if key not in self._owned:
+            return
+        self._owned.discard(key)
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if data.get("worker") == self.worker_id:
+            path.unlink(missing_ok=True)
+
+    def owns(self, key: str) -> bool:
+        """Whether this instance believes it owns *key*."""
+        return key in self._owned
+
+    # -- inspection ----------------------------------------------------------
+
+    def info(self, key: str) -> Optional[ClaimInfo]:
+        """Decode one claim file; ``None`` if absent or unreadable."""
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            age = self._clock() - path.stat().st_mtime
+        except (OSError, ValueError):
+            return None
+        return ClaimInfo(
+            key=str(data.get("key", key)),
+            worker=str(data.get("worker", "?")),
+            pid=int(data.get("pid", 0)),
+            host=str(data.get("host", "?")),
+            acquired_at=float(data.get("acquired_at", 0.0)),
+            age_s=age,
+            stale=age > self.lease_s,
+        )
+
+    def claims(self) -> list[ClaimInfo]:
+        """Every decodable claim under the root, sorted by key."""
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in sorted(self.root.glob("*.claim")):
+            info = self.info(path.name[: -len(".claim")])
+            if info is not None:
+                out.append(info)
+        return out
+
+    def stale_keys(self) -> list[str]:
+        """Keys whose claims have outlived the lease."""
+        return [c.key for c in self.claims() if c.stale]

@@ -121,6 +121,7 @@ def _run_grid(
     cache=None,
     telemetry=None,
     progress=None,
+    executor=None,
 ) -> dict[str, dict[str, list[SimulationResult]]]:
     """results[batch][policy] = list of per-seed results.
 
@@ -140,6 +141,7 @@ def _run_grid(
         cache=cache,
         telemetry=telemetry,
         progress=progress,
+        executor=executor,
     )
 
 
@@ -212,6 +214,7 @@ def run_figure4(
     cache=None,
     telemetry=None,
     progress=None,
+    executor=None,
 ) -> Figure4Data:
     """Regenerate Figure 4 (all three panels).
 
@@ -224,6 +227,7 @@ def run_figure4(
     grid = _run_grid(
         config, seeds, scale, policies, batches,
         workers=workers, cache=cache, telemetry=telemetry, progress=progress,
+        executor=executor,
     )
     return Figure4Data(
         idle_time=_series_from_grid(
@@ -249,6 +253,7 @@ def run_figure5(
     cache=None,
     telemetry=None,
     progress=None,
+    executor=None,
 ) -> Figure5Data:
     """Regenerate Figure 5 (both panels).
 
@@ -261,6 +266,7 @@ def run_figure5(
     grid = _run_grid(
         config, seeds, scale, policies, batches,
         workers=workers, cache=cache, telemetry=telemetry, progress=progress,
+        executor=executor,
     )
     return Figure5Data(
         top_half=_series_from_grid(
@@ -312,6 +318,7 @@ def run_tail_sensitivity(
     cache=None,
     telemetry=None,
     progress=None,
+    executor=None,
 ) -> list[TailSensitivityRow]:
     """How the sync/async crossover shifts under read-tail variability.
 
@@ -347,6 +354,7 @@ def run_tail_sensitivity(
             cache=cache,
             telemetry=telemetry,
             progress=progress,
+            executor=executor,
         )
         first, second = policies[0], policies[1]
         crossover = find_crossover(points, first, second)
@@ -412,6 +420,7 @@ def run_adaptive_comparison(
     cache=None,
     telemetry=None,
     progress=None,
+    executor=None,
 ) -> list[AdaptiveComparisonRow]:
     """Adaptive mode selection vs every static policy, across tails.
 
@@ -452,6 +461,7 @@ def run_adaptive_comparison(
             cache=cache,
             telemetry=telemetry,
             progress=progress,
+            executor=executor,
         )
         for point in points:
             makespans = {
@@ -509,6 +519,7 @@ def run_core_scaling(
     cache=None,
     telemetry=None,
     progress=None,
+    executor=None,
 ) -> list[CoreScalingRow]:
     """How does each I/O policy scale with cores on one batch?
 
@@ -539,6 +550,7 @@ def run_core_scaling(
         cache=cache,
         telemetry=telemetry,
         progress=progress,
+        executor=executor,
     )
     baseline = {
         name: result.makespan_ns

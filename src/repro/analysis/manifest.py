@@ -1,0 +1,321 @@
+"""Sweep manifests: the durable description of a cell grid.
+
+A manifest is the *immutable* half of a distributed sweep: the full
+list of cells (as JSON payloads that round-trip through
+:class:`~repro.common.config.MachineConfig`), each with its
+content-addressed cache key, plus the shared cache directory the
+workers coordinate through.  It is written once by ``repro sweep init``
+(atomic temp-file + rename) and only ever *read* by workers — all
+mutable coordination state lives next to the cache instead:
+
+* ``<cache>/claims/``     — in-flight cells (:mod:`repro.analysis.claims`);
+* ``<cache>/failures/``   — cells whose retries were exhausted, one
+  JSON record per cell key (no contention: a cell has at most one
+  owner, so at most one writer);
+* ``<cache>/sweeps/<name>.progress.json`` — the grid-level progress
+  checkpoint (total/done/claimed/stale/failed/pending), re-derived
+  from the durable state and atomically replaced by whichever worker
+  finished a cell last.  It is a *snapshot for humans and dashboards*;
+  correctness never depends on it.
+
+Because ``done`` means "the cell's key is in the content-addressed
+cache", a manifest survives any kill/restart sequence: progress is
+exactly the set of cached keys, and resuming is just running workers
+again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.analysis.claims import ClaimStore
+from repro.analysis.runner import ResultCache, SweepCell, cache_key
+from repro.common.config import MachineConfig
+from repro.common.errors import ConfigError
+
+MANIFEST_VERSION = 1
+"""Bumped on any incompatible change to the manifest encoding."""
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    tmp.replace(path)
+
+
+class SweepManifest:
+    """An ordered cell grid plus the cache directory workers share."""
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        cache_dir: Union[str, Path],
+        cells: Sequence[SweepCell],
+    ) -> None:
+        if not cells:
+            raise ConfigError("a sweep manifest needs at least one cell")
+        self.name = name
+        self.cache_dir = str(cache_dir)
+        self.cells = list(cells)
+        self.keys = [cache_key(cell) for cell in self.cells]
+        if len(set(self.keys)) != len(self.keys):
+            raise ConfigError("manifest cells must be unique (duplicate cache key)")
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The JSON-safe manifest encoding (see :meth:`save`)."""
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "name": self.name,
+            "cache_dir": self.cache_dir,
+            "cells": [
+                {
+                    "key": key,
+                    "config": cell.config.to_dict(),
+                    "batch": cell.batch,
+                    "policy": cell.policy,
+                    "seed": cell.seed,
+                    "scale": cell.scale,
+                }
+                for key, cell in zip(self.keys, self.cells)
+            ],
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Atomically write the manifest JSON; returns the path."""
+        path = Path(path)
+        _atomic_write_json(path, self.to_dict())
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SweepManifest":
+        """Load and re-verify a manifest.
+
+        Every stored cell key is recomputed from the cell's inputs; a
+        mismatch means the code's key derivation moved under the
+        manifest (e.g. a ``FORMAT_VERSION`` bump) and the sweep must be
+        re-initialised rather than silently mixing incompatible cells.
+        """
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ConfigError(f"manifest not found: {path}") from None
+        except (OSError, ValueError) as exc:
+            raise ConfigError(f"unreadable manifest {path}: {exc}") from exc
+        if not isinstance(data, dict) or "cells" not in data:
+            raise ConfigError(f"malformed manifest {path}")
+        if data.get("manifest_version") != MANIFEST_VERSION:
+            raise ConfigError(
+                f"manifest {path} has version {data.get('manifest_version')}, "
+                f"this code reads version {MANIFEST_VERSION} — re-run "
+                "'repro sweep init'"
+            )
+        cells = []
+        for entry in data["cells"]:
+            cell = SweepCell(
+                config=MachineConfig.from_dict(entry["config"]),
+                batch=entry["batch"],
+                policy=entry["policy"],
+                seed=entry["seed"],
+                scale=entry["scale"],
+            )
+            if cache_key(cell) != entry["key"]:
+                raise ConfigError(
+                    f"manifest {path} is stale: cell '{cell.describe()}' now "
+                    f"hashes to a different key (result format or config "
+                    "encoding changed) — re-run 'repro sweep init'"
+                )
+            cells.append(cell)
+        manifest = cls(
+            name=data.get("name", path.stem),
+            cache_dir=data.get("cache_dir", ""),
+            cells=cells,
+        )
+        return manifest
+
+    # -- coordination paths --------------------------------------------------
+
+    def resolve_cache(self, override: Union[str, Path, None] = None) -> ResultCache:
+        """The shared cache, honouring an explicit override."""
+        root = override or self.cache_dir
+        if not root:
+            raise ConfigError(
+                f"manifest {self.name!r} records no cache_dir; pass --cache-dir"
+            )
+        return ResultCache(root)
+
+    def claims_root(self, cache: ResultCache) -> Path:
+        """Where this sweep's claim files live (shared across workers)."""
+        return cache.root / "claims"
+
+    def failures_root(self, cache: ResultCache) -> Path:
+        """Where durable per-cell failure records live."""
+        return cache.root / "failures"
+
+    def progress_path(self, cache: ResultCache) -> Path:
+        """The atomically-replaced grid progress checkpoint."""
+        return cache.root / "sweeps" / f"{self.name}.progress.json"
+
+
+class FailureLog:
+    """Per-cell failure records under ``<cache>/failures``.
+
+    A record is written only by the (single) worker whose claim covered
+    the cell when retries ran out, so writes never contend; the write
+    itself is still atomic so a kill mid-write cannot leave junk that
+    other workers misread.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Failure-record path for a cell cache key."""
+        return self.root / f"{key}.json"
+
+    def record(
+        self, key: str, *, label: str, attempts: int, error: str, worker: str
+    ) -> None:
+        """Durably record that *key* exhausted its retries."""
+        _atomic_write_json(
+            self.path_for(key),
+            {
+                "key": key,
+                "cell": label,
+                "attempts": attempts,
+                "error": error,
+                "worker": worker,
+                "recorded_at": time.time(),
+            },
+        )
+
+    def get(self, key: str) -> Optional[dict]:
+        """The failure record for *key*, or ``None``."""
+        try:
+            data = json.loads(self.path_for(key).read_text(encoding="utf-8"))
+            return data if isinstance(data, dict) else None
+        except (OSError, ValueError):
+            return None
+
+    def keys(self) -> set[str]:
+        """Cache keys of every recorded failure."""
+        if not self.root.is_dir():
+            return set()
+        return {p.stem for p in self.root.glob("*.json") if ".tmp." not in p.name}
+
+    def clear(self, keys: Optional[Sequence[str]] = None) -> int:
+        """Forget failure records (all, or just *keys*); returns the count."""
+        wanted = set(keys) if keys is not None else None
+        removed = 0
+        for key in sorted(self.keys()):
+            if wanted is not None and key not in wanted:
+                continue
+            self.path_for(key).unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One grid-level checkpoint: where every cell currently stands."""
+
+    name: str
+    total: int
+    done: int
+    claimed: int
+    stale: int
+    failed: int
+
+    @property
+    def pending(self) -> int:
+        """Cells nobody has finished, claimed, or given up on."""
+        return self.total - self.done - self.claimed - self.stale - self.failed
+
+    @property
+    def complete(self) -> bool:
+        return self.done == self.total
+
+    def to_dict(self) -> dict:
+        """JSON-safe encoding for the checkpoint file."""
+        return {
+            "name": self.name,
+            "total": self.total,
+            "done": self.done,
+            "claimed": self.claimed,
+            "stale": self.stale,
+            "failed": self.failed,
+            "pending": self.pending,
+        }
+
+    def render(self) -> str:
+        """One line for progress callbacks and ``sweep status``."""
+        return (
+            f"{self.name}: {self.done}/{self.total} done, "
+            f"{self.claimed} claimed, {self.stale} stale, "
+            f"{self.failed} failed, {self.pending} pending"
+        )
+
+
+def scan_progress_keys(
+    name: str,
+    keys: Sequence[str],
+    cache: ResultCache,
+    claims: ClaimStore,
+    failures: FailureLog,
+) -> SweepProgress:
+    """Derive the checkpoint from durable state (cache, claims, failures).
+
+    ``done`` beats every other state: a cached cell counts as done even
+    if a stale claim or an old failure record is still lying around.
+    """
+    done = claimed = stale = failed = 0
+    failed_keys = failures.keys()
+    for key in keys:
+        if cache.path_for(key).exists():
+            done += 1
+        elif (info := claims.info(key)) is not None:
+            if info.stale:
+                stale += 1
+            else:
+                claimed += 1
+        elif key in failed_keys:
+            failed += 1
+    return SweepProgress(
+        name=name,
+        total=len(keys),
+        done=done,
+        claimed=claimed,
+        stale=stale,
+        failed=failed,
+    )
+
+
+def scan_progress(
+    manifest: SweepManifest,
+    cache: ResultCache,
+    claims: ClaimStore,
+    failures: FailureLog,
+) -> SweepProgress:
+    """:func:`scan_progress_keys` over a whole manifest."""
+    return scan_progress_keys(
+        manifest.name, manifest.keys, cache, claims, failures
+    )
+
+
+def write_progress(path: Union[str, Path], progress: SweepProgress) -> None:
+    """Atomically replace the progress checkpoint file."""
+    payload = progress.to_dict()
+    payload["written_at"] = time.time()
+    _atomic_write_json(Path(path), payload)

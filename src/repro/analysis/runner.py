@@ -5,10 +5,15 @@ one (config, batch, policy, seed, scale) tuple per cell — so the engine
 here does two things and nothing else:
 
 * **Fan out.**  :func:`run_cells` executes a batch of cells on a
-  ``concurrent.futures.ProcessPoolExecutor``.  ``workers=1`` (the
-  default) runs the cells in-process with zero multiprocessing
-  machinery, and platforms where a process pool cannot be created fall
-  back to the same serial path, so callers never have to care.
+  pluggable backend (``executor=``): ``"inline"`` runs them serially
+  in-process with zero multiprocessing machinery, ``"pool"`` fans them
+  out on a ``concurrent.futures.ProcessPoolExecutor`` (platforms where
+  a pool cannot be created fall back to inline, so callers never have
+  to care), and ``"queue"`` joins the distributed work-queue of
+  :mod:`repro.analysis.worker` — many processes, potentially on many
+  hosts sharing the cache directory, atomically claiming cells via
+  ``O_CREAT|O_EXCL`` claim files with stale-lease reclamation.  The
+  default picks inline or pool from ``workers=``.
 * **Never simulate the same cell twice.**  Each cell has a
   *content-addressed* cache key — a SHA-256 over the canonical JSON of
   ``MachineConfig.to_dict()`` plus the batch/policy/seed/scale and the
@@ -34,6 +39,7 @@ process boundaries — attach telemetry to a single
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -45,14 +51,50 @@ from typing import Callable, Optional, Sequence, Union
 
 from repro.analysis.store import FORMAT_VERSION, result_from_dict, result_to_dict
 from repro.common.config import MachineConfig
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, ReproError
 from repro.sim.metrics import SimulationResult
 
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 """Environment variable overriding the default cache directory."""
 
+EXECUTOR_NAMES = ("inline", "pool", "queue")
+"""Pluggable sweep backends: in-process serial, local process pool,
+and the distributed work-queue over a shared cache directory (see
+:mod:`repro.analysis.worker` and docs/RUNNING.md)."""
+
 ProgressFn = Callable[[int, int, "SweepCell", bool], None]
 """``progress(done, total, cell, cached)`` — invoked as cells complete."""
+
+
+class CellExecutionError(ReproError):
+    """One or more cells failed while the rest of the grid completed.
+
+    Raised *after* every runnable cell has finished, so progress
+    accounting stays consistent: ``completed`` cells were recorded (and
+    cached) normally, and every failure names its cell via
+    :meth:`SweepCell.describe`.  The first underlying exception is
+    chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        failures: Sequence[tuple["SweepCell", str]],
+        *,
+        completed: int,
+        total: int,
+    ) -> None:
+        self.failures = list(failures)
+        self.completed = completed
+        self.total = total
+        shown = "; ".join(
+            f"{cell.describe()}: {error}" for cell, error in self.failures[:5]
+        )
+        if len(self.failures) > 5:
+            shown += f"; ... {len(self.failures) - 5} more"
+        super().__init__(
+            f"{len(self.failures)} of {total} cells failed "
+            f"({completed} completed): {shown}"
+        )
 
 
 @dataclass(frozen=True)
@@ -241,22 +283,63 @@ class ResultCache:
         except (OSError, ValueError):
             return {}
 
+    @contextlib.contextmanager
+    def _stats_lock(self, timeout_s: float = 5.0, stale_s: float = 10.0):
+        """Cross-process mutex around the read-merge-write of stats.json.
+
+        An ``O_CREAT|O_EXCL`` lock file, the same primitive the claim
+        protocol uses: the filesystem elects exactly one holder.  A lock
+        older than *stale_s* (a killed flusher) is broken; if the lock
+        cannot be won within *timeout_s* the flush proceeds unlocked —
+        traffic counters are best-effort diagnostics and must never
+        deadlock a sweep.
+        """
+        lock = self.root / f"{self._STATS_FILE}.lock"
+        deadline = time.monotonic() + timeout_s
+        acquired = False
+        while True:
+            try:
+                os.close(os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                acquired = True
+                break
+            except FileExistsError:
+                try:
+                    if time.time() - lock.stat().st_mtime > stale_s:
+                        lock.unlink(missing_ok=True)
+                        continue
+                except OSError:
+                    continue  # holder released between open and stat
+                if time.monotonic() > deadline:
+                    break
+                time.sleep(0.002)
+        try:
+            yield
+        finally:
+            if acquired:
+                lock.unlink(missing_ok=True)
+
     def flush_stats(self) -> None:
         """Fold this instance's hit/miss/put counts into ``stats.json``.
 
         Called by :func:`run_cells` after each batch so ``repro cache
-        stats`` can report cumulative traffic across processes.
+        stats`` can report cumulative traffic across processes.  The
+        read-merge-write runs under a cross-process lock file: parallel
+        workers flushing together each fold their deltas in, instead of
+        the last writer clobbering everyone else's counts.
         """
-        persisted = self._load_persisted_stats()
-        merged = {
-            "hits": persisted.get("hits", 0) + self.hits,
-            "misses": persisted.get("misses", 0) + self.misses,
-            "puts": persisted.get("puts", 0) + self.puts,
-        }
+        if not (self.hits or self.misses or self.puts):
+            return
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = self.root / f"{self._STATS_FILE}.tmp.{os.getpid()}"
-        tmp.write_text(json.dumps(merged), encoding="utf-8")
-        tmp.replace(self.root / self._STATS_FILE)
+        with self._stats_lock():
+            persisted = self._load_persisted_stats()
+            merged = {
+                "hits": persisted.get("hits", 0) + self.hits,
+                "misses": persisted.get("misses", 0) + self.misses,
+                "puts": persisted.get("puts", 0) + self.puts,
+            }
+            tmp = self.root / f"{self._STATS_FILE}.tmp.{os.getpid()}"
+            tmp.write_text(json.dumps(merged), encoding="utf-8")
+            tmp.replace(self.root / self._STATS_FILE)
         self.hits = self.misses = self.puts = 0
 
 
@@ -309,18 +392,55 @@ def run_cells(
     cache: Union[ResultCache, str, Path, None] = None,
     telemetry=None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[str] = None,
+    queue_options=None,
 ) -> list[SimulationResult]:
     """Execute *cells*, returning their results **in input order**.
 
-    ``workers > 1`` fans the uncached cells out on a process pool;
-    ``workers=1`` (or any platform where the pool cannot start) runs
-    them in-process.  With *cache* set, cells whose key is already
-    stored are never simulated, and every fresh result is stored on
-    completion — so an interrupted run resumes where it left off.
+    *executor* selects the backend (``None`` picks by *workers*):
+
+    * ``"inline"`` — this process, serially (the ``workers=1`` default);
+    * ``"pool"`` — a local ``ProcessPoolExecutor`` of *workers*
+      processes (the ``workers > 1`` default; platforms where a pool
+      cannot start fall back to inline);
+    * ``"queue"`` — the distributed work-queue: cooperate with any
+      number of concurrent worker processes (even on other hosts)
+      sharing *cache*, claiming cells atomically and reclaiming a
+      killed worker's stale claims.  Requires *cache*; *queue_options*
+      is a :class:`~repro.analysis.worker.QueueOptions`.
+
+    With *cache* set, cells whose key is already stored are never
+    simulated, and every fresh result is stored on completion — so an
+    interrupted run resumes where it left off.
+
+    A cell that raises does not poison the grid: every other cell still
+    runs (and caches, and reports progress), then all failures surface
+    together as one :class:`CellExecutionError` naming each cell.
     """
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
+    if executor is None:
+        executor = "inline" if workers == 1 else "pool"
+    if executor not in EXECUTOR_NAMES:
+        raise ConfigError(
+            f"unknown executor {executor!r}; expected one of {EXECUTOR_NAMES}"
+        )
     cache = as_cache(cache)
+    if executor == "queue":
+        if cache is None:
+            raise ConfigError(
+                "the queue executor coordinates through the result cache; "
+                "pass cache= (a shared directory) or use another executor"
+            )
+        from repro.analysis.worker import run_queue
+
+        return run_queue(
+            cells,
+            cache=cache,
+            options=queue_options,
+            telemetry=telemetry,
+            progress=progress,
+        )
     total = len(cells)
     results: list[Optional[SimulationResult]] = [None] * total
     done = 0
@@ -347,11 +467,20 @@ def run_cells(
         else:
             pending.append(i)
 
+    failures: list[tuple[SweepCell, str]] = []
+    first_error: Optional[BaseException] = None
     if pending:
         outcomes = _execute_pending(
-            [(i, _cell_payload(cells[i])) for i in pending], workers
+            [(i, _cell_payload(cells[i])) for i in pending],
+            workers if executor == "pool" else 1,
         )
-        for i, (result_dict, wall_ns) in outcomes:
+        for i, outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                failures.append((cells[i], repr(outcome)))
+                if first_error is None:
+                    first_error = outcome
+                continue
+            result_dict, wall_ns = outcome
             result = result_from_dict(result_dict)
             if cache is not None:
                 cache.put(cache_key(cells[i]), result, cells[i])
@@ -361,24 +490,46 @@ def run_cells(
         cache.flush_stats()
     if telemetry is not None:
         telemetry.counter("runner.cells.total").inc(total)
+    if failures:
+        raise CellExecutionError(
+            failures, completed=done, total=total
+        ) from first_error
     return results  # type: ignore[return-value]  # every slot is filled
 
 
 def _execute_pending(
     indexed: list[tuple[int, dict]], workers: int
-) -> list[tuple[int, tuple[dict, int]]]:
-    """Run the uncached cells, serially or on a process pool."""
+) -> list[tuple[int, Union[tuple[dict, int], BaseException]]]:
+    """Run the uncached cells, serially or on a process pool.
+
+    Per-cell exceptions are *captured* in the outcome list, never
+    raised: one failing cell must not abort (or skew the progress
+    accounting of) its siblings.
+    """
+
+    def capture(fn, payload) -> Union[tuple[dict, int], BaseException]:
+        try:
+            return fn(payload)
+        except Exception as exc:  # noqa: BLE001 — cell isolation is the point
+            return exc
+
     if workers == 1 or len(indexed) == 1:
-        return [(i, _execute_cell(payload)) for i, payload in indexed]
+        return [(i, capture(_execute_cell, payload)) for i, payload in indexed]
     try:
         with ProcessPoolExecutor(max_workers=min(workers, len(indexed))) as pool:
             futures = [(i, pool.submit(_execute_cell, payload)) for i, payload in indexed]
-            return [(i, future.result()) for i, future in futures]
+            outcomes: list[tuple[int, Union[tuple[dict, int], BaseException]]] = []
+            for i, future in futures:
+                try:
+                    outcomes.append((i, future.result()))
+                except Exception as exc:  # noqa: BLE001 — cell isolation
+                    outcomes.append((i, exc))
+            return outcomes
     except (OSError, ImportError, NotImplementedError, PermissionError):
         # Platforms without working multiprocessing (restricted
         # sandboxes, missing /dev/shm, no fork): same cells, same
         # order, same results — just in this process.
-        return [(i, _execute_cell(payload)) for i, payload in indexed]
+        return [(i, capture(_execute_cell, payload)) for i, payload in indexed]
 
 
 def run_grid(
@@ -392,6 +543,8 @@ def run_grid(
     cache: Union[ResultCache, str, Path, None] = None,
     telemetry=None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[str] = None,
+    queue_options=None,
 ) -> dict[str, dict[str, list[SimulationResult]]]:
     """The figure-grid convenience: ``grid[batch][policy] -> per-seed list``.
 
@@ -406,7 +559,13 @@ def run_grid(
         for policy in policies
     ]
     flat = run_cells(
-        cells, workers=workers, cache=cache, telemetry=telemetry, progress=progress
+        cells,
+        workers=workers,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
+        executor=executor,
+        queue_options=queue_options,
     )
     grid: dict[str, dict[str, list[SimulationResult]]] = {
         batch: {policy: [] for policy in policies} for batch in batches

@@ -78,6 +78,7 @@ def run_serving_sweep(
     cache=None,
     telemetry=None,
     progress=None,
+    executor=None,
 ) -> dict[float, list[ServingRow]]:
     """Latency percentiles and SLO attainment per (rate, policy).
 
@@ -117,7 +118,12 @@ def run_serving_sweep(
                 )
             )
     results = run_cells(
-        cells, workers=workers, cache=cache, telemetry=telemetry, progress=progress
+        cells,
+        workers=workers,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
+        executor=executor,
     )
     rows: dict[float, list[ServingRow]] = {}
     index = 0

@@ -50,6 +50,7 @@ def sweep(
     cache=None,
     telemetry=None,
     progress=None,
+    executor=None,
 ) -> list[SweepRow]:
     """Run *batch* under *policies* for every knob value.
 
@@ -79,7 +80,12 @@ def sweep(
         for policy in policies
     ]
     flat = run_cells(
-        cells, workers=workers, cache=cache, telemetry=telemetry, progress=progress
+        cells,
+        workers=workers,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
+        executor=executor,
     )
     rows = []
     for v_index, value in enumerate(values):

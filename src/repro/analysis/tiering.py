@@ -107,6 +107,7 @@ def run_tier_sweep(
     cache=None,
     telemetry=None,
     progress=None,
+    executor=None,
 ) -> list[TierSweepRow]:
     """Run the adaptive policy over every placement and tabulate per-tier
     decision mixes (rows grouped by placement, tiers in config order).
@@ -144,7 +145,12 @@ def run_tier_sweep(
         for placement in placements
     ]
     results = run_cells(
-        cells, workers=workers, cache=cache, telemetry=telemetry, progress=progress
+        cells,
+        workers=workers,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
+        executor=executor,
     )
     rows: list[TierSweepRow] = []
     for placement, result in zip(placements, results):

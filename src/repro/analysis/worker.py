@@ -1,0 +1,420 @@
+"""The work-queue sweep backend: claim, simulate, checkpoint, repeat.
+
+This is the executor behind ``executor="queue"`` in
+:func:`repro.analysis.runner.run_cells` and the ``repro sweep run`` /
+``repro sweep resume`` CLI verbs.  Any number of worker processes — on
+one box or on several hosts sharing the cache directory — run the same
+loop against the same cell list:
+
+1. **Scan** the cells in a per-worker rotation (cheap contention
+   avoidance; correctness never depends on it).
+2. **Skip** cells that are already cached (done) or carry a failure
+   record (retries exhausted elsewhere).
+3. **Claim** the first remaining cell via the ``O_CREAT|O_EXCL``
+   protocol in :mod:`repro.analysis.claims` — stale claims (a killed
+   worker's leftovers) are atomically taken over and counted as
+   ``runner.stale_reclaimed``.
+4. **Simulate** under a heartbeat (a daemon thread touches the claim
+   every ``lease/6`` seconds so a healthy worker is never robbed), with
+   **bounded retries and exponential backoff** on failure; exhausted
+   cells get a durable failure record instead of poisoning the grid.
+5. **Publish**: the result goes into the content-addressed cache, the
+   claim is released, and the grid-level progress checkpoint is
+   atomically rewritten.
+
+Because ``done`` is defined as "key present in the cache", any
+kill/restart sequence converges to the same result set as a serial run,
+bit for bit.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import time
+
+from repro.analysis.claims import DEFAULT_LEASE_S, ClaimStore
+from repro.analysis.manifest import (
+    FailureLog,
+    SweepManifest,
+    SweepProgress,
+    scan_progress_keys,
+    write_progress,
+)
+from repro.analysis.runner import (
+    CellExecutionError,
+    ProgressFn,
+    ResultCache,
+    SweepCell,
+    _execute_cell,
+    _cell_payload,
+    cache_key,
+)
+from repro.common.errors import ConfigError
+from repro.sim.metrics import SimulationResult
+
+LogFn = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class QueueOptions:
+    """Tunables of one queue worker (CLI flags map 1:1 onto these)."""
+
+    lease_s: float = DEFAULT_LEASE_S
+    """Heartbeat silence after which another worker may steal a claim."""
+
+    max_retries: int = 2
+    """Re-executions after a cell's first failure (3 attempts total)."""
+
+    backoff_s: float = 0.25
+    """First retry delay; doubles per attempt (0.25, 0.5, 1.0, ...)."""
+
+    poll_s: float = 0.5
+    """Idle wait between scans while other workers hold live claims."""
+
+    max_cells: Optional[int] = None
+    """Stop after executing this many cells (None = run until drained)."""
+
+    worker_id: Optional[str] = None
+    """Stable identity for claim files (default: host-pid-nonce)."""
+
+    def __post_init__(self) -> None:
+        if self.lease_s <= 0:
+            raise ConfigError(f"lease_s must be positive, got {self.lease_s}")
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0:
+            raise ConfigError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.poll_s <= 0:
+            raise ConfigError(f"poll_s must be positive, got {self.poll_s}")
+        if self.max_cells is not None and self.max_cells < 1:
+            raise ConfigError(f"max_cells must be >= 1, got {self.max_cells}")
+
+
+@dataclass
+class WorkerSummary:
+    """What one worker pass over the grid actually did."""
+
+    worker_id: str
+    executed: int = 0
+    reclaimed: int = 0
+    failed: int = 0
+    retries: int = 0
+    progress: Optional[SweepProgress] = None
+    failures: list[dict] = field(default_factory=list)
+    executed_keys: set[str] = field(default_factory=set)
+
+
+class _Heartbeat:
+    """Daemon thread touching one claim while its cell simulates."""
+
+    def __init__(self, claims: ClaimStore, key: str) -> None:
+        self._claims = claims
+        self._key = key
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._claims.heartbeat_s):
+            self._claims.heartbeat(self._key)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+class QueueWorker:
+    """One worker process's view of a shared cell grid."""
+
+    def __init__(
+        self,
+        cells: Sequence[SweepCell],
+        *,
+        cache: ResultCache,
+        options: Optional[QueueOptions] = None,
+        telemetry=None,
+        log: Optional[LogFn] = None,
+        name: str = "sweep",
+        checkpoint: bool = True,
+        execute: Callable[[dict], tuple[dict, int]] = _execute_cell,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.cells = list(cells)
+        self.keys = [cache_key(cell) for cell in self.cells]
+        self.cache = cache
+        self.options = options or QueueOptions()
+        self.telemetry = telemetry
+        self.log = log
+        self.name = name
+        self.checkpoint = checkpoint
+        self._execute = execute
+        self._sleep = sleep
+        self.claims = ClaimStore(
+            cache.root / "claims",
+            worker_id=self.options.worker_id,
+            lease_s=self.options.lease_s,
+        )
+        self.failures = FailureLog(cache.root / "failures")
+        self.summary = WorkerSummary(worker_id=self.claims.worker_id)
+
+    # -- telemetry/log helpers ----------------------------------------------
+
+    def _say(self, message: str) -> None:
+        if self.log is not None:
+            self.log(f"[{self.claims.worker_id}] {message}")
+
+    # -- grid state ----------------------------------------------------------
+
+    def scan(self) -> SweepProgress:
+        """Current grid progress derived from durable state."""
+        return scan_progress_keys(
+            self.name, self.keys, self.cache, self.claims, self.failures
+        )
+
+    def _write_checkpoint(self, progress: SweepProgress) -> None:
+        if self.checkpoint:
+            write_progress(
+                self.cache.root / "sweeps" / f"{self.name}.progress.json", progress
+            )
+
+    def resolved(self, progress: SweepProgress) -> bool:
+        """No work left: every cell is either cached or failed-durable."""
+        return progress.done + progress.failed >= progress.total
+
+    # -- the loop ------------------------------------------------------------
+
+    def run(self) -> WorkerSummary:
+        """Work the grid until drained (or ``max_cells`` executed).
+
+        Returns this worker's :class:`WorkerSummary`; the final grid
+        state is in ``summary.progress``.  Never raises on cell
+        failures — those become durable failure records for the caller
+        (or ``repro sweep status``) to inspect.
+        """
+        rotation = self._rotation()
+        while True:
+            claimed_any = False
+            for index in rotation:
+                if (
+                    self.options.max_cells is not None
+                    and self.summary.executed >= self.options.max_cells
+                ):
+                    break
+                if self._try_cell(index):
+                    claimed_any = True
+            progress = self.scan()
+            self._write_checkpoint(progress)
+            if self.resolved(progress):
+                break
+            if (
+                self.options.max_cells is not None
+                and self.summary.executed >= self.options.max_cells
+            ):
+                break
+            if not claimed_any:
+                # Everything left is claimed by live peers (or waiting
+                # out a lease) — idle briefly, then rescan: a peer may
+                # finish, die (stale -> reclaimable), or fail-durable.
+                self._sleep(self.options.poll_s)
+        self.summary.progress = self.scan()
+        self._write_checkpoint(self.summary.progress)
+        return self.summary
+
+    def _rotation(self) -> list[int]:
+        """Cell order for this worker: rotated by worker identity so
+        concurrent workers start their scans in different places."""
+        if not self.cells:
+            return []
+        offset = hash(self.claims.worker_id) % len(self.cells)
+        return list(range(offset, len(self.cells))) + list(range(offset))
+
+    def _try_cell(self, index: int) -> bool:
+        """Claim and execute one cell if available; True if claimed."""
+        key = self.keys[index]
+        cell = self.cells[index]
+        if self.cache.path_for(key).exists():
+            return False
+        if self.failures.get(key) is not None:
+            return False
+        info = self.claims.info(key)
+        was_stale = info is not None and info.stale
+        if not self.claims.acquire(key):
+            if self.telemetry is not None:
+                self.telemetry.counter("runner.claim.contended").inc()
+            return False
+        if self.telemetry is not None:
+            self.telemetry.counter("runner.claim.acquired").inc()
+        if was_stale:
+            self.summary.reclaimed += 1
+            if self.telemetry is not None:
+                self.telemetry.counter("runner.stale_reclaimed").inc()
+            self._say(f"reclaimed stale claim ({info.worker}) on {cell.describe()}")
+        try:
+            # A peer may have finished the cell between our existence
+            # check and the claim (or we stole a stale claim whose
+            # owner died *after* publishing): re-check before paying.
+            if self.cache.path_for(key).exists():
+                return True
+            self._execute_claimed(index, key, cell)
+        finally:
+            self.claims.release(key)
+            if self.telemetry is not None:
+                self.telemetry.counter("runner.claim.released").inc()
+        return True
+
+    def _execute_claimed(self, index: int, key: str, cell: SweepCell) -> None:
+        payload = _cell_payload(cell)
+        attempts = self.options.max_retries + 1
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            try:
+                with _Heartbeat(self.claims, key):
+                    result_dict, wall_ns = self._execute(payload)
+            except Exception as exc:  # noqa: BLE001 — cell isolation is the point
+                last_error = exc
+                self.summary.retries += 1
+                if self.telemetry is not None:
+                    self.telemetry.counter("runner.retry.attempts").inc()
+                self._say(
+                    f"attempt {attempt + 1}/{attempts} failed for "
+                    f"{cell.describe()}: {exc!r}"
+                )
+                if attempt + 1 < attempts:
+                    self._sleep(self.options.backoff_s * (2**attempt))
+                    self.claims.heartbeat(key)
+                continue
+            from repro.analysis.store import result_from_dict
+
+            result = result_from_dict(result_dict)
+            self.cache.put(key, result, cell)
+            self.summary.executed += 1
+            self.summary.executed_keys.add(key)
+            if self.telemetry is not None:
+                self.telemetry.counter("runner.cells.executed").inc()
+            if self.telemetry is not None:
+                self.telemetry.counter("runner.cache.miss").inc()
+            if self.telemetry is not None:
+                self.telemetry.histogram("runner.cell_wall_ns").observe(wall_ns)
+            self._say(f"finished {cell.describe()}")
+            return
+        assert last_error is not None
+        self.summary.failed += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("runner.retry.exhausted").inc()
+        record = {
+            "key": key,
+            "cell": cell.describe(),
+            "attempts": attempts,
+            "error": repr(last_error),
+        }
+        self.summary.failures.append(record)
+        self.failures.record(
+            key,
+            label=cell.describe(),
+            attempts=attempts,
+            error=repr(last_error),
+            worker=self.claims.worker_id,
+        )
+        self._say(
+            f"gave up on {cell.describe()} after {attempts} attempts: "
+            f"{last_error!r}"
+        )
+
+
+def run_queue(
+    cells: Sequence[SweepCell],
+    *,
+    cache: ResultCache,
+    options: Optional[QueueOptions] = None,
+    telemetry=None,
+    progress: Optional[ProgressFn] = None,
+    log: Optional[LogFn] = None,
+    name: str = "sweep",
+) -> list[SimulationResult]:
+    """The ``executor="queue"`` backend of
+    :func:`repro.analysis.runner.run_cells`.
+
+    Runs one :class:`QueueWorker` in this process, cooperating with any
+    concurrent workers on the same cache directory, waits for the grid
+    to drain, and returns results **in input order** — cells computed
+    by peers are served from the shared cache and reported to
+    *telemetry*/*progress* as cache hits.  Raises
+    :class:`~repro.analysis.runner.CellExecutionError` if any cell
+    carries a failure record once the grid is drained.
+    """
+    if options is not None and options.max_cells is not None:
+        raise ConfigError(
+            "run_queue waits for the whole grid; max_cells only applies to "
+            "manifest workers (repro sweep run --max-cells)"
+        )
+    worker = QueueWorker(
+        cells,
+        cache=cache,
+        options=options,
+        telemetry=telemetry,
+        log=log,
+        name=name,
+    )
+    summary = worker.run()
+    results: list[Optional[SimulationResult]] = [None] * len(worker.cells)
+    done = 0
+    failed: list[tuple[SweepCell, str]] = []
+    for index, (cell, key) in enumerate(zip(worker.cells, worker.keys)):
+        failure = worker.failures.get(key)
+        if failure is not None and not worker.cache.path_for(key).exists():
+            failed.append((cell, str(failure.get("error", "unknown error"))))
+            continue
+        result = cache.get(key)
+        if result is None:
+            # Cached when the grid drained, corrupt by the time we
+            # assemble: treat like any other failed cell.
+            failed.append((cell, "result vanished from the shared cache"))
+            continue
+        results[index] = result
+        done += 1
+        cached = key not in summary.executed_keys
+        if telemetry is not None and cached:
+            telemetry.counter("runner.cache.hit").inc()
+        if progress is not None:
+            progress(done, len(worker.cells), cell, cached)
+    if telemetry is not None:
+        telemetry.counter("runner.cells.total").inc(len(worker.cells))
+    cache.flush_stats()
+    if failed:
+        raise CellExecutionError(failed, completed=done, total=len(worker.cells))
+    return results  # type: ignore[return-value]  # every slot is filled
+
+
+def run_manifest_worker(
+    manifest: SweepManifest,
+    *,
+    cache: Optional[ResultCache] = None,
+    options: Optional[QueueOptions] = None,
+    telemetry=None,
+    log: Optional[LogFn] = None,
+) -> WorkerSummary:
+    """``repro sweep run``: work a saved manifest until drained.
+
+    Unlike :func:`run_queue` this does not wait to assemble results —
+    a worker that executed its share (or hit ``max_cells``) exits and
+    leaves the rest to its peers; the checkpoint and ``sweep status``
+    tell the operator where the grid stands.
+    """
+    cache = cache if cache is not None else manifest.resolve_cache()
+    worker = QueueWorker(
+        manifest.cells,
+        cache=cache,
+        options=options,
+        telemetry=telemetry,
+        log=log,
+        name=manifest.name,
+    )
+    summary = worker.run()
+    cache.flush_stats()
+    return summary

@@ -19,6 +19,7 @@ Subcommands::
     repro workloads    list workloads and batches
     repro compare      diff two saved result files
     repro cache        result-cache statistics / clearing
+    repro sweep        distributed grids: init / run / status / resume
 
 ``--policy`` accepts names case-insensitively (``--policy adaptive``
 selects the ``Adaptive`` controller), as does ``--tiers``
@@ -28,7 +29,9 @@ heterogeneous storage (see docs/TIERING.md).
 
 Grid-shaped commands (``figures``, ``crossover``, ``report``) accept
 ``--workers N`` (process-pool fan-out), ``--cache-dir`` and
-``--no-cache`` — see docs/RUNNING.md for the full execution story.
+``--no-cache`` — see docs/RUNNING.md for the full execution story,
+including the ``repro sweep`` work-queue backend for multi-process /
+multi-host grids.
 
 Also usable as ``python -m repro``.
 """
@@ -199,6 +202,18 @@ def _non_negative_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"invalid integer {text!r}")
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    """Converter for float flags where zero is meaningful
+    (``--backoff-s``: 0 retries immediately)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid number {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {value:g}")
     return value
 
 
@@ -1012,6 +1027,180 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_options(args: argparse.Namespace):
+    """Build :class:`~repro.analysis.worker.QueueOptions` from the
+    ``sweep run`` / ``sweep resume`` flags."""
+    from repro.analysis.worker import QueueOptions
+
+    return QueueOptions(
+        lease_s=args.lease_s,
+        max_retries=args.max_retries,
+        backoff_s=args.backoff_s,
+        poll_s=args.poll_s,
+        max_cells=getattr(args, "max_cells", None),
+        worker_id=getattr(args, "worker_id", None),
+    )
+
+
+def _sweep_spawn_workers(args: argparse.Namespace, count: int) -> int:
+    """Launch *count* single-worker ``repro sweep run`` subprocesses
+    against the same manifest and wait for all of them; returns the
+    worst child exit code."""
+    import os
+    import subprocess
+    from pathlib import Path
+
+    import repro
+
+    argv = [
+        sys.executable, "-m", "repro", "sweep", "run",
+        "--manifest", args.manifest,
+        "--workers", "1",
+        "--lease-s", str(args.lease_s),
+        "--max-retries", str(args.max_retries),
+        "--backoff-s", str(args.backoff_s),
+        "--poll-s", str(args.poll_s),
+    ]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if getattr(args, "max_cells", None) is not None:
+        argv += ["--max-cells", str(args.max_cells)]
+    env = dict(os.environ)
+    pkg_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = pkg_root + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [subprocess.Popen(argv, env=env) for _ in range(count)]
+    print(
+        f"launched {count} workers (pids {', '.join(str(p.pid) for p in procs)})",
+        file=sys.stderr,
+    )
+    return max(proc.wait() for proc in procs)
+
+
+def _render_sweep_summary(summary, telemetry) -> str:
+    """One stderr line describing what a worker pass actually did."""
+    hits = telemetry.counter("runner.cache.hit").value
+    return (
+        f"worker {summary.worker_id}: {summary.executed} executed, "
+        f"{summary.reclaimed} stale reclaimed, {summary.retries} retries, "
+        f"{summary.failed} failed, {hits} cache hits"
+    )
+
+
+def cmd_sweep_init(args: argparse.Namespace) -> int:
+    """``repro sweep init``: build and save a cell-grid manifest."""
+    from itertools import product
+    from pathlib import Path
+
+    from repro.analysis.manifest import SweepManifest
+    from repro.analysis.runner import ResultCache, SweepCell
+
+    config = _machine_config(args)
+    cells = [
+        SweepCell(config=config, batch=batch, policy=policy, seed=seed, scale=args.scale)
+        for batch, policy, seed in product(args.batches, args.policies, args.seeds)
+    ]
+    cache = ResultCache(args.cache_dir)
+    manifest = SweepManifest(
+        name=args.name or Path(args.manifest).stem,
+        cache_dir=str(cache.root),
+        cells=cells,
+    )
+    path = manifest.save(args.manifest)
+    print(
+        f"manifest {manifest.name!r}: {len(manifest)} cells "
+        f"({len(args.batches)} batches x {len(args.policies)} policies x "
+        f"{len(args.seeds)} seeds, scale {args.scale:g})"
+    )
+    print(f"cache: {cache.root}")
+    print(f"written to {path}")
+    return 0
+
+
+def cmd_sweep_run(args: argparse.Namespace) -> int:
+    """``repro sweep run``: work a manifest until drained (one worker
+    in-process, or ``--workers N`` real subprocesses)."""
+    from repro.analysis.manifest import SweepManifest
+    from repro.analysis.worker import run_manifest_worker
+    from repro.telemetry import Telemetry
+
+    manifest = SweepManifest.load(args.manifest)
+    if args.workers > 1:
+        code = _sweep_spawn_workers(args, args.workers)
+        cache = manifest.resolve_cache(args.cache_dir)
+        print(_sweep_status_text(manifest, cache, args.lease_s))
+        return code
+    telemetry = Telemetry(events=False)
+    summary = run_manifest_worker(
+        manifest,
+        cache=manifest.resolve_cache(args.cache_dir),
+        options=_sweep_options(args),
+        telemetry=telemetry,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    print(_render_sweep_summary(summary, telemetry), file=sys.stderr)
+    assert summary.progress is not None
+    print(summary.progress.render())
+    return 1 if summary.progress.failed else 0
+
+
+def _sweep_status_text(manifest, cache, lease_s: float) -> str:
+    """The ``sweep status`` report: progress, cache occupancy, claims,
+    and failure records for one manifest."""
+    from repro.analysis.claims import ClaimStore
+    from repro.analysis.manifest import FailureLog, scan_progress
+
+    claims = ClaimStore(manifest.claims_root(cache), lease_s=lease_s)
+    failures = FailureLog(manifest.failures_root(cache))
+    progress = scan_progress(manifest, cache, claims, failures)
+    lines = [progress.render()]
+    stats = cache.stats()
+    lines.append(
+        f"cache: {progress.done}/{progress.total} manifest cells cached "
+        f"({stats.entries} entries total in {cache.root})"
+    )
+    live = [c for c in claims.claims() if c.key in set(manifest.keys)]
+    for claim in live:
+        state = "STALE" if claim.stale else "live"
+        lines.append(
+            f"claim [{state}] {claim.key[:12]}... held by {claim.worker} "
+            f"(age {claim.age_s:.1f}s, lease {lease_s:g}s)"
+        )
+    failed_keys = failures.keys() & set(manifest.keys)
+    for key in sorted(failed_keys):
+        record = failures.get(key) or {}
+        lines.append(
+            f"failed {key[:12]}... {record.get('cell', '?')} "
+            f"after {record.get('attempts', '?')} attempts: "
+            f"{record.get('error', '?')}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_sweep_status(args: argparse.Namespace) -> int:
+    """``repro sweep status``: render manifest progress, cache
+    occupancy, live/stale claims, and failure records."""
+    from repro.analysis.manifest import SweepManifest
+
+    manifest = SweepManifest.load(args.manifest)
+    cache = manifest.resolve_cache(args.cache_dir)
+    print(_sweep_status_text(manifest, cache, args.lease_s))
+    return 0
+
+
+def cmd_sweep_resume(args: argparse.Namespace) -> int:
+    """``repro sweep resume``: clear failure records, reclaim stale
+    claims, and run the grid to completion."""
+    from repro.analysis.manifest import FailureLog, SweepManifest
+
+    manifest = SweepManifest.load(args.manifest)
+    cache = manifest.resolve_cache(args.cache_dir)
+    failures = FailureLog(manifest.failures_root(cache))
+    cleared = failures.clear(manifest.keys)
+    if cleared:
+        print(f"cleared {cleared} failure records for retry", file=sys.stderr)
+    return cmd_sweep_run(args)
+
+
 def cmd_trace_stats(args: argparse.Namespace) -> int:
     """``repro trace-stats``: summarise a trace or lackey capture."""
     from pathlib import Path
@@ -1317,6 +1506,102 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-its)",
     )
     cache_p.set_defaults(func=cmd_cache)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="distributed cell grids: init / run / status / resume"
+    )
+    sweep_sub = sweep_p.add_subparsers(dest="sweep_command", required=True)
+
+    def _add_sweep_shared(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--manifest", default="sweep_manifest.json",
+            help="manifest JSON path (written by 'sweep init')",
+        )
+        p.add_argument(
+            "--cache-dir", default=None,
+            help="override the cache directory recorded in the manifest",
+        )
+        p.add_argument(
+            "--lease-s", type=_positive_float, default=30.0,
+            help="heartbeat silence after which a worker's claim is stale",
+        )
+
+    def _add_sweep_worker(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", type=_positive_int, default=1,
+            help="worker subprocesses to launch (1 = work in-process)",
+        )
+        p.add_argument(
+            "--max-retries", type=_non_negative_int, default=2,
+            help="re-executions after a cell's first failure",
+        )
+        p.add_argument(
+            "--backoff-s", type=_non_negative_float, default=0.25,
+            help="first retry delay; doubles per attempt",
+        )
+        p.add_argument(
+            "--poll-s", type=_positive_float, default=0.5,
+            help="idle wait between scans while peers hold live claims",
+        )
+        p.add_argument(
+            "--max-cells", type=_positive_int, default=None,
+            help="stop this worker after executing this many cells",
+        )
+        p.add_argument(
+            "--worker-id", default=None,
+            help="claim-file identity (default: host-pid-nonce)",
+        )
+
+    sweep_init_p = sweep_sub.add_parser(
+        "init", help="build and save a cell-grid manifest"
+    )
+    sweep_init_p.add_argument(
+        "--name", default=None, help="sweep name (default: manifest file stem)"
+    )
+    sweep_init_p.add_argument(
+        "--batches", nargs="+", choices=batch_names(),
+        default=["1_Data_Intensive"], help="batches in the grid",
+    )
+    sweep_init_p.add_argument(
+        "--policies", nargs="+", type=_policy_name,
+        choices=list(POLICY_FACTORIES),
+        default=["Sync", "Async", "ITS"], help="policies in the grid",
+    )
+    sweep_init_p.add_argument(
+        "--seeds", type=_parse_seeds, default=(1, 2, 3),
+        help="comma-separated seeds in the grid",
+    )
+    sweep_init_p.add_argument(
+        "--manifest", default="sweep_manifest.json",
+        help="manifest JSON path to write",
+    )
+    sweep_init_p.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory recorded in the manifest "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro-its)",
+    )
+    _add_common(sweep_init_p)
+    sweep_init_p.set_defaults(func=cmd_sweep_init)
+
+    sweep_run_p = sweep_sub.add_parser(
+        "run", help="launch a worker (or N subprocesses) against a manifest"
+    )
+    _add_sweep_shared(sweep_run_p)
+    _add_sweep_worker(sweep_run_p)
+    sweep_run_p.set_defaults(func=cmd_sweep_run)
+
+    sweep_status_p = sweep_sub.add_parser(
+        "status", help="render manifest progress, claims, and failures"
+    )
+    _add_sweep_shared(sweep_status_p)
+    sweep_status_p.set_defaults(func=cmd_sweep_status)
+
+    sweep_resume_p = sweep_sub.add_parser(
+        "resume", help="clear failure records and run the grid to completion"
+    )
+    _add_sweep_shared(sweep_resume_p)
+    _add_sweep_worker(sweep_resume_p)
+    sweep_resume_p.set_defaults(func=cmd_sweep_resume)
 
     stats_p = sub.add_parser("trace-stats", help="summarise a trace file")
     stats_p.add_argument("path", help="trace file (or lackey capture with --lackey)")

@@ -1,0 +1,158 @@
+"""Property-based tests for the claim protocol: exactly one owner per
+cell under any interleaving of acquire/release/heartbeat/expiry, and no
+cell is ever lost (every key is always eventually claimable)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.claims import ClaimStore
+
+N_WORKERS = 3
+N_KEYS = 3
+LEASE_S = 10.0
+
+KEYS = [f"{i:x}" * 64 for i in range(N_KEYS)]
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("acquire"),
+            st.integers(0, N_WORKERS - 1),
+            st.integers(0, N_KEYS - 1),
+        ),
+        st.tuples(
+            st.just("release"),
+            st.integers(0, N_WORKERS - 1),
+            st.integers(0, N_KEYS - 1),
+        ),
+        st.tuples(
+            st.just("heartbeat"),
+            st.integers(0, N_WORKERS - 1),
+            st.integers(0, N_KEYS - 1),
+        ),
+        st.tuples(
+            st.just("advance"),
+            st.integers(1, 8),  # seconds
+            st.just(0),
+        ),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class Clock:
+    """Deterministic shared clock for every store in one scenario."""
+
+    def __init__(self):
+        self.now = 1_000_000.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_world(tmp_path_factory):
+    root = tmp_path_factory.mktemp("claims")
+    clock = Clock()
+    stores = [
+        ClaimStore(root, worker_id=f"w{i}", lease_s=LEASE_S, clock=clock)
+        for i in range(N_WORKERS)
+    ]
+    return clock, stores
+
+
+@settings(deadline=None, max_examples=60)
+@given(ops)
+def test_exactly_one_owner_per_key(tmp_path_factory, sequence):
+    """No two workers ever hold a live claim on the same key: a second
+    acquire only succeeds after a release or a full lease expiry."""
+    clock, stores = make_world(tmp_path_factory)
+    # model: key -> (worker index, acquire time) for the live owner
+    owner = {}
+
+    def live(key):
+        entry = owner.get(key)
+        if entry is None:
+            return None
+        _, hearbeat_at = entry
+        if clock() - hearbeat_at > LEASE_S:
+            return None  # lease expired: claim is up for grabs
+        return entry
+
+    for op, a, b in sequence:
+        if op == "advance":
+            clock.now += a
+        elif op == "acquire":
+            key = KEYS[b]
+            got = stores[a].acquire(key)
+            entry = live(key)
+            if entry is not None and entry[0] != a:
+                assert got is False, "stole a live claim"
+            if got:
+                owner[key] = (a, clock())
+        elif op == "heartbeat":
+            key = KEYS[b]
+            entry = live(key)
+            stores[a].heartbeat(key)
+            if entry is not None and entry[0] == a:
+                owner[key] = (a, clock())
+        elif op == "release":
+            key = KEYS[b]
+            stores[a].release(key)
+            entry = owner.get(key)
+            if entry is not None and entry[0] == a:
+                owner.pop(key)
+
+
+@settings(deadline=None, max_examples=60)
+@given(ops)
+def test_no_cell_is_ever_lost(tmp_path_factory, sequence):
+    """Whatever happened, once every lease has expired a fresh worker
+    can claim every key — no interleaving leaves a cell stuck."""
+    clock, stores = make_world(tmp_path_factory)
+    for op, a, b in sequence:
+        if op == "advance":
+            clock.now += a
+        elif op == "acquire":
+            stores[a].acquire(KEYS[b])
+        elif op == "heartbeat":
+            stores[a].heartbeat(KEYS[b])
+        elif op == "release":
+            stores[a].release(KEYS[b])
+    clock.now += LEASE_S + 1.0
+    fresh = ClaimStore(
+        stores[0].root, worker_id="fresh", lease_s=LEASE_S, clock=clock
+    )
+    for key in KEYS:
+        assert fresh.acquire(key) is True, f"cell {key[:8]} lost"
+        fresh.release(key)
+
+
+@settings(deadline=None, max_examples=60)
+@given(ops)
+def test_claim_files_match_model_owner(tmp_path_factory, sequence):
+    """The claim file on disk always names the worker the model says
+    holds the live claim."""
+    import json
+
+    clock, stores = make_world(tmp_path_factory)
+    owner = {}
+    for op, a, b in sequence:
+        if op == "advance":
+            clock.now += a
+            continue
+        key = KEYS[b]
+        if op == "acquire":
+            if stores[a].acquire(key):
+                owner[key] = a
+        elif op == "heartbeat":
+            stores[a].heartbeat(key)
+        elif op == "release":
+            stores[a].release(key)
+            if owner.get(key) == a:
+                owner.pop(key)
+        entry = owner.get(key)
+        if entry is not None:
+            path = stores[entry].path_for(key)
+            data = json.loads(path.read_text(encoding="utf-8"))
+            assert data["worker"] == f"w{entry}"

@@ -1,0 +1,165 @@
+"""Unit tests for the atomic claim-file protocol."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.claims import (
+    DEFAULT_LEASE_S,
+    HEARTBEAT_RATIO,
+    ClaimStore,
+    default_worker_id,
+)
+from repro.common.errors import ConfigError
+
+KEY = "a" * 64
+
+
+class FakeClock:
+    """A manually advanced clock injected into ClaimStore."""
+
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_store(tmp_path, clock=None, **kwargs):
+    return ClaimStore(
+        tmp_path / "claims", clock=clock or FakeClock(), **kwargs
+    )
+
+
+class TestAcquireRelease:
+    def test_acquire_wins_when_unclaimed(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.acquire(KEY) is True
+        assert store.owns(KEY)
+        assert store.path_for(KEY).exists()
+
+    def test_second_worker_loses_live_claim(self, tmp_path):
+        clock = FakeClock()
+        first = make_store(tmp_path, clock, worker_id="w1")
+        second = make_store(tmp_path, clock, worker_id="w2")
+        assert first.acquire(KEY)
+        assert second.acquire(KEY) is False
+        assert not second.owns(KEY)
+
+    def test_release_allows_reacquire(self, tmp_path):
+        clock = FakeClock()
+        first = make_store(tmp_path, clock, worker_id="w1")
+        second = make_store(tmp_path, clock, worker_id="w2")
+        first.acquire(KEY)
+        first.release(KEY)
+        assert not first.owns(KEY)
+        assert second.acquire(KEY) is True
+
+    def test_release_is_idempotent(self, tmp_path):
+        store = make_store(tmp_path)
+        store.acquire(KEY)
+        store.release(KEY)
+        store.release(KEY)  # no-op, no error
+
+    def test_release_never_unlinks_foreign_claim(self, tmp_path):
+        clock = FakeClock()
+        first = make_store(tmp_path, clock, worker_id="w1")
+        second = make_store(tmp_path, clock, worker_id="w2")
+        first.acquire(KEY)
+        # Simulate stale-rooted confusion: second thinks it owns the key.
+        second._owned.add(KEY)
+        second.release(KEY)
+        assert first.path_for(KEY).exists()
+
+    def test_claim_payload_identifies_owner(self, tmp_path):
+        store = make_store(tmp_path, worker_id="w1")
+        store.acquire(KEY)
+        data = json.loads(store.path_for(KEY).read_text())
+        assert data["worker"] == "w1"
+        assert data["key"] == KEY
+        assert data["pid"] == os.getpid()
+
+
+class TestLeaseExpiry:
+    def test_stale_claim_is_taken_over(self, tmp_path):
+        clock = FakeClock()
+        dead = make_store(tmp_path, clock, worker_id="dead", lease_s=10.0)
+        live = make_store(tmp_path, clock, worker_id="live", lease_s=10.0)
+        dead.acquire(KEY)
+        clock.advance(11.0)
+        assert KEY in live.stale_keys()
+        assert live.acquire(KEY) is True
+        data = json.loads(live.path_for(KEY).read_text())
+        assert data["worker"] == "live"
+
+    def test_fresh_claim_is_not_stale(self, tmp_path):
+        clock = FakeClock()
+        store = make_store(tmp_path, clock, lease_s=10.0)
+        store.acquire(KEY)
+        clock.advance(9.0)
+        assert store.stale_keys() == []
+
+    def test_heartbeat_extends_lease(self, tmp_path):
+        clock = FakeClock()
+        owner = make_store(tmp_path, clock, worker_id="w1", lease_s=10.0)
+        rival = make_store(tmp_path, clock, worker_id="w2", lease_s=10.0)
+        owner.acquire(KEY)
+        clock.advance(8.0)
+        owner.heartbeat(KEY)
+        clock.advance(8.0)  # 16s since acquire, 8s since heartbeat
+        assert rival.acquire(KEY) is False
+
+    def test_heartbeat_never_resurrects_stolen_claim(self, tmp_path):
+        clock = FakeClock()
+        slow = make_store(tmp_path, clock, worker_id="slow", lease_s=10.0)
+        thief = make_store(tmp_path, clock, worker_id="thief", lease_s=10.0)
+        slow.acquire(KEY)
+        clock.advance(11.0)
+        assert thief.acquire(KEY)
+        slow.heartbeat(KEY)  # must notice the theft, not refresh
+        data = json.loads(slow.path_for(KEY).read_text())
+        assert data["worker"] == "thief"
+        assert not slow.owns(KEY)
+
+    def test_heartbeat_ratio_default(self, tmp_path):
+        store = make_store(tmp_path, lease_s=12.0)
+        assert store.heartbeat_s == pytest.approx(12.0 / HEARTBEAT_RATIO)
+
+    def test_nonpositive_lease_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ClaimStore(tmp_path, lease_s=0.0)
+
+
+class TestInspection:
+    def test_info_reports_age_and_staleness(self, tmp_path):
+        clock = FakeClock()
+        store = make_store(tmp_path, clock, worker_id="w1", lease_s=10.0)
+        store.acquire(KEY)
+        clock.advance(4.0)
+        info = store.info(KEY)
+        assert info is not None
+        assert info.worker == "w1"
+        assert info.age_s == pytest.approx(4.0)
+        assert info.stale is False
+        clock.advance(7.0)
+        assert store.info(KEY).stale is True
+
+    def test_info_none_for_absent_claim(self, tmp_path):
+        assert make_store(tmp_path).info(KEY) is None
+
+    def test_claims_lists_every_claim(self, tmp_path):
+        store = make_store(tmp_path)
+        keys = [c * 64 for c in "abc"]
+        for key in keys:
+            store.acquire(key)
+        assert [c.key for c in store.claims()] == sorted(keys)
+
+    def test_default_worker_ids_are_unique(self):
+        assert default_worker_id() != default_worker_id()
+
+    def test_default_lease_exported(self):
+        assert DEFAULT_LEASE_S > 0

@@ -603,3 +603,93 @@ class TestObservabilityVerbs:
         )
         assert code == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestSweepVerbs:
+    """Parsing and end-to-end behaviour of the `repro sweep` group."""
+
+    def test_sweep_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_init_defaults(self):
+        args = build_parser().parse_args(["sweep", "init"])
+        assert args.batches == ["1_Data_Intensive"]
+        assert args.policies == ["Sync", "Async", "ITS"]
+        assert args.seeds == (1, 2, 3)
+        assert args.manifest == "sweep_manifest.json"
+
+    def test_run_worker_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "run", "--manifest", "m.json", "--workers", "3",
+             "--lease-s", "5", "--max-retries", "0", "--backoff-s", "0",
+             "--poll-s", "0.1", "--max-cells", "2", "--worker-id", "w9"]
+        )
+        assert args.workers == 3
+        assert args.lease_s == 5.0
+        assert args.max_retries == 0
+        assert args.backoff_s == 0.0
+        assert args.max_cells == 2
+        assert args.worker_id == "w9"
+
+    def test_bad_worker_flags_rejected(self):
+        for argv in (
+            ["sweep", "run", "--lease-s", "0"],
+            ["sweep", "run", "--max-retries", "-1"],
+            ["sweep", "run", "--backoff-s", "-1"],
+            ["sweep", "run", "--max-cells", "0"],
+            ["sweep", "status", "--lease-s", "-3"],
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(argv)
+
+    def test_status_has_no_worker_flags(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "status", "--workers", "2"])
+
+    def test_init_run_status_cycle(self, tmp_path, capsys):
+        manifest = str(tmp_path / "m.json")
+        code = main(
+            ["sweep", "init", "--manifest", manifest,
+             "--cache-dir", str(tmp_path / "cache"),
+             "--batches", "No_Data_Intensive", "--policies", "Sync",
+             "--seeds", "1,2", "--scale", "0.2"]
+        )
+        assert code == 0
+        assert "2 cells" in capsys.readouterr().out
+        code = main(["sweep", "run", "--manifest", manifest])
+        assert code == 0
+        assert "2/2 done" in capsys.readouterr().out
+        code = main(["sweep", "status", "--manifest", manifest])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2/2 done" in out
+        assert "2/2 manifest cells cached" in out
+
+    def test_resume_clears_failures_and_finishes(self, tmp_path, capsys):
+        from repro.analysis.manifest import FailureLog, SweepManifest
+
+        manifest_path = str(tmp_path / "m.json")
+        main(
+            ["sweep", "init", "--manifest", manifest_path,
+             "--cache-dir", str(tmp_path / "cache"),
+             "--batches", "No_Data_Intensive", "--policies", "Sync",
+             "--seeds", "1", "--scale", "0.2"]
+        )
+        capsys.readouterr()
+        manifest = SweepManifest.load(manifest_path)
+        cache = manifest.resolve_cache()
+        failures = FailureLog(manifest.failures_root(cache))
+        failures.record(
+            manifest.keys[0], label="cell", attempts=3, error="e", worker="w"
+        )
+        code = main(["sweep", "resume", "--manifest", manifest_path])
+        assert code == 0
+        assert "1/1 done" in capsys.readouterr().out
+
+    def test_missing_manifest_is_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "run", "--manifest", str(tmp_path / "absent.json")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,184 @@
+"""Unit tests for sweep manifests, failure records, and progress scans."""
+
+import json
+
+import pytest
+
+from repro.analysis.claims import ClaimStore
+from repro.analysis.manifest import (
+    FailureLog,
+    SweepManifest,
+    SweepProgress,
+    scan_progress,
+    write_progress,
+)
+from repro.analysis.runner import SweepCell
+from repro.common.config import MachineConfig
+from repro.common.errors import ConfigError
+
+_RESULT = None
+
+
+def make_cells(n=3):
+    config = MachineConfig()
+    return [
+        SweepCell(
+            config=config,
+            batch="No_Data_Intensive",
+            policy="Sync",
+            seed=seed,
+            scale=0.2,
+        )
+        for seed in range(1, n + 1)
+    ]
+
+
+def real_result(cell):
+    """One real (memoized) simulation result to mark cells done with."""
+    global _RESULT
+    if _RESULT is None:
+        from repro.analysis.experiments import run_batch_policy
+
+        _RESULT = run_batch_policy(
+            cell.config, cell.batch, cell.policy, seed=cell.seed, scale=cell.scale
+        )
+    return _RESULT
+
+
+class TestManifestRoundTrip:
+    def test_save_load_preserves_cells_and_keys(self, tmp_path):
+        manifest = SweepManifest(
+            name="grid", cache_dir=str(tmp_path / "cache"), cells=make_cells()
+        )
+        path = manifest.save(tmp_path / "m.json")
+        loaded = SweepManifest.load(path)
+        assert loaded.name == "grid"
+        assert loaded.keys == manifest.keys
+        assert [c.describe() for c in loaded.cells] == [
+            c.describe() for c in manifest.cells
+        ]
+
+    def test_empty_grid_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            SweepManifest(name="x", cache_dir=str(tmp_path), cells=[])
+
+    def test_duplicate_cells_rejected(self, tmp_path):
+        cells = make_cells(1) * 2
+        with pytest.raises(ConfigError):
+            SweepManifest(name="x", cache_dir=str(tmp_path), cells=cells)
+
+    def test_missing_file_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            SweepManifest.load(tmp_path / "absent.json")
+
+    def test_tampered_key_is_config_error(self, tmp_path):
+        manifest = SweepManifest(
+            name="grid", cache_dir=str(tmp_path), cells=make_cells(1)
+        )
+        path = manifest.save(tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        data["cells"][0]["key"] = "0" * 64
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigError, match="re-run 'repro sweep init'"):
+            SweepManifest.load(path)
+
+    def test_wrong_version_is_config_error(self, tmp_path):
+        manifest = SweepManifest(
+            name="grid", cache_dir=str(tmp_path), cells=make_cells(1)
+        )
+        path = manifest.save(tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        data["manifest_version"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigError, match="version"):
+            SweepManifest.load(path)
+
+    def test_resolve_cache_honours_override(self, tmp_path):
+        manifest = SweepManifest(
+            name="grid", cache_dir=str(tmp_path / "a"), cells=make_cells(1)
+        )
+        assert manifest.resolve_cache().root == tmp_path / "a"
+        assert manifest.resolve_cache(tmp_path / "b").root == tmp_path / "b"
+
+    def test_resolve_cache_requires_some_dir(self, tmp_path):
+        manifest = SweepManifest(name="grid", cache_dir="", cells=make_cells(1))
+        with pytest.raises(ConfigError, match="cache-dir"):
+            manifest.resolve_cache()
+
+
+class TestFailureLog:
+    def test_record_get_round_trip(self, tmp_path):
+        log = FailureLog(tmp_path / "failures")
+        log.record("k" * 64, label="cell", attempts=3, error="boom", worker="w1")
+        record = log.get("k" * 64)
+        assert record["error"] == "boom"
+        assert record["attempts"] == 3
+        assert log.keys() == {"k" * 64}
+
+    def test_get_absent_is_none(self, tmp_path):
+        assert FailureLog(tmp_path / "failures").get("k" * 64) is None
+
+    def test_clear_selected_keys(self, tmp_path):
+        log = FailureLog(tmp_path / "failures")
+        for c in "ab":
+            log.record(c * 64, label="cell", attempts=1, error="e", worker="w")
+        assert log.clear(["a" * 64]) == 1
+        assert log.keys() == {"b" * 64}
+        assert log.clear() == 1
+        assert log.keys() == set()
+
+
+class TestProgress:
+    def test_scan_classifies_every_state(self, tmp_path):
+        cells = make_cells(4)
+        manifest = SweepManifest(
+            name="grid", cache_dir=str(tmp_path / "cache"), cells=cells
+        )
+        cache = manifest.resolve_cache()
+        claims = ClaimStore(manifest.claims_root(cache), lease_s=10.0)
+        failures = FailureLog(manifest.failures_root(cache))
+        # cell 0 done, cell 1 claimed, cell 2 failed, cell 3 pending
+        cache.put(manifest.keys[0], real_result(cells[0]), cells[0])
+        claims.acquire(manifest.keys[1])
+        failures.record(
+            manifest.keys[2], label="c", attempts=3, error="e", worker="w"
+        )
+        progress = scan_progress(manifest, cache, claims, failures)
+        assert (progress.done, progress.claimed, progress.failed) == (1, 1, 1)
+        assert progress.stale == 0
+        assert progress.pending == 1
+        assert not progress.complete
+
+    def test_done_beats_stale_claim_and_failure(self, tmp_path):
+        cells = make_cells(1)
+        manifest = SweepManifest(
+            name="grid", cache_dir=str(tmp_path / "cache"), cells=cells
+        )
+        cache = manifest.resolve_cache()
+        key = manifest.keys[0]
+        claims = ClaimStore(manifest.claims_root(cache), lease_s=10.0)
+        failures = FailureLog(manifest.failures_root(cache))
+        claims.acquire(key)
+        failures.record(key, label="c", attempts=3, error="e", worker="w")
+        cache.put(key, real_result(cells[0]), cells[0])
+        progress = scan_progress(manifest, cache, claims, failures)
+        assert progress.done == 1
+        assert progress.complete
+
+    def test_write_progress_is_loadable_json(self, tmp_path):
+        progress = SweepProgress(
+            name="grid", total=4, done=2, claimed=1, stale=0, failed=0
+        )
+        path = tmp_path / "p.json"
+        write_progress(path, progress)
+        data = json.loads(path.read_text())
+        assert data["done"] == 2
+        assert data["pending"] == 1
+        assert "written_at" in data
+
+    def test_render_mentions_every_count(self):
+        text = SweepProgress(
+            name="g", total=5, done=1, claimed=1, stale=1, failed=1
+        ).render()
+        assert "1/5 done" in text
+        assert "1 pending" in text

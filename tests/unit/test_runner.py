@@ -2,10 +2,13 @@
 
 import dataclasses
 import json
+import threading
 
 import pytest
 
 from repro.analysis.runner import (
+    EXECUTOR_NAMES,
+    CellExecutionError,
     ResultCache,
     SweepCell,
     cache_key,
@@ -172,6 +175,155 @@ class TestRunCells:
         assert [s[0] for s in seen] == [1, 2]
         assert all(s[1] == 2 and s[3] is False for s in seen)
 
-    def test_unknown_policy_surfaces_config_error(self):
-        with pytest.raises(ConfigError):
+    def test_unknown_policy_surfaces_cell_error(self):
+        with pytest.raises(CellExecutionError) as excinfo:
             run_cells([fast_cell(policy="Nope")])
+        assert isinstance(excinfo.value.__cause__, ConfigError)
+
+
+class TestRunCellsFailures:
+    """Satellite: a raising cell names itself and keeps done/total sane."""
+
+    def test_error_names_the_failed_cell(self):
+        bad = fast_cell(policy="Nope")
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells([bad])
+        assert bad.describe() in str(excinfo.value)
+
+    def test_other_cells_still_complete_and_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        good = [fast_cell(), fast_cell(policy="Async")]
+        cells = [good[0], fast_cell(policy="Nope"), good[1]]
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells(cells, cache=cache)
+        err = excinfo.value
+        assert err.completed == 2
+        assert err.total == 3
+        assert len(err.failures) == 1
+        assert err.failures[0][0].policy == "Nope"
+        # the two good cells were cached despite the failure
+        assert all(cache.get(cache_key(cell)) is not None for cell in good)
+
+    def test_progress_stays_consistent_on_failure(self, tmp_path):
+        seen = []
+        cells = [fast_cell(), fast_cell(policy="Nope"), fast_cell(policy="Async")]
+        with pytest.raises(CellExecutionError):
+            run_cells(
+                cells,
+                cache=ResultCache(tmp_path),
+                progress=lambda done, total, cell, cached: seen.append(
+                    (done, total)
+                ),
+            )
+        assert seen == [(1, 3), (2, 3)]
+
+    def test_failure_in_pool_mode_matches_serial(self, tmp_path):
+        cells = [fast_cell(), fast_cell(policy="Nope")]
+        with pytest.raises(CellExecutionError) as serial:
+            run_cells(cells, cache=ResultCache(tmp_path / "a"))
+        with pytest.raises(CellExecutionError) as pooled:
+            run_cells(cells, cache=ResultCache(tmp_path / "b"), workers=2)
+        assert serial.value.completed == pooled.value.completed == 1
+        assert (
+            serial.value.failures[0][0].describe()
+            == pooled.value.failures[0][0].describe()
+        )
+
+    def test_message_caps_listed_failures(self):
+        cells = [fast_cell(policy="Nope", seed=seed) for seed in range(1, 9)]
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells(cells)
+        message = str(excinfo.value)
+        assert "8 of 8 cells failed" in message
+        assert "3 more" in message
+
+
+class TestExecutorSelection:
+    """Tentpole: the executor backend is pluggable and validated."""
+
+    def test_known_names(self):
+        assert EXECUTOR_NAMES == ("inline", "pool", "queue")
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigError, match="executor"):
+            run_cells([fast_cell()], executor="magic")
+
+    def test_queue_requires_cache(self):
+        with pytest.raises(ConfigError, match="cache"):
+            run_cells([fast_cell()], executor="queue")
+
+    def test_inline_and_explicit_inline_agree(self, tmp_path):
+        cells = [fast_cell(), fast_cell(policy="Async")]
+        assert run_cells(cells) == run_cells(cells, executor="inline")
+
+    def test_queue_matches_inline_bit_for_bit(self, tmp_path):
+        cells = [fast_cell(), fast_cell(policy="Async")]
+        inline = run_cells(cells, cache=ResultCache(tmp_path / "a"))
+        queued = run_cells(
+            cells, cache=ResultCache(tmp_path / "b"), executor="queue"
+        )
+        assert inline == queued
+
+    def test_queue_second_run_all_hits(self, tmp_path):
+        from repro.telemetry import Telemetry
+
+        cells = [fast_cell(), fast_cell(policy="Async")]
+        cache = ResultCache(tmp_path)
+        run_cells(cells, cache=cache, executor="queue")
+        telemetry = Telemetry(events=False)
+        run_cells(cells, cache=cache, executor="queue", telemetry=telemetry)
+        assert telemetry.counter("runner.cache.hit").value == 2
+        assert telemetry.counter("runner.cells.executed").value == 0
+
+
+class TestFlushStatsMerge:
+    """Satellite: concurrent flush_stats merges instead of clobbering."""
+
+    def test_concurrent_flushes_all_counted(self, tmp_path):
+        instances = []
+        for _ in range(8):
+            cache = ResultCache(tmp_path)
+            cache.hits = 3
+            cache.misses = 2
+            cache.puts = 1
+            instances.append(cache)
+        barrier = threading.Barrier(len(instances))
+
+        def flush(cache):
+            barrier.wait()
+            cache.flush_stats()
+
+        threads = [
+            threading.Thread(target=flush, args=(c,)) for c in instances
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = ResultCache(tmp_path).stats()
+        assert stats.hits == 3 * len(instances)
+        assert stats.misses == 2 * len(instances)
+        assert stats.puts == 1 * len(instances)
+
+    def test_flush_resets_in_memory_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.hits = 5
+        cache.flush_stats()
+        assert cache.hits == 0
+        cache.flush_stats()  # second flush adds nothing
+        assert ResultCache(tmp_path).stats().hits == 5
+
+    def test_stale_stats_lock_is_broken(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        lock = cache.root / "stats.json.lock"
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.touch()
+        import os
+        import time
+
+        old = time.time() - 60.0
+        os.utime(lock, times=(old, old))
+        cache.hits = 1
+        cache.flush_stats()
+        assert ResultCache(tmp_path).stats().hits == 1
+        assert not lock.exists()
